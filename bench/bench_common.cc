@@ -1,0 +1,118 @@
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace mbq::bench {
+
+uint64_t BenchUsers(uint64_t fallback) {
+  const char* env = std::getenv("MBQ_BENCH_USERS");
+  if (env != nullptr) {
+    uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v >= 100) return v;
+  }
+  return fallback;
+}
+
+uint32_t BenchRuns() {
+  const char* env = std::getenv("MBQ_BENCH_RUNS");
+  if (env != nullptr) {
+    uint32_t v = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+    if (v >= 1) return v;
+  }
+  return 10;  // the paper's protocol
+}
+
+twitter::DatasetSpec BenchSpec(uint64_t num_users) {
+  twitter::DatasetSpec spec;  // defaults mirror the paper's ratios
+  spec.num_users = num_users;
+  spec.seed = 2015;  // GRADES'15
+  return spec;
+}
+
+Testbed BuildTestbed(uint64_t num_users) {
+  Testbed bed;
+  bed.dataset = twitter::GenerateDataset(BenchSpec(num_users));
+
+  nodestore::GraphDbOptions ndb_options;
+  ndb_options.wal_enabled = false;  // loaded via the direct loader
+  ndb_options.cache_bytes = 256ull << 20;
+  bed.db = std::make_unique<nodestore::GraphDb>(ndb_options);
+  auto nh = twitter::LoadIntoNodestore(bed.dataset, bed.db.get());
+  MBQ_CHECK(nh.ok());
+  bed.ndb_handles = *nh;
+
+  bitmapstore::GraphOptions bg_options;
+  bg_options.cache_bytes = 256ull << 20;
+  bed.graph = std::make_unique<bitmapstore::Graph>(bg_options);
+  auto bh = twitter::LoadIntoBitmapstore(bed.dataset, bed.graph.get());
+  MBQ_CHECK(bh.ok());
+  bed.bm_handles = *bh;
+
+  bed.nodestore_engine = std::make_unique<core::NodestoreEngine>(bed.db.get());
+  bed.bitmap_engine =
+      std::make_unique<core::BitmapEngine>(bed.graph.get(), bed.bm_handles);
+  return bed;
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  std::string line = "|";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int width = i < widths.size() ? widths[i] : 12;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), " %-*s |", width, cells[i].c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void PrintRule(const std::vector<int>& widths) {
+  std::string line = "|";
+  for (int width : widths) {
+    line += std::string(static_cast<size_t>(width) + 2, '-') + "|";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string FormatMillis(double millis) {
+  char buf[64];
+  if (millis < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", millis);
+  } else if (millis < 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", millis);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", millis / 1000.0);
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out += ',';
+    out += *it;
+    ++c;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / (1ull << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  }
+  return buf;
+}
+
+}  // namespace mbq::bench

@@ -1,0 +1,58 @@
+#ifndef MBQ_BENCH_BENCH_COMMON_H_
+#define MBQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bitmap_engine.h"
+#include "core/nodestore_engine.h"
+#include "core/workload.h"
+#include "twitter/dataset.h"
+#include "twitter/loaders.h"
+
+namespace mbq::bench {
+
+/// One fully loaded experimental setup: the generated dataset plus both
+/// engines carrying it, ready for the Table 2 workload.
+struct Testbed {
+  twitter::Dataset dataset;
+  std::unique_ptr<nodestore::GraphDb> db;
+  std::unique_ptr<bitmapstore::Graph> graph;
+  twitter::NodestoreHandles ndb_handles;
+  twitter::BitmapHandles bm_handles;
+  std::unique_ptr<core::NodestoreEngine> nodestore_engine;
+  std::unique_ptr<core::BitmapEngine> bitmap_engine;
+};
+
+/// Scale factor: number of users in the synthetic crawl. Overridable with
+/// the MBQ_BENCH_USERS environment variable; the default keeps every bench
+/// binary under a couple of minutes on one core while preserving the
+/// paper's shape (the paper's crawl had 24.8M users; we default to 20k,
+/// a ~1/1200 scale with identical per-user ratios).
+uint64_t BenchUsers(uint64_t fallback = 20000);
+
+/// Runs per measured point, after warm-up (paper: average of 10).
+uint32_t BenchRuns();
+
+/// The spec used by all benches at the given scale.
+twitter::DatasetSpec BenchSpec(uint64_t num_users);
+
+/// Generates the dataset and loads both engines (HDD-profile simulated
+/// disks, warm after load unless DropCaches is called).
+Testbed BuildTestbed(uint64_t num_users);
+
+/// Prints a markdown-ish table row: fixed-width columns.
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+void PrintRule(const std::vector<int>& widths);
+
+std::string FormatMillis(double millis);
+std::string FormatCount(uint64_t n);
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace mbq::bench
+
+#endif  // MBQ_BENCH_BENCH_COMMON_H_

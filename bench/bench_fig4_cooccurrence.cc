@@ -1,0 +1,90 @@
+// Reproduces Figure 4(a)/(b): the co-occurrence query Q3.1 (top-n users
+// most mentioned together with user A) on both engines, with average
+// execution time plotted against the number of rows the query returns.
+// Expected shape (paper): a straightforward increasing trend, noisy at
+// small row counts where random disk accesses dominate.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace mbq::bench {
+namespace {
+
+void Run() {
+  uint64_t users = BenchUsers();
+  std::printf("Figure 4(a,b) — Q3.1 co-occurrence, %s users\n\n",
+              FormatCount(users).c_str());
+  Testbed bed = BuildTestbed(users);
+  uint32_t runs = BenchRuns();
+
+  // Sample users across the mention-count spectrum (the paper's x-axis is
+  // rows returned, which tracks how often A is co-mentioned).
+  auto by_mentions = core::UsersByMentionCount(bed.dataset);
+  std::vector<int64_t> sample;
+  const size_t kPoints = 14;
+  for (size_t i = 0; i < kPoints && !by_mentions.empty(); ++i) {
+    size_t idx = i * (by_mentions.size() - 1) / (kPoints - 1);
+    sample.push_back(by_mentions[idx].second);
+  }
+
+  std::vector<int> widths{10, 12, 14, 14};
+  PrintRow({"uid", "rows", "nodestore", "bitmapstore"}, widths);
+  PrintRule(widths);
+
+  struct Point {
+    uint64_t rows;
+    double ns;
+    double bm;
+    int64_t uid;
+  };
+  std::vector<Point> points;
+  for (int64_t uid : sample) {
+    uint64_t rows = 0;
+    auto ns = core::MeasureQuery(
+        [&]() -> Result<uint64_t> {
+          MBQ_ASSIGN_OR_RETURN(
+              auto r, bed.nodestore_engine->TopCoMentionedUsers(uid, 1 << 30));
+          rows = r.size();
+          return rows;
+        },
+        1, runs, [&] { return bed.db->SimulatedIoNanos(); });
+    auto bm = core::MeasureQuery(
+        [&]() -> Result<uint64_t> {
+          MBQ_ASSIGN_OR_RETURN(
+              auto r, bed.bitmap_engine->TopCoMentionedUsers(uid, 1 << 30));
+          return r.size();
+        },
+        1, runs, [&] { return bed.graph->SimulatedIoNanos(); });
+    if (!ns.ok() || !bm.ok()) continue;
+    points.push_back({rows, ns->avg_millis, bm->avg_millis, uid});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.rows < b.rows; });
+  for (const Point& p : points) {
+    PrintRow({std::to_string(p.uid), FormatCount(p.rows), FormatMillis(p.ns),
+              FormatMillis(p.bm)},
+             widths);
+  }
+
+  // Shape check: time at the largest row count should exceed time at the
+  // smallest on both engines.
+  if (points.size() >= 2) {
+    const Point& lo = points.front();
+    const Point& hi = points.back();
+    std::printf(
+        "\nshape: increasing trend — nodestore %s -> %s, bitmapstore "
+        "%s -> %s (rows %s -> %s)\n",
+        FormatMillis(lo.ns).c_str(), FormatMillis(hi.ns).c_str(),
+        FormatMillis(lo.bm).c_str(), FormatMillis(hi.bm).c_str(),
+        FormatCount(lo.rows).c_str(), FormatCount(hi.rows).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace mbq::bench
+
+int main() {
+  mbq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces Table 1 of the paper: characteristics of the data set —
+// node and relationship counts per type. The paper reports the Li et al.
+// (KDD'12) crawl; we print our synthetic crawl at the configured scale
+// next to the paper's numbers so the per-type *mix* can be compared.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "twitter/dataset.h"
+
+namespace mbq::bench {
+namespace {
+
+struct PaperCounts {
+  // Paper Table 1 (Li et al. crawl).
+  static constexpr uint64_t kUsers = 24'789'792;
+  static constexpr uint64_t kTweets = 24'000'230;
+  static constexpr uint64_t kHashtags = 616'109;
+  static constexpr uint64_t kFollows = 284'000'284;
+  static constexpr uint64_t kPosts = 24'000'230;
+  static constexpr uint64_t kMentions = 11'100'547;
+  static constexpr uint64_t kTags = 7'137'992;
+  static constexpr uint64_t kTotalNodes = 49'405'924;  // as printed
+  static constexpr uint64_t kTotalEdges = 326'238'000;
+};
+
+double Share(uint64_t part, uint64_t total) {
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(total);
+}
+
+void Run() {
+  uint64_t users = BenchUsers();
+  twitter::DatasetSpec spec = BenchSpec(users);
+  spec.retweet_fraction = 0;  // paper parity: no retweets reconstructible
+  twitter::Dataset dataset = twitter::GenerateDataset(spec);
+  twitter::DatasetCounts c = twitter::CountDataset(dataset);
+
+  std::printf("Table 1: Characteristics of the data set\n");
+  std::printf("(synthetic crawl, %s users; paper = Li et al. KDD'12)\n\n",
+              FormatCount(users).c_str());
+  std::vector<int> widths{12, 14, 8, 16, 8};
+  PrintRow({"Node", "ours", "ours %", "paper", "paper %"}, widths);
+  PrintRule(widths);
+  auto node_row = [&](const char* name, uint64_t ours, uint64_t paper) {
+    char ours_pct[16];
+    char paper_pct[16];
+    std::snprintf(ours_pct, sizeof(ours_pct), "%.1f%%",
+                  Share(ours, c.total_nodes));
+    std::snprintf(paper_pct, sizeof(paper_pct), "%.1f%%",
+                  Share(paper, PaperCounts::kTotalNodes));
+    PrintRow({name, FormatCount(ours), ours_pct, FormatCount(paper),
+              paper_pct},
+             widths);
+  };
+  node_row("user", c.users, PaperCounts::kUsers);
+  node_row("tweet", c.tweets, PaperCounts::kTweets);
+  node_row("hashtag", c.hashtags, PaperCounts::kHashtags);
+  PrintRow({"Total", FormatCount(c.total_nodes), "100%",
+            FormatCount(PaperCounts::kTotalNodes), "100%"},
+           widths);
+
+  std::printf("\n");
+  PrintRow({"Relationship", "ours", "ours %", "paper", "paper %"}, widths);
+  PrintRule(widths);
+  auto edge_row = [&](const char* name, uint64_t ours, uint64_t paper) {
+    char ours_pct[16];
+    char paper_pct[16];
+    std::snprintf(ours_pct, sizeof(ours_pct), "%.1f%%",
+                  Share(ours, c.total_edges));
+    std::snprintf(paper_pct, sizeof(paper_pct), "%.1f%%",
+                  Share(paper, PaperCounts::kTotalEdges));
+    PrintRow({name, FormatCount(ours), ours_pct, FormatCount(paper),
+              paper_pct},
+             widths);
+  };
+  edge_row("follows", c.follows, PaperCounts::kFollows);
+  edge_row("posts", c.posts, PaperCounts::kPosts);
+  edge_row("mentions", c.mentions, PaperCounts::kMentions);
+  edge_row("tags", c.tags, PaperCounts::kTags);
+  PrintRow({"Total", FormatCount(c.total_edges), "100%",
+            FormatCount(PaperCounts::kTotalEdges), "100%"},
+           widths);
+
+  std::printf("\nShape checks (should track the paper):\n");
+  std::printf("  follows per user : %6.2f (paper 11.46)\n",
+              static_cast<double>(c.follows) / static_cast<double>(c.users));
+  std::printf("  tweets per user  : %6.2f (paper 0.97)\n",
+              static_cast<double>(c.tweets) / static_cast<double>(c.users));
+  std::printf("  mentions / tweet : %6.2f (paper 0.46)\n",
+              static_cast<double>(c.mentions) / static_cast<double>(c.tweets));
+  std::printf("  tags / tweet     : %6.2f (paper 0.30)\n",
+              static_cast<double>(c.tags) / static_cast<double>(c.tweets));
+}
+
+}  // namespace
+}  // namespace mbq::bench
+
+int main() {
+  mbq::bench::Run();
+  return 0;
+}

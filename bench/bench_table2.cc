@@ -1,0 +1,165 @@
+// Reproduces Table 2 of the paper: the six-category query workload.
+// Every exemplar query (Q1.1 .. Q6.1) is executed on both engines with
+// the paper's timing protocol (warm the cache, then average 10 runs) and
+// cross-checked for result agreement.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace mbq::bench {
+namespace {
+
+using core::MeasureQuery;
+using core::TimingResult;
+using core::ValueRows;
+
+struct QueryRun {
+  const char* id;
+  const char* category;
+  const char* description;
+};
+
+void Run() {
+  uint64_t users = BenchUsers();
+  std::printf("Building testbed (%s users)...\n", FormatCount(users).c_str());
+  Testbed bed = BuildTestbed(users);
+  uint32_t runs = BenchRuns();
+
+  // Representative parameters: a well-connected user, a popular hashtag,
+  // a random pair for the path query.
+  auto by_mentions = core::UsersByMentionCount(bed.dataset);
+  auto by_followees = core::UsersByFolloweeCount(bed.dataset);
+  auto tags = core::HashtagsByUse(bed.dataset);
+  int64_t user_a = by_followees[by_followees.size() * 3 / 4].second;
+  int64_t mentioned_user =
+      by_mentions.empty() ? user_a : by_mentions.back().second;
+  std::string hot_tag = tags.back().second;
+  int64_t user_b = by_followees[by_followees.size() / 3].second;
+  int64_t follower_threshold = 50;
+  int64_t top_n = 10;
+
+  std::printf(
+      "Parameters: A=uid %lld (mentions target uid %lld), H='%s', "
+      "B=uid %lld, threshold=%lld, n=%lld, runs=%u\n\n",
+      static_cast<long long>(user_a), static_cast<long long>(mentioned_user),
+      hot_tag.c_str(), static_cast<long long>(user_b),
+      static_cast<long long>(follower_threshold),
+      static_cast<long long>(top_n), runs);
+
+  std::vector<int> widths{6, 16, 44, 12, 12, 8};
+  PrintRow({"Query", "Category", "Example", "nodestore", "bitmapstore",
+            "agree"},
+           widths);
+  PrintRule(widths);
+
+  auto measure_pair =
+      [&](const char* id, const char* category, const char* example,
+          const std::function<Result<ValueRows>(core::MicroblogEngine*)>&
+              query) {
+        ValueRows ns_rows;
+        ValueRows bm_rows;
+        auto ns_timing = MeasureQuery(
+            [&]() -> Result<uint64_t> {
+              MBQ_ASSIGN_OR_RETURN(ns_rows,
+                                   query(bed.nodestore_engine.get()));
+              return ns_rows.size();
+            },
+            /*warmup=*/2, runs, [&] { return bed.db->SimulatedIoNanos(); });
+        auto bm_timing = MeasureQuery(
+            [&]() -> Result<uint64_t> {
+              MBQ_ASSIGN_OR_RETURN(bm_rows, query(bed.bitmap_engine.get()));
+              return bm_rows.size();
+            },
+            /*warmup=*/2, runs,
+            [&] { return bed.graph->SimulatedIoNanos(); });
+        std::string ns_cell =
+            ns_timing.ok() ? FormatMillis(ns_timing->avg_millis)
+                           : std::string("ERROR");
+        std::string bm_cell =
+            bm_timing.ok() ? FormatMillis(bm_timing->avg_millis)
+                           : std::string("ERROR");
+        core::SortRows(&ns_rows);
+        core::SortRows(&bm_rows);
+        bool agree = ns_rows == bm_rows;
+        PrintRow({id, category, example, ns_cell, bm_cell,
+                  agree ? "yes" : "NO"},
+                 widths);
+      };
+
+  measure_pair("Q1.1", "Select", "users with follower count > threshold",
+               [&](core::MicroblogEngine* e) {
+                 return e->SelectUsersByFollowerCount(follower_threshold);
+               });
+  measure_pair("Q2.1", "Adjacency (1)", "all followees of A",
+               [&](core::MicroblogEngine* e) {
+                 return e->FolloweesOf(user_a);
+               });
+  measure_pair("Q2.2", "Adjacency (2)", "tweets posted by followees of A",
+               [&](core::MicroblogEngine* e) {
+                 return e->TweetsOfFollowees(user_a);
+               });
+  measure_pair("Q2.3", "Adjacency (3)", "hashtags used by followees of A",
+               [&](core::MicroblogEngine* e) {
+                 return e->HashtagsUsedByFollowees(user_a);
+               });
+  measure_pair("Q3.1", "Co-occurrence", "top-n users most mentioned with A",
+               [&](core::MicroblogEngine* e) {
+                 return e->TopCoMentionedUsers(mentioned_user, top_n);
+               });
+  measure_pair("Q3.2", "Co-occurrence", "top-n hashtags co-occurring with H",
+               [&](core::MicroblogEngine* e) {
+                 return e->TopCoOccurringHashtags(hot_tag, top_n);
+               });
+  measure_pair("Q4.1", "Recommendation", "top-n followees of A's followees",
+               [&](core::MicroblogEngine* e) {
+                 return e->RecommendFolloweesOfFollowees(user_a, top_n);
+               });
+  measure_pair("Q4.2", "Recommendation", "top-n followers of A's followees",
+               [&](core::MicroblogEngine* e) {
+                 return e->RecommendFollowersOfFollowees(user_a, top_n);
+               });
+  measure_pair("Q5.1", "Influence", "mentioners of A who follow A",
+               [&](core::MicroblogEngine* e) {
+                 return e->CurrentInfluence(mentioned_user, top_n);
+               });
+  measure_pair("Q5.2", "Influence", "mentioners of A not following A",
+               [&](core::MicroblogEngine* e) {
+                 return e->PotentialInfluence(mentioned_user, top_n);
+               });
+
+  // Q6.1 returns a scalar, measured separately.
+  {
+    int64_t ns_len = -2;
+    int64_t bm_len = -2;
+    auto ns_timing = MeasureQuery(
+        [&]() -> Result<uint64_t> {
+          MBQ_ASSIGN_OR_RETURN(
+              ns_len, bed.nodestore_engine->ShortestPathLength(user_a, user_b,
+                                                               3));
+          return 1;
+        },
+        2, runs, [&] { return bed.db->SimulatedIoNanos(); });
+    auto bm_timing = MeasureQuery(
+        [&]() -> Result<uint64_t> {
+          MBQ_ASSIGN_OR_RETURN(
+              bm_len,
+              bed.bitmap_engine->ShortestPathLength(user_a, user_b, 3));
+          return 1;
+        },
+        2, runs, [&] { return bed.graph->SimulatedIoNanos(); });
+    PrintRow({"Q6.1", "Shortest path", "follows-path between two users",
+              ns_timing.ok() ? FormatMillis(ns_timing->avg_millis) : "ERROR",
+              bm_timing.ok() ? FormatMillis(bm_timing->avg_millis) : "ERROR",
+              ns_len == bm_len ? "yes" : "NO"},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace mbq::bench
+
+int main() {
+  mbq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Friend recommendations (the paper's Q4): "recommendations are often
+// useful when obtained from the local community" — candidates are the
+// followees of one's followees, ranked by how many of your followees
+// already follow them. Also demonstrates PROFILE-style introspection:
+// the plan tree with per-operator rows and db hits, and the effect of
+// rephrasing the query (the paper's methods (a)/(b)/(c)).
+
+#include <cstdio>
+
+#include "core/nodestore_engine.h"
+#include "core/workload.h"
+#include "twitter/loaders.h"
+
+int main() {
+  mbq::twitter::DatasetSpec spec;
+  spec.num_users = 4000;
+  spec.seed = 7;
+  auto dataset = mbq::twitter::GenerateDataset(spec);
+
+  mbq::nodestore::GraphDb db;
+  auto nh = mbq::twitter::LoadIntoNodestore(dataset, &db);
+  if (!nh.ok()) {
+    std::printf("load failed: %s\n", nh.status().ToString().c_str());
+    return 1;
+  }
+  mbq::core::NodestoreEngine engine(&db);
+
+  auto by_followees = mbq::core::UsersByFolloweeCount(dataset);
+  int64_t me = by_followees[by_followees.size() / 2].second;
+  std::printf("recommendations for uid %lld (follows %lld accounts):\n\n",
+              static_cast<long long>(me),
+              static_cast<long long>(
+                  by_followees[by_followees.size() / 2].first));
+
+  auto recs = engine.RecommendFolloweesOfFollowees(me, 5);
+  if (!recs.ok()) {
+    std::printf("query failed: %s\n", recs.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& row : *recs) {
+    std::printf("  follow uid %-8s (%s of your followees follow them)\n",
+                row[0].ToString().c_str(), row[1].ToString().c_str());
+  }
+
+  // PROFILE the query: the plan tree Cypher's profiler would show.
+  mbq::cypher::Params params{{"uid", mbq::common::Value::Int(me)},
+                             {"n", mbq::common::Value::Int(5)}};
+  auto profiled = engine.session().Run(
+      mbq::core::NodestoreEngine::kRecommendVariantB, params);
+  if (profiled.ok()) {
+    std::printf("\nexecution plan (rows / db hits per operator):\n%s\n",
+                profiled->profile.c_str());
+  }
+
+  // The three phrasings from the paper's discussion section.
+  std::printf("phrasing comparison (same result, different plans):\n");
+  for (auto [label, text] :
+       {std::pair{"(a) var-length *2..2",
+                  mbq::core::NodestoreEngine::kRecommendVariantA},
+        std::pair{"(b) two explicit hops",
+                  mbq::core::NodestoreEngine::kRecommendVariantB},
+        std::pair{"(c) *1..2 minus depth-1",
+                  mbq::core::NodestoreEngine::kRecommendVariantC}}) {
+    auto r = engine.session().Run(text, params);
+    if (r.ok()) {
+      std::printf("  %-26s rows=%zu dbHits=%llu\n", label, r->rows.size(),
+                  static_cast<unsigned long long>(r->db_hits));
+    }
+  }
+  return 0;
+}

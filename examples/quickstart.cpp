@@ -1,0 +1,92 @@
+// Quickstart: build a tiny microblog graph in BOTH engines, run the same
+// question against each — declaratively (mini-Cypher on the record
+// store) and imperatively (navigation ops on the bitmap store) — and
+// print the results. This mirrors the paper's §2.1 two-system example:
+// "retrieve the tweets of a given user".
+
+#include <cstdio>
+
+#include "bitmapstore/graph.h"
+#include "common/value.h"
+#include "cypher/session.h"
+#include "nodestore/graph_db.h"
+
+using mbq::common::Value;
+
+namespace {
+
+void RunNodestore() {
+  std::printf("=== record store (Neo4j-style), declarative ===\n");
+  mbq::nodestore::GraphDb db;
+  auto user = *db.Label("user");
+  auto tweet = *db.Label("tweet");
+  auto posts = *db.RelType("posts");
+  auto uid = db.PropKey("uid");
+  auto text = db.PropKey("text");
+
+  auto alice = *db.CreateNode(user);
+  (void)db.SetNodeProperty(alice, uid, Value::Int(531));
+  auto t1 = *db.CreateNode(tweet);
+  (void)db.SetNodeProperty(t1, text, Value::String("graphs all the way down"));
+  auto t2 = *db.CreateNode(tweet);
+  (void)db.SetNodeProperty(t2, text, Value::String("benchmarking is hard"));
+  (void)db.CreateRelationship(posts, alice, t1);
+  (void)db.CreateRelationship(posts, alice, t2);
+  (void)db.CreateIndex(user, uid, /*unique=*/true);
+
+  // The paper's example query, §2.1.
+  mbq::cypher::CypherSession session(&db);
+  auto result = session.Run(
+      "MATCH (u:user {uid: $uid})-[:posts]->(t:tweet) RETURN t.text",
+      {{"uid", Value::Int(531)}});
+  if (!result.ok()) {
+    std::printf("query failed: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  for (const auto& row : result->rows) {
+    std::printf("  %s\n", row[0].value.AsString().c_str());
+  }
+  std::printf("  (db hits: %llu)\n\n",
+              static_cast<unsigned long long>(result->db_hits));
+}
+
+void RunBitmapstore() {
+  std::printf("=== bitmap store (Sparksee-style), imperative ===\n");
+  mbq::bitmapstore::Graph g;
+  auto user = *g.NewNodeType("user");
+  auto tweet = *g.NewNodeType("tweet");
+  auto posts = *g.NewEdgeType("posts");
+  auto uid = *g.NewAttribute(user, "uid", mbq::common::ValueType::kInt,
+                             mbq::bitmapstore::AttributeKind::kUnique);
+  auto text = *g.NewAttribute(tweet, "text",
+                              mbq::common::ValueType::kString,
+                              mbq::bitmapstore::AttributeKind::kBasic);
+
+  auto alice = *g.NewNode(user);
+  (void)g.SetAttribute(alice, uid, Value::Int(531));
+  auto t1 = *g.NewNode(tweet);
+  (void)g.SetAttribute(t1, text, Value::String("graphs all the way down"));
+  auto t2 = *g.NewNode(tweet);
+  (void)g.SetAttribute(t2, text, Value::String("benchmarking is hard"));
+  (void)g.NewEdge(posts, alice, t1);
+  (void)g.NewEdge(posts, alice, t2);
+
+  // The paper's Sparksee translation, §2.1: findAttribute, findObject,
+  // then neighbors over the posts edge type.
+  auto input = *g.FindObject(uid, Value::Int(531));
+  auto user_tweets =
+      *g.Neighbors(input, posts, mbq::bitmapstore::EdgesDirection::kOutgoing);
+  user_tweets.ForEach([&](uint32_t oid) {
+    std::printf("  %s\n", g.GetAttribute(oid, text)->AsString().c_str());
+  });
+  std::printf("  (neighbors calls: %llu)\n",
+              static_cast<unsigned long long>(g.stats().neighbors_calls));
+}
+
+}  // namespace
+
+int main() {
+  RunNodestore();
+  RunBitmapstore();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Interactive mini-Cypher shell over a generated microblog graph.
+//
+//   ./shell [num_users]
+//
+// Reads one query per line from stdin and prints rows. Dot-commands:
+//   :help              this text
+//   :profile <query>   run and print the operator tree with db hits
+//   :stats             database counters (nodes, rels, db hits)
+//   :cold              drop the page cache (next query runs cold)
+//   :quit              exit
+//
+// Example session:
+//   mbq> MATCH (u:user) WHERE u.followers_count > 50 RETURN u.uid LIMIT 5
+//   mbq> :profile MATCH (a:user {uid: 7})-[:follows]->(f:user) RETURN f.uid
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/workload.h"
+#include "cypher/session.h"
+#include "twitter/loaders.h"
+#include "util/string_util.h"
+
+namespace {
+
+void PrintResult(const mbq::cypher::QueryResult& result, bool with_profile) {
+  std::string header;
+  for (size_t i = 0; i < result.columns.size(); ++i) {
+    if (i > 0) header += " | ";
+    header += result.columns[i];
+  }
+  std::printf("%s\n", header.c_str());
+  std::printf("%s\n", std::string(header.size(), '-').c_str());
+  size_t shown = 0;
+  for (const auto& row : result.rows) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += " | ";
+      line += row[i].ToString();
+    }
+    std::printf("%s\n", line.c_str());
+    if (++shown >= 50) {
+      std::printf("... (%zu more rows)\n", result.rows.size() - shown);
+      break;
+    }
+  }
+  std::printf("%zu row(s), %llu db hits%s\n", result.rows.size(),
+              static_cast<unsigned long long>(result.db_hits),
+              result.plan_cached ? " (plan cached)" : "");
+  if (with_profile) {
+    std::printf("\n%s", result.profile.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t num_users = 2000;
+  if (argc > 1) {
+    num_users = std::strtoull(argv[1], nullptr, 10);
+    if (num_users < 10) num_users = 10;
+  }
+  std::printf("generating a %llu-user microblog graph...\n",
+              static_cast<unsigned long long>(num_users));
+  mbq::twitter::DatasetSpec spec;
+  spec.num_users = num_users;
+  spec.retweet_fraction = 0.15;
+  auto dataset = mbq::twitter::GenerateDataset(spec);
+
+  mbq::nodestore::GraphDb db;
+  auto handles = mbq::twitter::LoadIntoNodestore(dataset, &db);
+  if (!handles.ok()) {
+    std::printf("load failed: %s\n", handles.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "loaded %llu nodes / %llu relationships "
+      "(schema: user/tweet/hashtag; follows/posts/retweets/mentions/tags)\n"
+      "type :help for commands\n",
+      static_cast<unsigned long long>(db.NumNodes()),
+      static_cast<unsigned long long>(db.NumRels()));
+
+  mbq::cypher::CypherSession session(&db);
+  std::string line;
+  while (true) {
+    std::printf("mbq> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = mbq::TrimString(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == ":quit" || trimmed == ":exit") break;
+    if (trimmed == ":help") {
+      std::printf(
+          ":profile <query>  run with the operator tree\n"
+          ":stats            database counters\n"
+          ":cold             drop the page cache\n"
+          ":quit             exit\n"
+          "anything else is parsed as a mini-Cypher query, e.g.\n"
+          "  MATCH (u:user) WHERE u.followers_count > 50 "
+          "RETURN u.uid LIMIT 5\n");
+      continue;
+    }
+    if (trimmed == ":stats") {
+      std::printf("nodes=%llu rels=%llu db_hits=%llu disk=%llu bytes\n",
+                  static_cast<unsigned long long>(db.NumNodes()),
+                  static_cast<unsigned long long>(db.NumRels()),
+                  static_cast<unsigned long long>(db.db_hits()),
+                  static_cast<unsigned long long>(db.DiskSizeBytes()));
+      continue;
+    }
+    if (trimmed == ":cold") {
+      auto st = db.DropCaches();
+      std::printf("%s\n", st.ok() ? "page cache dropped" : st.ToString().c_str());
+      continue;
+    }
+    bool profile = false;
+    std::string query(trimmed);
+    if (mbq::StartsWith(query, ":profile")) {
+      profile = true;
+      query = std::string(mbq::TrimString(query.substr(8)));
+    }
+    auto result = session.Run(query);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(*result, profile);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#ifndef MBQ_BITMAPSTORE_OBJECTS_H_
+#define MBQ_BITMAPSTORE_OBJECTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmapstore/bitmap.h"
+
+namespace mbq::bitmapstore {
+
+/// Object identifier: a dense 32-bit id shared by nodes and edges, as in
+/// Sparksee where every graph object has an oid.
+using Oid = uint32_t;
+inline constexpr Oid kInvalidOid = 0xFFFFFFFFu;
+
+/// An unordered set of unique object identifiers — the result type of the
+/// engine's navigation operations (`Neighbors`, `Explode`, `Select`),
+/// mirroring Sparksee's Objects class. Backed by a compressed bitmap, so
+/// set combinations are the cheap primitive while ordering/limiting must
+/// be done by the caller (a behaviour the paper calls out: "the entire
+/// result set must be retrieved and filtered programmatically").
+class Objects {
+ public:
+  Objects() = default;
+  explicit Objects(Bitmap bitmap) : bitmap_(std::move(bitmap)) {}
+
+  void Add(Oid oid) { bitmap_.Add(oid); }
+  bool Remove(Oid oid) { return bitmap_.Remove(oid); }
+  bool Contains(Oid oid) const { return bitmap_.Contains(oid); }
+  uint64_t Count() const { return bitmap_.Cardinality(); }
+  bool Empty() const { return bitmap_.Empty(); }
+
+  /// Set combinations (Sparksee: Objects::CombineIntersection etc.).
+  static Objects CombineIntersection(const Objects& a, const Objects& b) {
+    return Objects(Bitmap::And(a.bitmap_, b.bitmap_));
+  }
+  static Objects CombineUnion(const Objects& a, const Objects& b) {
+    return Objects(Bitmap::Or(a.bitmap_, b.bitmap_));
+  }
+  static Objects CombineDifference(const Objects& a, const Objects& b) {
+    return Objects(Bitmap::AndNot(a.bitmap_, b.bitmap_));
+  }
+
+  bool operator==(const Objects& other) const {
+    return bitmap_ == other.bitmap_;
+  }
+
+  /// Iterator in ascending oid order (Sparksee's ObjectsIterator).
+  class Iterator {
+   public:
+    explicit Iterator(const Objects& objects) : it_(objects.bitmap_) {}
+    bool HasNext() const { return it_.Valid(); }
+    Oid Next() {
+      Oid v = it_.Value();
+      it_.Next();
+      return v;
+    }
+
+   private:
+    Bitmap::Iterator it_;
+  };
+
+  Iterator Iterate() const { return Iterator(*this); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    bitmap_.ForEach(std::forward<Fn>(fn));
+  }
+
+  std::vector<Oid> ToVector() const { return bitmap_.ToVector(); }
+
+  const Bitmap& bitmap() const { return bitmap_; }
+  Bitmap& bitmap() { return bitmap_; }
+
+ private:
+  Bitmap bitmap_;
+};
+
+}  // namespace mbq::bitmapstore
+
+#endif  // MBQ_BITMAPSTORE_OBJECTS_H_

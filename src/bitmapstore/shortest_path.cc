@@ -1,0 +1,78 @@
+#include "bitmapstore/shortest_path.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace mbq::bitmapstore {
+
+SinglePairShortestPathBFS::SinglePairShortestPathBFS(const Graph* graph,
+                                                     Oid source,
+                                                     Oid destination)
+    : graph_(graph), source_(source), destination_(destination) {}
+
+void SinglePairShortestPathBFS::AddEdgeType(TypeId etype, EdgesDirection dir) {
+  edge_types_.emplace_back(etype, dir);
+}
+
+Status SinglePairShortestPathBFS::Run() {
+  if (ran_) return Status::FailedPrecondition("Run() already called");
+  ran_ = true;
+  if (edge_types_.empty()) {
+    return Status::FailedPrecondition("no edge types registered");
+  }
+  if (source_ == destination_) {
+    exists_ = true;
+    path_ = {source_};
+    return Status::OK();
+  }
+  std::unordered_map<Oid, Oid> parent;
+  parent.emplace(source_, kInvalidOid);
+  std::vector<Oid> frontier = {source_};
+  uint32_t depth = 0;
+  while (!frontier.empty() && depth < max_hops_) {
+    ++depth;
+    std::vector<Oid> next;
+    for (Oid node : frontier) {
+      ++nodes_expanded_;
+      for (const auto& [etype, dir] : edge_types_) {
+        MBQ_ASSIGN_OR_RETURN(Objects nbrs, graph_->Neighbors(node, etype, dir));
+        Status inner = Status::OK();
+        nbrs.ForEach([&](uint32_t n) -> bool {
+          if (parent.count(n) != 0) return true;
+          parent.emplace(n, node);
+          if (n == destination_) return false;  // found; stop this scan
+          next.push_back(n);
+          return true;
+        });
+        MBQ_RETURN_IF_ERROR(inner);
+        if (parent.count(destination_) != 0) {
+          // Reconstruct.
+          std::vector<Oid> reversed;
+          for (Oid at = destination_; at != kInvalidOid; at = parent[at]) {
+            reversed.push_back(at);
+          }
+          std::reverse(reversed.begin(), reversed.end());
+          path_ = std::move(reversed);
+          exists_ = true;
+          return Status::OK();
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return Status::OK();
+}
+
+uint32_t SinglePairShortestPathBFS::GetCost() const {
+  MBQ_CHECK(exists_);
+  return static_cast<uint32_t>(path_.size() - 1);
+}
+
+const std::vector<Oid>& SinglePairShortestPathBFS::GetPathAsNodes() const {
+  MBQ_CHECK(exists_);
+  return path_;
+}
+
+}  // namespace mbq::bitmapstore

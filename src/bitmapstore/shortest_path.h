@@ -1,0 +1,49 @@
+#ifndef MBQ_BITMAPSTORE_SHORTEST_PATH_H_
+#define MBQ_BITMAPSTORE_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "bitmapstore/graph.h"
+
+namespace mbq::bitmapstore {
+
+/// Unweighted single-pair shortest path by breadth-first search, mirroring
+/// Sparksee's SinglePairShortestPathBFS algorithm class. Edge types to
+/// traverse are registered before Run(); a maximum-hops bound keeps the
+/// search from exhausting the graph (the practice the paper recommends).
+class SinglePairShortestPathBFS {
+ public:
+  SinglePairShortestPathBFS(const Graph* graph, Oid source, Oid destination);
+
+  /// Allows traversal of `etype` edges in direction `dir`.
+  void AddEdgeType(TypeId etype, EdgesDirection dir);
+  /// Bounds the search depth (default: unbounded).
+  void SetMaximumHops(uint32_t max_hops) { max_hops_ = max_hops; }
+
+  /// Executes the BFS. Must be called exactly once.
+  Status Run();
+
+  /// True if a path within the hop bound was found.
+  bool Exists() const { return exists_; }
+  /// Number of edges on the found path. Precondition: Exists().
+  uint32_t GetCost() const;
+  /// Nodes along the path, source first. Precondition: Exists().
+  const std::vector<Oid>& GetPathAsNodes() const;
+  /// Nodes expanded during the search (work measure).
+  uint64_t nodes_expanded() const { return nodes_expanded_; }
+
+ private:
+  const Graph* graph_;
+  Oid source_;
+  Oid destination_;
+  std::vector<std::pair<TypeId, EdgesDirection>> edge_types_;
+  uint32_t max_hops_ = UINT32_MAX;
+  bool ran_ = false;
+  bool exists_ = false;
+  std::vector<Oid> path_;
+  uint64_t nodes_expanded_ = 0;
+};
+
+}  // namespace mbq::bitmapstore
+
+#endif  // MBQ_BITMAPSTORE_SHORTEST_PATH_H_

@@ -1,0 +1,229 @@
+#include "bitmapstore/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace mbq::bitmapstore {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'B', 'Q', 'S', 'N', 'A', 'P', '1'};
+
+class Writer {
+ public:
+  explicit Writer(std::ofstream* out) : out_(out) {}
+
+  template <typename T>
+  void Pod(T value) {
+    out_->write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+  void String(const std::string& s) {
+    Pod<uint32_t>(static_cast<uint32_t>(s.size()));
+    out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+  void Val(const Value& v) {
+    Pod<uint8_t>(static_cast<uint8_t>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kBool:
+        Pod<uint8_t>(v.AsBool() ? 1 : 0);
+        break;
+      case ValueType::kInt:
+        Pod<int64_t>(v.AsInt());
+        break;
+      case ValueType::kDouble:
+        Pod<double>(v.AsDouble());
+        break;
+      case ValueType::kString:
+        String(v.AsString());
+        break;
+    }
+  }
+  bool good() const { return out_->good(); }
+
+ private:
+  std::ofstream* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::ifstream* in) : in_(in) {}
+
+  template <typename T>
+  Result<T> Pod() {
+    T value;
+    in_->read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in_->good()) return Status::Corruption("snapshot truncated");
+    return value;
+  }
+  Result<std::string> String() {
+    MBQ_ASSIGN_OR_RETURN(uint32_t size, Pod<uint32_t>());
+    if (size > (64u << 20)) return Status::Corruption("snapshot string too big");
+    std::string s(size, '\0');
+    in_->read(s.data(), size);
+    if (!in_->good() && size > 0) return Status::Corruption("snapshot truncated");
+    return s;
+  }
+  Result<Value> Val() {
+    MBQ_ASSIGN_OR_RETURN(uint8_t tag, Pod<uint8_t>());
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kNull:
+        return Value::Null();
+      case ValueType::kBool: {
+        MBQ_ASSIGN_OR_RETURN(uint8_t b, Pod<uint8_t>());
+        return Value::Bool(b != 0);
+      }
+      case ValueType::kInt: {
+        MBQ_ASSIGN_OR_RETURN(int64_t v, Pod<int64_t>());
+        return Value::Int(v);
+      }
+      case ValueType::kDouble: {
+        MBQ_ASSIGN_OR_RETURN(double v, Pod<double>());
+        return Value::Double(v);
+      }
+      case ValueType::kString: {
+        MBQ_ASSIGN_OR_RETURN(std::string s, String());
+        return Value::String(std::move(s));
+      }
+    }
+    return Status::Corruption("snapshot: bad value tag");
+  }
+
+ private:
+  std::ifstream* in_;
+};
+
+}  // namespace
+
+Status SaveSnapshot(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot create " + path);
+  Writer w(&out);
+  out.write(kMagic, sizeof(kMagic));
+
+  w.Pod<uint32_t>(graph.NumTypes());
+  for (TypeId t = 0; t < static_cast<TypeId>(graph.NumTypes()); ++t) {
+    w.Pod<uint8_t>(graph.TypeKind(t) == ObjectKind::kNode ? 0 : 1);
+    w.String(graph.TypeName(t));
+  }
+  w.Pod<uint32_t>(graph.NumAttributes());
+  for (AttrId a = 0; a < static_cast<AttrId>(graph.NumAttributes()); ++a) {
+    w.Pod<int32_t>(graph.AttributeOwner(a));
+    w.Pod<uint8_t>(static_cast<uint8_t>(graph.AttributeType(a)));
+    w.Pod<uint8_t>(static_cast<uint8_t>(graph.GetAttributeKind(a)));
+    w.String(graph.AttributeName(a));
+  }
+
+  w.Pod<uint64_t>(graph.ObjectSpan());
+  for (Oid oid = 0; oid < graph.ObjectSpan(); ++oid) {
+    TypeId type = graph.RawObjectType(oid);
+    w.Pod<int32_t>(type);
+    if (type != kInvalidType && graph.TypeKind(type) == ObjectKind::kEdge) {
+      Oid tail, head;
+      graph.RawEdgeEndpoints(oid, &tail, &head);
+      w.Pod<uint32_t>(tail);
+      w.Pod<uint32_t>(head);
+    }
+  }
+
+  for (AttrId a = 0; a < static_cast<AttrId>(graph.NumAttributes()); ++a) {
+    // Count first (the map has no size accessor through the callback).
+    uint64_t count = 0;
+    graph.ForEachAttributeValue(a, [&count](Oid, const Value&) { ++count; });
+    w.Pod<uint64_t>(count);
+    Status status = Status::OK();
+    graph.ForEachAttributeValue(a, [&](Oid oid, const Value& value) {
+      w.Pod<uint32_t>(oid);
+      w.Val(value);
+    });
+    MBQ_RETURN_IF_ERROR(status);
+  }
+  out.flush();
+  if (!w.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadSnapshot(const std::string& path, Graph* graph) {
+  if (graph->NumTypes() != 0 || graph->ObjectSpan() != 0) {
+    return Status::FailedPrecondition(
+        "LoadSnapshot requires a freshly constructed graph");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not an mbq snapshot: " + path);
+  }
+  Reader r(&in);
+
+  MBQ_ASSIGN_OR_RETURN(uint32_t num_types, r.Pod<uint32_t>());
+  for (uint32_t t = 0; t < num_types; ++t) {
+    MBQ_ASSIGN_OR_RETURN(uint8_t kind, r.Pod<uint8_t>());
+    MBQ_ASSIGN_OR_RETURN(std::string name, r.String());
+    if (kind == 0) {
+      MBQ_RETURN_IF_ERROR(graph->NewNodeType(name).status());
+    } else {
+      MBQ_RETURN_IF_ERROR(graph->NewEdgeType(name).status());
+    }
+  }
+  MBQ_ASSIGN_OR_RETURN(uint32_t num_attrs, r.Pod<uint32_t>());
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    MBQ_ASSIGN_OR_RETURN(int32_t owner, r.Pod<int32_t>());
+    MBQ_ASSIGN_OR_RETURN(uint8_t dtype, r.Pod<uint8_t>());
+    MBQ_ASSIGN_OR_RETURN(uint8_t kind, r.Pod<uint8_t>());
+    MBQ_ASSIGN_OR_RETURN(std::string name, r.String());
+    if (kind > static_cast<uint8_t>(AttributeKind::kUnique)) {
+      return Status::Corruption("snapshot: bad attribute kind");
+    }
+    MBQ_RETURN_IF_ERROR(
+        graph
+            ->NewAttribute(owner, name, static_cast<ValueType>(dtype),
+                           static_cast<AttributeKind>(kind))
+            .status());
+  }
+
+  MBQ_ASSIGN_OR_RETURN(uint64_t span, r.Pod<uint64_t>());
+  std::vector<TypeId> node_types = graph->NodeTypes();
+  for (uint64_t oid = 0; oid < span; ++oid) {
+    MBQ_ASSIGN_OR_RETURN(int32_t type, r.Pod<int32_t>());
+    if (type == kInvalidType) {
+      // Freed slot: burn the oid with a placeholder node, then drop it.
+      if (node_types.empty()) {
+        return Status::Corruption(
+            "snapshot has freed slots but no node type to burn oids with");
+      }
+      MBQ_ASSIGN_OR_RETURN(Oid placeholder, graph->NewNode(node_types[0]));
+      MBQ_RETURN_IF_ERROR(graph->Drop(placeholder));
+      continue;
+    }
+    if (type < 0 || static_cast<uint32_t>(type) >= graph->NumTypes()) {
+      return Status::Corruption("snapshot: bad object type");
+    }
+    if (graph->TypeKind(type) == ObjectKind::kNode) {
+      MBQ_ASSIGN_OR_RETURN(Oid created, graph->NewNode(type));
+      if (created != oid) return Status::Internal("oid drift on load");
+    } else {
+      MBQ_ASSIGN_OR_RETURN(uint32_t tail, r.Pod<uint32_t>());
+      MBQ_ASSIGN_OR_RETURN(uint32_t head, r.Pod<uint32_t>());
+      MBQ_ASSIGN_OR_RETURN(Oid created, graph->NewEdge(type, tail, head));
+      if (created != oid) return Status::Internal("oid drift on load");
+    }
+  }
+
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    MBQ_ASSIGN_OR_RETURN(uint64_t count, r.Pod<uint64_t>());
+    for (uint64_t i = 0; i < count; ++i) {
+      MBQ_ASSIGN_OR_RETURN(uint32_t oid, r.Pod<uint32_t>());
+      MBQ_ASSIGN_OR_RETURN(Value value, r.Val());
+      MBQ_RETURN_IF_ERROR(
+          graph->SetAttribute(oid, static_cast<AttrId>(a), value));
+    }
+  }
+  MBQ_RETURN_IF_ERROR(graph->Flush());
+  return Status::OK();
+}
+
+}  // namespace mbq::bitmapstore

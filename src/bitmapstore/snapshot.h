@@ -1,0 +1,33 @@
+#ifndef MBQ_BITMAPSTORE_SNAPSHOT_H_
+#define MBQ_BITMAPSTORE_SNAPSHOT_H_
+
+#include <string>
+
+#include "bitmapstore/graph.h"
+
+namespace mbq::bitmapstore {
+
+/// Binary snapshot of a Graph: schema (types, attributes), every object
+/// with its type, edge endpoints, and all attribute values. Bitmap
+/// adjacency and attribute indexes are rebuilt on load (they are derived
+/// state), so the format stays small and forward-checkable.
+///
+/// Intended use: persist a loaded benchmark graph once and re-open it
+/// across bench runs instead of re-ingesting CSVs.
+///
+/// Format (little-endian, versioned):
+///   magic "MBQSNAP1"
+///   u32 type count; per type: u8 kind, string name
+///   u32 attr count; per attr: u32 type, u8 dtype, u8 kind, string name
+///   u64 object count; per object: i32 type (or -1 for freed slots),
+///       [u32 tail, u32 head] for edges
+///   per attribute: u64 value count; per value: u32 oid, encoded Value
+Status SaveSnapshot(const Graph& graph, const std::string& path);
+
+/// Rebuilds a graph from a snapshot into `graph`, which must be freshly
+/// constructed (no schema, no objects). Oids are preserved.
+Status LoadSnapshot(const std::string& path, Graph* graph);
+
+}  // namespace mbq::bitmapstore
+
+#endif  // MBQ_BITMAPSTORE_SNAPSHOT_H_

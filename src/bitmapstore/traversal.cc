@@ -1,0 +1,68 @@
+#include "bitmapstore/traversal.h"
+
+#include <deque>
+
+namespace mbq::bitmapstore {
+
+Traversal::Traversal(const Graph* graph, Oid source, TraversalOrder order)
+    : graph_(graph), source_(source), order_(order) {}
+
+void Traversal::AddEdgeType(TypeId etype, EdgesDirection dir) {
+  edge_types_.emplace_back(etype, dir);
+}
+
+void Traversal::AddNodeType(TypeId ntype) { node_types_.push_back(ntype); }
+
+bool Traversal::NodeAllowed(Oid node) const {
+  if (node_types_.empty()) return true;
+  auto type = graph_->GetObjectType(node);
+  if (!type.ok()) return false;
+  for (TypeId t : node_types_) {
+    if (t == *type) return true;
+  }
+  return false;
+}
+
+Status Traversal::Run(const std::function<bool(Oid, uint32_t)>& visit) {
+  if (edge_types_.empty()) {
+    return Status::FailedPrecondition("no edge types registered");
+  }
+  Objects seen;
+  seen.Add(source_);
+  // Work list of (node, depth); front-pop for BFS, back-pop for DFS.
+  std::deque<std::pair<Oid, uint32_t>> work;
+  work.emplace_back(source_, 0);
+  while (!work.empty()) {
+    auto [node, depth] = order_ == TraversalOrder::kBreadthFirst
+                             ? work.front()
+                             : work.back();
+    if (order_ == TraversalOrder::kBreadthFirst) {
+      work.pop_front();
+    } else {
+      work.pop_back();
+    }
+    if (!visit(node, depth)) return Status::OK();
+    if (depth >= max_hops_) continue;
+    for (const auto& [etype, dir] : edge_types_) {
+      MBQ_ASSIGN_OR_RETURN(Objects nbrs, graph_->Neighbors(node, etype, dir));
+      nbrs.ForEach([&](uint32_t n) {
+        if (!seen.Contains(n) && NodeAllowed(n)) {
+          seen.Add(n);
+          work.emplace_back(n, depth + 1);
+        }
+      });
+    }
+  }
+  return Status::OK();
+}
+
+Result<Objects> Traversal::CollectNodes() {
+  Objects out;
+  MBQ_RETURN_IF_ERROR(Run([&out](Oid node, uint32_t) {
+    out.Add(node);
+    return true;
+  }));
+  return out;
+}
+
+}  // namespace mbq::bitmapstore

@@ -1,0 +1,51 @@
+#ifndef MBQ_BITMAPSTORE_TRAVERSAL_H_
+#define MBQ_BITMAPSTORE_TRAVERSAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "bitmapstore/graph.h"
+
+namespace mbq::bitmapstore {
+
+/// Visit order for Traversal, after Sparksee's TraversalBFS/TraversalDFS.
+enum class TraversalOrder { kBreadthFirst, kDepthFirst };
+
+/// A configurable multi-hop walk from a source node — the engine's
+/// "Traversal/Context" style interface. Convenient, but it layers
+/// per-node bookkeeping on top of the raw navigation primitives; the
+/// paper found raw neighbors/explode calls slightly faster, which the
+/// A5 ablation bench reproduces.
+class Traversal {
+ public:
+  Traversal(const Graph* graph, Oid source, TraversalOrder order);
+
+  /// Allows traversal of `etype` edges in direction `dir`.
+  void AddEdgeType(TypeId etype, EdgesDirection dir);
+  /// Bounds the walk depth. Depth 0 is the source itself.
+  void SetMaximumHops(uint32_t max_hops) { max_hops_ = max_hops; }
+  /// Restricts visited nodes to `ntype` (the source is always visited).
+  void AddNodeType(TypeId ntype);
+
+  /// Runs the walk, calling `visit(node, depth)` for every distinct node
+  /// reached (including the source at depth 0) until exhaustion or until
+  /// `visit` returns false.
+  Status Run(const std::function<bool(Oid, uint32_t)>& visit);
+
+  /// Convenience: all distinct nodes within the hop bound.
+  Result<Objects> CollectNodes();
+
+ private:
+  bool NodeAllowed(Oid node) const;
+
+  const Graph* graph_;
+  Oid source_;
+  TraversalOrder order_;
+  std::vector<std::pair<TypeId, EdgesDirection>> edge_types_;
+  std::vector<TypeId> node_types_;
+  uint32_t max_hops_ = UINT32_MAX;
+};
+
+}  // namespace mbq::bitmapstore
+
+#endif  // MBQ_BITMAPSTORE_TRAVERSAL_H_

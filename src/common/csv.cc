@@ -1,0 +1,136 @@
+#include "common/csv.h"
+
+#include <memory>
+
+#include "util/string_util.h"
+
+namespace mbq::common {
+
+CsvReader::CsvReader(std::ifstream stream, char sep)
+    : stream_(std::make_unique<std::ifstream>(std::move(stream))), sep_(sep) {}
+
+Result<CsvReader> CsvReader::Open(const std::string& path, char sep) {
+  std::ifstream stream(path);
+  if (!stream.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  CsvReader reader(std::move(stream), sep);
+  std::vector<std::string> header;
+  if (!reader.ParseRow(&header) || header.empty()) {
+    return Status::InvalidArgument("missing CSV header in " + path);
+  }
+  reader.header_ = std::move(header);
+  return reader;
+}
+
+Result<size_t> CsvReader::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == column) return i;
+  }
+  return Status::NotFound("no CSV column named " + column);
+}
+
+bool CsvReader::ParseRow(std::vector<std::string>* row) {
+  row->clear();
+  int c = stream_->get();
+  if (c == EOF) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool row_done = false;
+  while (!row_done) {
+    if (c == EOF) {
+      if (in_quotes) {
+        status_ = Status::InvalidArgument("unterminated quoted CSV field");
+        return false;
+      }
+      row->push_back(std::move(field));
+      return true;
+    }
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        int peek = stream_->peek();
+        if (peek == '"') {
+          field += '"';
+          stream_->get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (ch == sep_) {
+      row->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      row->push_back(std::move(field));
+      row_done = true;
+      break;
+    } else if (ch == '\r') {
+      // swallow; \r\n handled by the \n branch next iteration
+    } else {
+      field += ch;
+    }
+    c = stream_->get();
+  }
+  return true;
+}
+
+bool CsvReader::NextRow(std::vector<std::string>* row) {
+  if (!status_.ok()) return false;
+  if (!ParseRow(row)) return false;
+  ++rows_read_;
+  if (row->size() != header_.size()) {
+    status_ = Status::InvalidArgument(
+        "CSV row " + std::to_string(rows_read_) + " has " +
+        std::to_string(row->size()) + " fields, header has " +
+        std::to_string(header_.size()));
+    return false;
+  }
+  return true;
+}
+
+CsvWriter::CsvWriter(std::unique_ptr<std::ofstream> stream, size_t num_columns,
+                     char sep)
+    : stream_(std::move(stream)), num_columns_(num_columns), sep_(sep) {}
+
+Result<CsvWriter> CsvWriter::Create(const std::string& path,
+                                    const std::vector<std::string>& header,
+                                    char sep) {
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV header must be non-empty");
+  }
+  auto stream = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!stream->is_open()) {
+    return Status::IoError("cannot create " + path);
+  }
+  CsvWriter writer(std::move(stream), header.size(), sep);
+  MBQ_RETURN_IF_ERROR(writer.WriteRow(header));
+  writer.rows_written_ = 0;  // header doesn't count
+  return writer;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (fields.size() != num_columns_) {
+    return Status::InvalidArgument("CSV row width mismatch");
+  }
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += sep_;
+    line += CsvEscape(fields[i], sep_);
+  }
+  line += '\n';
+  stream_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  if (!stream_->good()) return Status::IoError("CSV write failed");
+  ++rows_written_;
+  return Status::OK();
+}
+
+Status CsvWriter::Flush() {
+  stream_->flush();
+  return stream_->good() ? Status::OK() : Status::IoError("CSV flush failed");
+}
+
+}  // namespace mbq::common

@@ -1,0 +1,74 @@
+#ifndef MBQ_COMMON_CSV_H_
+#define MBQ_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mbq::common {
+
+/// Streaming CSV reader with RFC-4180-style quoting. The first row is
+/// treated as a header. Both engines' batch loaders consume the same CSV
+/// files through this reader (the paper loads both systems from the same
+/// source files).
+class CsvReader {
+ public:
+  /// Opens `path`; fails if the file cannot be read or has no header.
+  static Result<CsvReader> Open(const std::string& path, char sep = ',');
+
+  CsvReader(CsvReader&&) = default;
+  CsvReader& operator=(CsvReader&&) = default;
+
+  const std::vector<std::string>& header() const { return header_; }
+  /// Index of `column` in the header, or error.
+  Result<size_t> ColumnIndex(const std::string& column) const;
+
+  /// Reads the next row into `row` (cleared first). Returns false at EOF.
+  /// A malformed row yields an error status via `status()`.
+  bool NextRow(std::vector<std::string>* row);
+
+  /// OK unless a malformed row was encountered.
+  const Status& status() const { return status_; }
+  uint64_t rows_read() const { return rows_read_; }
+
+ private:
+  CsvReader(std::ifstream stream, char sep);
+  bool ParseRow(std::vector<std::string>* row);
+
+  std::unique_ptr<std::ifstream> stream_;
+  char sep_;
+  std::vector<std::string> header_;
+  Status status_;
+  uint64_t rows_read_ = 0;
+};
+
+/// CSV writer matching CsvReader's dialect.
+class CsvWriter {
+ public:
+  /// Creates/truncates `path` and writes the header row.
+  static Result<CsvWriter> Create(const std::string& path,
+                                  const std::vector<std::string>& header,
+                                  char sep = ',');
+
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  Status WriteRow(const std::vector<std::string>& fields);
+  Status Flush();
+  uint64_t rows_written() const { return rows_written_; }
+
+ private:
+  CsvWriter(std::unique_ptr<std::ofstream> stream, size_t num_columns,
+            char sep);
+
+  std::unique_ptr<std::ofstream> stream_;
+  size_t num_columns_;
+  char sep_;
+  uint64_t rows_written_ = 0;
+};
+
+}  // namespace mbq::common
+
+#endif  // MBQ_COMMON_CSV_H_

@@ -1,0 +1,32 @@
+#ifndef MBQ_COMMON_IMPORT_PROGRESS_H_
+#define MBQ_COMMON_IMPORT_PROGRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mbq::common {
+
+/// Progress report emitted during a batch load — the raw series behind the
+/// paper's Figure 2 (Neo4j import) and Figure 3 (Sparksee import) plots.
+struct ImportProgress {
+  /// "nodes:<type>", "edges:<type>", or a named post-processing step
+  /// ("dense-nodes", "index:<label>.<key>").
+  std::string phase;
+  /// Objects loaded within the current phase.
+  uint64_t phase_objects = 0;
+  /// Objects loaded since the import started.
+  uint64_t total_objects = 0;
+  /// Real CPU time spent so far (milliseconds).
+  double wall_millis = 0;
+  /// Simulated device time charged so far (milliseconds).
+  double io_millis = 0;
+  /// wall_millis + io_millis: the modelled elapsed import time.
+  double elapsed_millis = 0;
+};
+
+using ProgressFn = std::function<void(const ImportProgress&)>;
+
+}  // namespace mbq::common
+
+#endif  // MBQ_COMMON_IMPORT_PROGRESS_H_

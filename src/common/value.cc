@@ -1,0 +1,148 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+
+namespace mbq::common {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<double> Value::ToNumber() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return Status::InvalidArgument(std::string("not a number: ") +
+                                     ValueTypeName(type()));
+  }
+}
+
+namespace {
+
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;  // numbers compare across int/double
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      bool a = AsBool();
+      bool b = other.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+        int64_t a = AsInt();
+        int64_t b = other.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      double a = type() == ValueType::kInt ? static_cast<double>(AsInt())
+                                           : AsDouble();
+      double b = other.type() == ValueType::kInt
+                     ? static_cast<double>(other.AsInt())
+                     : other.AsDouble();
+      return Sign(a - b);
+    }
+    case ValueType::kString:
+      return AsString().compare(other.AsString()) < 0
+                 ? -1
+                 : (AsString() == other.AsString() ? 0 : 1);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      return s;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kBool:
+      return AsBool() ? 0x517cc1b7u : 0x27220a95u;
+    case ValueType::kInt:
+      return std::hash<int64_t>()(AsInt());
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      // Hash integral doubles like their int counterparts so that
+      // operator== consistency holds across the int/double merge.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+size_t Value::StorageBytes() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+      return 8;
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return 4 + AsString().size();
+  }
+  return 1;
+}
+
+}  // namespace mbq::common

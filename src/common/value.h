@@ -1,0 +1,94 @@
+#ifndef MBQ_COMMON_VALUE_H_
+#define MBQ_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/result.h"
+
+namespace mbq::common {
+
+/// Property data types supported by both engines (a subset common to
+/// Neo4j properties and Sparksee attributes, sufficient for the paper's
+/// schema: integer ids/counters, tweet text, hashtag strings, booleans,
+/// timestamps-as-integers).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically-typed property value attached to nodes and edges, and
+/// flowing through query results.
+class Value {
+ public:
+  /// Null value.
+  Value() : rep_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kBool;
+      case 2:
+        return ValueType::kInt;
+      case 3:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; calling the wrong one is a programmer error
+  /// (checked via assertion in std::get).
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Int widened to double; Double as-is. Error otherwise.
+  Result<double> ToNumber() const;
+
+  /// Total order used by ORDER BY and index comparisons: null < bool <
+  /// int/double (numerically merged) < string.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Display form ("null", "true", "42", "3.5", "abc").
+  std::string ToString() const;
+
+  /// Stable hash consistent with operator==.
+  size_t Hash() const;
+
+  /// Approximate serialized width in bytes (storage accounting).
+  size_t StorageBytes() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace mbq::common
+
+#endif  // MBQ_COMMON_VALUE_H_

@@ -1,0 +1,82 @@
+#include "common/value_codec.h"
+
+#include <cstring>
+
+namespace mbq::common {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, T value) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+Result<T> ReadPod(const std::vector<uint8_t>& data, size_t* offset) {
+  if (*offset + sizeof(T) > data.size()) {
+    return Status::Corruption("encoded value truncated");
+  }
+  T value;
+  std::memcpy(&value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+void EncodeValue(const Value& value, std::vector<uint8_t>* out) {
+  AppendPod<uint8_t>(out, static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      AppendPod<uint8_t>(out, value.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      AppendPod<int64_t>(out, value.AsInt());
+      break;
+    case ValueType::kDouble:
+      AppendPod<double>(out, value.AsDouble());
+      break;
+    case ValueType::kString: {
+      const std::string& s = value.AsString();
+      AppendPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+      out->insert(out->end(), s.begin(), s.end());
+      break;
+    }
+  }
+}
+
+Result<Value> DecodeValue(const std::vector<uint8_t>& data, size_t* offset) {
+  MBQ_ASSIGN_OR_RETURN(uint8_t tag, ReadPod<uint8_t>(data, offset));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      MBQ_ASSIGN_OR_RETURN(uint8_t b, ReadPod<uint8_t>(data, offset));
+      return Value::Bool(b != 0);
+    }
+    case ValueType::kInt: {
+      MBQ_ASSIGN_OR_RETURN(int64_t v, ReadPod<int64_t>(data, offset));
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      MBQ_ASSIGN_OR_RETURN(double v, ReadPod<double>(data, offset));
+      return Value::Double(v);
+    }
+    case ValueType::kString: {
+      MBQ_ASSIGN_OR_RETURN(uint32_t size, ReadPod<uint32_t>(data, offset));
+      if (*offset + size > data.size()) {
+        return Status::Corruption("encoded string truncated");
+      }
+      std::string s(reinterpret_cast<const char*>(data.data() + *offset),
+                    size);
+      *offset += size;
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::Corruption("bad value tag");
+}
+
+}  // namespace mbq::common

@@ -1,0 +1,22 @@
+#ifndef MBQ_COMMON_VALUE_CODEC_H_
+#define MBQ_COMMON_VALUE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+
+namespace mbq::common {
+
+/// Appends a self-delimiting binary encoding of `value` to `out`:
+/// a one-byte type tag followed by the payload (strings are
+/// length-prefixed). Used by the write-ahead log and snapshots.
+void EncodeValue(const Value& value, std::vector<uint8_t>* out);
+
+/// Decodes a value produced by EncodeValue starting at `data[*offset]`,
+/// advancing *offset past it.
+Result<Value> DecodeValue(const std::vector<uint8_t>& data, size_t* offset);
+
+}  // namespace mbq::common
+
+#endif  // MBQ_COMMON_VALUE_CODEC_H_

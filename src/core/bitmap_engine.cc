@@ -1,0 +1,276 @@
+#include "core/bitmap_engine.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace mbq::core {
+
+using bitmapstore::EdgesDirection;
+using bitmapstore::Objects;
+using bitmapstore::Oid;
+
+Result<Oid> BitmapEngine::UserByUid(int64_t uid) const {
+  MBQ_ASSIGN_OR_RETURN(Oid user,
+                       graph_->FindObject(h_.uid, Value::Int(uid)));
+  if (user == bitmapstore::kInvalidOid) {
+    return Status::NotFound("no user with uid " + std::to_string(uid));
+  }
+  return user;
+}
+
+Result<ValueRows> BitmapEngine::SelectUsersByFollowerCount(int64_t threshold) {
+  MBQ_ASSIGN_OR_RETURN(Objects users,
+                       graph_->Select(h_.followers_count,
+                                      bitmapstore::Condition::kGreater,
+                                      Value::Int(threshold)));
+  ValueRows rows;
+  Status status = Status::OK();
+  users.ForEach([&](uint32_t oid) -> bool {
+    auto uid = graph_->GetAttribute(oid, h_.uid);
+    if (!uid.ok()) {
+      status = uid.status();
+      return false;
+    }
+    rows.push_back({*uid});
+    return true;
+  });
+  MBQ_RETURN_IF_ERROR(status);
+  return rows;
+}
+
+Result<ValueRows> BitmapEngine::FolloweesOf(int64_t uid) {
+  MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
+  MBQ_ASSIGN_OR_RETURN(
+      Objects followees,
+      graph_->Neighbors(user, h_.follows, EdgesDirection::kOutgoing));
+  ValueRows rows;
+  Status status = Status::OK();
+  followees.ForEach([&](uint32_t oid) -> bool {
+    auto value = graph_->GetAttribute(oid, h_.uid);
+    if (!value.ok()) {
+      status = value.status();
+      return false;
+    }
+    rows.push_back({*value});
+    return true;
+  });
+  MBQ_RETURN_IF_ERROR(status);
+  return rows;
+}
+
+Result<ValueRows> BitmapEngine::TweetsOfFollowees(int64_t uid) {
+  MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
+  MBQ_ASSIGN_OR_RETURN(
+      Objects followees,
+      graph_->Neighbors(user, h_.follows, EdgesDirection::kOutgoing));
+  // NOTE: the Cypher side enumerates one row per (followee, tweet) path;
+  // tweet posters are unique, so the sets coincide.
+  MBQ_ASSIGN_OR_RETURN(
+      Objects tweets,
+      graph_->Neighbors(followees, h_.posts, EdgesDirection::kOutgoing));
+  ValueRows rows;
+  Status status = Status::OK();
+  tweets.ForEach([&](uint32_t oid) -> bool {
+    auto value = graph_->GetAttribute(oid, h_.tid);
+    if (!value.ok()) {
+      status = value.status();
+      return false;
+    }
+    rows.push_back({*value});
+    return true;
+  });
+  MBQ_RETURN_IF_ERROR(status);
+  return rows;
+}
+
+Result<ValueRows> BitmapEngine::HashtagsUsedByFollowees(int64_t uid) {
+  MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
+  MBQ_ASSIGN_OR_RETURN(
+      Objects followees,
+      graph_->Neighbors(user, h_.follows, EdgesDirection::kOutgoing));
+  MBQ_ASSIGN_OR_RETURN(
+      Objects tweets,
+      graph_->Neighbors(followees, h_.posts, EdgesDirection::kOutgoing));
+  MBQ_ASSIGN_OR_RETURN(
+      Objects hashtags,
+      graph_->Neighbors(tweets, h_.tags, EdgesDirection::kOutgoing));
+  ValueRows rows;
+  Status status = Status::OK();
+  hashtags.ForEach([&](uint32_t oid) -> bool {
+    auto value = graph_->GetAttribute(oid, h_.tag);
+    if (!value.ok()) {
+      status = value.status();
+      return false;
+    }
+    rows.push_back({*value});
+    return true;
+  });
+  MBQ_RETURN_IF_ERROR(status);
+  return rows;
+}
+
+Result<ValueRows> BitmapEngine::TopCoMentionedUsers(int64_t uid, int64_t n) {
+  MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
+  // Step 1: tweets mentioning A. Step 2: other users those tweets
+  // mention, counted in a map (the paper's two-step co-occurrence plan).
+  MBQ_ASSIGN_OR_RETURN(
+      Objects tweets,
+      graph_->Neighbors(user, h_.mentions, EdgesDirection::kIngoing));
+  std::unordered_map<Oid, int64_t> counts;
+  Status status = Status::OK();
+  tweets.ForEach([&](uint32_t tweet) -> bool {
+    auto mentioned =
+        graph_->Neighbors(tweet, h_.mentions, EdgesDirection::kOutgoing);
+    if (!mentioned.ok()) {
+      status = mentioned.status();
+      return false;
+    }
+    mentioned->ForEach([&](uint32_t other) {
+      if (other != user) ++counts[other];
+    });
+    return true;
+  });
+  MBQ_RETURN_IF_ERROR(status);
+  std::vector<std::pair<Value, int64_t>> keyed;
+  keyed.reserve(counts.size());
+  for (const auto& [oid, count] : counts) {
+    MBQ_ASSIGN_OR_RETURN(Value key, graph_->GetAttribute(oid, h_.uid));
+    keyed.emplace_back(std::move(key), count);
+  }
+  return TopNCounts(keyed, n);
+}
+
+Result<ValueRows> BitmapEngine::TopCoOccurringHashtags(const std::string& tag,
+                                                       int64_t n) {
+  MBQ_ASSIGN_OR_RETURN(Oid hashtag,
+                       graph_->FindObject(h_.tag, Value::String(tag)));
+  if (hashtag == bitmapstore::kInvalidOid) {
+    return Status::NotFound("no hashtag " + tag);
+  }
+  MBQ_ASSIGN_OR_RETURN(
+      Objects tweets,
+      graph_->Neighbors(hashtag, h_.tags, EdgesDirection::kIngoing));
+  std::unordered_map<Oid, int64_t> counts;
+  Status status = Status::OK();
+  tweets.ForEach([&](uint32_t tweet) -> bool {
+    auto cooc = graph_->Neighbors(tweet, h_.tags, EdgesDirection::kOutgoing);
+    if (!cooc.ok()) {
+      status = cooc.status();
+      return false;
+    }
+    cooc->ForEach([&](uint32_t other) {
+      if (other != hashtag) ++counts[other];
+    });
+    return true;
+  });
+  MBQ_RETURN_IF_ERROR(status);
+  std::vector<std::pair<Value, int64_t>> keyed;
+  keyed.reserve(counts.size());
+  for (const auto& [oid, count] : counts) {
+    MBQ_ASSIGN_OR_RETURN(Value key, graph_->GetAttribute(oid, h_.tag));
+    keyed.emplace_back(std::move(key), count);
+  }
+  return TopNCounts(keyed, n);
+}
+
+Result<ValueRows> BitmapEngine::Recommend(int64_t uid, int64_t n,
+                                          EdgesDirection second_hop) {
+  MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
+  MBQ_ASSIGN_OR_RETURN(
+      Objects followees,
+      graph_->Neighbors(user, h_.follows, EdgesDirection::kOutgoing));
+  // "A separate neighbours call has to be executed for each 1-step
+  // followee of A" — the per-followee loop the paper calls expensive.
+  std::unordered_map<Oid, int64_t> counts;
+  Status status = Status::OK();
+  followees.ForEach([&](uint32_t followee) -> bool {
+    auto second = graph_->Neighbors(followee, h_.follows, second_hop);
+    if (!second.ok()) {
+      status = second.status();
+      return false;
+    }
+    second->ForEach([&](uint32_t candidate) { ++counts[candidate]; });
+    return true;
+  });
+  MBQ_RETURN_IF_ERROR(status);
+  // Remove A itself and anyone A already follows.
+  counts.erase(user);
+  Status erase_status = Status::OK();
+  followees.ForEach([&](uint32_t followee) { counts.erase(followee); });
+  MBQ_RETURN_IF_ERROR(erase_status);
+  std::vector<std::pair<Value, int64_t>> keyed;
+  keyed.reserve(counts.size());
+  for (const auto& [oid, count] : counts) {
+    MBQ_ASSIGN_OR_RETURN(Value key, graph_->GetAttribute(oid, h_.uid));
+    keyed.emplace_back(std::move(key), count);
+  }
+  return TopNCounts(keyed, n);
+}
+
+Result<ValueRows> BitmapEngine::RecommendFolloweesOfFollowees(int64_t uid,
+                                                              int64_t n) {
+  return Recommend(uid, n, EdgesDirection::kOutgoing);
+}
+
+Result<ValueRows> BitmapEngine::RecommendFollowersOfFollowees(int64_t uid,
+                                                              int64_t n) {
+  return Recommend(uid, n, EdgesDirection::kIngoing);
+}
+
+Result<ValueRows> BitmapEngine::Influence(int64_t uid, int64_t n,
+                                          bool keep_followers) {
+  MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
+  // Users who mentioned A: tweets mentioning A, then their posters,
+  // counted per poster.
+  MBQ_ASSIGN_OR_RETURN(
+      Objects tweets,
+      graph_->Neighbors(user, h_.mentions, EdgesDirection::kIngoing));
+  std::unordered_map<Oid, int64_t> counts;
+  Status status = Status::OK();
+  tweets.ForEach([&](uint32_t tweet) -> bool {
+    auto posters =
+        graph_->Neighbors(tweet, h_.posts, EdgesDirection::kIngoing);
+    if (!posters.ok()) {
+      status = posters.status();
+      return false;
+    }
+    posters->ForEach([&](uint32_t poster) {
+      if (poster != user) ++counts[poster];
+    });
+    return true;
+  });
+  MBQ_RETURN_IF_ERROR(status);
+  // "Removing (or retaining) the users who are already following A."
+  MBQ_ASSIGN_OR_RETURN(
+      Objects followers,
+      graph_->Neighbors(user, h_.follows, EdgesDirection::kIngoing));
+  std::vector<std::pair<Value, int64_t>> keyed;
+  for (const auto& [oid, count] : counts) {
+    if (followers.Contains(oid) != keep_followers) continue;
+    MBQ_ASSIGN_OR_RETURN(Value key, graph_->GetAttribute(oid, h_.uid));
+    keyed.emplace_back(std::move(key), count);
+  }
+  return TopNCounts(keyed, n);
+}
+
+Result<ValueRows> BitmapEngine::CurrentInfluence(int64_t uid, int64_t n) {
+  return Influence(uid, n, /*keep_followers=*/true);
+}
+
+Result<ValueRows> BitmapEngine::PotentialInfluence(int64_t uid, int64_t n) {
+  return Influence(uid, n, /*keep_followers=*/false);
+}
+
+Result<int64_t> BitmapEngine::ShortestPathLength(int64_t uid_a, int64_t uid_b,
+                                                 uint32_t max_hops) {
+  MBQ_ASSIGN_OR_RETURN(Oid a, UserByUid(uid_a));
+  MBQ_ASSIGN_OR_RETURN(Oid b, UserByUid(uid_b));
+  bitmapstore::SinglePairShortestPathBFS bfs(graph_, a, b);
+  bfs.AddEdgeType(h_.follows, EdgesDirection::kOutgoing);
+  bfs.SetMaximumHops(max_hops);
+  MBQ_RETURN_IF_ERROR(bfs.Run());
+  if (!bfs.Exists()) return -1;
+  return static_cast<int64_t>(bfs.GetCost());
+}
+
+}  // namespace mbq::core

@@ -1,0 +1,62 @@
+#ifndef MBQ_CORE_BITMAP_ENGINE_H_
+#define MBQ_CORE_BITMAP_ENGINE_H_
+
+#include <string>
+
+#include "bitmapstore/graph.h"
+#include "bitmapstore/shortest_path.h"
+#include "core/engine.h"
+#include "twitter/loaders.h"
+
+namespace mbq::core {
+
+/// The imperative side of the study: each Table 2 query is a hand-written
+/// sequence of navigation operations (select, neighbors, explode) against
+/// the bitmap store, with counts kept in a map and sorted client-side —
+/// the paper's Sparksee methodology, including its limitations (no
+/// multi-predicate filtering, no server-side LIMIT).
+class BitmapEngine : public MicroblogEngine {
+ public:
+  BitmapEngine(bitmapstore::Graph* graph, twitter::BitmapHandles handles)
+      : graph_(graph), h_(handles) {}
+
+  std::string name() const override { return "bitmapstore-navigation"; }
+
+  Result<ValueRows> SelectUsersByFollowerCount(int64_t threshold) override;
+  Result<ValueRows> FolloweesOf(int64_t uid) override;
+  Result<ValueRows> TweetsOfFollowees(int64_t uid) override;
+  Result<ValueRows> HashtagsUsedByFollowees(int64_t uid) override;
+  Result<ValueRows> TopCoMentionedUsers(int64_t uid, int64_t n) override;
+  Result<ValueRows> TopCoOccurringHashtags(const std::string& tag,
+                                           int64_t n) override;
+  Result<ValueRows> RecommendFolloweesOfFollowees(int64_t uid,
+                                                  int64_t n) override;
+  Result<ValueRows> RecommendFollowersOfFollowees(int64_t uid,
+                                                  int64_t n) override;
+  Result<ValueRows> CurrentInfluence(int64_t uid, int64_t n) override;
+  Result<ValueRows> PotentialInfluence(int64_t uid, int64_t n) override;
+  Result<int64_t> ShortestPathLength(int64_t uid_a, int64_t uid_b,
+                                     uint32_t max_hops) override;
+
+  Status DropCaches() override { return graph_->DropCaches(); }
+
+  bitmapstore::Graph* graph() { return graph_; }
+  const twitter::BitmapHandles& handles() const { return h_; }
+
+ private:
+  Result<bitmapstore::Oid> UserByUid(int64_t uid) const;
+  /// Shared Q4 core: for each 1-step followee, gather `second_hop`
+  /// neighbors, count candidates, drop direct followees and self.
+  Result<ValueRows> Recommend(int64_t uid, int64_t n,
+                              bitmapstore::EdgesDirection second_hop);
+  /// Shared Q5 core: count mentioners of `uid`, keep (or drop) those who
+  /// follow `uid`.
+  Result<ValueRows> Influence(int64_t uid, int64_t n, bool keep_followers);
+
+  bitmapstore::Graph* graph_;
+  twitter::BitmapHandles h_;
+};
+
+}  // namespace mbq::core
+
+#endif  // MBQ_CORE_BITMAP_ENGINE_H_

@@ -1,0 +1,37 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+namespace mbq::core {
+
+void SortRows(ValueRows* rows) {
+  std::sort(rows->begin(), rows->end(),
+            [](const ValueRow& a, const ValueRow& b) {
+              for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+                int c = a[i].Compare(b[i]);
+                if (c != 0) return c < 0;
+              }
+              return a.size() < b.size();
+            });
+}
+
+ValueRows TopNCounts(const std::vector<std::pair<Value, int64_t>>& counts,
+                     int64_t n) {
+  std::vector<std::pair<Value, int64_t>> sorted = counts;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first.Compare(b.first) < 0;
+            });
+  if (n >= 0 && sorted.size() > static_cast<size_t>(n)) {
+    sorted.resize(static_cast<size_t>(n));
+  }
+  ValueRows rows;
+  rows.reserve(sorted.size());
+  for (auto& [key, count] : sorted) {
+    rows.push_back({std::move(key), Value::Int(count)});
+  }
+  return rows;
+}
+
+}  // namespace mbq::core

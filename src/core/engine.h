@@ -1,0 +1,78 @@
+#ifndef MBQ_CORE_ENGINE_H_
+#define MBQ_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "util/result.h"
+
+namespace mbq::core {
+
+using common::Value;
+
+/// Engine-neutral result rows, so the two implementations can be compared
+/// for agreement and timed identically.
+using ValueRow = std::vector<Value>;
+using ValueRows = std::vector<ValueRow>;
+
+/// The paper's Table 2 workload, one method per exemplar query, exposed
+/// uniformly over both engines. Implementations:
+///  - NodestoreEngine executes declarative mini-Cypher (what the paper
+///    ran on Neo4j);
+///  - BitmapEngine drives the imperative navigation API, maintaining
+///    counts in a map and sorting client-side (what the paper did with
+///    Sparksee, whose API "does not provide the functionality to limit
+///    the returned results").
+class MicroblogEngine {
+ public:
+  virtual ~MicroblogEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Q1.1: users with followers_count greater than `threshold`.
+  virtual Result<ValueRows> SelectUsersByFollowerCount(int64_t threshold) = 0;
+  /// Q2.1: uids of all followees of `uid`.
+  virtual Result<ValueRows> FolloweesOf(int64_t uid) = 0;
+  /// Q2.2: tids of all tweets posted by followees of `uid`.
+  virtual Result<ValueRows> TweetsOfFollowees(int64_t uid) = 0;
+  /// Q2.3: distinct hashtags used by followees of `uid`.
+  virtual Result<ValueRows> HashtagsUsedByFollowees(int64_t uid) = 0;
+  /// Q3.1: top-n users most co-mentioned with `uid` -> (uid, count).
+  virtual Result<ValueRows> TopCoMentionedUsers(int64_t uid, int64_t n) = 0;
+  /// Q3.2: top-n hashtags co-occurring with `tag` -> (tag, count).
+  virtual Result<ValueRows> TopCoOccurringHashtags(const std::string& tag,
+                                                   int64_t n) = 0;
+  /// Q4.1: top-n followees of `uid`'s followees not already followed.
+  virtual Result<ValueRows> RecommendFolloweesOfFollowees(int64_t uid,
+                                                          int64_t n) = 0;
+  /// Q4.2: top-n followers of `uid`'s followees not already followed.
+  virtual Result<ValueRows> RecommendFollowersOfFollowees(int64_t uid,
+                                                          int64_t n) = 0;
+  /// Q5.1: top-n mentioners of `uid` who already follow `uid` (current
+  /// influence).
+  virtual Result<ValueRows> CurrentInfluence(int64_t uid, int64_t n) = 0;
+  /// Q5.2: top-n mentioners of `uid` who do not follow `uid` (potential
+  /// influence).
+  virtual Result<ValueRows> PotentialInfluence(int64_t uid, int64_t n) = 0;
+  /// Q6.1: follows-path length between two users, or -1 when none exists
+  /// within `max_hops` (the paper bounds the search at 3 hops).
+  virtual Result<int64_t> ShortestPathLength(int64_t uid_a, int64_t uid_b,
+                                             uint32_t max_hops) = 0;
+
+  /// Drops page caches (cold-cache experiments).
+  virtual Status DropCaches() = 0;
+};
+
+/// Canonicalizes rows for cross-engine comparison: sorts lexicographically.
+void SortRows(ValueRows* rows);
+
+/// Top-n helper with deterministic tie-breaking (count desc, then key
+/// asc) shared by both engines so results agree exactly.
+ValueRows TopNCounts(const std::vector<std::pair<Value, int64_t>>& counts,
+                     int64_t n);
+
+}  // namespace mbq::core
+
+#endif  // MBQ_CORE_ENGINE_H_

@@ -1,0 +1,62 @@
+#ifndef MBQ_CORE_NODESTORE_ENGINE_H_
+#define MBQ_CORE_NODESTORE_ENGINE_H_
+
+#include <string>
+
+#include "core/engine.h"
+#include "cypher/session.h"
+#include "nodestore/graph_db.h"
+
+namespace mbq::core {
+
+/// The declarative side of the study: every Table 2 query is a
+/// parameterized mini-Cypher string executed through CypherSession, so
+/// plan caching, db-hit profiling and operator behaviour match what the
+/// paper observed on Neo4j. The exact query texts are exposed as
+/// constants for the phrasing ablations.
+class NodestoreEngine : public MicroblogEngine {
+ public:
+  explicit NodestoreEngine(nodestore::GraphDb* db) : db_(db), session_(db) {}
+
+  std::string name() const override { return "nodestore-cypher"; }
+
+  Result<ValueRows> SelectUsersByFollowerCount(int64_t threshold) override;
+  Result<ValueRows> FolloweesOf(int64_t uid) override;
+  Result<ValueRows> TweetsOfFollowees(int64_t uid) override;
+  Result<ValueRows> HashtagsUsedByFollowees(int64_t uid) override;
+  Result<ValueRows> TopCoMentionedUsers(int64_t uid, int64_t n) override;
+  Result<ValueRows> TopCoOccurringHashtags(const std::string& tag,
+                                           int64_t n) override;
+  Result<ValueRows> RecommendFolloweesOfFollowees(int64_t uid,
+                                                  int64_t n) override;
+  Result<ValueRows> RecommendFollowersOfFollowees(int64_t uid,
+                                                  int64_t n) override;
+  Result<ValueRows> CurrentInfluence(int64_t uid, int64_t n) override;
+  Result<ValueRows> PotentialInfluence(int64_t uid, int64_t n) override;
+  Result<int64_t> ShortestPathLength(int64_t uid_a, int64_t uid_b,
+                                     uint32_t max_hops) override;
+
+  Status DropCaches() override { return db_->DropCaches(); }
+
+  cypher::CypherSession& session() { return session_; }
+  nodestore::GraphDb* db() { return db_; }
+
+  /// The three phrasings of the recommendation query discussed in §4:
+  /// (a) a depth-2 variable-length expansion, (b) collecting intermediate
+  /// results and checking them against depth 2 (the paper's fastest), and
+  /// (c) expanding to depth 2 and removing depth-1 friends afterwards.
+  static const char* kRecommendVariantA;
+  static const char* kRecommendVariantB;
+  static const char* kRecommendVariantC;
+
+ private:
+  Result<ValueRows> RunToRows(const std::string& query,
+                              const cypher::Params& params);
+
+  nodestore::GraphDb* db_;
+  cypher::CypherSession session_;
+};
+
+}  // namespace mbq::core
+
+#endif  // MBQ_CORE_NODESTORE_ENGINE_H_

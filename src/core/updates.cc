@@ -1,0 +1,274 @@
+#include "core/updates.h"
+
+namespace mbq::core {
+
+using common::Value;
+using twitter::StreamEvent;
+
+// ------------------------------------------------------ Nodestore applier
+
+NodestoreUpdateApplier::NodestoreUpdateApplier(
+    nodestore::GraphDb* db, const twitter::NodestoreHandles& handles,
+    const twitter::Dataset& base)
+    : db_(db), h_(handles),
+      next_hid_(static_cast<int64_t>(base.hashtags.size())) {
+  // Pre-resolve ids lazily; seed the maps from the base dataset by index
+  // lookups on demand (UserNode/TweetNode below).
+}
+
+Result<nodestore::NodeId> NodestoreUpdateApplier::UserNode(int64_t uid) {
+  auto it = users_.find(uid);
+  if (it != users_.end()) return it->second;
+  MBQ_ASSIGN_OR_RETURN(nodestore::NodeId node,
+                       db_->IndexSeek(h_.user, h_.uid, Value::Int(uid)));
+  if (node == nodestore::kInvalidNode) {
+    return Status::NotFound("stream references unknown uid " +
+                            std::to_string(uid));
+  }
+  users_[uid] = node;
+  return node;
+}
+
+Result<nodestore::NodeId> NodestoreUpdateApplier::TweetNode(int64_t tid) {
+  auto it = tweets_.find(tid);
+  if (it != tweets_.end()) return it->second;
+  MBQ_ASSIGN_OR_RETURN(nodestore::NodeId node,
+                       db_->IndexSeek(h_.tweet, h_.tid, Value::Int(tid)));
+  if (node == nodestore::kInvalidNode) {
+    return Status::NotFound("stream references unknown tid " +
+                            std::to_string(tid));
+  }
+  tweets_[tid] = node;
+  return node;
+}
+
+Result<nodestore::NodeId> NodestoreUpdateApplier::HashtagNode(
+    const std::string& tag) {
+  auto it = hashtags_.find(tag);
+  if (it != hashtags_.end()) return it->second;
+  MBQ_ASSIGN_OR_RETURN(nodestore::NodeId node,
+                       db_->IndexSeek(h_.hashtag, h_.tag, Value::String(tag)));
+  if (node == nodestore::kInvalidNode) {
+    MBQ_ASSIGN_OR_RETURN(node, db_->CreateNode(h_.hashtag));
+    MBQ_RETURN_IF_ERROR(
+        db_->SetNodeProperty(node, h_.hid, Value::Int(next_hid_++)));
+    MBQ_RETURN_IF_ERROR(
+        db_->SetNodeProperty(node, h_.tag, Value::String(tag)));
+  }
+  hashtags_[tag] = node;
+  return node;
+}
+
+Status NodestoreUpdateApplier::ApplyOne(const StreamEvent& event) {
+  switch (event.kind) {
+    case StreamEvent::Kind::kNewUser: {
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId node, db_->CreateNode(h_.user));
+      MBQ_RETURN_IF_ERROR(
+          db_->SetNodeProperty(node, h_.uid, Value::Int(event.uid)));
+      MBQ_RETURN_IF_ERROR(db_->SetNodeProperty(
+          node, h_.screen_name,
+          Value::String("live_" + std::to_string(event.uid))));
+      MBQ_RETURN_IF_ERROR(
+          db_->SetNodeProperty(node, h_.followers_count, Value::Int(0)));
+      users_[event.uid] = node;
+      return Status::OK();
+    }
+    case StreamEvent::Kind::kNewFollow: {
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId src, UserNode(event.src_uid));
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId dst, UserNode(event.dst_uid));
+      return db_->CreateRelationship(h_.follows, src, dst).status();
+    }
+    case StreamEvent::Kind::kUnfollow: {
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId src, UserNode(event.src_uid));
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId dst, UserNode(event.dst_uid));
+      nodestore::RelId victim = nodestore::kInvalidRel;
+      MBQ_RETURN_IF_ERROR(db_->ForEachRelationship(
+          src, nodestore::Direction::kOutgoing, h_.follows,
+          [&](const nodestore::GraphDb::RelInfo& rel) {
+            if (rel.dst == dst) {
+              victim = rel.id;
+              return false;
+            }
+            return true;
+          }));
+      if (victim == nodestore::kInvalidRel) return Status::OK();  // raced
+      return db_->DeleteRelationship(victim);
+    }
+    case StreamEvent::Kind::kNewTweet:
+    case StreamEvent::Kind::kNewRetweet: {
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId poster, UserNode(event.uid));
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId tweet, db_->CreateNode(h_.tweet));
+      MBQ_RETURN_IF_ERROR(
+          db_->SetNodeProperty(tweet, h_.tid, Value::Int(event.tid)));
+      MBQ_RETURN_IF_ERROR(
+          db_->SetNodeProperty(tweet, h_.text, Value::String(event.text)));
+      MBQ_RETURN_IF_ERROR(
+          db_->CreateRelationship(h_.posts, poster, tweet).status());
+      tweets_[event.tid] = tweet;
+      if (event.kind == StreamEvent::Kind::kNewRetweet) {
+        MBQ_ASSIGN_OR_RETURN(nodestore::NodeId orig,
+                             TweetNode(event.orig_tid));
+        MBQ_RETURN_IF_ERROR(
+            db_->CreateRelationship(h_.retweets, tweet, orig).status());
+      }
+      return Status::OK();
+    }
+    case StreamEvent::Kind::kNewMention: {
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId tweet, TweetNode(event.tid));
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId target, UserNode(event.dst_uid));
+      return db_->CreateRelationship(h_.mentions, tweet, target).status();
+    }
+    case StreamEvent::Kind::kNewTag: {
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId tweet, TweetNode(event.tid));
+      MBQ_ASSIGN_OR_RETURN(nodestore::NodeId tag, HashtagNode(event.text));
+      return db_->CreateRelationship(h_.tags, tweet, tag).status();
+    }
+  }
+  return Status::InvalidArgument("unknown stream event kind");
+}
+
+Status NodestoreUpdateApplier::ApplyBatch(
+    const std::vector<StreamEvent>& events) {
+  auto tx = db_->BeginTx();
+  for (const StreamEvent& event : events) {
+    MBQ_RETURN_IF_ERROR(ApplyOne(event));
+    ++events_applied_;
+  }
+  return tx.Commit();
+}
+
+// --------------------------------------------------------- Bitmap applier
+
+BitmapUpdateApplier::BitmapUpdateApplier(
+    bitmapstore::Graph* graph, const twitter::BitmapHandles& handles,
+    const twitter::Dataset& base)
+    : graph_(graph), h_(handles),
+      next_hid_(static_cast<int64_t>(base.hashtags.size())) {}
+
+Result<bitmapstore::Oid> BitmapUpdateApplier::UserNode(int64_t uid) {
+  auto it = users_.find(uid);
+  if (it != users_.end()) return it->second;
+  MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid node,
+                       graph_->FindObject(h_.uid, Value::Int(uid)));
+  if (node == bitmapstore::kInvalidOid) {
+    return Status::NotFound("stream references unknown uid " +
+                            std::to_string(uid));
+  }
+  users_[uid] = node;
+  return node;
+}
+
+Result<bitmapstore::Oid> BitmapUpdateApplier::TweetNode(int64_t tid) {
+  auto it = tweets_.find(tid);
+  if (it != tweets_.end()) return it->second;
+  MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid node,
+                       graph_->FindObject(h_.tid, Value::Int(tid)));
+  if (node == bitmapstore::kInvalidOid) {
+    return Status::NotFound("stream references unknown tid " +
+                            std::to_string(tid));
+  }
+  tweets_[tid] = node;
+  return node;
+}
+
+Result<bitmapstore::Oid> BitmapUpdateApplier::HashtagNode(
+    const std::string& tag) {
+  auto it = hashtags_.find(tag);
+  if (it != hashtags_.end()) return it->second;
+  MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid node,
+                       graph_->FindObject(h_.tag, Value::String(tag)));
+  if (node == bitmapstore::kInvalidOid) {
+    MBQ_ASSIGN_OR_RETURN(node, graph_->NewNode(h_.hashtag));
+    MBQ_RETURN_IF_ERROR(
+        graph_->SetAttribute(node, h_.hid, Value::Int(next_hid_++)));
+    MBQ_RETURN_IF_ERROR(
+        graph_->SetAttribute(node, h_.tag, Value::String(tag)));
+  }
+  hashtags_[tag] = node;
+  return node;
+}
+
+Status BitmapUpdateApplier::ApplyOne(const StreamEvent& event) {
+  using bitmapstore::EdgesDirection;
+  switch (event.kind) {
+    case StreamEvent::Kind::kNewUser: {
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid node, graph_->NewNode(h_.user));
+      MBQ_RETURN_IF_ERROR(
+          graph_->SetAttribute(node, h_.uid, Value::Int(event.uid)));
+      MBQ_RETURN_IF_ERROR(graph_->SetAttribute(
+          node, h_.screen_name,
+          Value::String("live_" + std::to_string(event.uid))));
+      MBQ_RETURN_IF_ERROR(
+          graph_->SetAttribute(node, h_.followers_count, Value::Int(0)));
+      users_[event.uid] = node;
+      return Status::OK();
+    }
+    case StreamEvent::Kind::kNewFollow: {
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid src, UserNode(event.src_uid));
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid dst, UserNode(event.dst_uid));
+      return graph_->NewEdge(h_.follows, src, dst).status();
+    }
+    case StreamEvent::Kind::kUnfollow: {
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid src, UserNode(event.src_uid));
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid dst, UserNode(event.dst_uid));
+      MBQ_ASSIGN_OR_RETURN(
+          bitmapstore::Objects edges,
+          graph_->Explode(src, h_.follows, EdgesDirection::kOutgoing));
+      bitmapstore::Oid victim = bitmapstore::kInvalidOid;
+      Status inner = Status::OK();
+      edges.ForEach([&](uint32_t edge) -> bool {
+        auto data = graph_->GetEdgeData(edge);
+        if (!data.ok()) {
+          inner = data.status();
+          return false;
+        }
+        if (data->head == dst) {
+          victim = edge;
+          return false;
+        }
+        return true;
+      });
+      MBQ_RETURN_IF_ERROR(inner);
+      if (victim == bitmapstore::kInvalidOid) return Status::OK();
+      return graph_->Drop(victim);
+    }
+    case StreamEvent::Kind::kNewTweet:
+    case StreamEvent::Kind::kNewRetweet: {
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid poster, UserNode(event.uid));
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid tweet, graph_->NewNode(h_.tweet));
+      MBQ_RETURN_IF_ERROR(
+          graph_->SetAttribute(tweet, h_.tid, Value::Int(event.tid)));
+      MBQ_RETURN_IF_ERROR(
+          graph_->SetAttribute(tweet, h_.text, Value::String(event.text)));
+      MBQ_RETURN_IF_ERROR(graph_->NewEdge(h_.posts, poster, tweet).status());
+      tweets_[event.tid] = tweet;
+      if (event.kind == StreamEvent::Kind::kNewRetweet) {
+        MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid orig, TweetNode(event.orig_tid));
+        MBQ_RETURN_IF_ERROR(
+            graph_->NewEdge(h_.retweets, tweet, orig).status());
+      }
+      return Status::OK();
+    }
+    case StreamEvent::Kind::kNewMention: {
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid tweet, TweetNode(event.tid));
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid target, UserNode(event.dst_uid));
+      return graph_->NewEdge(h_.mentions, tweet, target).status();
+    }
+    case StreamEvent::Kind::kNewTag: {
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid tweet, TweetNode(event.tid));
+      MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid tag, HashtagNode(event.text));
+      return graph_->NewEdge(h_.tags, tweet, tag).status();
+    }
+  }
+  return Status::InvalidArgument("unknown stream event kind");
+}
+
+Status BitmapUpdateApplier::ApplyBatch(const std::vector<StreamEvent>& events) {
+  for (const StreamEvent& event : events) {
+    MBQ_RETURN_IF_ERROR(ApplyOne(event));
+    ++events_applied_;
+  }
+  return Status::OK();
+}
+
+}  // namespace mbq::core

@@ -1,0 +1,74 @@
+#ifndef MBQ_CORE_UPDATES_H_
+#define MBQ_CORE_UPDATES_H_
+
+#include <unordered_map>
+
+#include "bitmapstore/graph.h"
+#include "nodestore/graph_db.h"
+#include "twitter/loaders.h"
+#include "twitter/stream.h"
+
+namespace mbq::core {
+
+/// Applies a live update stream (twitter::UpdateStream) to the record
+/// store. Each batch runs in one transaction — the paper's future-work
+/// question is exactly whether the systems "handle update workloads",
+/// and transactional batching is how the record store would take them.
+class NodestoreUpdateApplier {
+ public:
+  /// The database must already carry the schema (handles resolvable) and
+  /// the base dataset the stream extends.
+  NodestoreUpdateApplier(nodestore::GraphDb* db,
+                         const twitter::NodestoreHandles& handles,
+                         const twitter::Dataset& base);
+
+  /// Applies `events` in one transaction.
+  Status ApplyBatch(const std::vector<twitter::StreamEvent>& events);
+
+  uint64_t events_applied() const { return events_applied_; }
+
+ private:
+  Status ApplyOne(const twitter::StreamEvent& event);
+  Result<nodestore::NodeId> UserNode(int64_t uid);
+  Result<nodestore::NodeId> TweetNode(int64_t tid);
+  Result<nodestore::NodeId> HashtagNode(const std::string& tag);
+
+  nodestore::GraphDb* db_;
+  twitter::NodestoreHandles h_;
+  std::unordered_map<int64_t, nodestore::NodeId> users_;
+  std::unordered_map<int64_t, nodestore::NodeId> tweets_;
+  std::unordered_map<std::string, nodestore::NodeId> hashtags_;
+  int64_t next_hid_;
+  uint64_t events_applied_ = 0;
+};
+
+/// Applies the same stream to the bitmap store (no transactions — the
+/// engine applies updates in place, as Sparksee does).
+class BitmapUpdateApplier {
+ public:
+  BitmapUpdateApplier(bitmapstore::Graph* graph,
+                      const twitter::BitmapHandles& handles,
+                      const twitter::Dataset& base);
+
+  Status ApplyBatch(const std::vector<twitter::StreamEvent>& events);
+
+  uint64_t events_applied() const { return events_applied_; }
+
+ private:
+  Status ApplyOne(const twitter::StreamEvent& event);
+  Result<bitmapstore::Oid> UserNode(int64_t uid);
+  Result<bitmapstore::Oid> TweetNode(int64_t tid);
+  Result<bitmapstore::Oid> HashtagNode(const std::string& tag);
+
+  bitmapstore::Graph* graph_;
+  twitter::BitmapHandles h_;
+  std::unordered_map<int64_t, bitmapstore::Oid> users_;
+  std::unordered_map<int64_t, bitmapstore::Oid> tweets_;
+  std::unordered_map<std::string, bitmapstore::Oid> hashtags_;
+  int64_t next_hid_;
+  uint64_t events_applied_ = 0;
+};
+
+}  // namespace mbq::core
+
+#endif  // MBQ_CORE_UPDATES_H_

@@ -1,0 +1,118 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+namespace mbq::core {
+
+namespace {
+
+double NowMillis() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1000.0;
+}
+
+}  // namespace
+
+Result<TimingResult> MeasureQuery(const TimedQuery& query, uint32_t warmup,
+                                  uint32_t runs,
+                                  const std::function<uint64_t()>& io_nanos) {
+  TimingResult result;
+  auto one_run = [&]() -> Result<double> {
+    double wall0 = NowMillis();
+    uint64_t io0 = io_nanos ? io_nanos() : 0;
+    MBQ_ASSIGN_OR_RETURN(result.rows, query());
+    double wall = NowMillis() - wall0;
+    double io =
+        io_nanos ? static_cast<double>(io_nanos() - io0) / 1e6 : 0.0;
+    return wall + io;
+  };
+
+  for (uint32_t i = 0; i < warmup; ++i) {
+    MBQ_ASSIGN_OR_RETURN(double millis, one_run());
+    if (i == 0) result.first_run_millis = millis;
+  }
+  double total = 0;
+  result.min_millis = 1e300;
+  result.max_millis = 0;
+  for (uint32_t i = 0; i < runs; ++i) {
+    MBQ_ASSIGN_OR_RETURN(double millis, one_run());
+    total += millis;
+    result.min_millis = std::min(result.min_millis, millis);
+    result.max_millis = std::max(result.max_millis, millis);
+    if (warmup == 0 && i == 0) result.first_run_millis = millis;
+  }
+  result.avg_millis = runs > 0 ? total / runs : 0;
+  return result;
+}
+
+std::vector<std::pair<int64_t, int64_t>> UsersByMentionCount(
+    const twitter::Dataset& dataset) {
+  std::unordered_map<int64_t, int64_t> counts;
+  for (const auto& [tid, uid] : dataset.mentions) ++counts[uid];
+  std::vector<std::pair<int64_t, int64_t>> out;
+  out.reserve(counts.size());
+  for (const auto& [uid, count] : counts) out.emplace_back(count, uid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> UsersByFolloweeCount(
+    const twitter::Dataset& dataset) {
+  std::unordered_map<int64_t, int64_t> counts;
+  for (const auto& [src, dst] : dataset.follows) ++counts[src];
+  std::vector<std::pair<int64_t, int64_t>> out;
+  out.reserve(counts.size());
+  for (const auto& [uid, count] : counts) out.emplace_back(count, uid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> UsersByFollowerCount(
+    const twitter::Dataset& dataset) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  out.reserve(dataset.users.size());
+  for (const auto& u : dataset.users) {
+    out.emplace_back(u.followers_count, u.uid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<int64_t, std::string>> HashtagsByUse(
+    const twitter::Dataset& dataset) {
+  std::unordered_map<int64_t, int64_t> counts;
+  for (const auto& [tid, hid] : dataset.tags) ++counts[hid];
+  std::vector<std::pair<int64_t, std::string>> out;
+  out.reserve(dataset.hashtags.size());
+  for (const auto& h : dataset.hashtags) {
+    auto it = counts.find(h.hid);
+    out.emplace_back(it == counts.end() ? 0 : it->second, h.tag);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<int64_t>> PickUsersInBins(
+    const std::vector<std::pair<int64_t, int64_t>>& metric_uid,
+    const std::vector<std::pair<int64_t, int64_t>>& bins, size_t per_bin,
+    Rng& rng) {
+  std::vector<std::vector<int64_t>> out(bins.size());
+  for (size_t b = 0; b < bins.size(); ++b) {
+    auto [lo, hi] = bins[b];
+    std::vector<int64_t> candidates;
+    for (const auto& [metric, uid] : metric_uid) {
+      if (metric >= lo && metric < hi) candidates.push_back(uid);
+    }
+    rng.Shuffle(candidates);
+    if (candidates.size() > per_bin) candidates.resize(per_bin);
+    out[b] = std::move(candidates);
+  }
+  return out;
+}
+
+}  // namespace mbq::core

@@ -1,0 +1,65 @@
+#ifndef MBQ_CORE_WORKLOAD_H_
+#define MBQ_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/engine.h"
+#include "twitter/dataset.h"
+#include "util/rng.h"
+
+namespace mbq::core {
+
+/// Outcome of the paper's timing protocol (§3.3): "We start executing a
+/// query and once the cache is warmed-up and the execution time is
+/// stabilized, we report the average execution time over 10 subsequent
+/// runs." Time is wall clock plus the engine's simulated device time.
+struct TimingResult {
+  double avg_millis = 0;
+  double first_run_millis = 0;  // includes cache warm-up
+  double min_millis = 0;
+  double max_millis = 0;
+  uint64_t rows = 0;  // rows returned by the last run
+};
+
+/// A query under measurement: runs once, returns the row count.
+using TimedQuery = std::function<Result<uint64_t>()>;
+
+/// Measures `query` with `warmup` unmeasured runs followed by `runs`
+/// timed runs. `io_nanos` reads the engine's simulated-device clock so
+/// modelled I/O time is included; pass nullptr for wall-clock only.
+Result<TimingResult> MeasureQuery(const TimedQuery& query, uint32_t warmup,
+                                  uint32_t runs,
+                                  const std::function<uint64_t()>& io_nanos);
+
+/// Parameter selection helpers: the paper bins its Figure 4 x-axes by
+/// result cardinality, mention degree, or path length. These compute the
+/// ground-truth metric from the generated dataset.
+
+/// (metric, uid): number of tweets mentioning each user (Q3.1/Q5 x-axis).
+std::vector<std::pair<int64_t, int64_t>> UsersByMentionCount(
+    const twitter::Dataset& dataset);
+
+/// (metric, uid): out-degree in follows (drives Q2/Q4 fan-out).
+std::vector<std::pair<int64_t, int64_t>> UsersByFolloweeCount(
+    const twitter::Dataset& dataset);
+
+/// (metric, uid): in-degree in follows (Q1 threshold calibration).
+std::vector<std::pair<int64_t, int64_t>> UsersByFollowerCount(
+    const twitter::Dataset& dataset);
+
+/// (metric, tag): tweets carrying each hashtag (Q3.2 parameter).
+std::vector<std::pair<int64_t, std::string>> HashtagsByUse(
+    const twitter::Dataset& dataset);
+
+/// Picks `per_bin` uids whose metric falls into each of the given
+/// [lo, hi) bins. Entries are (metric, uid) as produced above.
+std::vector<std::vector<int64_t>> PickUsersInBins(
+    const std::vector<std::pair<int64_t, int64_t>>& metric_uid,
+    const std::vector<std::pair<int64_t, int64_t>>& bins, size_t per_bin,
+    Rng& rng);
+
+}  // namespace mbq::core
+
+#endif  // MBQ_CORE_WORKLOAD_H_

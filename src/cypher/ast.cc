@@ -1,0 +1,86 @@
+#include "cypher/ast.h"
+
+namespace mbq::cypher {
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeParameter(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParameter;
+  e->param_name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeVariable(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVariable;
+  e->variable = std::move(name);
+  return e;
+}
+
+ExprPtr MakeProperty(std::string var, std::string prop) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kProperty;
+  e->variable = std::move(var);
+  e->property = std::move(prop);
+  return e;
+}
+
+ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kComparison;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kOr;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeNot(ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNot;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeCount(std::string var, bool star, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggCall;
+  e->agg_func = AggFunc::kCount;
+  e->variable = var;
+  e->count_star = star;
+  e->distinct = distinct;
+  if (!star) e->children.push_back(MakeVariable(std::move(var)));
+  return e;
+}
+
+ExprPtr MakeAggregate(AggFunc func, ExprPtr argument, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggCall;
+  e->agg_func = func;
+  e->distinct = distinct;
+  e->children.push_back(std::move(argument));
+  return e;
+}
+
+}  // namespace mbq::cypher

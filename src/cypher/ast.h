@@ -1,0 +1,145 @@
+#ifndef MBQ_CYPHER_AST_H_
+#define MBQ_CYPHER_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace mbq::cypher {
+
+using common::Value;
+
+// ------------------------------------------------------------- Expressions
+
+enum class ExprKind : uint8_t {
+  kLiteral,       // 42, "abc", true
+  kParameter,     // $name
+  kVariable,      // u
+  kProperty,      // u.uid
+  kComparison,    // =, <>, <, <=, >, >=
+  kAnd,
+  kOr,
+  kNot,
+  kAggCall,       // COUNT/SUM/MIN/MAX/AVG(...)
+  kLengthCall,    // length(p)
+  kIdCall,        // id(u)
+  kPatternPred,   // (a)-[:t]->(b) used as a predicate
+};
+
+/// Aggregate functions usable in RETURN items.
+enum class AggFunc : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One expression node. A small closed union rather than a class
+/// hierarchy: the planner and evaluator switch on `kind`.
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+  // kParameter
+  std::string param_name;
+  // kVariable / kProperty / kAggCall / kLengthCall / kIdCall
+  std::string variable;
+  // kProperty; also the aggregated property for kAggCall over u.prop
+  std::string property;
+  // kComparison
+  CompareOp op = CompareOp::kEq;
+  // kComparison/kAnd/kOr: children[0], children[1]; kNot: children[0]
+  std::vector<ExprPtr> children;
+  // kAggCall: children[0] is the aggregated expression (absent for
+  // COUNT(*)); `variable` keeps the raw argument text for display.
+  AggFunc agg_func = AggFunc::kCount;
+  bool count_star = false;
+  bool distinct = false;
+  // kPatternPred: src -[:rel_type]-> dst (left/right from query text)
+  std::string pattern_src;
+  std::string pattern_rel_type;
+  std::string pattern_dst;
+  bool pattern_right_arrow = true;  // false for <-
+
+  /// True if this expression contains an aggregate call.
+  bool ContainsAggregate() const {
+    if (kind == ExprKind::kAggCall) return true;
+    for (const ExprPtr& c : children) {
+      if (c->ContainsAggregate()) return true;
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------- Patterns
+
+/// (name:label {key: expr, ...})
+struct NodePattern {
+  std::string variable;  // may be empty (anonymous)
+  std::string label;     // may be empty
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+};
+
+/// -[:type]->, <-[:type]-, -[:type*min..max]->, -[:type]- (undirected)
+struct RelPattern {
+  std::string variable;  // may be empty
+  std::string type;      // may be empty (any type)
+  /// kOut: left-to-right arrow; kIn: right-to-left; kBoth: undirected.
+  enum class Dir : uint8_t { kOut, kIn, kBoth } dir = Dir::kOut;
+  /// Variable-length bounds; {1,1} is a plain single hop.
+  uint32_t min_hops = 1;
+  uint32_t max_hops = 1;
+};
+
+/// A linear chain: node (rel node)*. `path_variable` is set for
+/// `p = shortestPath((a)-[:t*..k]->(b))`.
+struct PatternPart {
+  std::string path_variable;  // may be empty
+  bool shortest_path = false;
+  std::vector<NodePattern> nodes;
+  std::vector<RelPattern> rels;  // rels.size() == nodes.size() - 1
+};
+
+// ------------------------------------------------------------------ Query
+
+struct ReturnItem {
+  ExprPtr expr;
+  std::string alias;  // display name; defaults to the expression text
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A parsed read query:
+///   MATCH <patterns> [WHERE <expr>]
+///   RETURN [DISTINCT] <items> [ORDER BY <items>] [LIMIT <n>]
+struct Query {
+  std::vector<PatternPart> patterns;
+  ExprPtr where;  // may be null
+  bool return_distinct = false;
+  std::vector<ReturnItem> return_items;
+  std::vector<OrderItem> order_by;
+  ExprPtr limit;  // may be null
+};
+
+/// Builders used by the parser and by tests.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeParameter(std::string name);
+ExprPtr MakeVariable(std::string name);
+ExprPtr MakeProperty(std::string var, std::string prop);
+ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr operand);
+ExprPtr MakeCount(std::string var, bool star, bool distinct);
+ExprPtr MakeAggregate(AggFunc func, ExprPtr argument, bool distinct);
+
+}  // namespace mbq::cypher
+
+#endif  // MBQ_CYPHER_AST_H_

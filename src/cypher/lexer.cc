@@ -1,0 +1,199 @@
+#include "cypher/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace mbq::cypher {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+  auto push = [&](TokenKind kind, std::string text, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t pos = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(query[i])) ++i;
+      push(TokenKind::kIdentifier, query.substr(start, i - start), pos);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) ++i;
+      bool is_float = false;
+      if (i + 1 < n && query[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(query[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) ++i;
+      }
+      std::string text = query.substr(start, i - start);
+      Token t;
+      t.position = pos;
+      t.text = text;
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        MBQ_ASSIGN_OR_RETURN(t.float_value, ParseDouble(text));
+      } else {
+        t.kind = TokenKind::kInteger;
+        MBQ_ASSIGN_OR_RETURN(t.int_value, ParseInt64(text));
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '$': {
+        ++i;
+        size_t start = i;
+        while (i < n && IsIdentChar(query[i])) ++i;
+        if (start == i) {
+          return Status::InvalidArgument("empty parameter name at offset " +
+                                         std::to_string(pos));
+        }
+        push(TokenKind::kParameter, query.substr(start, i - start), pos);
+        break;
+      }
+      case '\'':
+      case '"': {
+        char quote = c;
+        ++i;
+        std::string text;
+        bool closed = false;
+        while (i < n) {
+          if (query[i] == '\\' && i + 1 < n) {
+            text += query[i + 1];
+            i += 2;
+            continue;
+          }
+          if (query[i] == quote) {
+            closed = true;
+            ++i;
+            break;
+          }
+          text += query[i++];
+        }
+        if (!closed) {
+          return Status::InvalidArgument("unterminated string at offset " +
+                                         std::to_string(pos));
+        }
+        push(TokenKind::kString, std::move(text), pos);
+        break;
+      }
+      case '(':
+        push(TokenKind::kLParen, "(", pos);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, ")", pos);
+        ++i;
+        break;
+      case '[':
+        push(TokenKind::kLBracket, "[", pos);
+        ++i;
+        break;
+      case ']':
+        push(TokenKind::kRBracket, "]", pos);
+        ++i;
+        break;
+      case '{':
+        push(TokenKind::kLBrace, "{", pos);
+        ++i;
+        break;
+      case '}':
+        push(TokenKind::kRBrace, "}", pos);
+        ++i;
+        break;
+      case ':':
+        push(TokenKind::kColon, ":", pos);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma, ",", pos);
+        ++i;
+        break;
+      case '.':
+        if (i + 1 < n && query[i + 1] == '.') {
+          push(TokenKind::kDotDot, "..", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kDot, ".", pos);
+          ++i;
+        }
+        break;
+      case '*':
+        push(TokenKind::kStar, "*", pos);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, "=", pos);
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < n && query[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", pos);
+          i += 2;
+        } else if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", pos);
+          i += 2;
+        } else if (i + 1 < n && query[i + 1] == '-') {
+          push(TokenKind::kArrowLeftDash, "<-", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", pos);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", pos);
+          ++i;
+        }
+        break;
+      case '-':
+        if (i + 1 < n && query[i + 1] == '>') {
+          push(TokenKind::kArrowRight, "->", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kDash, "-", pos);
+          ++i;
+        }
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " +
+                                       std::to_string(pos));
+    }
+  }
+  push(TokenKind::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace mbq::cypher

@@ -1,0 +1,55 @@
+#ifndef MBQ_CYPHER_LEXER_H_
+#define MBQ_CYPHER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mbq::cypher {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,   // user, follows, u (also keywords; parser matches text)
+  kParameter,    // $uid
+  kInteger,      // 42
+  kFloat,        // 3.5
+  kString,       // 'abc' or "abc"
+  kLParen,       // (
+  kRParen,       // )
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLBrace,       // {
+  kRBrace,       // }
+  kColon,        // :
+  kComma,        // ,
+  kDot,          // .
+  kDotDot,       // ..
+  kStar,         // *
+  kEq,           // =
+  kNe,           // <>
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kDash,         // -
+  kArrowRight,   // ->
+  kArrowLeftDash,// <- (left arrow head plus dash)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier/param/string payload, literal spelling
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset in the query, for error messages
+};
+
+/// Tokenizes a query string. Keywords are returned as identifiers; the
+/// parser compares case-insensitively.
+Result<std::vector<Token>> Tokenize(const std::string& query);
+
+}  // namespace mbq::cypher
+
+#endif  // MBQ_CYPHER_LEXER_H_

@@ -1,0 +1,615 @@
+#include "cypher/operators.h"
+
+#include <algorithm>
+
+namespace mbq::cypher {
+
+Result<bool> Operator::NextTracked(Row* out) {
+  uint64_t before = ctx_ != nullptr ? ctx_->db->db_hits() : 0;
+  Result<bool> r = Next(out);
+  if (ctx_ != nullptr) db_hits_ += ctx_->db->db_hits() - before;
+  if (r.ok() && *r) ++rows_produced_;
+  return r;
+}
+
+Status Operator::Drain(std::vector<Row>* rows) {
+  Row row;
+  for (;;) {
+    MBQ_ASSIGN_OR_RETURN(bool more, NextTracked(&row));
+    if (!more) return Status::OK();
+    rows->push_back(row);
+  }
+}
+
+// ---------------------------------------------------------------- SingleRow
+
+Status SingleRow::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  done_ = false;
+  return Status::OK();
+}
+
+Result<bool> SingleRow::Next(Row* out) {
+  if (done_) return false;
+  done_ = true;
+  if (ctx_->outer_row != nullptr) {
+    *out = *ctx_->outer_row;
+  } else {
+    out->assign(width_, RtValue::Null());
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ NodeLabelScan
+
+Status NodeLabelScan::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  buffer_.clear();
+  index_ = 0;
+  auto label = ctx->db->FindLabel(label_);
+  if (!label.ok()) return Status::OK();  // no such label: empty scan
+  return ctx->db->ForEachNodeWithLabel(*label, [this](NodeId id) {
+    buffer_.push_back(id);
+    return true;
+  });
+}
+
+Result<bool> NodeLabelScan::Next(Row* out) {
+  if (index_ >= buffer_.size()) return false;
+  if (ctx_->outer_row != nullptr) {
+    *out = *ctx_->outer_row;
+  } else {
+    out->assign(width_, RtValue::Null());
+  }
+  (*out)[slot_] = RtValue::FromNode(buffer_[index_++]);
+  return true;
+}
+
+// ------------------------------------------------------------ NodeIndexSeek
+
+Status NodeIndexSeek::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  buffer_.clear();
+  index_ = 0;
+  auto label = ctx->db->FindLabel(label_);
+  if (!label.ok()) return Status::OK();
+  auto key = ctx->db->FindPropKey(property_);
+  if (!key.ok()) return Status::OK();
+  Row empty;
+  SlotMap no_slots;
+  MBQ_ASSIGN_OR_RETURN(RtValue value, EvalExpr(*value_, empty, no_slots, ctx));
+  if (value.kind != RtValue::Kind::kValue) {
+    return Status::InvalidArgument("index seek value must be a literal");
+  }
+  MBQ_ASSIGN_OR_RETURN(buffer_,
+                       ctx->db->IndexLookup(*label, *key, value.value));
+  return Status::OK();
+}
+
+Result<bool> NodeIndexSeek::Next(Row* out) {
+  if (index_ >= buffer_.size()) return false;
+  if (ctx_->outer_row != nullptr) {
+    *out = *ctx_->outer_row;
+  } else {
+    out->assign(width_, RtValue::Null());
+  }
+  (*out)[slot_] = RtValue::FromNode(buffer_[index_++]);
+  return true;
+}
+
+// ----------------------------------------------------------------- Expand
+
+Status Expand::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  have_row_ = false;
+  matches_.clear();
+  match_index_ = 0;
+  resolved_type_.reset();
+  type_unknown_ = false;
+  if (!rel_type_.empty()) {
+    auto type = ctx->db->FindRelType(rel_type_);
+    if (type.ok()) {
+      resolved_type_ = *type;
+    } else {
+      type_unknown_ = true;
+    }
+  }
+  return child_->Open(ctx);
+}
+
+Status Expand::RefillFromRow() {
+  matches_.clear();
+  match_index_ = 0;
+  const RtValue& from = current_row_[from_slot_];
+  if (from.kind != RtValue::Kind::kNode) {
+    return Status::InvalidArgument("expand source is not a node");
+  }
+  NodeId bound_target = nodestore::kInvalidNode;
+  if (into_bound_) {
+    const RtValue& to = current_row_[to_slot_];
+    if (to.kind != RtValue::Kind::kNode) {
+      return Status::InvalidArgument("expand-into target is not a node");
+    }
+    bound_target = to.node;
+  }
+  return ctx_->db->ForEachRelationship(
+      from.node, dir_, resolved_type_, [&](const GraphDb::RelInfo& rel) {
+        if (!into_bound_ || rel.other == bound_target) {
+          matches_.push_back(rel);
+        }
+        return true;
+      });
+}
+
+Result<bool> Expand::Next(Row* out) {
+  if (type_unknown_) return false;
+  for (;;) {
+    if (have_row_ && match_index_ < matches_.size()) {
+      const GraphDb::RelInfo& rel = matches_[match_index_++];
+      *out = current_row_;
+      (*out)[to_slot_] = RtValue::FromNode(rel.other);
+      if (rel_slot_.has_value()) (*out)[*rel_slot_] = RtValue::FromRel(rel.id);
+      return true;
+    }
+    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(&current_row_));
+    if (!more) return false;
+    have_row_ = true;
+    MBQ_RETURN_IF_ERROR(RefillFromRow());
+  }
+}
+
+// --------------------------------------------------------- VarLengthExpand
+
+Status VarLengthExpand::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  have_row_ = false;
+  reached_.clear();
+  reach_index_ = 0;
+  resolved_type_.reset();
+  type_unknown_ = false;
+  if (!rel_type_.empty()) {
+    auto type = ctx->db->FindRelType(rel_type_);
+    if (type.ok()) {
+      resolved_type_ = *type;
+    } else {
+      type_unknown_ = true;
+    }
+  }
+  return child_->Open(ctx);
+}
+
+Status VarLengthExpand::RefillFromRow() {
+  reached_.clear();
+  reach_index_ = 0;
+  const RtValue& from = current_row_[from_slot_];
+  if (from.kind != RtValue::Kind::kNode) {
+    return Status::InvalidArgument("expand source is not a node");
+  }
+  // Depth-first path enumeration with per-path relationship uniqueness
+  // (Cypher's var-length semantics): every distinct path of length in
+  // [min,max] contributes its end node — the same end node can appear
+  // many times (multiset semantics).
+  std::vector<RelId> rel_stack;
+  Status status = Status::OK();
+  std::function<Status(NodeId, uint32_t)> dfs = [&](NodeId node,
+                                                    uint32_t depth) -> Status {
+    if (depth >= min_hops_ && depth > 0) reached_.push_back(node);
+    if (depth >= max_hops_) return Status::OK();
+    Status inner = ctx_->db->ForEachRelationship(
+        node, dir_, resolved_type_, [&](const GraphDb::RelInfo& rel) {
+          if (std::find(rel_stack.begin(), rel_stack.end(), rel.id) !=
+              rel_stack.end()) {
+            return true;  // relationship-unique within a path
+          }
+          rel_stack.push_back(rel.id);
+          Status st = dfs(rel.other, depth + 1);
+          rel_stack.pop_back();
+          if (!st.ok()) {
+            status = st;
+            return false;
+          }
+          return true;
+        });
+    MBQ_RETURN_IF_ERROR(inner);
+    return status;
+  };
+  return dfs(from.node, 0);
+}
+
+Result<bool> VarLengthExpand::Next(Row* out) {
+  if (type_unknown_) return false;
+  for (;;) {
+    if (have_row_ && reach_index_ < reached_.size()) {
+      *out = current_row_;
+      (*out)[to_slot_] = RtValue::FromNode(reached_[reach_index_++]);
+      return true;
+    }
+    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(&current_row_));
+    if (!more) return false;
+    have_row_ = true;
+    MBQ_RETURN_IF_ERROR(RefillFromRow());
+  }
+}
+
+// ----------------------------------------------------------------- Filter
+
+Status Filter::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<bool> Filter::Next(Row* out) {
+  for (;;) {
+    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(out));
+    if (!more) return false;
+    MBQ_ASSIGN_OR_RETURN(bool keep,
+                         EvalPredicate(*predicate_, *out, *slots_, ctx_));
+    if (keep) return true;
+  }
+}
+
+// ------------------------------------------------------------- LabelFilter
+
+Status LabelFilter::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  resolved_.reset();
+  label_unknown_ = false;
+  auto label = ctx->db->FindLabel(label_);
+  if (label.ok()) {
+    resolved_ = *label;
+  } else {
+    label_unknown_ = true;
+  }
+  return child_->Open(ctx);
+}
+
+Result<bool> LabelFilter::Next(Row* out) {
+  if (label_unknown_) return false;
+  for (;;) {
+    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(out));
+    if (!more) return false;
+    const RtValue& v = (*out)[slot_];
+    if (v.kind != RtValue::Kind::kNode) continue;
+    MBQ_ASSIGN_OR_RETURN(nodestore::LabelId label,
+                         ctx_->db->NodeLabel(v.node));
+    if (label == *resolved_) return true;
+  }
+}
+
+// ---------------------------------------------------------- ShortestPathOp
+
+Status ShortestPathOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  resolved_type_.reset();
+  if (!rel_type_.empty()) {
+    auto type = ctx->db->FindRelType(rel_type_);
+    if (type.ok()) resolved_type_ = *type;
+  }
+  return child_->Open(ctx);
+}
+
+Result<bool> ShortestPathOp::Next(Row* out) {
+  for (;;) {
+    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(out));
+    if (!more) return false;
+    const RtValue& src = (*out)[src_slot_];
+    const RtValue& dst = (*out)[dst_slot_];
+    if (src.kind != RtValue::Kind::kNode ||
+        dst.kind != RtValue::Kind::kNode) {
+      return Status::InvalidArgument("shortestPath endpoints must be nodes");
+    }
+    if (!resolved_type_.has_value() && !rel_type_.empty()) {
+      return false;  // unknown relationship type: no paths
+    }
+    nodestore::BidirectionalShortestPath bfs(ctx_->db, resolved_type_, dir_);
+    bfs.SetMaxHops(max_hops_);
+    MBQ_ASSIGN_OR_RETURN(std::vector<NodeId> path,
+                         bfs.Find(src.node, dst.node));
+    if (path.empty()) continue;  // no path: row dropped
+    (*out)[path_slot_] = RtValue::FromPath(std::move(path));
+    return true;
+  }
+}
+
+// --------------------------------------------------------------- Aggregate
+
+Status Aggregate::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  materialized_ = false;
+  output_.clear();
+  index_ = 0;
+  return child_->Open(ctx);
+}
+
+namespace {
+
+/// Running state of one aggregate within one group.
+struct AggState {
+  uint64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0;
+  bool saw_double = false;
+  bool has_best = false;
+  RtValue best;
+  std::unordered_set<Row, RowHash, RowEq> distinct;
+};
+
+Status AccumulateValue(const Aggregate::AggItem& agg, const RtValue& v,
+                       AggState* state) {
+  switch (agg.func) {
+    case AggFunc::kCount:
+      ++state->count;
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (v.kind != RtValue::Kind::kValue) {
+        return Status::InvalidArgument("sum/avg over a non-numeric value");
+      }
+      MBQ_ASSIGN_OR_RETURN(double d, v.value.ToNumber());
+      if (v.value.type() == common::ValueType::kInt) {
+        state->isum += v.value.AsInt();
+      } else {
+        state->saw_double = true;
+        state->dsum += d;
+      }
+      ++state->count;
+      return Status::OK();
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      bool better = !state->has_best ||
+                    (agg.func == AggFunc::kMin
+                         ? v.Compare(state->best) < 0
+                         : v.Compare(state->best) > 0);
+      if (better) {
+        state->best = v;
+        state->has_best = true;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled aggregate function");
+}
+
+Result<RtValue> FinalizeAgg(const Aggregate::AggItem& agg, AggState* state) {
+  // Distinct aggregates buffer values in a set and fold at the end.
+  AggState folded;
+  if (agg.distinct) {
+    if (agg.func == AggFunc::kCount) {
+      return RtValue::FromValue(
+          Value::Int(static_cast<int64_t>(state->distinct.size())));
+    }
+    for (const Row& row : state->distinct) {
+      MBQ_RETURN_IF_ERROR(AccumulateValue(agg, row[0], &folded));
+    }
+    state = &folded;
+  }
+  switch (agg.func) {
+    case AggFunc::kCount:
+      return RtValue::FromValue(
+          Value::Int(static_cast<int64_t>(state->count)));
+    case AggFunc::kSum:
+      if (state->saw_double) {
+        return RtValue::FromValue(
+            Value::Double(state->dsum + static_cast<double>(state->isum)));
+      }
+      return RtValue::FromValue(Value::Int(state->isum));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return state->has_best ? state->best : RtValue::Null();
+    case AggFunc::kAvg: {
+      if (state->count == 0) return RtValue::Null();
+      double total = state->dsum + static_cast<double>(state->isum);
+      return RtValue::FromValue(
+          Value::Double(total / static_cast<double>(state->count)));
+    }
+  }
+  return Status::Internal("unhandled aggregate function");
+}
+
+}  // namespace
+
+Status Aggregate::Materialize() {
+  struct GroupState {
+    Row keys;
+    std::vector<AggState> aggs;
+  };
+  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
+
+  Row row;
+  for (;;) {
+    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(&row));
+    if (!more) break;
+    Row keys;
+    keys.reserve(group_exprs_.size());
+    for (const Expr* e : group_exprs_) {
+      MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*e, row, *slots_, ctx_));
+      keys.push_back(std::move(v));
+    }
+    auto [it, inserted] = groups.try_emplace(keys);
+    GroupState& state = it->second;
+    if (inserted) {
+      state.keys = keys;
+      state.aggs.resize(aggs_.size());
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const AggItem& agg = aggs_[a];
+      if (agg.arg == nullptr) {  // COUNT(*)
+        ++state.aggs[a].count;
+        continue;
+      }
+      MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*agg.arg, row, *slots_, ctx_));
+      if (v.is_null()) continue;  // aggregates skip nulls
+      if (agg.distinct) {
+        state.aggs[a].distinct.insert(Row{v});
+      } else {
+        MBQ_RETURN_IF_ERROR(AccumulateValue(agg, v, &state.aggs[a]));
+      }
+    }
+  }
+  for (auto& [keys, state] : groups) {
+    Row out = state.keys;
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      MBQ_ASSIGN_OR_RETURN(RtValue v, FinalizeAgg(aggs_[a], &state.aggs[a]));
+      out.push_back(std::move(v));
+    }
+    output_.push_back(std::move(out));
+  }
+  materialized_ = true;
+  return Status::OK();
+}
+
+Result<bool> Aggregate::Next(Row* out) {
+  if (!materialized_) MBQ_RETURN_IF_ERROR(Materialize());
+  if (index_ >= output_.size()) return false;
+  *out = output_[index_++];
+  return true;
+}
+
+// -------------------------------------------------------------- Projection
+
+Status Projection::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<bool> Projection::Next(Row* out) {
+  Row input;
+  MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(&input));
+  if (!more) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const Expr* e : exprs_) {
+    MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*e, input, *slots_, ctx_));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------- Sort
+
+Status Sort::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  materialized_ = false;
+  output_.clear();
+  index_ = 0;
+  return child_->Open(ctx);
+}
+
+Result<bool> Sort::Next(Row* out) {
+  if (!materialized_) {
+    Row row;
+    for (;;) {
+      MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(&row));
+      if (!more) break;
+      output_.push_back(row);
+    }
+    std::stable_sort(output_.begin(), output_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (const Key& key : keys_) {
+                         int c = a[key.column].Compare(b[key.column]);
+                         if (c != 0) return key.ascending ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+    materialized_ = true;
+  }
+  if (index_ >= output_.size()) return false;
+  *out = output_[index_++];
+  return true;
+}
+
+// ------------------------------------------------------------------ Limit
+
+Status Limit::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  Row empty;
+  SlotMap no_slots;
+  MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*count_expr_, empty, no_slots, ctx));
+  if (v.kind != RtValue::Kind::kValue ||
+      v.value.type() != common::ValueType::kInt || v.value.AsInt() < 0) {
+    return Status::InvalidArgument("LIMIT requires a non-negative integer");
+  }
+  remaining_ = static_cast<uint64_t>(v.value.AsInt());
+  return child_->Open(ctx);
+}
+
+Result<bool> Limit::Next(Row* out) {
+  if (remaining_ == 0) return false;
+  MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(out));
+  if (!more) return false;
+  --remaining_;
+  return true;
+}
+
+// --------------------------------------------------------------- Distinct
+
+Status Distinct::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  seen_.clear();
+  return child_->Open(ctx);
+}
+
+Result<bool> Distinct::Next(Row* out) {
+  for (;;) {
+    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(out));
+    if (!more) return false;
+    if (seen_.insert(*out).second) return true;
+  }
+}
+
+// ------------------------------------------------------------------ Apply
+
+Status Apply::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  have_left_ = false;
+  return child_->Open(ctx);
+}
+
+Result<bool> Apply::Next(Row* out) {
+  for (;;) {
+    if (have_left_) {
+      const Row* saved = ctx_->outer_row;
+      ctx_->outer_row = &left_row_;
+      Result<bool> more = right_->NextTracked(out);
+      ctx_->outer_row = saved;
+      MBQ_RETURN_IF_ERROR(more.status());
+      if (*more) return true;
+      have_left_ = false;
+    }
+    MBQ_ASSIGN_OR_RETURN(bool more_left, ChildNext(&left_row_));
+    if (!more_left) return false;
+    have_left_ = true;
+    // Re-open the right side for this left row.
+    const Row* saved = ctx_->outer_row;
+    ctx_->outer_row = &left_row_;
+    Status st = right_->Open(ctx_);
+    ctx_->outer_row = saved;
+    MBQ_RETURN_IF_ERROR(st);
+  }
+}
+
+// ----------------------------------------------------------------- Helpers
+
+std::string DescribePlanTree(const Operator& root, int indent) {
+  std::string out(indent * 2, ' ');
+  out += root.Describe();
+  out += "  rows=" + std::to_string(root.rows_produced());
+  out += " dbHits=" + std::to_string(root.db_hits());
+  out += "\n";
+  if (const auto* apply = dynamic_cast<const Apply*>(&root)) {
+    if (apply->child() != nullptr) {
+      out += DescribePlanTree(*apply->child(), indent + 1);
+    }
+    if (apply->right() != nullptr) {
+      out += DescribePlanTree(*apply->right(), indent + 1);
+    }
+    return out;
+  }
+  if (root.child() != nullptr) {
+    out += DescribePlanTree(*root.child(), indent + 1);
+  }
+  return out;
+}
+
+}  // namespace mbq::cypher

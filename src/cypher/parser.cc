@@ -1,0 +1,402 @@
+#include "cypher/parser.h"
+
+#include "cypher/lexer.h"
+#include "util/string_util.h"
+
+namespace mbq::cypher {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query query;
+    MBQ_RETURN_IF_ERROR(ExpectKeyword("match"));
+    MBQ_ASSIGN_OR_RETURN(PatternPart part, ParsePatternPart());
+    query.patterns.push_back(std::move(part));
+    while (AcceptToken(TokenKind::kComma)) {
+      MBQ_ASSIGN_OR_RETURN(PatternPart next, ParsePatternPart());
+      query.patterns.push_back(std::move(next));
+    }
+    if (AcceptKeyword("where")) {
+      MBQ_ASSIGN_OR_RETURN(query.where, ParseOrExpr());
+    }
+    MBQ_RETURN_IF_ERROR(ExpectKeyword("return"));
+    if (AcceptKeyword("distinct")) query.return_distinct = true;
+    MBQ_ASSIGN_OR_RETURN(ReturnItem item, ParseReturnItem());
+    query.return_items.push_back(std::move(item));
+    while (AcceptToken(TokenKind::kComma)) {
+      MBQ_ASSIGN_OR_RETURN(ReturnItem next, ParseReturnItem());
+      query.return_items.push_back(std::move(next));
+    }
+    if (AcceptKeyword("order")) {
+      MBQ_RETURN_IF_ERROR(ExpectKeyword("by"));
+      do {
+        OrderItem order;
+        MBQ_ASSIGN_OR_RETURN(order.expr, ParseOrExpr());
+        if (AcceptKeyword("desc")) {
+          order.ascending = false;
+        } else {
+          AcceptKeyword("asc");
+        }
+        query.order_by.push_back(std::move(order));
+      } while (AcceptToken(TokenKind::kComma));
+    }
+    if (AcceptKeyword("limit")) {
+      MBQ_ASSIGN_OR_RETURN(query.limit, ParsePrimary());
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdentifier && ToLowerAscii(t.text) == kw;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected keyword '") + kw + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptToken(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectToken(TokenKind kind, const char* what) {
+    if (!AcceptToken(kind)) {
+      return Error(std::string("expected ") + what);
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " near offset " +
+                                   std::to_string(Peek().position) + " ('" +
+                                   Peek().text + "')");
+  }
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Result<ReturnItem> ParseReturnItem() {
+    ReturnItem item;
+    MBQ_ASSIGN_OR_RETURN(item.expr, ParseOrExpr());
+    if (AcceptKeyword("as")) {
+      MBQ_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+    }
+    return item;
+  }
+
+  // ------------------------------------------------------------ Patterns
+
+  Result<PatternPart> ParsePatternPart() {
+    PatternPart part;
+    // `p = shortestPath( ... )` or a plain chain.
+    if (Peek().kind == TokenKind::kIdentifier &&
+        Peek(1).kind == TokenKind::kEq && !PeekKeyword("shortestpath")) {
+      part.path_variable = Advance().text;
+      Advance();  // '='
+      MBQ_RETURN_IF_ERROR(ExpectKeyword("shortestpath"));
+      part.shortest_path = true;
+      MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kLParen, "'('"));
+      MBQ_RETURN_IF_ERROR(ParseChain(&part));
+      MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
+      return part;
+    }
+    if (PeekKeyword("shortestpath")) {
+      Advance();
+      part.shortest_path = true;
+      MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kLParen, "'('"));
+      MBQ_RETURN_IF_ERROR(ParseChain(&part));
+      MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
+      return part;
+    }
+    MBQ_RETURN_IF_ERROR(ParseChain(&part));
+    return part;
+  }
+
+  Status ParseChain(PatternPart* part) {
+    MBQ_ASSIGN_OR_RETURN(NodePattern node, ParseNodePattern());
+    part->nodes.push_back(std::move(node));
+    while (Peek().kind == TokenKind::kDash ||
+           Peek().kind == TokenKind::kArrowLeftDash) {
+      MBQ_ASSIGN_OR_RETURN(RelPattern rel, ParseRelPattern());
+      MBQ_ASSIGN_OR_RETURN(NodePattern next, ParseNodePattern());
+      part->rels.push_back(std::move(rel));
+      part->nodes.push_back(std::move(next));
+    }
+    return Status::OK();
+  }
+
+  Result<NodePattern> ParseNodePattern() {
+    MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kLParen, "'(' of node pattern"));
+    NodePattern node;
+    if (Peek().kind == TokenKind::kIdentifier) {
+      node.variable = Advance().text;
+    }
+    if (AcceptToken(TokenKind::kColon)) {
+      MBQ_ASSIGN_OR_RETURN(node.label, ExpectIdentifier("label name"));
+    }
+    if (AcceptToken(TokenKind::kLBrace)) {
+      do {
+        MBQ_ASSIGN_OR_RETURN(std::string key, ExpectIdentifier("property key"));
+        MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kColon, "':'"));
+        MBQ_ASSIGN_OR_RETURN(ExprPtr value, ParsePrimary());
+        node.properties.emplace_back(std::move(key), std::move(value));
+      } while (AcceptToken(TokenKind::kComma));
+      MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRBrace, "'}'"));
+    }
+    MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')' of node pattern"));
+    return node;
+  }
+
+  Result<RelPattern> ParseRelPattern() {
+    RelPattern rel;
+    bool left_arrow = false;
+    if (AcceptToken(TokenKind::kArrowLeftDash)) {
+      left_arrow = true;
+    } else {
+      MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kDash, "'-'"));
+    }
+    if (AcceptToken(TokenKind::kLBracket)) {
+      if (Peek().kind == TokenKind::kIdentifier) {
+        rel.variable = Advance().text;
+      }
+      if (AcceptToken(TokenKind::kColon)) {
+        MBQ_ASSIGN_OR_RETURN(rel.type, ExpectIdentifier("relationship type"));
+      }
+      if (AcceptToken(TokenKind::kStar)) {
+        // *, *n, *n..m, *..m
+        rel.min_hops = 1;
+        rel.max_hops = UINT32_MAX;
+        if (Peek().kind == TokenKind::kInteger) {
+          rel.min_hops = static_cast<uint32_t>(Advance().int_value);
+          rel.max_hops = rel.min_hops;
+        }
+        if (AcceptToken(TokenKind::kDotDot)) {
+          rel.max_hops = UINT32_MAX;
+          if (Peek().kind == TokenKind::kInteger) {
+            rel.max_hops = static_cast<uint32_t>(Advance().int_value);
+          }
+        }
+      }
+      MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRBracket, "']'"));
+    }
+    bool right_arrow = AcceptToken(TokenKind::kArrowRight);
+    if (!right_arrow) {
+      MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kDash, "'-' or '->'"));
+    }
+    if (left_arrow && right_arrow) {
+      return Error("relationship cannot point both ways");
+    }
+    rel.dir = left_arrow   ? RelPattern::Dir::kIn
+              : right_arrow ? RelPattern::Dir::kOut
+                            : RelPattern::Dir::kBoth;
+    return rel;
+  }
+
+  // --------------------------------------------------------- Expressions
+
+  Result<ExprPtr> ParseOrExpr() {
+    MBQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAndExpr());
+    while (AcceptKeyword("or")) {
+      MBQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAndExpr());
+      lhs = MakeOr(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAndExpr() {
+    MBQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNotExpr());
+    while (AcceptKeyword("and")) {
+      MBQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNotExpr());
+      lhs = MakeAnd(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNotExpr() {
+    if (AcceptKeyword("not")) {
+      MBQ_ASSIGN_OR_RETURN(ExprPtr operand, ParseNotExpr());
+      return MakeNot(std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    // Pattern predicate: '(' var ')' <-/- [..] -/-> '(' var ')'
+    if (IsPatternPredicateAhead()) return ParsePatternPredicate();
+    MBQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    CompareOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CompareOp::kGe;
+        break;
+      default:
+        return lhs;  // bare expression (boolean-valued)
+    }
+    Advance();
+    MBQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+    return MakeComparison(op, std::move(lhs), std::move(rhs));
+  }
+
+  bool IsPatternPredicateAhead() const {
+    if (Peek().kind != TokenKind::kLParen) return false;
+    if (Peek(1).kind != TokenKind::kIdentifier) return false;
+    if (Peek(2).kind != TokenKind::kRParen) return false;
+    TokenKind after = Peek(3).kind;
+    return after == TokenKind::kDash || after == TokenKind::kArrowLeftDash;
+  }
+
+  Result<ExprPtr> ParsePatternPredicate() {
+    MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kLParen, "'('"));
+    MBQ_ASSIGN_OR_RETURN(std::string src, ExpectIdentifier("variable"));
+    MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
+    MBQ_ASSIGN_OR_RETURN(RelPattern rel, ParseRelPattern());
+    MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kLParen, "'('"));
+    MBQ_ASSIGN_OR_RETURN(std::string dst, ExpectIdentifier("variable"));
+    MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
+    if (rel.min_hops != 1 || rel.max_hops != 1) {
+      return Error("pattern predicates support single hops only");
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kPatternPred;
+    e->pattern_src = std::move(src);
+    e->pattern_dst = std::move(dst);
+    e->pattern_rel_type = rel.type;
+    e->pattern_right_arrow = rel.dir != RelPattern::Dir::kIn;
+    if (rel.dir == RelPattern::Dir::kIn) {
+      // (a)<-[:t]-(b) is equivalent to (b)-[:t]->(a).
+      std::swap(e->pattern_src, e->pattern_dst);
+      e->pattern_right_arrow = true;
+    }
+    return ExprPtr(std::move(e));
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        Advance();
+        return MakeLiteral(Value::Int(t.int_value));
+      }
+      case TokenKind::kFloat: {
+        Advance();
+        return MakeLiteral(Value::Double(t.float_value));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return MakeLiteral(Value::String(t.text));
+      }
+      case TokenKind::kParameter: {
+        Advance();
+        return MakeParameter(t.text);
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        MBQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseOrExpr());
+        MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kIdentifier:
+        break;
+      default:
+        return Error("expected expression");
+    }
+    std::string name = Advance().text;
+    std::string lower = ToLowerAscii(name);
+    if (lower == "true") return MakeLiteral(Value::Bool(true));
+    if (lower == "false") return MakeLiteral(Value::Bool(false));
+    if (lower == "null") return MakeLiteral(Value::Null());
+    bool is_agg = lower == "count" || lower == "sum" || lower == "min" ||
+                  lower == "max" || lower == "avg";
+    if (Peek().kind == TokenKind::kLParen &&
+        (is_agg || lower == "length" || lower == "id")) {
+      Advance();  // '('
+      if (is_agg) {
+        if (lower == "count" && AcceptToken(TokenKind::kStar)) {
+          MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
+          return MakeCount("", /*star=*/true, /*distinct=*/false);
+        }
+        bool distinct = AcceptKeyword("distinct");
+        MBQ_ASSIGN_OR_RETURN(ExprPtr argument, ParsePrimary());
+        MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
+        AggFunc func = lower == "count" ? AggFunc::kCount
+                       : lower == "sum" ? AggFunc::kSum
+                       : lower == "min" ? AggFunc::kMin
+                       : lower == "max" ? AggFunc::kMax
+                                        : AggFunc::kAvg;
+        ExprPtr agg = MakeAggregate(func, std::move(argument), distinct);
+        // Keep the raw argument text for column naming.
+        const Expr& arg = *agg->children[0];
+        agg->variable = arg.kind == ExprKind::kProperty
+                            ? arg.variable + "." + arg.property
+                            : arg.variable;
+        return agg;
+      }
+      MBQ_ASSIGN_OR_RETURN(std::string var, ExpectIdentifier("variable"));
+      MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
+      auto e = std::make_unique<Expr>();
+      e->kind = lower == "length" ? ExprKind::kLengthCall : ExprKind::kIdCall;
+      e->variable = std::move(var);
+      return ExprPtr(std::move(e));
+    }
+    if (AcceptToken(TokenKind::kDot)) {
+      MBQ_ASSIGN_OR_RETURN(std::string prop, ExpectIdentifier("property name"));
+      return MakeProperty(std::move(name), std::move(prop));
+    }
+    return MakeVariable(std::move(name));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& text) {
+  MBQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace mbq::cypher

@@ -1,0 +1,29 @@
+#ifndef MBQ_CYPHER_PARSER_H_
+#define MBQ_CYPHER_PARSER_H_
+
+#include <string>
+
+#include "cypher/ast.h"
+#include "util/result.h"
+
+namespace mbq::cypher {
+
+/// Parses one read query. Supported surface (sufficient for the paper's
+/// whole workload):
+///
+///   MATCH <pattern> [, <pattern>]*
+///   [WHERE <boolean expression>]
+///   RETURN [DISTINCT] <expr> [AS alias] [, ...]
+///   [ORDER BY <expr> [ASC|DESC] [, ...]]
+///   [LIMIT <int-or-param>]
+///
+/// Patterns are linear chains of (node)-[rel]->(node) elements with
+/// optional labels, inline property maps, variable-length hops
+/// ([:t*min..max]) and `p = shortestPath((a)-[:t*..k]->(b))`. WHERE
+/// supports comparisons, AND/OR/NOT, property access, parameters and
+/// pattern predicates like `NOT (a)-[:follows]->(c)`.
+Result<Query> ParseQuery(const std::string& text);
+
+}  // namespace mbq::cypher
+
+#endif  // MBQ_CYPHER_PARSER_H_

@@ -1,0 +1,248 @@
+#include "cypher/runtime.h"
+
+namespace mbq::cypher {
+
+bool RtValue::Equals(const RtValue& other) const {
+  return Compare(other) == 0;
+}
+
+int RtValue::Compare(const RtValue& other) const {
+  if (kind != other.kind) {
+    return static_cast<int>(kind) < static_cast<int>(other.kind) ? -1 : 1;
+  }
+  switch (kind) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kValue:
+      return value.Compare(other.value);
+    case Kind::kNode:
+      return node == other.node ? 0 : (node < other.node ? -1 : 1);
+    case Kind::kRel:
+      return rel == other.rel ? 0 : (rel < other.rel ? -1 : 1);
+    case Kind::kPath: {
+      if (path.size() != other.path.size()) {
+        return path.size() < other.path.size() ? -1 : 1;
+      }
+      for (size_t i = 0; i < path.size(); ++i) {
+        if (path[i] != other.path[i]) return path[i] < other.path[i] ? -1 : 1;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t RtValue::Hash() const {
+  switch (kind) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kValue:
+      return value.Hash();
+    case Kind::kNode:
+      return std::hash<uint64_t>()(node) ^ 0x1111;
+    case Kind::kRel:
+      return std::hash<uint64_t>()(rel) ^ 0x2222;
+    case Kind::kPath: {
+      size_t h = 0x3333;
+      for (NodeId n : path) h = h * 31 + std::hash<uint64_t>()(n);
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string RtValue::ToString() const {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kValue:
+      return value.ToString();
+    case Kind::kNode:
+      return "Node(" + std::to_string(node) + ")";
+    case Kind::kRel:
+      return "Rel(" + std::to_string(rel) + ")";
+    case Kind::kPath: {
+      std::string out = "Path(";
+      for (size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) out += "->";
+        out += std::to_string(path[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+Result<const RtValue*> LookupSlot(const std::string& variable, const Row& row,
+                                  const SlotMap& slots) {
+  auto it = slots.find(variable);
+  if (it == slots.end()) {
+    return Status::InvalidArgument("unbound variable: " + variable);
+  }
+  if (it->second >= row.size()) {
+    return Status::Internal("slot out of range for " + variable);
+  }
+  return &row[it->second];
+}
+
+}  // namespace
+
+Result<RtValue> EvalExpr(const Expr& expr, const Row& row,
+                         const SlotMap& slots, ExecContext* ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return RtValue::FromValue(expr.literal);
+    case ExprKind::kParameter: {
+      auto it = ctx->params->find(expr.param_name);
+      if (it == ctx->params->end()) {
+        return Status::InvalidArgument("missing parameter $" +
+                                       expr.param_name);
+      }
+      return RtValue::FromValue(it->second);
+    }
+    case ExprKind::kVariable: {
+      MBQ_ASSIGN_OR_RETURN(const RtValue* v,
+                           LookupSlot(expr.variable, row, slots));
+      return *v;
+    }
+    case ExprKind::kProperty: {
+      MBQ_ASSIGN_OR_RETURN(const RtValue* v,
+                           LookupSlot(expr.variable, row, slots));
+      if (v->kind == RtValue::Kind::kNode) {
+        nodestore::PropKeyId key = ctx->db->PropKey(expr.property);
+        MBQ_ASSIGN_OR_RETURN(Value value,
+                             ctx->db->GetNodeProperty(v->node, key));
+        return RtValue::FromValue(std::move(value));
+      }
+      if (v->kind == RtValue::Kind::kRel) {
+        nodestore::PropKeyId key = ctx->db->PropKey(expr.property);
+        MBQ_ASSIGN_OR_RETURN(Value value,
+                             ctx->db->GetRelProperty(v->rel, key));
+        return RtValue::FromValue(std::move(value));
+      }
+      return Status::InvalidArgument("property access on non-entity: " +
+                                     expr.variable);
+    }
+    case ExprKind::kComparison: {
+      MBQ_ASSIGN_OR_RETURN(RtValue lhs,
+                           EvalExpr(*expr.children[0], row, slots, ctx));
+      MBQ_ASSIGN_OR_RETURN(RtValue rhs,
+                           EvalExpr(*expr.children[1], row, slots, ctx));
+      if (lhs.is_null() || rhs.is_null()) return RtValue::Null();
+      int c = lhs.Compare(rhs);
+      bool result = false;
+      switch (expr.op) {
+        case CompareOp::kEq:
+          result = c == 0;
+          break;
+        case CompareOp::kNe:
+          result = c != 0;
+          break;
+        case CompareOp::kLt:
+          result = c < 0;
+          break;
+        case CompareOp::kLe:
+          result = c <= 0;
+          break;
+        case CompareOp::kGt:
+          result = c > 0;
+          break;
+        case CompareOp::kGe:
+          result = c >= 0;
+          break;
+      }
+      return RtValue::FromValue(Value::Bool(result));
+    }
+    case ExprKind::kAnd: {
+      MBQ_ASSIGN_OR_RETURN(bool lhs,
+                           EvalPredicate(*expr.children[0], row, slots, ctx));
+      if (!lhs) return RtValue::FromValue(Value::Bool(false));
+      MBQ_ASSIGN_OR_RETURN(bool rhs,
+                           EvalPredicate(*expr.children[1], row, slots, ctx));
+      return RtValue::FromValue(Value::Bool(rhs));
+    }
+    case ExprKind::kOr: {
+      MBQ_ASSIGN_OR_RETURN(bool lhs,
+                           EvalPredicate(*expr.children[0], row, slots, ctx));
+      if (lhs) return RtValue::FromValue(Value::Bool(true));
+      MBQ_ASSIGN_OR_RETURN(bool rhs,
+                           EvalPredicate(*expr.children[1], row, slots, ctx));
+      return RtValue::FromValue(Value::Bool(rhs));
+    }
+    case ExprKind::kNot: {
+      MBQ_ASSIGN_OR_RETURN(bool operand,
+                           EvalPredicate(*expr.children[0], row, slots, ctx));
+      return RtValue::FromValue(Value::Bool(!operand));
+    }
+    case ExprKind::kLengthCall: {
+      MBQ_ASSIGN_OR_RETURN(const RtValue* v,
+                           LookupSlot(expr.variable, row, slots));
+      if (v->kind != RtValue::Kind::kPath) {
+        return Status::InvalidArgument("length() expects a path");
+      }
+      return RtValue::FromValue(
+          Value::Int(static_cast<int64_t>(v->path.size()) - 1));
+    }
+    case ExprKind::kIdCall: {
+      MBQ_ASSIGN_OR_RETURN(const RtValue* v,
+                           LookupSlot(expr.variable, row, slots));
+      if (v->kind == RtValue::Kind::kNode) {
+        return RtValue::FromValue(Value::Int(static_cast<int64_t>(v->node)));
+      }
+      if (v->kind == RtValue::Kind::kRel) {
+        return RtValue::FromValue(Value::Int(static_cast<int64_t>(v->rel)));
+      }
+      return Status::InvalidArgument("id() expects a node or relationship");
+    }
+    case ExprKind::kPatternPred: {
+      MBQ_ASSIGN_OR_RETURN(const RtValue* src,
+                           LookupSlot(expr.pattern_src, row, slots));
+      MBQ_ASSIGN_OR_RETURN(const RtValue* dst,
+                           LookupSlot(expr.pattern_dst, row, slots));
+      if (src->kind != RtValue::Kind::kNode ||
+          dst->kind != RtValue::Kind::kNode) {
+        return Status::InvalidArgument("pattern predicate on non-nodes");
+      }
+      std::optional<nodestore::RelTypeId> type;
+      if (!expr.pattern_rel_type.empty()) {
+        auto resolved = ctx->db->FindRelType(expr.pattern_rel_type);
+        if (!resolved.ok()) {
+          // Unknown relationship type: the pattern can never match.
+          return RtValue::FromValue(Value::Bool(false));
+        }
+        type = *resolved;
+      }
+      bool found = false;
+      NodeId target = dst->node;
+      MBQ_RETURN_IF_ERROR(ctx->db->ForEachRelationship(
+          src->node, nodestore::Direction::kOutgoing, type,
+          [&](const GraphDb::RelInfo& rel) {
+            if (rel.dst == target) {
+              found = true;
+              return false;
+            }
+            return true;
+          }));
+      return RtValue::FromValue(Value::Bool(found));
+    }
+    case ExprKind::kAggCall:
+      return Status::Internal(
+          "aggregate expression evaluated outside aggregation");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const Row& row,
+                           const SlotMap& slots, ExecContext* ctx) {
+  MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(expr, row, slots, ctx));
+  if (v.is_null()) return false;  // ternary logic: null is not true
+  if (v.kind == RtValue::Kind::kValue &&
+      v.value.type() == common::ValueType::kBool) {
+    return v.value.AsBool();
+  }
+  return Status::InvalidArgument("predicate did not evaluate to a boolean");
+}
+
+}  // namespace mbq::cypher

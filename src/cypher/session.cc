@@ -1,0 +1,57 @@
+#include "cypher/session.h"
+
+#include "cypher/parser.h"
+
+namespace mbq::cypher {
+
+Result<const PlannedQuery*> CypherSession::Prepare(const std::string& query) {
+  auto it = plan_cache_.find(query);
+  if (plan_cache_enabled_ && it != plan_cache_.end()) {
+    ++plan_cache_hits_;
+    last_prepare_was_cache_hit_ = true;
+    return const_cast<const PlannedQuery*>(it->second.get());
+  }
+  ++plan_cache_misses_;
+  last_prepare_was_cache_hit_ = false;
+  MBQ_ASSIGN_OR_RETURN(Query ast, ParseQuery(query));
+  MBQ_ASSIGN_OR_RETURN(std::unique_ptr<PlannedQuery> plan,
+                       PlanQuery(std::move(ast), db_));
+  const PlannedQuery* raw = plan.get();
+  if (plan_cache_enabled_) {
+    plan_cache_[query] = std::move(plan);
+  } else {
+    // Keep the most recent uncached plan alive for the caller.
+    uncached_plan_ = std::move(plan);
+  }
+  return raw;
+}
+
+Result<QueryResult> CypherSession::Run(const std::string& query,
+                                       const Params& params) {
+  MBQ_ASSIGN_OR_RETURN(const PlannedQuery* plan, Prepare(query));
+  bool cached = last_prepare_was_cache_hit_;
+
+  ExecContext ctx;
+  ctx.db = db_;
+  ctx.params = &params;
+
+  QueryResult result;
+  result.columns = plan->columns;
+  result.plan_cached = cached;
+
+  uint64_t hits_before = db_->db_hits();
+  Operator* root = plan->root.get();
+  root->ResetStatsTree();
+  MBQ_RETURN_IF_ERROR(root->Open(&ctx));
+  Row row;
+  for (;;) {
+    MBQ_ASSIGN_OR_RETURN(bool more, root->NextTracked(&row));
+    if (!more) break;
+    result.rows.push_back(row);
+  }
+  result.db_hits = db_->db_hits() - hits_before;
+  result.profile = plan->Explain();
+  return result;
+}
+
+}  // namespace mbq::cypher

@@ -1,0 +1,69 @@
+#ifndef MBQ_CYPHER_SESSION_H_
+#define MBQ_CYPHER_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cypher/planner.h"
+#include "cypher/runtime.h"
+
+namespace mbq::cypher {
+
+/// A finished query's output plus its profile.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  /// Record accesses charged to this execution (PROFILE's db hits).
+  uint64_t db_hits = 0;
+  /// True if the plan came from the plan cache (no re-compilation).
+  bool plan_cached = false;
+  /// Indented plan tree with per-operator rows and db hits.
+  std::string profile;
+};
+
+/// The declarative query interface over the record-store engine: parse ->
+/// plan -> execute, with a plan cache keyed by query text. Parameterized
+/// queries ($param) reuse cached plans across executions — the speedup
+/// the paper attributes to "specifying parameters, because it allows
+/// Cypher to cache the execution plans".
+class CypherSession {
+ public:
+  explicit CypherSession(GraphDb* db) : db_(db) {}
+
+  CypherSession(const CypherSession&) = delete;
+  CypherSession& operator=(const CypherSession&) = delete;
+
+  /// Parses (or fetches from cache), plans and runs `query`.
+  Result<QueryResult> Run(const std::string& query, const Params& params);
+  Result<QueryResult> Run(const std::string& query) {
+    return Run(query, Params{});
+  }
+
+  /// Compiles without executing; useful for EXPLAIN-style tests.
+  Result<const PlannedQuery*> Prepare(const std::string& query);
+
+  /// Enables/disables the plan cache (the cold-cache ablation measures
+  /// the recompilation cost the paper mentions).
+  void SetPlanCacheEnabled(bool enabled) { plan_cache_enabled_ = enabled; }
+
+  uint64_t plan_cache_hits() const { return plan_cache_hits_; }
+  uint64_t plan_cache_misses() const { return plan_cache_misses_; }
+  void ClearPlanCache() { plan_cache_.clear(); }
+
+ private:
+  GraphDb* db_;
+  bool plan_cache_enabled_ = true;
+  bool last_prepare_was_cache_hit_ = false;
+  uint64_t plan_cache_hits_ = 0;
+  uint64_t plan_cache_misses_ = 0;
+  std::unordered_map<std::string, std::unique_ptr<PlannedQuery>> plan_cache_;
+  /// Most recent plan compiled with the cache disabled (kept alive for
+  /// the caller of Prepare/Run).
+  std::unique_ptr<PlannedQuery> uncached_plan_;
+};
+
+}  // namespace mbq::cypher
+
+#endif  // MBQ_CYPHER_SESSION_H_

@@ -1,0 +1,197 @@
+#ifndef MBQ_NODESTORE_RECORDS_H_
+#define MBQ_NODESTORE_RECORDS_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace mbq::nodestore {
+
+/// Record id within one store file. Ids are dense and recycled through a
+/// free list, as in Neo4j's store files.
+using RecordId = uint64_t;
+inline constexpr RecordId kNullRecord = ~0ULL;
+
+using LabelId = uint16_t;
+using RelTypeId = uint16_t;
+using PropKeyId = uint32_t;
+inline constexpr LabelId kInvalidLabel = 0xFFFF;
+inline constexpr RelTypeId kInvalidRelType = 0xFFFF;
+
+/// Fixed-width node record (24 bytes), after Neo4j's node store: a label,
+/// the head of the relationship chain and the head of the property chain.
+struct NodeRecord {
+  static constexpr uint32_t kSize = 24;
+
+  bool in_use = false;
+  /// Set by the importer's dense-node pass for high-degree nodes.
+  bool dense = false;
+  LabelId label = kInvalidLabel;
+  RecordId first_rel = kNullRecord;
+  RecordId first_prop = kNullRecord;
+
+  void EncodeTo(uint8_t* out) const {
+    out[0] = in_use ? 1 : 0;
+    out[1] = dense ? 1 : 0;
+    std::memcpy(out + 2, &label, sizeof(label));
+    std::memset(out + 4, 0, 4);
+    std::memcpy(out + 8, &first_rel, sizeof(first_rel));
+    std::memcpy(out + 16, &first_prop, sizeof(first_prop));
+  }
+  static NodeRecord DecodeFrom(const uint8_t* in) {
+    NodeRecord r;
+    r.in_use = in[0] != 0;
+    r.dense = in[1] != 0;
+    std::memcpy(&r.label, in + 2, sizeof(r.label));
+    std::memcpy(&r.first_rel, in + 8, sizeof(r.first_rel));
+    std::memcpy(&r.first_prop, in + 16, sizeof(r.first_prop));
+    return r;
+  }
+};
+
+/// Fixed-width relationship record (64 bytes), after Neo4j's relationship
+/// store: endpoints plus doubly-linked chain pointers for both endpoint
+/// nodes, so a node's relationships are walked without any index.
+struct RelRecord {
+  static constexpr uint32_t kSize = 64;
+
+  bool in_use = false;
+  RelTypeId type = kInvalidRelType;
+  RecordId src = kNullRecord;
+  RecordId dst = kNullRecord;
+  RecordId src_prev = kNullRecord;
+  RecordId src_next = kNullRecord;
+  RecordId dst_prev = kNullRecord;
+  RecordId dst_next = kNullRecord;
+  RecordId first_prop = kNullRecord;
+
+  void EncodeTo(uint8_t* out) const {
+    out[0] = in_use ? 1 : 0;
+    out[1] = 0;
+    std::memcpy(out + 2, &type, sizeof(type));
+    std::memset(out + 4, 0, 4);
+    const RecordId fields[] = {src,      dst,      src_prev, src_next,
+                               dst_prev, dst_next, first_prop};
+    std::memcpy(out + 8, fields, sizeof(fields));
+  }
+  static RelRecord DecodeFrom(const uint8_t* in) {
+    RelRecord r;
+    r.in_use = in[0] != 0;
+    std::memcpy(&r.type, in + 2, sizeof(r.type));
+    RecordId fields[7];
+    std::memcpy(fields, in + 8, sizeof(fields));
+    r.src = fields[0];
+    r.dst = fields[1];
+    r.src_prev = fields[2];
+    r.src_next = fields[3];
+    r.dst_prev = fields[4];
+    r.dst_next = fields[5];
+    r.first_prop = fields[6];
+    return r;
+  }
+};
+
+/// Property value type tags stored in PropRecord.
+enum class PropValueTag : uint8_t {
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kInlineString = 4,  // length + bytes in the payload
+  kLongString = 5,    // payload holds {string store record id, length}
+};
+
+/// Fixed-width property record (40 bytes), after Neo4j's property store:
+/// a key, a tagged 24-byte payload (short strings inline, long strings in
+/// the dynamic string store) and a link to the next property.
+struct PropRecord {
+  static constexpr uint32_t kSize = 40;
+  static constexpr uint32_t kPayloadSize = 24;
+  static constexpr uint32_t kMaxInlineString = kPayloadSize - 1;
+
+  bool in_use = false;
+  PropValueTag tag = PropValueTag::kBool;
+  PropKeyId key = 0;
+  RecordId next = kNullRecord;
+  uint8_t payload[kPayloadSize] = {};
+
+  void EncodeTo(uint8_t* out) const {
+    out[0] = in_use ? 1 : 0;
+    out[1] = static_cast<uint8_t>(tag);
+    std::memset(out + 2, 0, 2);
+    std::memcpy(out + 4, &key, sizeof(key));
+    std::memcpy(out + 8, &next, sizeof(next));
+    std::memcpy(out + 16, payload, kPayloadSize);
+  }
+  static PropRecord DecodeFrom(const uint8_t* in) {
+    PropRecord r;
+    r.in_use = in[0] != 0;
+    r.tag = static_cast<PropValueTag>(in[1]);
+    std::memcpy(&r.key, in + 4, sizeof(r.key));
+    std::memcpy(&r.next, in + 8, sizeof(r.next));
+    std::memcpy(r.payload, in + 16, kPayloadSize);
+    return r;
+  }
+};
+
+/// Relationship-group record (32 bytes), after Neo4j's relationship
+/// groups: under semantic partitioning a node's relationships are
+/// chained per type, with one group record per (node, type) holding the
+/// head of that type's chain. The node's first_rel then points at the
+/// first group instead of the first relationship.
+struct GroupRecord {
+  static constexpr uint32_t kSize = 32;
+
+  bool in_use = false;
+  RelTypeId type = kInvalidRelType;
+  RecordId first_rel = kNullRecord;
+  RecordId next_group = kNullRecord;
+
+  void EncodeTo(uint8_t* out) const {
+    out[0] = in_use ? 1 : 0;
+    out[1] = 0;
+    std::memcpy(out + 2, &type, sizeof(type));
+    std::memset(out + 4, 0, 4);
+    std::memcpy(out + 8, &first_rel, sizeof(first_rel));
+    std::memcpy(out + 16, &next_group, sizeof(next_group));
+    std::memset(out + 24, 0, 8);
+  }
+  static GroupRecord DecodeFrom(const uint8_t* in) {
+    GroupRecord r;
+    r.in_use = in[0] != 0;
+    std::memcpy(&r.type, in + 2, sizeof(r.type));
+    std::memcpy(&r.first_rel, in + 8, sizeof(r.first_rel));
+    std::memcpy(&r.next_group, in + 16, sizeof(r.next_group));
+    return r;
+  }
+};
+
+/// Dynamic string store block (64 bytes): chained blocks holding long
+/// string values, after Neo4j's dynamic string store.
+struct StringRecord {
+  static constexpr uint32_t kSize = 64;
+  static constexpr uint32_t kPayloadSize = 48;
+
+  bool in_use = false;
+  uint8_t used_bytes = 0;
+  RecordId next = kNullRecord;
+  uint8_t payload[kPayloadSize] = {};
+
+  void EncodeTo(uint8_t* out) const {
+    out[0] = in_use ? 1 : 0;
+    out[1] = used_bytes;
+    std::memset(out + 2, 0, 6);
+    std::memcpy(out + 8, &next, sizeof(next));
+    std::memcpy(out + 16, payload, kPayloadSize);
+  }
+  static StringRecord DecodeFrom(const uint8_t* in) {
+    StringRecord r;
+    r.in_use = in[0] != 0;
+    r.used_bytes = in[1];
+    std::memcpy(&r.next, in + 8, sizeof(r.next));
+    std::memcpy(r.payload, in + 16, kPayloadSize);
+    return r;
+  }
+};
+
+}  // namespace mbq::nodestore
+
+#endif  // MBQ_NODESTORE_RECORDS_H_

@@ -1,0 +1,126 @@
+#include "nodestore/traversal.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mbq::nodestore {
+
+Status TraversalDescription::Traverse(
+    NodeId start, const std::function<bool(const TraversalPath&)>& visit) {
+  std::unordered_set<NodeId> visited;
+  visited.insert(start);
+
+  std::deque<TraversalPath> work;
+  TraversalPath initial;
+  initial.nodes.push_back(start);
+  work.push_back(std::move(initial));
+
+  while (!work.empty()) {
+    TraversalPath path = order_ == TraversalOrder::kBreadthFirst
+                             ? std::move(work.front())
+                             : std::move(work.back());
+    if (order_ == TraversalOrder::kBreadthFirst) {
+      work.pop_front();
+    } else {
+      work.pop_back();
+    }
+
+    bool report = !report_depth_.has_value() || path.depth() == *report_depth_;
+    if (report && !visit(path)) return Status::OK();
+    if (path.depth() >= max_depth_) continue;
+
+    auto expand = [&](RelTypeId type, Direction dir,
+                      bool any_type) -> Status {
+      return db_->ForEachRelationship(
+          path.end(), dir, any_type ? std::nullopt : std::optional(type),
+          [&](const GraphDb::RelInfo& rel) {
+            if (uniqueness_ == Uniqueness::kNodeGlobal) {
+              if (visited.count(rel.other) != 0) return true;
+              visited.insert(rel.other);
+            } else if (std::find(path.nodes.begin(), path.nodes.end(),
+                                 rel.other) != path.nodes.end()) {
+              return true;  // avoid cycles within one path
+            }
+            TraversalPath next = path;
+            next.nodes.push_back(rel.other);
+            next.rels.push_back(rel.id);
+            work.push_back(std::move(next));
+            return true;
+          });
+    };
+
+    if (expansions_.empty()) {
+      MBQ_RETURN_IF_ERROR(expand(0, Direction::kBoth, /*any_type=*/true));
+    } else {
+      for (const Expansion& e : expansions_) {
+        MBQ_RETURN_IF_ERROR(expand(e.type, e.dir, /*any_type=*/false));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<NodeId>> BidirectionalShortestPath::Find(NodeId source,
+                                                            NodeId target) {
+  nodes_expanded_ = 0;
+  if (source == target) return std::vector<NodeId>{source};
+
+  // parent maps double as visited sets; kInvalidNode marks the roots.
+  std::unordered_map<NodeId, NodeId> fwd_parent{{source, kInvalidNode}};
+  std::unordered_map<NodeId, NodeId> bwd_parent{{target, kInvalidNode}};
+  std::vector<NodeId> fwd_frontier{source};
+  std::vector<NodeId> bwd_frontier{target};
+
+  Direction fwd_dir = dir_;
+  Direction bwd_dir = dir_ == Direction::kOutgoing ? Direction::kIncoming
+                      : dir_ == Direction::kIncoming ? Direction::kOutgoing
+                                                     : Direction::kBoth;
+
+  auto build_path = [&](NodeId meet) {
+    std::vector<NodeId> path;
+    for (NodeId at = meet; at != kInvalidNode; at = fwd_parent[at]) {
+      path.push_back(at);
+    }
+    std::reverse(path.begin(), path.end());
+    for (NodeId at = bwd_parent[meet]; at != kInvalidNode;
+         at = bwd_parent[at]) {
+      path.push_back(at);
+    }
+    return path;
+  };
+
+  uint32_t hops = 0;
+  while (!fwd_frontier.empty() && !bwd_frontier.empty() && hops < max_hops_) {
+    ++hops;
+    // Expand the smaller frontier (the bidirectional advantage).
+    bool forward = fwd_frontier.size() <= bwd_frontier.size();
+    auto& frontier = forward ? fwd_frontier : bwd_frontier;
+    auto& parent = forward ? fwd_parent : bwd_parent;
+    auto& other_parent = forward ? bwd_parent : fwd_parent;
+    Direction dir = forward ? fwd_dir : bwd_dir;
+
+    std::vector<NodeId> next;
+    NodeId meet = kInvalidNode;
+    for (NodeId node : frontier) {
+      ++nodes_expanded_;
+      MBQ_RETURN_IF_ERROR(db_->ForEachRelationship(
+          node, dir, type_, [&](const GraphDb::RelInfo& rel) {
+            if (parent.count(rel.other) != 0) return true;
+            parent.emplace(rel.other, node);
+            if (other_parent.count(rel.other) != 0) {
+              meet = rel.other;
+              return false;
+            }
+            next.push_back(rel.other);
+            return true;
+          }));
+      if (meet != kInvalidNode) return build_path(meet);
+    }
+    frontier = std::move(next);
+  }
+  return std::vector<NodeId>{};
+}
+
+}  // namespace mbq::nodestore

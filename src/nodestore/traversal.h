@@ -1,0 +1,122 @@
+#ifndef MBQ_NODESTORE_TRAVERSAL_H_
+#define MBQ_NODESTORE_TRAVERSAL_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "nodestore/graph_db.h"
+
+namespace mbq::nodestore {
+
+/// Traversal order, after Neo4j's traversal framework.
+enum class TraversalOrder : uint8_t { kBreadthFirst, kDepthFirst };
+
+/// Node re-visiting policy.
+enum class Uniqueness : uint8_t {
+  kNodeGlobal,  // visit each node at most once (default)
+  kNone,        // paths may revisit nodes (bounded by MaxDepth)
+};
+
+/// A path reported to the traversal callback.
+struct TraversalPath {
+  /// Nodes from the start node to the current end node.
+  std::vector<NodeId> nodes;
+  /// Relationships along the path (nodes.size() - 1 entries).
+  std::vector<RelId> rels;
+
+  NodeId end() const { return nodes.back(); }
+  uint32_t depth() const { return static_cast<uint32_t>(rels.size()); }
+};
+
+/// Declarative multi-hop expansion over GraphDb — the "traversal
+/// framework" alternative to hand-written chain walks that the paper's
+/// Discussion section compares against Cypher. Configure, then call
+/// Traverse with a start node.
+///
+///   TraversalDescription td(&db);
+///   td.BreadthFirst()
+///     .Relationships(follows, Direction::kOutgoing)
+///     .MaxDepth(2);
+///   td.Traverse(user, [](const TraversalPath& p) { ...; return true; });
+class TraversalDescription {
+ public:
+  explicit TraversalDescription(GraphDb* db) : db_(db) {}
+
+  TraversalDescription& BreadthFirst() {
+    order_ = TraversalOrder::kBreadthFirst;
+    return *this;
+  }
+  TraversalDescription& DepthFirst() {
+    order_ = TraversalOrder::kDepthFirst;
+    return *this;
+  }
+  /// Adds an allowed (type, direction) expansion. With none registered,
+  /// all relationship types expand in both directions.
+  TraversalDescription& Relationships(RelTypeId type, Direction dir) {
+    expansions_.push_back({type, dir});
+    return *this;
+  }
+  TraversalDescription& MaxDepth(uint32_t depth) {
+    max_depth_ = depth;
+    return *this;
+  }
+  TraversalDescription& SetUniqueness(Uniqueness uniqueness) {
+    uniqueness_ = uniqueness;
+    return *this;
+  }
+  /// Only report paths of exactly this depth (like Cypher's [*n..n]).
+  TraversalDescription& EvaluateAtDepth(uint32_t depth) {
+    report_depth_ = depth;
+    return *this;
+  }
+
+  /// Runs the traversal; `visit` returning false stops it. The start node
+  /// is reported at depth 0 (unless EvaluateAtDepth filters it).
+  Status Traverse(NodeId start,
+                  const std::function<bool(const TraversalPath&)>& visit);
+
+ private:
+  struct Expansion {
+    RelTypeId type;
+    Direction dir;
+  };
+
+  GraphDb* db_;
+  TraversalOrder order_ = TraversalOrder::kBreadthFirst;
+  std::vector<Expansion> expansions_;
+  uint32_t max_depth_ = UINT32_MAX;
+  std::optional<uint32_t> report_depth_;
+  Uniqueness uniqueness_ = Uniqueness::kNodeGlobal;
+};
+
+/// Bidirectional breadth-first shortest path over the relationship
+/// chains — the engine-side implementation behind Cypher's
+/// shortestPath() function. Expands the smaller frontier first, which is
+/// why the record-store engine wins the paper's Q6 comparison.
+class BidirectionalShortestPath {
+ public:
+  /// `type` empty means any relationship type.
+  BidirectionalShortestPath(GraphDb* db, std::optional<RelTypeId> type,
+                            Direction dir)
+      : db_(db), type_(type), dir_(dir) {}
+
+  void SetMaxHops(uint32_t max_hops) { max_hops_ = max_hops; }
+
+  /// Returns the node sequence of one shortest path, or an empty vector
+  /// if none exists within the hop bound.
+  Result<std::vector<NodeId>> Find(NodeId source, NodeId target);
+
+  uint64_t nodes_expanded() const { return nodes_expanded_; }
+
+ private:
+  GraphDb* db_;
+  std::optional<RelTypeId> type_;
+  Direction dir_;
+  uint32_t max_hops_ = UINT32_MAX;
+  uint64_t nodes_expanded_ = 0;
+};
+
+}  // namespace mbq::nodestore
+
+#endif  // MBQ_NODESTORE_TRAVERSAL_H_

@@ -1,0 +1,226 @@
+#include "storage/buffer_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mbq::storage {
+
+PageRef::PageRef(BufferCache* cache, size_t frame)
+    : cache_(cache), frame_(frame) {
+  cache_->Pin(frame_);
+}
+
+PageRef::~PageRef() { Release(); }
+
+PageRef::PageRef(PageRef&& other) noexcept
+    : cache_(other.cache_), frame_(other.frame_) {
+  other.cache_ = nullptr;
+}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    frame_ = other.frame_;
+    other.cache_ = nullptr;
+  }
+  return *this;
+}
+
+void PageRef::Release() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(frame_);
+    cache_ = nullptr;
+  }
+}
+
+uint8_t* PageRef::data() {
+  MBQ_CHECK(cache_ != nullptr);
+  return cache_->frames_[frame_].data.data();
+}
+
+const uint8_t* PageRef::data() const {
+  MBQ_CHECK(cache_ != nullptr);
+  return cache_->frames_[frame_].data.data();
+}
+
+PageId PageRef::page_id() const {
+  MBQ_CHECK(cache_ != nullptr);
+  return cache_->frames_[frame_].page_id;
+}
+
+void PageRef::MarkDirty() {
+  MBQ_CHECK(cache_ != nullptr);
+  BufferCache::Frame& frame = cache_->frames_[frame_];
+  if (cache_->options_.write_policy == WritePolicy::kWriteThrough) {
+    Status st = cache_->disk_->WritePage(frame.page_id, frame.data.data());
+    MBQ_CHECK(st.ok());
+    ++cache_->stats_.pages_flushed;
+  } else {
+    frame.dirty = true;
+  }
+}
+
+BufferCache::BufferCache(SimulatedDisk* disk, BufferCacheOptions options)
+    : disk_(disk), options_(options) {
+  MBQ_CHECK(options_.capacity_pages > 0);
+  frames_.resize(options_.capacity_pages);
+  free_frames_.reserve(options_.capacity_pages);
+  for (size_t i = 0; i < options_.capacity_pages; ++i) {
+    frames_[i].data.resize(kPageSize);
+    free_frames_.push_back(options_.capacity_pages - 1 - i);
+  }
+}
+
+void BufferCache::Touch(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  if (f.pins == 0) {
+    lru_.push_front(frame);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+void BufferCache::Pin(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  ++f.pins;
+}
+
+void BufferCache::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  MBQ_CHECK(f.pins > 0);
+  --f.pins;
+  if (f.pins == 0) {
+    lru_.push_front(frame);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferCache::WriteBack(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.dirty) {
+    MBQ_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
+    f.dirty = false;
+    ++stats_.pages_flushed;
+  }
+  return Status::OK();
+}
+
+Result<size_t> BufferCache::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::FailedPrecondition(
+        "buffer cache exhausted: all frames pinned");
+  }
+  // Prefer evicting a clean page (cheap). If none is clean and the
+  // flush-all policy is on, flush the entire dirty set in one stall.
+  size_t victim = lru_.back();
+  if (frames_[victim].dirty && options_.flush_all_when_full) {
+    ++stats_.flush_stalls;
+    MBQ_RETURN_IF_ERROR(FlushAll());
+  }
+  victim = lru_.back();
+  lru_.pop_back();
+  frames_[victim].in_lru = false;
+  MBQ_RETURN_IF_ERROR(WriteBack(victim));
+  frame_of_page_.erase(frames_[victim].page_id);
+  frames_[victim].page_id = kInvalidPageId;
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<PageRef> BufferCache::GetPage(PageId id) {
+  auto it = frame_of_page_.find(id);
+  if (it != frame_of_page_.end()) {
+    ++stats_.hits;
+    Touch(it->second);
+    return PageRef(this, it->second);
+  }
+  ++stats_.misses;
+  MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrame());
+  Frame& f = frames_[frame];
+  Status st = disk_->ReadPage(id, f.data.data());
+  if (!st.ok()) {
+    free_frames_.push_back(frame);
+    return st;
+  }
+  f.page_id = id;
+  f.dirty = false;
+  frame_of_page_[id] = frame;
+  return PageRef(this, frame);
+}
+
+Result<PageRef> BufferCache::GetPageForInit(PageId id) {
+  auto it = frame_of_page_.find(id);
+  if (it != frame_of_page_.end()) {
+    ++stats_.hits;
+    Touch(it->second);
+    return PageRef(this, it->second);
+  }
+  MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrame());
+  Frame& f = frames_[frame];
+  std::fill(f.data.begin(), f.data.end(), 0);
+  f.page_id = id;
+  f.dirty = options_.write_policy == WritePolicy::kWriteBack;
+  frame_of_page_[id] = frame;
+  return PageRef(this, frame);
+}
+
+Result<PageRef> BufferCache::NewPage() {
+  PageId id = disk_->AllocatePage();
+  MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrame());
+  Frame& f = frames_[frame];
+  std::fill(f.data.begin(), f.data.end(), 0);
+  f.page_id = id;
+  f.dirty = options_.write_policy == WritePolicy::kWriteBack;
+  frame_of_page_[id] = frame;
+  return PageRef(this, frame);
+}
+
+Status BufferCache::FlushAll() {
+  // Elevator flush: write dirty pages in ascending page order so the
+  // device sees one mostly-sequential sweep.
+  std::vector<std::pair<PageId, size_t>> dirty;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page_id != kInvalidPageId && frames_[i].dirty) {
+      dirty.emplace_back(frames_[i].page_id, i);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (const auto& [page, frame] : dirty) {
+    MBQ_RETURN_IF_ERROR(WriteBack(frame));
+  }
+  return Status::OK();
+}
+
+Status BufferCache::EvictAll() {
+  MBQ_RETURN_IF_ERROR(FlushAll());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId || f.pins > 0) continue;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    frame_of_page_.erase(f.page_id);
+    f.page_id = kInvalidPageId;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace mbq::storage

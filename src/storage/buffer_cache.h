@@ -1,0 +1,136 @@
+#ifndef MBQ_STORAGE_BUFFER_CACHE_H_
+#define MBQ_STORAGE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/simulated_disk.h"
+#include "util/result.h"
+
+namespace mbq::storage {
+
+/// How dirty pages reach the disk.
+enum class WritePolicy {
+  /// Dirty pages are written on eviction or explicit flush. With
+  /// `flush_all_when_full` this reproduces the Sparksee-style stall: the
+  /// cache fills, then everything is flushed at once (paper Figure 3).
+  kWriteBack,
+  /// Every write is immediately propagated, like Neo4j's import tool that
+  /// "writes continuously and concurrently to disk" (paper Figure 2).
+  kWriteThrough,
+};
+
+struct BufferCacheOptions {
+  /// Number of page frames held in memory.
+  size_t capacity_pages = 4096;
+  WritePolicy write_policy = WritePolicy::kWriteBack;
+  /// Under kWriteBack: when no clean frame can be evicted, flush every
+  /// dirty page in one stall instead of writing back a single victim.
+  bool flush_all_when_full = false;
+};
+
+struct BufferCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t pages_flushed = 0;
+  /// Number of whole-cache flush stalls (flush_all_when_full events).
+  uint64_t flush_stalls = 0;
+};
+
+class BufferCache;
+
+/// RAII pin on a cached page. The page cannot be evicted while a PageRef
+/// to it is alive. Call MarkDirty() after modifying the data.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferCache* cache, size_t frame);
+  ~PageRef();
+
+  PageRef(PageRef&& other) noexcept;
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  uint8_t* data();
+  const uint8_t* data() const;
+  PageId page_id() const;
+  void MarkDirty();
+  bool valid() const { return cache_ != nullptr; }
+
+ private:
+  void Release();
+
+  BufferCache* cache_ = nullptr;
+  size_t frame_ = 0;
+};
+
+/// A fixed-capacity LRU page cache over a SimulatedDisk.
+///
+/// Single-threaded by design (both engines in this reproduction are
+/// embedded and driven by one session, matching the paper's setup).
+class BufferCache {
+ public:
+  BufferCache(SimulatedDisk* disk, BufferCacheOptions options);
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  /// Pins page `id`, reading it from disk on a miss.
+  Result<PageRef> GetPage(PageId id);
+
+  /// Allocates a fresh zeroed page on disk and pins it (no disk read).
+  Result<PageRef> NewPage();
+
+  /// Pins page `id` without reading it from disk — for pages the caller
+  /// has just allocated (e.g. via an ExtentAllocator) and will fully
+  /// overwrite. The frame starts zeroed.
+  Result<PageRef> GetPageForInit(PageId id);
+
+  /// Writes all dirty pages back to disk.
+  Status FlushAll();
+
+  /// Drops every unpinned frame (dirty ones are flushed first). Simulates
+  /// a cold cache / restart without re-opening the store.
+  Status EvictAll();
+
+  const BufferCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferCacheStats(); }
+  size_t capacity_pages() const { return options_.capacity_pages; }
+  size_t cached_pages() const { return frame_of_page_.size(); }
+  SimulatedDisk* disk() { return disk_; }
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    uint32_t pins = 0;
+    // Position in lru_ when unpinned; lru_.end() sentinel handled via flag.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  Result<size_t> AcquireFrame();  // frame index with no resident page
+  Status WriteBack(size_t frame);
+  void Touch(size_t frame);
+  void Pin(size_t frame);
+  void Unpin(size_t frame);
+
+  SimulatedDisk* disk_;
+  BufferCacheOptions options_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> frame_of_page_;
+  std::list<size_t> lru_;  // front = most recently used
+  BufferCacheStats stats_;
+};
+
+}  // namespace mbq::storage
+
+#endif  // MBQ_STORAGE_BUFFER_CACHE_H_

@@ -1,0 +1,64 @@
+#include "storage/simulated_disk.h"
+
+namespace mbq::storage {
+
+SimulatedDisk::SimulatedDisk(DiskProfile profile, Clock* clock)
+    : profile_(profile), clock_(clock) {}
+
+PageId SimulatedDisk::AllocatePage() {
+  auto page = std::make_unique<uint8_t[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return pages_.size() - 1;
+}
+
+void SimulatedDisk::Charge(PageId id, uint64_t transfer_nanos) {
+  uint64_t nanos = transfer_nanos;
+  bool sequential =
+      last_page_ != kInvalidPageId &&
+      (id >= last_page_ ? id - last_page_ : last_page_ - id) <=
+          profile_.sequential_window;
+  if (!sequential) {
+    nanos += profile_.seek_nanos;
+    ++stats_.seeks;
+  }
+  last_page_ = id;
+  stats_.busy_nanos += nanos;
+  clock_->AdvanceNanos(nanos);
+}
+
+Status SimulatedDisk::CheckFailure() {
+  if (failing_) return Status::IoError("injected disk failure");
+  if (fail_after_ == 0) {
+    failing_ = true;
+    return Status::IoError("injected disk failure");
+  }
+  if (fail_after_ != UINT64_MAX) --fail_after_;
+  return Status::OK();
+}
+
+Status SimulatedDisk::ReadPage(PageId id, uint8_t* out) {
+  MBQ_RETURN_IF_ERROR(CheckFailure());
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("read past end of disk: page " +
+                              std::to_string(id));
+  }
+  Charge(id, profile_.read_page_nanos);
+  ++stats_.page_reads;
+  std::memcpy(out, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status SimulatedDisk::WritePage(PageId id, const uint8_t* data) {
+  MBQ_RETURN_IF_ERROR(CheckFailure());
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("write past end of disk: page " +
+                              std::to_string(id));
+  }
+  Charge(id, profile_.write_page_nanos);
+  ++stats_.page_writes;
+  std::memcpy(pages_[id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+}  // namespace mbq::storage

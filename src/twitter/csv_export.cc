@@ -1,0 +1,65 @@
+#include "twitter/csv_export.h"
+
+#include "common/csv.h"
+
+namespace mbq::twitter {
+
+using common::CsvWriter;
+
+Status ExportCsv(const Dataset& dataset, const std::string& dir) {
+  {
+    MBQ_ASSIGN_OR_RETURN(
+        CsvWriter w,
+        CsvWriter::Create(dir + "/" + CsvFiles::kUsers,
+                          {"uid", "screen_name", "followers_count"}));
+    for (const auto& u : dataset.users) {
+      MBQ_RETURN_IF_ERROR(w.WriteRow({std::to_string(u.uid), u.screen_name,
+                                      std::to_string(u.followers_count)}));
+    }
+    MBQ_RETURN_IF_ERROR(w.Flush());
+  }
+  {
+    MBQ_ASSIGN_OR_RETURN(CsvWriter w,
+                         CsvWriter::Create(dir + "/" + CsvFiles::kTweets,
+                                           {"tid", "text"}));
+    for (const auto& t : dataset.tweets) {
+      MBQ_RETURN_IF_ERROR(w.WriteRow({std::to_string(t.tid), t.text}));
+    }
+    MBQ_RETURN_IF_ERROR(w.Flush());
+  }
+  {
+    MBQ_ASSIGN_OR_RETURN(CsvWriter w,
+                         CsvWriter::Create(dir + "/" + CsvFiles::kHashtags,
+                                           {"hid", "tag"}));
+    for (const auto& h : dataset.hashtags) {
+      MBQ_RETURN_IF_ERROR(w.WriteRow({std::to_string(h.hid), h.tag}));
+    }
+    MBQ_RETURN_IF_ERROR(w.Flush());
+  }
+  auto write_edges =
+      [&](const char* file, const char* src_col, const char* dst_col,
+          const std::vector<std::pair<int64_t, int64_t>>& edges) -> Status {
+    MBQ_ASSIGN_OR_RETURN(
+        CsvWriter w, CsvWriter::Create(dir + "/" + file, {src_col, dst_col}));
+    for (const auto& [src, dst] : edges) {
+      MBQ_RETURN_IF_ERROR(
+          w.WriteRow({std::to_string(src), std::to_string(dst)}));
+    }
+    return w.Flush();
+  };
+  MBQ_RETURN_IF_ERROR(
+      write_edges(CsvFiles::kFollows, "src_uid", "dst_uid", dataset.follows));
+  std::vector<std::pair<int64_t, int64_t>> posts;
+  posts.reserve(dataset.tweets.size());
+  for (const auto& t : dataset.tweets) posts.emplace_back(t.poster_uid, t.tid);
+  MBQ_RETURN_IF_ERROR(write_edges(CsvFiles::kPosts, "uid", "tid", posts));
+  MBQ_RETURN_IF_ERROR(
+      write_edges(CsvFiles::kRetweets, "tid", "orig_tid", dataset.retweets));
+  MBQ_RETURN_IF_ERROR(
+      write_edges(CsvFiles::kMentions, "tid", "uid", dataset.mentions));
+  MBQ_RETURN_IF_ERROR(
+      write_edges(CsvFiles::kTags, "tid", "hid", dataset.tags));
+  return Status::OK();
+}
+
+}  // namespace mbq::twitter

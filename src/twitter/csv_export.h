@@ -1,0 +1,29 @@
+#ifndef MBQ_TWITTER_CSV_EXPORT_H_
+#define MBQ_TWITTER_CSV_EXPORT_H_
+
+#include <string>
+
+#include "twitter/dataset.h"
+#include "util/status.h"
+
+namespace mbq::twitter {
+
+/// File names written by ExportCsv — the "same source files" both
+/// engines' batch loaders consume (paper §3.2).
+struct CsvFiles {
+  static constexpr const char* kUsers = "users.csv";
+  static constexpr const char* kTweets = "tweets.csv";
+  static constexpr const char* kHashtags = "hashtags.csv";
+  static constexpr const char* kFollows = "follows.csv";
+  static constexpr const char* kPosts = "posts.csv";
+  static constexpr const char* kRetweets = "retweets.csv";
+  static constexpr const char* kMentions = "mentions.csv";
+  static constexpr const char* kTags = "tags.csv";
+};
+
+/// Writes the dataset as CSV files under `dir` (which must exist).
+Status ExportCsv(const Dataset& dataset, const std::string& dir);
+
+}  // namespace mbq::twitter
+
+#endif  // MBQ_TWITTER_CSV_EXPORT_H_

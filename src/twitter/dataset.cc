@@ -1,0 +1,175 @@
+#include "twitter/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace mbq::twitter {
+
+namespace {
+
+const char* const kWords[] = {
+    "graph",   "query",   "data",    "tweet",   "social",  "stream",
+    "follow",  "network", "index",   "engine",  "latency", "cache",
+    "cypher",  "bitmap",  "node",    "edge",    "path",    "degree",
+    "mention", "trend",   "topic",   "viral",   "post",    "update",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string MakeTweetText(Rng& rng, int64_t tid) {
+  std::string text = "t" + std::to_string(tid) + ":";
+  uint64_t words = 4 + rng.NextBounded(12);
+  for (uint64_t i = 0; i < words; ++i) {
+    text += ' ';
+    text += kWords[rng.NextBounded(kNumWords)];
+  }
+  return text;
+}
+
+}  // namespace
+
+Dataset GenerateDataset(const DatasetSpec& spec) {
+  MBQ_CHECK(spec.num_users > 0);
+  Rng rng(spec.seed);
+  Dataset out;
+
+  // ------------------------------------------------------------- Users
+  out.users.resize(spec.num_users);
+  for (uint64_t i = 0; i < spec.num_users; ++i) {
+    out.users[i].uid = static_cast<int64_t>(i);
+    out.users[i].screen_name = "user_" + std::to_string(i);
+    out.users[i].followers_count = 0;
+  }
+
+  // ----------------------------------------------------------- Follows
+  // Target popularity is Zipf over a random permutation of users (so uid
+  // order doesn't encode popularity); per-user out-degree is exponential-
+  // ish around the mean, giving the long tail the queries stress.
+  std::vector<uint64_t> popularity_rank(spec.num_users);
+  for (uint64_t i = 0; i < spec.num_users; ++i) popularity_rank[i] = i;
+  rng.Shuffle(popularity_rank);
+  ZipfSampler follow_targets(spec.num_users, spec.follow_zipf);
+
+  out.follows.reserve(static_cast<size_t>(
+      static_cast<double>(spec.num_users) * spec.follows_per_user));
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t u = 0; u < spec.num_users; ++u) {
+    // Geometric-ish out-degree with the configured mean.
+    double mean = spec.follows_per_user;
+    uint64_t degree = 0;
+    while (rng.NextDouble() < mean / (mean + 1.0) &&
+           degree < spec.num_users - 1) {
+      ++degree;
+    }
+    seen.clear();
+    for (uint64_t k = 0; k < degree; ++k) {
+      uint64_t target = popularity_rank[follow_targets.Sample(rng)];
+      if (target == u || !seen.insert(target).second) continue;
+      out.follows.emplace_back(static_cast<int64_t>(u),
+                               static_cast<int64_t>(target));
+      ++out.users[target].followers_count;
+    }
+  }
+
+  // ------------------------------------------------------------ Tweets
+  uint64_t active_users = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(spec.num_users) *
+                               spec.active_user_fraction));
+  // Active users are the most-followed ones plus a random sample — in
+  // real crawls posting activity correlates with popularity.
+  std::vector<uint64_t> posters;
+  posters.reserve(active_users);
+  for (uint64_t i = 0; i < active_users; ++i) {
+    if (i < active_users / 2) {
+      posters.push_back(popularity_rank[i]);  // most popular ranks
+    } else {
+      posters.push_back(rng.NextBounded(spec.num_users));
+    }
+  }
+  std::sort(posters.begin(), posters.end());
+  posters.erase(std::unique(posters.begin(), posters.end()), posters.end());
+
+  int64_t next_tid = 0;
+  for (uint64_t poster : posters) {
+    for (uint32_t t = 0; t < spec.tweets_per_active_user; ++t) {
+      Dataset::Tweet tweet;
+      tweet.tid = next_tid++;
+      tweet.poster_uid = static_cast<int64_t>(poster);
+      tweet.text = MakeTweetText(rng, tweet.tid);
+      out.tweets.push_back(std::move(tweet));
+    }
+  }
+
+  // ---------------------------------------------------------- Hashtags
+  uint64_t num_hashtags = std::max<uint64_t>(8, spec.num_users / 40);
+  out.hashtags.resize(num_hashtags);
+  for (uint64_t h = 0; h < num_hashtags; ++h) {
+    out.hashtags[h].hid = static_cast<int64_t>(h);
+    out.hashtags[h].tag =
+        std::string(kWords[h % kNumWords]) + std::to_string(h);
+  }
+  ZipfSampler hashtag_picker(num_hashtags, spec.hashtag_zipf);
+  ZipfSampler mention_targets(spec.num_users, spec.mention_zipf);
+
+  // ----------------------------------------------- Mentions, tags, RTs
+  // Mentions and tags are bursty: most tweets carry none, but a tweet
+  // that has any tends to have several (group mentions, hashtag storms).
+  // This is what creates the co-occurrence pairs Q3.1/Q3.2 count — with
+  // at most one mention per tweet the co-mention query would be empty.
+  constexpr double kBurstMean = 2.4;          // mean size of a burst
+  constexpr double kBurstContinue = 1.0 - 1.0 / kBurstMean;
+  auto burst_count = [&rng](double mean_per_tweet) -> uint64_t {
+    if (!rng.NextBool(mean_per_tweet / kBurstMean)) return 0;
+    uint64_t count = 1;
+    while (rng.NextBool(kBurstContinue) && count < 16) ++count;
+    return count;
+  };
+  for (const Dataset::Tweet& tweet : out.tweets) {
+    uint64_t num_mentions = burst_count(spec.mentions_per_tweet);
+    for (uint64_t k = 0; k < num_mentions; ++k) {
+      uint64_t target = popularity_rank[mention_targets.Sample(rng)];
+      if (static_cast<int64_t>(target) != tweet.poster_uid) {
+        out.mentions.emplace_back(tweet.tid, static_cast<int64_t>(target));
+      }
+    }
+    uint64_t num_tags = burst_count(spec.tags_per_tweet);
+    for (uint64_t k = 0; k < num_tags; ++k) {
+      uint64_t h = hashtag_picker.Sample(rng);
+      out.tags.emplace_back(tweet.tid, static_cast<int64_t>(h));
+    }
+    if (tweet.tid > 0 && rng.NextBool(spec.retweet_fraction)) {
+      int64_t original = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(tweet.tid)));
+      out.retweets.emplace_back(tweet.tid, original);
+    }
+  }
+
+  // De-duplicate mentions/tags per tweet (multigraph allows them, but the
+  // paper's reconstruction from text yields unique pairs).
+  auto dedupe = [](std::vector<std::pair<int64_t, int64_t>>& edges) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  };
+  dedupe(out.mentions);
+  dedupe(out.tags);
+
+  return out;
+}
+
+DatasetCounts CountDataset(const Dataset& dataset) {
+  DatasetCounts c;
+  c.users = dataset.users.size();
+  c.tweets = dataset.tweets.size();
+  c.hashtags = dataset.hashtags.size();
+  c.follows = dataset.follows.size();
+  c.posts = dataset.tweets.size();
+  c.retweets = dataset.retweets.size();
+  c.mentions = dataset.mentions.size();
+  c.tags = dataset.tags.size();
+  c.total_nodes = c.users + c.tweets + c.hashtags;
+  c.total_edges = c.follows + c.posts + c.retweets + c.mentions + c.tags;
+  return c;
+}
+
+}  // namespace mbq::twitter

@@ -1,0 +1,86 @@
+#ifndef MBQ_TWITTER_DATASET_H_
+#define MBQ_TWITTER_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mbq::twitter {
+
+/// Parameters of the synthetic Twitter crawl. Defaults mirror the shape
+/// of the paper's dataset (Li et al. KDD'12, Table 1): ~11.5 follows per
+/// user, roughly one tweet per user overall (a ~5% active subset posting
+/// 20 tweets each, the paper's per-user retention), 0.46 mentions and
+/// 0.30 tags per tweet, and one hashtag per ~40 users. Scale with
+/// `num_users`; every ratio tracks it.
+struct DatasetSpec {
+  uint64_t num_users = 20000;
+  double follows_per_user = 11.5;
+  double active_user_fraction = 0.05;
+  uint32_t tweets_per_active_user = 20;
+  double mentions_per_tweet = 0.46;
+  double tags_per_tweet = 0.30;
+  /// Fraction of tweets that are retweets of an earlier tweet. The
+  /// paper's crawl lacked retweet information (its retweets edges are
+  /// missing); the generator can supply them, enabling the derived
+  /// queries of §3.3 — set to 0 for strict paper parity.
+  double retweet_fraction = 0.1;
+  /// Popularity skew of follow targets / mention targets / hashtags.
+  double follow_zipf = 0.9;
+  double mention_zipf = 0.9;
+  double hashtag_zipf = 1.0;
+  uint64_t seed = 42;
+};
+
+/// A fully materialized synthetic crawl.
+struct Dataset {
+  struct User {
+    int64_t uid;
+    std::string screen_name;
+    int64_t followers_count;  // in-degree in the follows graph
+  };
+  struct Tweet {
+    int64_t tid;
+    int64_t poster_uid;
+    std::string text;
+  };
+  struct Hashtag {
+    int64_t hid;
+    std::string tag;
+  };
+
+  std::vector<User> users;
+  std::vector<Tweet> tweets;
+  std::vector<Hashtag> hashtags;
+  std::vector<std::pair<int64_t, int64_t>> follows;   // uid -> uid
+  std::vector<std::pair<int64_t, int64_t>> mentions;  // tid -> uid
+  std::vector<std::pair<int64_t, int64_t>> tags;      // tid -> hid
+  std::vector<std::pair<int64_t, int64_t>> retweets;  // tid -> original tid
+
+  uint64_t NumNodes() const {
+    return users.size() + tweets.size() + hashtags.size();
+  }
+  uint64_t NumEdges() const {
+    // posts edges are implicit: one per tweet.
+    return follows.size() + tweets.size() + mentions.size() + tags.size() +
+           retweets.size();
+  }
+};
+
+/// Generates a dataset deterministically from `spec.seed`.
+Dataset GenerateDataset(const DatasetSpec& spec);
+
+/// Prints the Table 1 shape: per-type node and relationship counts.
+struct DatasetCounts {
+  uint64_t users, tweets, hashtags;
+  uint64_t follows, posts, retweets, mentions, tags;
+  uint64_t total_nodes, total_edges;
+};
+DatasetCounts CountDataset(const Dataset& dataset);
+
+}  // namespace mbq::twitter
+
+#endif  // MBQ_TWITTER_DATASET_H_

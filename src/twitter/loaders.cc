@@ -1,0 +1,279 @@
+#include "twitter/loaders.h"
+
+#include <unordered_map>
+
+#include "twitter/csv_export.h"
+#include "twitter/schema.h"
+
+namespace mbq::twitter {
+
+namespace ns = schema;
+using common::Value;
+
+Result<NodestoreHandles> ResolveNodestoreHandles(nodestore::GraphDb* db) {
+  NodestoreHandles h;
+  MBQ_ASSIGN_OR_RETURN(h.user, db->Label(ns::kUser));
+  MBQ_ASSIGN_OR_RETURN(h.tweet, db->Label(ns::kTweet));
+  MBQ_ASSIGN_OR_RETURN(h.hashtag, db->Label(ns::kHashtag));
+  MBQ_ASSIGN_OR_RETURN(h.follows, db->RelType(ns::kFollows));
+  MBQ_ASSIGN_OR_RETURN(h.posts, db->RelType(ns::kPosts));
+  MBQ_ASSIGN_OR_RETURN(h.retweets, db->RelType(ns::kRetweets));
+  MBQ_ASSIGN_OR_RETURN(h.mentions, db->RelType(ns::kMentions));
+  MBQ_ASSIGN_OR_RETURN(h.tags, db->RelType(ns::kTags));
+  h.uid = db->PropKey(ns::kUid);
+  h.screen_name = db->PropKey(ns::kScreenName);
+  h.followers_count = db->PropKey(ns::kFollowersCount);
+  h.tid = db->PropKey(ns::kTid);
+  h.text = db->PropKey(ns::kText);
+  h.hid = db->PropKey(ns::kHid);
+  h.tag = db->PropKey(ns::kTag);
+  return h;
+}
+
+Result<NodestoreHandles> LoadIntoNodestore(const Dataset& dataset,
+                                           nodestore::GraphDb* db) {
+  MBQ_ASSIGN_OR_RETURN(NodestoreHandles h, ResolveNodestoreHandles(db));
+
+  std::unordered_map<int64_t, nodestore::NodeId> user_ids;
+  std::unordered_map<int64_t, nodestore::NodeId> tweet_ids;
+  std::unordered_map<int64_t, nodestore::NodeId> hashtag_ids;
+  user_ids.reserve(dataset.users.size());
+  tweet_ids.reserve(dataset.tweets.size());
+
+  for (const auto& u : dataset.users) {
+    MBQ_ASSIGN_OR_RETURN(nodestore::NodeId id, db->CreateNode(h.user));
+    MBQ_RETURN_IF_ERROR(db->SetNodeProperty(id, h.uid, Value::Int(u.uid)));
+    MBQ_RETURN_IF_ERROR(
+        db->SetNodeProperty(id, h.screen_name, Value::String(u.screen_name)));
+    MBQ_RETURN_IF_ERROR(db->SetNodeProperty(
+        id, h.followers_count, Value::Int(u.followers_count)));
+    user_ids[u.uid] = id;
+  }
+  for (const auto& t : dataset.tweets) {
+    MBQ_ASSIGN_OR_RETURN(nodestore::NodeId id, db->CreateNode(h.tweet));
+    MBQ_RETURN_IF_ERROR(db->SetNodeProperty(id, h.tid, Value::Int(t.tid)));
+    MBQ_RETURN_IF_ERROR(db->SetNodeProperty(id, h.text,
+                                            Value::String(t.text)));
+    tweet_ids[t.tid] = id;
+  }
+  for (const auto& ht : dataset.hashtags) {
+    MBQ_ASSIGN_OR_RETURN(nodestore::NodeId id, db->CreateNode(h.hashtag));
+    MBQ_RETURN_IF_ERROR(db->SetNodeProperty(id, h.hid, Value::Int(ht.hid)));
+    MBQ_RETURN_IF_ERROR(db->SetNodeProperty(id, h.tag,
+                                            Value::String(ht.tag)));
+    hashtag_ids[ht.hid] = id;
+  }
+
+  for (const auto& [src, dst] : dataset.follows) {
+    MBQ_RETURN_IF_ERROR(
+        db->CreateRelationship(h.follows, user_ids[src], user_ids[dst])
+            .status());
+  }
+  for (const auto& t : dataset.tweets) {
+    MBQ_RETURN_IF_ERROR(
+        db->CreateRelationship(h.posts, user_ids[t.poster_uid],
+                               tweet_ids[t.tid])
+            .status());
+  }
+  for (const auto& [re, orig] : dataset.retweets) {
+    MBQ_RETURN_IF_ERROR(
+        db->CreateRelationship(h.retweets, tweet_ids[re], tweet_ids[orig])
+            .status());
+  }
+  for (const auto& [tid, uid] : dataset.mentions) {
+    MBQ_RETURN_IF_ERROR(
+        db->CreateRelationship(h.mentions, tweet_ids[tid], user_ids[uid])
+            .status());
+  }
+  for (const auto& [tid, hid] : dataset.tags) {
+    MBQ_RETURN_IF_ERROR(
+        db->CreateRelationship(h.tags, tweet_ids[tid], hashtag_ids[hid])
+            .status());
+  }
+
+  // The paper's indexes: "indexes on all unique node identifiers", plus
+  // the ones the selection and co-occurrence queries need.
+  MBQ_RETURN_IF_ERROR(db->CreateIndex(h.user, h.uid, /*unique=*/true));
+  MBQ_RETURN_IF_ERROR(db->CreateIndex(h.tweet, h.tid, /*unique=*/true));
+  MBQ_RETURN_IF_ERROR(db->CreateIndex(h.hashtag, h.hid, /*unique=*/true));
+  MBQ_RETURN_IF_ERROR(db->CreateIndex(h.hashtag, h.tag, /*unique=*/true));
+  MBQ_RETURN_IF_ERROR(
+      db->CreateIndex(h.user, h.followers_count, /*unique=*/false));
+  MBQ_RETURN_IF_ERROR(db->ComputeDenseNodes().status());
+  MBQ_RETURN_IF_ERROR(db->Flush());
+  return h;
+}
+
+Result<BitmapHandles> ResolveBitmapHandles(const bitmapstore::Graph& graph) {
+  BitmapHandles h;
+  MBQ_ASSIGN_OR_RETURN(h.user, graph.FindType(ns::kUser));
+  MBQ_ASSIGN_OR_RETURN(h.tweet, graph.FindType(ns::kTweet));
+  MBQ_ASSIGN_OR_RETURN(h.hashtag, graph.FindType(ns::kHashtag));
+  MBQ_ASSIGN_OR_RETURN(h.follows, graph.FindType(ns::kFollows));
+  MBQ_ASSIGN_OR_RETURN(h.posts, graph.FindType(ns::kPosts));
+  MBQ_ASSIGN_OR_RETURN(h.retweets, graph.FindType(ns::kRetweets));
+  MBQ_ASSIGN_OR_RETURN(h.mentions, graph.FindType(ns::kMentions));
+  MBQ_ASSIGN_OR_RETURN(h.tags, graph.FindType(ns::kTags));
+  MBQ_ASSIGN_OR_RETURN(h.uid, graph.FindAttribute(h.user, ns::kUid));
+  MBQ_ASSIGN_OR_RETURN(h.screen_name,
+                       graph.FindAttribute(h.user, ns::kScreenName));
+  MBQ_ASSIGN_OR_RETURN(h.followers_count,
+                       graph.FindAttribute(h.user, ns::kFollowersCount));
+  MBQ_ASSIGN_OR_RETURN(h.tid, graph.FindAttribute(h.tweet, ns::kTid));
+  MBQ_ASSIGN_OR_RETURN(h.text, graph.FindAttribute(h.tweet, ns::kText));
+  MBQ_ASSIGN_OR_RETURN(h.hid, graph.FindAttribute(h.hashtag, ns::kHid));
+  MBQ_ASSIGN_OR_RETURN(h.tag, graph.FindAttribute(h.hashtag, ns::kTag));
+  return h;
+}
+
+Result<BitmapHandles> LoadIntoBitmapstore(const Dataset& dataset,
+                                          bitmapstore::Graph* graph) {
+  using bitmapstore::AttributeKind;
+  using common::ValueType;
+  BitmapHandles h;
+  MBQ_ASSIGN_OR_RETURN(h.user, graph->NewNodeType(ns::kUser));
+  MBQ_ASSIGN_OR_RETURN(h.tweet, graph->NewNodeType(ns::kTweet));
+  MBQ_ASSIGN_OR_RETURN(h.hashtag, graph->NewNodeType(ns::kHashtag));
+  MBQ_ASSIGN_OR_RETURN(h.follows, graph->NewEdgeType(ns::kFollows));
+  MBQ_ASSIGN_OR_RETURN(h.posts, graph->NewEdgeType(ns::kPosts));
+  MBQ_ASSIGN_OR_RETURN(h.retweets, graph->NewEdgeType(ns::kRetweets));
+  MBQ_ASSIGN_OR_RETURN(h.mentions, graph->NewEdgeType(ns::kMentions));
+  MBQ_ASSIGN_OR_RETURN(h.tags, graph->NewEdgeType(ns::kTags));
+  MBQ_ASSIGN_OR_RETURN(
+      h.uid, graph->NewAttribute(h.user, ns::kUid, ValueType::kInt,
+                                 AttributeKind::kUnique));
+  MBQ_ASSIGN_OR_RETURN(
+      h.screen_name, graph->NewAttribute(h.user, ns::kScreenName,
+                                         ValueType::kString,
+                                         AttributeKind::kBasic));
+  MBQ_ASSIGN_OR_RETURN(
+      h.followers_count,
+      graph->NewAttribute(h.user, ns::kFollowersCount, ValueType::kInt,
+                          AttributeKind::kIndexed));
+  MBQ_ASSIGN_OR_RETURN(
+      h.tid, graph->NewAttribute(h.tweet, ns::kTid, ValueType::kInt,
+                                 AttributeKind::kUnique));
+  MBQ_ASSIGN_OR_RETURN(
+      h.text, graph->NewAttribute(h.tweet, ns::kText, ValueType::kString,
+                                  AttributeKind::kBasic));
+  MBQ_ASSIGN_OR_RETURN(
+      h.hid, graph->NewAttribute(h.hashtag, ns::kHid, ValueType::kInt,
+                                 AttributeKind::kUnique));
+  MBQ_ASSIGN_OR_RETURN(
+      h.tag, graph->NewAttribute(h.hashtag, ns::kTag, ValueType::kString,
+                                 AttributeKind::kUnique));
+
+  std::unordered_map<int64_t, bitmapstore::Oid> user_ids;
+  std::unordered_map<int64_t, bitmapstore::Oid> tweet_ids;
+  std::unordered_map<int64_t, bitmapstore::Oid> hashtag_ids;
+  user_ids.reserve(dataset.users.size());
+  tweet_ids.reserve(dataset.tweets.size());
+
+  for (const auto& u : dataset.users) {
+    MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid id, graph->NewNode(h.user));
+    MBQ_RETURN_IF_ERROR(graph->SetAttribute(id, h.uid, Value::Int(u.uid)));
+    MBQ_RETURN_IF_ERROR(
+        graph->SetAttribute(id, h.screen_name, Value::String(u.screen_name)));
+    MBQ_RETURN_IF_ERROR(graph->SetAttribute(id, h.followers_count,
+                                            Value::Int(u.followers_count)));
+    user_ids[u.uid] = id;
+  }
+  for (const auto& t : dataset.tweets) {
+    MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid id, graph->NewNode(h.tweet));
+    MBQ_RETURN_IF_ERROR(graph->SetAttribute(id, h.tid, Value::Int(t.tid)));
+    MBQ_RETURN_IF_ERROR(
+        graph->SetAttribute(id, h.text, Value::String(t.text)));
+    tweet_ids[t.tid] = id;
+  }
+  for (const auto& ht : dataset.hashtags) {
+    MBQ_ASSIGN_OR_RETURN(bitmapstore::Oid id, graph->NewNode(h.hashtag));
+    MBQ_RETURN_IF_ERROR(graph->SetAttribute(id, h.hid, Value::Int(ht.hid)));
+    MBQ_RETURN_IF_ERROR(graph->SetAttribute(id, h.tag,
+                                            Value::String(ht.tag)));
+    hashtag_ids[ht.hid] = id;
+  }
+
+  for (const auto& [src, dst] : dataset.follows) {
+    MBQ_RETURN_IF_ERROR(
+        graph->NewEdge(h.follows, user_ids[src], user_ids[dst]).status());
+  }
+  for (const auto& t : dataset.tweets) {
+    MBQ_RETURN_IF_ERROR(
+        graph->NewEdge(h.posts, user_ids[t.poster_uid], tweet_ids[t.tid])
+            .status());
+  }
+  for (const auto& [re, orig] : dataset.retweets) {
+    MBQ_RETURN_IF_ERROR(
+        graph->NewEdge(h.retweets, tweet_ids[re], tweet_ids[orig]).status());
+  }
+  for (const auto& [tid, uid] : dataset.mentions) {
+    MBQ_RETURN_IF_ERROR(
+        graph->NewEdge(h.mentions, tweet_ids[tid], user_ids[uid]).status());
+  }
+  for (const auto& [tid, hid] : dataset.tags) {
+    MBQ_RETURN_IF_ERROR(
+        graph->NewEdge(h.tags, tweet_ids[tid], hashtag_ids[hid]).status());
+  }
+  MBQ_RETURN_IF_ERROR(graph->Flush());
+  return h;
+}
+
+nodestore::ImportSpec BuildImportSpec(bool with_retweets) {
+  nodestore::ImportSpec spec;
+  spec.nodes.push_back({CsvFiles::kUsers, ns::kUser,
+                        {ns::kUid, ns::kScreenName, ns::kFollowersCount}});
+  spec.nodes.push_back({CsvFiles::kTweets, ns::kTweet, {ns::kTid, ns::kText}});
+  spec.nodes.push_back(
+      {CsvFiles::kHashtags, ns::kHashtag, {ns::kHid, ns::kTag}});
+  spec.rels.push_back(
+      {CsvFiles::kFollows, ns::kFollows, ns::kUser, ns::kUser});
+  spec.rels.push_back({CsvFiles::kPosts, ns::kPosts, ns::kUser, ns::kTweet});
+  if (with_retweets) {
+    spec.rels.push_back(
+        {CsvFiles::kRetweets, ns::kRetweets, ns::kTweet, ns::kTweet});
+  }
+  spec.rels.push_back(
+      {CsvFiles::kMentions, ns::kMentions, ns::kTweet, ns::kUser});
+  spec.rels.push_back({CsvFiles::kTags, ns::kTags, ns::kTweet, ns::kHashtag});
+  spec.indexes.push_back({ns::kUser, ns::kUid, true});
+  spec.indexes.push_back({ns::kTweet, ns::kTid, true});
+  spec.indexes.push_back({ns::kHashtag, ns::kHid, true});
+  spec.indexes.push_back({ns::kHashtag, ns::kTag, true});
+  spec.indexes.push_back({ns::kUser, ns::kFollowersCount, false});
+  return spec;
+}
+
+std::string BuildLoadScript(bool with_retweets) {
+  std::string s;
+  s += "CREATE NODE user\n";
+  s += "CREATE NODE tweet\n";
+  s += "CREATE NODE hashtag\n";
+  s += "CREATE EDGE follows\n";
+  s += "CREATE EDGE posts\n";
+  s += "CREATE EDGE retweets\n";
+  s += "CREATE EDGE mentions\n";
+  s += "CREATE EDGE tags\n";
+  s += "ATTRIBUTE user.uid INT UNIQUE\n";
+  s += "ATTRIBUTE user.screen_name STRING BASIC\n";
+  s += "ATTRIBUTE user.followers_count INT INDEXED\n";
+  s += "ATTRIBUTE tweet.tid INT UNIQUE\n";
+  s += "ATTRIBUTE tweet.text STRING BASIC\n";
+  s += "ATTRIBUTE hashtag.hid INT UNIQUE\n";
+  s += "ATTRIBUTE hashtag.tag STRING UNIQUE\n";
+  s += "LOAD NODES \"users.csv\" INTO user COLUMNS uid, screen_name, "
+      "followers_count\n";
+  s += "LOAD NODES \"tweets.csv\" INTO tweet COLUMNS tid, text\n";
+  s += "LOAD NODES \"hashtags.csv\" INTO hashtag COLUMNS hid, tag\n";
+  s += "LOAD EDGES \"follows.csv\" INTO follows FROM user.uid TO user.uid\n";
+  s += "LOAD EDGES \"posts.csv\" INTO posts FROM user.uid TO tweet.tid\n";
+  if (with_retweets) {
+    s += "LOAD EDGES \"retweets.csv\" INTO retweets FROM tweet.tid TO "
+        "tweet.tid\n";
+  }
+  s += "LOAD EDGES \"mentions.csv\" INTO mentions FROM tweet.tid TO "
+      "user.uid\n";
+  s += "LOAD EDGES \"tags.csv\" INTO tags FROM tweet.tid TO hashtag.hid\n";
+  return s;
+}
+
+}  // namespace mbq::twitter

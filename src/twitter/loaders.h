@@ -1,0 +1,53 @@
+#ifndef MBQ_TWITTER_LOADERS_H_
+#define MBQ_TWITTER_LOADERS_H_
+
+#include <string>
+
+#include "bitmapstore/graph.h"
+#include "nodestore/batch_importer.h"
+#include "nodestore/graph_db.h"
+#include "twitter/dataset.h"
+
+namespace mbq::twitter {
+
+/// Resolved schema handles after loading the record-store engine.
+struct NodestoreHandles {
+  nodestore::LabelId user, tweet, hashtag;
+  nodestore::RelTypeId follows, posts, retweets, mentions, tags;
+  nodestore::PropKeyId uid, screen_name, followers_count, tid, text, hid, tag;
+};
+
+/// Resolved schema handles after loading the bitmap-store engine.
+struct BitmapHandles {
+  bitmapstore::TypeId user, tweet, hashtag;
+  bitmapstore::TypeId follows, posts, retweets, mentions, tags;
+  bitmapstore::AttrId uid, screen_name, followers_count, tid, text, hid, tag;
+};
+
+/// Loads the dataset straight into a GraphDb (no CSV round trip) and
+/// builds the paper's indexes (unique ids per node type, plus
+/// followers_count and tag). For import-timing experiments use
+/// BatchImporter with BuildImportSpec instead.
+Result<NodestoreHandles> LoadIntoNodestore(const Dataset& dataset,
+                                           nodestore::GraphDb* db);
+
+/// Resolves handles on a GraphDb that is already loaded with the schema.
+Result<NodestoreHandles> ResolveNodestoreHandles(nodestore::GraphDb* db);
+
+/// Loads the dataset straight into a bitmap-store Graph with the same
+/// schema and attribute kinds.
+Result<BitmapHandles> LoadIntoBitmapstore(const Dataset& dataset,
+                                          bitmapstore::Graph* graph);
+
+/// Resolves handles on a bitmap-store Graph already carrying the schema.
+Result<BitmapHandles> ResolveBitmapHandles(const bitmapstore::Graph& graph);
+
+/// The `neo4j-import`-style spec over the CSVs written by ExportCsv.
+nodestore::ImportSpec BuildImportSpec(bool with_retweets);
+
+/// The Sparksee-style load script over the same CSVs.
+std::string BuildLoadScript(bool with_retweets);
+
+}  // namespace mbq::twitter
+
+#endif  // MBQ_TWITTER_LOADERS_H_

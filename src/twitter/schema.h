@@ -1,0 +1,34 @@
+#ifndef MBQ_TWITTER_SCHEMA_H_
+#define MBQ_TWITTER_SCHEMA_H_
+
+namespace mbq::twitter {
+
+/// Names of the paper's schema (Figure 1): three node types and five edge
+/// types. Both engines are loaded with exactly this schema.
+namespace schema {
+
+inline constexpr char kUser[] = "user";
+inline constexpr char kTweet[] = "tweet";
+inline constexpr char kHashtag[] = "hashtag";
+
+inline constexpr char kFollows[] = "follows";    // user -> user
+inline constexpr char kPosts[] = "posts";        // user -> tweet
+inline constexpr char kRetweets[] = "retweets";  // tweet -> original tweet
+inline constexpr char kMentions[] = "mentions";  // tweet -> user
+inline constexpr char kTags[] = "tags";          // tweet -> hashtag
+
+// user attributes
+inline constexpr char kUid[] = "uid";
+inline constexpr char kScreenName[] = "screen_name";
+inline constexpr char kFollowersCount[] = "followers_count";
+// tweet attributes
+inline constexpr char kTid[] = "tid";
+inline constexpr char kText[] = "text";
+// hashtag attributes
+inline constexpr char kHid[] = "hid";
+inline constexpr char kTag[] = "tag";
+
+}  // namespace schema
+}  // namespace mbq::twitter
+
+#endif  // MBQ_TWITTER_SCHEMA_H_

@@ -1,0 +1,141 @@
+#include "twitter/stream.h"
+
+#include <algorithm>
+
+namespace mbq::twitter {
+
+UpdateStream::UpdateStream(const Dataset& base, StreamMix mix, uint64_t seed)
+    : mix_(mix),
+      rng_(seed),
+      user_popularity_(std::max<uint64_t>(1, base.users.size()), 0.9),
+      next_uid_(static_cast<int64_t>(base.users.size())),
+      next_tid_(static_cast<int64_t>(base.tweets.size())),
+      num_hashtags_(static_cast<int64_t>(base.hashtags.size())) {
+  // Track every existing follow edge (no double-follows), and seed the
+  // unfollow pool with a sample of them.
+  for (const auto& [src, dst] : base.follows) {
+    follow_keys_.insert((static_cast<uint64_t>(src) << 32) |
+                        static_cast<uint32_t>(dst));
+  }
+  size_t sample = std::min<size_t>(base.follows.size(), 50000);
+  for (size_t i = 0; i < sample && !base.follows.empty(); ++i) {
+    live_follows_.push_back(
+        base.follows[rng_.NextBounded(base.follows.size())]);
+  }
+  std::sort(live_follows_.begin(), live_follows_.end());
+  live_follows_.erase(
+      std::unique(live_follows_.begin(), live_follows_.end()),
+      live_follows_.end());
+}
+
+int64_t UpdateStream::PickUser() {
+  // Popularity-skewed among the founding population, uniform among the
+  // newcomers the stream itself created.
+  if (next_uid_ > static_cast<int64_t>(user_popularity_.n()) &&
+      rng_.NextBool(0.3)) {
+    return rng_.NextInRange(static_cast<int64_t>(user_popularity_.n()),
+                            next_uid_ - 1);
+  }
+  return static_cast<int64_t>(user_popularity_.Sample(rng_));
+}
+
+int64_t UpdateStream::PickTweet() {
+  // Recency-biased: microblog interactions target fresh content.
+  int64_t window = std::min<int64_t>(next_tid_, 5000);
+  return next_tid_ - 1 - rng_.NextInRange(0, window - 1);
+}
+
+StreamEvent UpdateStream::Next() {
+  StreamEvent event;
+  double total = mix_.new_user + mix_.new_follow + mix_.unfollow +
+                 mix_.new_tweet + mix_.new_mention + mix_.new_tag +
+                 mix_.new_retweet;
+  double roll = rng_.NextDouble() * total;
+
+  auto take = [&roll](double weight) {
+    if (roll < weight) return true;
+    roll -= weight;
+    return false;
+  };
+
+  // Degenerate stream states fall through to safe event kinds.
+  bool have_tweets = next_tid_ > 0;
+  bool have_live_follows = !live_follows_.empty();
+
+  if (take(mix_.new_user)) {
+    event.kind = StreamEvent::Kind::kNewUser;
+    event.uid = next_uid_++;
+    return event;
+  }
+  if (take(mix_.new_follow)) {
+    // Retry a bounded number of times to find a fresh (src, dst) pair;
+    // degrade to a tweet if the neighbourhood is saturated.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      int64_t src = PickUser();
+      int64_t dst = PickUser();
+      if (src == dst) continue;
+      uint64_t key = (static_cast<uint64_t>(src) << 32) |
+                     static_cast<uint32_t>(dst);
+      if (!follow_keys_.insert(key).second) continue;
+      event.kind = StreamEvent::Kind::kNewFollow;
+      event.src_uid = src;
+      event.dst_uid = dst;
+      live_follows_.push_back({src, dst});
+      return event;
+    }
+    event.kind = StreamEvent::Kind::kNewTweet;
+    event.uid = PickUser();
+    event.tid = next_tid_++;
+    event.text = "live tweet " + std::to_string(event.tid);
+    return event;
+  }
+  if (take(mix_.unfollow) && have_live_follows) {
+    event.kind = StreamEvent::Kind::kUnfollow;
+    size_t pick = rng_.NextBounded(live_follows_.size());
+    event.src_uid = live_follows_[pick].first;
+    event.dst_uid = live_follows_[pick].second;
+    live_follows_[pick] = live_follows_.back();
+    live_follows_.pop_back();
+    follow_keys_.erase((static_cast<uint64_t>(event.src_uid) << 32) |
+                       static_cast<uint32_t>(event.dst_uid));
+    return event;
+  }
+  if (take(mix_.new_tweet) || !have_tweets) {
+    event.kind = StreamEvent::Kind::kNewTweet;
+    event.uid = PickUser();
+    event.tid = next_tid_++;
+    event.text = "live tweet " + std::to_string(event.tid);
+    return event;
+  }
+  if (take(mix_.new_mention)) {
+    event.kind = StreamEvent::Kind::kNewMention;
+    event.tid = PickTweet();
+    event.dst_uid = PickUser();
+    return event;
+  }
+  if (take(mix_.new_tag)) {
+    event.kind = StreamEvent::Kind::kNewTag;
+    event.tid = PickTweet();
+    event.text = "stream_tag" +
+                 std::to_string(rng_.NextBounded(
+                     std::max<int64_t>(8, num_hashtags_)));
+    return event;
+  }
+  // kNewRetweet (also the fallthrough tail of the distribution).
+  event.kind = StreamEvent::Kind::kNewRetweet;
+  event.tid = next_tid_++;
+  event.orig_tid = PickTweet() % std::max<int64_t>(1, event.tid);
+  if (event.orig_tid < 0) event.orig_tid = 0;
+  event.uid = PickUser();
+  event.text = "rt " + std::to_string(event.tid);
+  return event;
+}
+
+std::vector<StreamEvent> UpdateStream::Take(size_t n) {
+  std::vector<StreamEvent> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) events.push_back(Next());
+  return events;
+}
+
+}  // namespace mbq::twitter

@@ -1,0 +1,86 @@
+#ifndef MBQ_TWITTER_STREAM_H_
+#define MBQ_TWITTER_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "twitter/dataset.h"
+#include "util/rng.h"
+
+namespace mbq::twitter {
+
+/// A single microblog event. The paper's future work asks to "simulate
+/// the true real-time nature of microblogs" by generating the graph
+/// on-the-fly with new incoming users, tweets and follow relationships;
+/// this is that event stream.
+struct StreamEvent {
+  enum class Kind : uint8_t {
+    kNewUser,     // uid
+    kNewFollow,   // src_uid -> dst_uid
+    kUnfollow,    // src_uid -x- dst_uid (an existing follow)
+    kNewTweet,    // tid by poster_uid, with text
+    kNewMention,  // tid mentions dst_uid
+    kNewTag,      // tid tagged with hashtag text
+    kNewRetweet,  // tid retweets orig_tid
+  };
+
+  Kind kind;
+  int64_t uid = -1;       // kNewUser / poster of kNewTweet
+  int64_t src_uid = -1;   // kNewFollow / kUnfollow
+  int64_t dst_uid = -1;   // kNewFollow / kUnfollow / kNewMention target
+  int64_t tid = -1;       // tweet id for tweet-scoped events
+  int64_t orig_tid = -1;  // kNewRetweet
+  std::string text;       // tweet text / hashtag text
+};
+
+/// Relative frequency of each event kind per generated event.
+struct StreamMix {
+  double new_user = 0.02;
+  double new_follow = 0.45;
+  double unfollow = 0.03;
+  double new_tweet = 0.30;
+  double new_mention = 0.12;
+  double new_tag = 0.06;
+  double new_retweet = 0.02;
+};
+
+/// Generates a deterministic, referentially consistent update stream on
+/// top of an existing dataset: every follow/mention references a user
+/// that exists at that point of the stream, every tweet-scoped event a
+/// tweet that exists, and every unfollow an edge that is present.
+class UpdateStream {
+ public:
+  /// Events extend `base` (its users/tweets/hashtags seed the id space).
+  UpdateStream(const Dataset& base, StreamMix mix, uint64_t seed);
+
+  /// Generates the next event.
+  StreamEvent Next();
+
+  /// Convenience: a batch of `n` events.
+  std::vector<StreamEvent> Take(size_t n);
+
+  int64_t num_users() const { return next_uid_; }
+  int64_t num_tweets() const { return next_tid_; }
+
+ private:
+  int64_t PickUser();
+  int64_t PickTweet();
+
+  StreamMix mix_;
+  Rng rng_;
+  ZipfSampler user_popularity_;
+  int64_t next_uid_;
+  int64_t next_tid_;
+  int64_t num_hashtags_;
+  /// Live follow edges eligible for unfollow (sampled reservoir).
+  std::vector<std::pair<int64_t, int64_t>> live_follows_;
+  /// Every follow edge in existence — a user cannot follow twice, so
+  /// kNewFollow events never duplicate an existing edge.
+  std::unordered_set<uint64_t> follow_keys_;
+};
+
+}  // namespace mbq::twitter
+
+#endif  // MBQ_TWITTER_STREAM_H_

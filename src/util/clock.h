@@ -1,0 +1,67 @@
+#ifndef MBQ_UTIL_CLOCK_H_
+#define MBQ_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mbq {
+
+/// Time source abstraction. The storage substrate charges simulated I/O
+/// latency to a VirtualClock so that cache-behaviour experiments are
+/// deterministic and laptop-scale, while the workload driver measures real
+/// wall time with a WallClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds since an arbitrary epoch.
+  virtual uint64_t NowNanos() const = 0;
+
+  /// Advances the clock by `nanos`. Wall clocks sleep-free no-op this in
+  /// favour of real time passing; virtual clocks add it to their counter.
+  virtual void AdvanceNanos(uint64_t nanos) = 0;
+};
+
+/// Reads the steady (monotonic) system clock; AdvanceNanos is a no-op.
+class WallClock : public Clock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  void AdvanceNanos(uint64_t) override {}
+};
+
+/// A counter that only moves when explicitly advanced. Used by the
+/// simulated disk to model HDD latency deterministically.
+class VirtualClock : public Clock {
+ public:
+  uint64_t NowNanos() const override { return now_nanos_; }
+  void AdvanceNanos(uint64_t nanos) override { now_nanos_ += nanos; }
+
+ private:
+  uint64_t now_nanos_ = 0;
+};
+
+/// Measures elapsed time against a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock)
+      : clock_(clock), start_nanos_(clock.NowNanos()) {}
+
+  void Restart() { start_nanos_ = clock_.NowNanos(); }
+  uint64_t ElapsedNanos() const { return clock_.NowNanos() - start_nanos_; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  const Clock& clock_;
+  uint64_t start_nanos_;
+};
+
+}  // namespace mbq
+
+#endif  // MBQ_UTIL_CLOCK_H_

@@ -1,0 +1,86 @@
+#ifndef MBQ_UTIL_RESULT_H_
+#define MBQ_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace mbq {
+
+/// Either a value of type T or a non-OK Status. Modeled on arrow::Result.
+///
+/// A Result constructed from an OK status is a programming error and is
+/// converted to an Internal error so that callers never observe an
+/// "errorless failure".
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK if a value is held.
+  Status status() const { return ok() ? Status::OK() : status_; }
+
+  /// The held value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `alternative` if this result failed.
+  T value_or(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace mbq
+
+/// Evaluates an expression returning Result<T>; assigns its value to `lhs`
+/// on success, propagates the Status otherwise.
+#define MBQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define MBQ_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define MBQ_ASSIGN_OR_RETURN_NAME(x, y) MBQ_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define MBQ_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MBQ_ASSIGN_OR_RETURN_IMPL(             \
+      MBQ_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+#endif  // MBQ_UTIL_RESULT_H_

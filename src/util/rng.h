@@ -1,0 +1,79 @@
+#ifndef MBQ_UTIL_RNG_H_
+#define MBQ_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mbq {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). All randomized behaviour in
+/// the library (dataset generation, workload parameter sampling, simulated
+/// disk jitter) flows through this type so runs are reproducible from a
+/// single seed.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical streams.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples from a Zipf(s, n) distribution over ranks {0, ..., n-1} using
+/// the rejection-inversion method of Hörmann & Derflinger, O(1) per draw.
+/// Rank 0 is the most probable element.
+///
+/// Twitter follower counts, hashtag popularity and mention frequency are
+/// all heavy-tailed; the paper's dataset (Li et al. KDD'12) exhibits the
+/// same skew, which is what drives the query-cost spread in Figure 4.
+class ZipfSampler {
+ public:
+  /// `n` elements with exponent `s` (> 0). s near 1 matches social graphs.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace mbq
+
+#endif  // MBQ_UTIL_RNG_H_

@@ -1,0 +1,97 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace mbq {
+
+std::vector<std::string_view> SplitString(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view TrimString(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  int64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc() || ptr != last || text.empty()) {
+    return Status::InvalidArgument("not an integer: '" + std::string(text) +
+                                   "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  // std::from_chars for double is unreliable across libstdc++ versions for
+  // all formats; strtod on a bounded copy is simpler and correct.
+  if (text.empty()) return Status::InvalidArgument("empty double");
+  std::string buf(text);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a double: '" + buf + "'");
+  }
+  return value;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string CsvEscape(std::string_view field, char sep) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace mbq

@@ -1,0 +1,40 @@
+#ifndef MBQ_UTIL_STRING_UTIL_H_
+#define MBQ_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mbq {
+
+/// Splits `text` on `sep`, keeping empty fields. "a,,b" -> {"a", "", "b"}.
+std::vector<std::string_view> SplitString(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimString(std::string_view text);
+
+/// Parses a base-10 signed integer occupying the whole of `text`.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Parses a base-10 double occupying the whole of `text`.
+Result<double> ParseDouble(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string ToLowerAscii(std::string_view text);
+
+/// Joins `parts` with `sep` between elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Escapes a CSV field (quotes it if it contains separator/quote/newline).
+std::string CsvEscape(std::string_view field, char sep = ',');
+
+}  // namespace mbq
+
+#endif  // MBQ_UTIL_STRING_UTIL_H_

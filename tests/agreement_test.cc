@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bitmap_engine.h"
+#include "core/nodestore_engine.h"
+#include "core/workload.h"
+#include "twitter/loaders.h"
+
+namespace mbq::core {
+namespace {
+
+using twitter::Dataset;
+using twitter::DatasetSpec;
+
+/// Property-style sweep: for a spread of dataset shapes and seeds, the
+/// two engines — different storage layouts, different query surfaces —
+/// must return identical results for the whole Table 2 workload. Any
+/// divergence in chain maintenance, bitmap algebra, planner logic or
+/// expression evaluation shows up here.
+struct AgreementCase {
+  uint64_t seed;
+  uint64_t users;
+  double follows_per_user;
+  double mentions_per_tweet;
+  double active_fraction;
+  bool partition_nodestore;
+};
+
+class AgreementSweepTest : public ::testing::TestWithParam<AgreementCase> {
+ protected:
+  void SetUp() override {
+    const AgreementCase& c = GetParam();
+    DatasetSpec spec;
+    spec.num_users = c.users;
+    spec.follows_per_user = c.follows_per_user;
+    spec.mentions_per_tweet = c.mentions_per_tweet;
+    spec.active_user_fraction = c.active_fraction;
+    spec.tweets_per_active_user = 5;
+    spec.retweet_fraction = 0.1;
+    spec.seed = c.seed;
+    dataset_ = twitter::GenerateDataset(spec);
+
+    nodestore::GraphDbOptions ndb_options;
+    ndb_options.disk_profile = storage::DiskProfile::Instant();
+    ndb_options.wal_enabled = false;
+    ndb_options.semantic_partitioning = c.partition_nodestore;
+    db_ = std::make_unique<nodestore::GraphDb>(ndb_options);
+    auto nh = twitter::LoadIntoNodestore(dataset_, db_.get());
+    ASSERT_TRUE(nh.ok()) << nh.status().ToString();
+
+    bitmapstore::GraphOptions bg_options;
+    bg_options.disk_profile = storage::DiskProfile::Instant();
+    graph_ = std::make_unique<bitmapstore::Graph>(bg_options);
+    auto bh = twitter::LoadIntoBitmapstore(dataset_, graph_.get());
+    ASSERT_TRUE(bh.ok()) << bh.status().ToString();
+
+    ns_ = std::make_unique<NodestoreEngine>(db_.get());
+    bm_ = std::make_unique<BitmapEngine>(graph_.get(), *bh);
+  }
+
+  void ExpectSame(Result<ValueRows> a, Result<ValueRows> b,
+                  const std::string& what) {
+    ASSERT_TRUE(a.ok()) << what << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << what << ": " << b.status().ToString();
+    SortRows(&*a);
+    SortRows(&*b);
+    EXPECT_EQ(*a, *b) << what;
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<nodestore::GraphDb> db_;
+  std::unique_ptr<bitmapstore::Graph> graph_;
+  std::unique_ptr<NodestoreEngine> ns_;
+  std::unique_ptr<BitmapEngine> bm_;
+};
+
+TEST_P(AgreementSweepTest, WholeWorkloadAgrees) {
+  auto by_mentions = UsersByMentionCount(dataset_);
+  int64_t hot = by_mentions.empty() ? 0 : by_mentions.back().second;
+  auto tags = HashtagsByUse(dataset_);
+
+  ExpectSame(ns_->SelectUsersByFollowerCount(10),
+             bm_->SelectUsersByFollowerCount(10), "Q1.1");
+  for (int64_t uid : {int64_t{0}, static_cast<int64_t>(dataset_.users.size()) / 2}) {
+    ExpectSame(ns_->FolloweesOf(uid), bm_->FolloweesOf(uid), "Q2.1");
+    ExpectSame(ns_->TweetsOfFollowees(uid), bm_->TweetsOfFollowees(uid),
+               "Q2.2");
+    ExpectSame(ns_->HashtagsUsedByFollowees(uid),
+               bm_->HashtagsUsedByFollowees(uid), "Q2.3");
+    ExpectSame(ns_->RecommendFolloweesOfFollowees(uid, 1 << 30),
+               bm_->RecommendFolloweesOfFollowees(uid, 1 << 30), "Q4.1");
+    ExpectSame(ns_->RecommendFollowersOfFollowees(uid, 1 << 30),
+               bm_->RecommendFollowersOfFollowees(uid, 1 << 30), "Q4.2");
+  }
+  ExpectSame(ns_->TopCoMentionedUsers(hot, 1 << 30),
+             bm_->TopCoMentionedUsers(hot, 1 << 30), "Q3.1");
+  if (!tags.empty() && tags.back().first > 0) {
+    ExpectSame(ns_->TopCoOccurringHashtags(tags.back().second, 1 << 30),
+               bm_->TopCoOccurringHashtags(tags.back().second, 1 << 30),
+               "Q3.2");
+  }
+  ExpectSame(ns_->CurrentInfluence(hot, 1 << 30),
+             bm_->CurrentInfluence(hot, 1 << 30), "Q5.1");
+  ExpectSame(ns_->PotentialInfluence(hot, 1 << 30),
+             bm_->PotentialInfluence(hot, 1 << 30), "Q5.2");
+
+  Rng rng(GetParam().seed ^ 0xABCD);
+  for (int i = 0; i < 10; ++i) {
+    int64_t a = rng.NextBounded(dataset_.users.size());
+    int64_t b = rng.NextBounded(dataset_.users.size());
+    auto la = ns_->ShortestPathLength(a, b, 3);
+    auto lb = bm_->ShortestPathLength(a, b, 3);
+    ASSERT_TRUE(la.ok() && lb.ok());
+    EXPECT_EQ(*la, *lb) << "Q6.1 " << a << "->" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AgreementSweepTest,
+    ::testing::Values(
+        // Baseline shape, shared relationship store.
+        AgreementCase{101, 400, 8, 1.0, 0.3, false},
+        // Same data on a semantically partitioned record store.
+        AgreementCase{101, 400, 8, 1.0, 0.3, true},
+        // Sparse follows, mention-heavy.
+        AgreementCase{202, 500, 2, 2.5, 0.5, false},
+        // Dense follows, few tweets.
+        AgreementCase{303, 300, 25, 0.5, 0.1, false},
+        // Tiny graph (edge cases: empty neighborhoods).
+        AgreementCase{404, 50, 3, 1.0, 0.4, true}));
+
+}  // namespace
+}  // namespace mbq::core

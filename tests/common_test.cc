@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "common/csv.h"
+#include "common/value.h"
+
+namespace mbq::common {
+namespace {
+
+// ------------------------------------------------------------------- Value
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int(3).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+}
+
+TEST(ValueTest, NumbersCompareAcrossIntAndDouble) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.0).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CrossTypeOrderIsTotal) {
+  // null < bool < number < string
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(99).Compare(Value::String("")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-4).ToString(), "-4");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, ToNumber) {
+  EXPECT_DOUBLE_EQ(*Value::Int(3).ToNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(2.5).ToNumber(), 2.5);
+  EXPECT_FALSE(Value::String("3").ToNumber().ok());
+  EXPECT_FALSE(Value::Null().ToNumber().ok());
+}
+
+TEST(ValueTest, StorageBytes) {
+  EXPECT_EQ(Value::Int(1).StorageBytes(), 8u);
+  EXPECT_EQ(Value::String("abcd").StorageBytes(), 8u);  // 4 + length
+}
+
+// --------------------------------------------------------------------- CSV
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mbq_csv_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, ReadsSimpleRows) {
+  WriteFile("a.csv", "x,y\n1,2\n3,4\n");
+  auto reader = CsvReader::Open(Path("a.csv"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->header(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(*reader->ColumnIndex("y"), 1u);
+  EXPECT_FALSE(reader->ColumnIndex("z").ok());
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader->NextRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2"}));
+  ASSERT_TRUE(reader->NextRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"3", "4"}));
+  EXPECT_FALSE(reader->NextRow(&row));
+  EXPECT_TRUE(reader->status().ok());
+  EXPECT_EQ(reader->rows_read(), 2u);
+}
+
+TEST_F(CsvTest, HandlesQuotedFields) {
+  WriteFile("q.csv",
+            "id,text\n1,\"hello, world\"\n2,\"say \"\"hi\"\"\"\n3,\"a\nb\"\n");
+  auto reader = CsvReader::Open(Path("q.csv"));
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader->NextRow(&row));
+  EXPECT_EQ(row[1], "hello, world");
+  ASSERT_TRUE(reader->NextRow(&row));
+  EXPECT_EQ(row[1], "say \"hi\"");
+  ASSERT_TRUE(reader->NextRow(&row));
+  EXPECT_EQ(row[1], "a\nb");
+}
+
+TEST_F(CsvTest, HandlesCrLf) {
+  WriteFile("crlf.csv", "a,b\r\n1,2\r\n");
+  auto reader = CsvReader::Open(Path("crlf.csv"));
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader->NextRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(CsvTest, RejectsWidthMismatch) {
+  WriteFile("bad.csv", "a,b\n1,2,3\n");
+  auto reader = CsvReader::Open(Path("bad.csv"));
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> row;
+  EXPECT_FALSE(reader->NextRow(&row));
+  EXPECT_FALSE(reader->status().ok());
+}
+
+TEST_F(CsvTest, MissingFileFails) {
+  EXPECT_TRUE(CsvReader::Open(Path("nope.csv")).status().IsIoError());
+}
+
+TEST_F(CsvTest, WriterRoundTrip) {
+  auto writer = CsvWriter::Create(Path("w.csv"), {"id", "text"});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->WriteRow({"1", "plain"}).ok());
+  ASSERT_TRUE(writer->WriteRow({"2", "with,comma"}).ok());
+  ASSERT_TRUE(writer->WriteRow({"3", "with \"quotes\""}).ok());
+  EXPECT_FALSE(writer->WriteRow({"too", "many", "fields"}).ok());
+  ASSERT_TRUE(writer->Flush().ok());
+  EXPECT_EQ(writer->rows_written(), 3u);
+
+  auto reader = CsvReader::Open(Path("w.csv"));
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader->NextRow(&row));
+  EXPECT_EQ(row[1], "plain");
+  ASSERT_TRUE(reader->NextRow(&row));
+  EXPECT_EQ(row[1], "with,comma");
+  ASSERT_TRUE(reader->NextRow(&row));
+  EXPECT_EQ(row[1], "with \"quotes\"");
+}
+
+}  // namespace
+}  // namespace mbq::common
+
+#include "common/value_codec.h"
+
+namespace mbq::common {
+namespace {
+
+TEST(ValueCodecTest, RoundTripsAllTypes) {
+  std::vector<Value> values{
+      Value::Null(),         Value::Bool(true),
+      Value::Bool(false),    Value::Int(-123456789),
+      Value::Int(0),         Value::Double(3.25),
+      Value::String(""),     Value::String("hello world"),
+      Value::String(std::string(10000, 'z')),
+  };
+  std::vector<uint8_t> buf;
+  for (const Value& v : values) EncodeValue(v, &buf);
+  size_t offset = 0;
+  for (const Value& expected : values) {
+    auto decoded = DecodeValue(buf, &offset);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->Compare(expected), 0) << expected.ToString();
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(ValueCodecTest, RejectsTruncation) {
+  std::vector<uint8_t> buf;
+  EncodeValue(Value::String("hello"), &buf);
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    std::vector<uint8_t> trunc(buf.begin(), buf.end() - cut);
+    size_t offset = 0;
+    EXPECT_FALSE(DecodeValue(trunc, &offset).ok()) << cut;
+  }
+}
+
+TEST(ValueCodecTest, RejectsBadTag) {
+  std::vector<uint8_t> buf{0xEE};
+  size_t offset = 0;
+  EXPECT_TRUE(DecodeValue(buf, &offset).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace mbq::common

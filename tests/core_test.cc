@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/workload.h"
+#include "twitter/dataset.h"
+#include "util/clock.h"
+
+namespace mbq::core {
+namespace {
+
+using common::Value;
+
+// --------------------------------------------------------------- TopN
+
+TEST(TopNCountsTest, OrdersByCountThenKey) {
+  std::vector<std::pair<Value, int64_t>> counts{
+      {Value::Int(5), 2},
+      {Value::Int(1), 7},
+      {Value::Int(9), 2},
+      {Value::Int(3), 4},
+  };
+  ValueRows rows = TopNCounts(counts, 10);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0].AsInt(), 1);  // count 7
+  EXPECT_EQ(rows[1][0].AsInt(), 3);  // count 4
+  EXPECT_EQ(rows[2][0].AsInt(), 5);  // count 2, tie broken by key
+  EXPECT_EQ(rows[3][0].AsInt(), 9);
+  EXPECT_EQ(rows[0][1].AsInt(), 7);
+}
+
+TEST(TopNCountsTest, TruncatesToN) {
+  std::vector<std::pair<Value, int64_t>> counts;
+  for (int i = 0; i < 20; ++i) counts.emplace_back(Value::Int(i), i);
+  ValueRows rows = TopNCounts(counts, 3);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][1].AsInt(), 19);
+  EXPECT_EQ(rows[2][1].AsInt(), 17);
+}
+
+TEST(TopNCountsTest, HandlesEmptyAndZeroN) {
+  EXPECT_TRUE(TopNCounts({}, 5).empty());
+  std::vector<std::pair<Value, int64_t>> counts{{Value::Int(1), 1}};
+  EXPECT_TRUE(TopNCounts(counts, 0).empty());
+}
+
+TEST(SortRowsTest, LexicographicOnValues) {
+  ValueRows rows{
+      {Value::Int(2), Value::String("b")},
+      {Value::Int(1), Value::String("z")},
+      {Value::Int(2), Value::String("a")},
+  };
+  SortRows(&rows);
+  EXPECT_EQ(rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rows[1][1].AsString(), "a");
+  EXPECT_EQ(rows[2][1].AsString(), "b");
+}
+
+// ----------------------------------------------------------- MeasureQuery
+
+TEST(MeasureQueryTest, CountsRunsAndRows) {
+  int calls = 0;
+  auto timing = MeasureQuery(
+      [&]() -> Result<uint64_t> {
+        ++calls;
+        return 42;
+      },
+      /*warmup=*/2, /*runs=*/5, nullptr);
+  ASSERT_TRUE(timing.ok());
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(timing->rows, 42u);
+  EXPECT_GE(timing->max_millis, timing->min_millis);
+  EXPECT_GE(timing->avg_millis, 0.0);
+}
+
+TEST(MeasureQueryTest, IncludesSimulatedIoTime) {
+  VirtualClock clock;
+  auto timing = MeasureQuery(
+      [&]() -> Result<uint64_t> {
+        clock.AdvanceNanos(5'000'000);  // 5 ms of device time per run
+        return 1;
+      },
+      0, 4, [&] { return clock.NowNanos(); });
+  ASSERT_TRUE(timing.ok());
+  EXPECT_GE(timing->avg_millis, 5.0);
+}
+
+TEST(MeasureQueryTest, PropagatesErrors) {
+  auto timing = MeasureQuery(
+      []() -> Result<uint64_t> { return Status::Aborted("boom"); }, 1, 3,
+      nullptr);
+  EXPECT_FALSE(timing.ok());
+  EXPECT_TRUE(timing.status().IsAborted());
+}
+
+// ------------------------------------------------------ Parameter pickers
+
+class WorkloadPickersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    twitter::DatasetSpec spec;
+    spec.num_users = 400;
+    spec.seed = 23;
+    dataset_ = twitter::GenerateDataset(spec);
+  }
+  twitter::Dataset dataset_;
+};
+
+TEST_F(WorkloadPickersTest, MentionCountsMatchGroundTruth) {
+  auto by_mentions = UsersByMentionCount(dataset_);
+  ASSERT_FALSE(by_mentions.empty());
+  // Sorted ascending by metric.
+  for (size_t i = 1; i < by_mentions.size(); ++i) {
+    EXPECT_LE(by_mentions[i - 1].first, by_mentions[i].first);
+  }
+  // Every count agrees with a direct recount.
+  int64_t probe_uid = by_mentions.back().second;
+  int64_t expected = 0;
+  for (const auto& [tid, uid] : dataset_.mentions) {
+    if (uid == probe_uid) ++expected;
+  }
+  EXPECT_EQ(by_mentions.back().first, expected);
+}
+
+TEST_F(WorkloadPickersTest, FollowerCountsMatchDatasetField) {
+  auto by_followers = UsersByFollowerCount(dataset_);
+  EXPECT_EQ(by_followers.size(), dataset_.users.size());
+  EXPECT_LE(by_followers.front().first, by_followers.back().first);
+}
+
+TEST_F(WorkloadPickersTest, HashtagUseCoversAllTags) {
+  auto tags = HashtagsByUse(dataset_);
+  EXPECT_EQ(tags.size(), dataset_.hashtags.size());
+  uint64_t total = 0;
+  for (const auto& [count, tag] : tags) total += count;
+  EXPECT_EQ(total, dataset_.tags.size());
+}
+
+TEST_F(WorkloadPickersTest, PickUsersInBinsRespectsRanges) {
+  auto by_followees = UsersByFolloweeCount(dataset_);
+  Rng rng(1);
+  auto bins = PickUsersInBins(by_followees, {{0, 5}, {5, 50}, {50, 100000}},
+                              3, rng);
+  ASSERT_EQ(bins.size(), 3u);
+  for (size_t b = 0; b < bins.size(); ++b) {
+    EXPECT_LE(bins[b].size(), 3u);
+    for (int64_t uid : bins[b]) {
+      int64_t metric = -1;
+      for (const auto& [m, id] : by_followees) {
+        if (id == uid) metric = m;
+      }
+      ASSERT_GE(metric, 0);
+      int64_t lo = b == 0 ? 0 : (b == 1 ? 5 : 50);
+      int64_t hi = b == 0 ? 5 : (b == 1 ? 50 : 100000);
+      EXPECT_GE(metric, lo);
+      EXPECT_LT(metric, hi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbq::core

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/updates.h"
+#include "core/bitmap_engine.h"
+#include "core/nodestore_engine.h"
+#include "nodestore/graph_db.h"
+#include "twitter/loaders.h"
+#include "twitter/stream.h"
+
+namespace mbq {
+namespace {
+
+using common::Value;
+using nodestore::Direction;
+using nodestore::GraphDb;
+using nodestore::GraphDbOptions;
+using nodestore::NodeId;
+
+GraphDbOptions PartitionedOptions() {
+  GraphDbOptions options;
+  options.disk_profile = storage::DiskProfile::Instant();
+  options.wal_enabled = false;
+  options.semantic_partitioning = true;
+  return options;
+}
+
+// ------------------------------------- Semantic partitioning (nodestore)
+
+class PartitionedGraphDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<GraphDb>(PartitionedOptions());
+    user_ = *db_->Label("user");
+    follows_ = *db_->RelType("follows");
+    posts_ = *db_->RelType("posts");
+    uid_ = db_->PropKey("uid");
+    for (int i = 0; i < 5; ++i) {
+      NodeId n = *db_->CreateNode(user_);
+      EXPECT_TRUE(db_->SetNodeProperty(n, uid_, Value::Int(i)).ok());
+      nodes_.push_back(n);
+    }
+  }
+
+  std::unique_ptr<GraphDb> db_;
+  nodestore::LabelId user_;
+  nodestore::RelTypeId follows_, posts_;
+  nodestore::PropKeyId uid_;
+  std::vector<NodeId> nodes_;
+};
+
+TEST_F(PartitionedGraphDbTest, TypedChainsAreSeparate) {
+  ASSERT_TRUE(db_->CreateRelationship(follows_, nodes_[0], nodes_[1]).ok());
+  ASSERT_TRUE(db_->CreateRelationship(posts_, nodes_[0], nodes_[2]).ok());
+  ASSERT_TRUE(db_->CreateRelationship(follows_, nodes_[0], nodes_[3]).ok());
+  EXPECT_EQ(*db_->Degree(nodes_[0], Direction::kOutgoing, follows_), 2u);
+  EXPECT_EQ(*db_->Degree(nodes_[0], Direction::kOutgoing, posts_), 1u);
+  EXPECT_EQ(*db_->Degree(nodes_[0], Direction::kOutgoing, std::nullopt), 3u);
+}
+
+TEST_F(PartitionedGraphDbTest, TypedWalkSkipsOtherTypesRecords) {
+  // A hub with many posts and two follows: walking follows must not read
+  // the posts records.
+  for (int i = 1; i < 5; ++i) {
+    ASSERT_TRUE(db_->CreateRelationship(posts_, nodes_[0], nodes_[i]).ok());
+    ASSERT_TRUE(db_->CreateRelationship(posts_, nodes_[0], nodes_[i]).ok());
+  }
+  ASSERT_TRUE(db_->CreateRelationship(follows_, nodes_[0], nodes_[1]).ok());
+  db_->ResetDbHits();
+  EXPECT_EQ(*db_->Degree(nodes_[0], Direction::kOutgoing, follows_), 1u);
+  uint64_t partitioned_hits = db_->db_hits();
+
+  GraphDbOptions mixed_options = PartitionedOptions();
+  mixed_options.semantic_partitioning = false;
+  GraphDb mixed(mixed_options);
+  auto user = *mixed.Label("user");
+  auto follows = *mixed.RelType("follows");
+  auto posts = *mixed.RelType("posts");
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 5; ++i) nodes.push_back(*mixed.CreateNode(user));
+  for (int i = 1; i < 5; ++i) {
+    ASSERT_TRUE(mixed.CreateRelationship(posts, nodes[0], nodes[i]).ok());
+    ASSERT_TRUE(mixed.CreateRelationship(posts, nodes[0], nodes[i]).ok());
+  }
+  ASSERT_TRUE(mixed.CreateRelationship(follows, nodes[0], nodes[1]).ok());
+  mixed.ResetDbHits();
+  EXPECT_EQ(*mixed.Degree(nodes[0], Direction::kOutgoing, follows), 1u);
+  uint64_t mixed_hits = mixed.db_hits();
+
+  // The shared chain walks all 9 relationships; the typed chain reads the
+  // group list plus one relationship.
+  EXPECT_LT(partitioned_hits, mixed_hits);
+}
+
+TEST_F(PartitionedGraphDbTest, DeleteRelinksTypedChain) {
+  auto r1 = *db_->CreateRelationship(follows_, nodes_[0], nodes_[1]);
+  auto r2 = *db_->CreateRelationship(follows_, nodes_[0], nodes_[2]);
+  auto r3 = *db_->CreateRelationship(follows_, nodes_[0], nodes_[3]);
+  ASSERT_TRUE(db_->DeleteRelationship(r2).ok());
+  std::set<NodeId> others;
+  ASSERT_TRUE(db_->ForEachRelationship(nodes_[0], Direction::kOutgoing,
+                                       follows_,
+                                       [&](const GraphDb::RelInfo& rel) {
+                                         others.insert(rel.other);
+                                         return true;
+                                       })
+                  .ok());
+  EXPECT_EQ(others, (std::set<NodeId>{nodes_[1], nodes_[3]}));
+  ASSERT_TRUE(db_->DeleteRelationship(r1).ok());
+  ASSERT_TRUE(db_->DeleteRelationship(r3).ok());
+  EXPECT_EQ(*db_->Degree(nodes_[0], Direction::kOutgoing, follows_), 0u);
+}
+
+TEST_F(PartitionedGraphDbTest, DetachDeleteAcrossTypes) {
+  ASSERT_TRUE(db_->CreateRelationship(follows_, nodes_[0], nodes_[1]).ok());
+  ASSERT_TRUE(db_->CreateRelationship(posts_, nodes_[0], nodes_[2]).ok());
+  ASSERT_TRUE(db_->CreateRelationship(follows_, nodes_[3], nodes_[0]).ok());
+  EXPECT_TRUE(db_->DeleteNode(nodes_[0]).IsFailedPrecondition());
+  ASSERT_TRUE(db_->DetachDeleteNode(nodes_[0]).ok());
+  EXPECT_FALSE(db_->NodeExists(nodes_[0]));
+  EXPECT_EQ(db_->NumRels(), 0u);
+  EXPECT_EQ(*db_->Degree(nodes_[3], Direction::kOutgoing, follows_), 0u);
+}
+
+TEST_F(PartitionedGraphDbTest, DeleteNodeFreesEmptyGroups) {
+  auto rel = *db_->CreateRelationship(follows_, nodes_[0], nodes_[1]);
+  ASSERT_TRUE(db_->DeleteRelationship(rel).ok());
+  // Groups exist but are empty; plain delete must succeed.
+  EXPECT_TRUE(db_->DeleteNode(nodes_[0]).ok());
+}
+
+TEST_F(PartitionedGraphDbTest, SelfLoopInTypedChain) {
+  ASSERT_TRUE(db_->CreateRelationship(follows_, nodes_[0], nodes_[0]).ok());
+  int visits = 0;
+  ASSERT_TRUE(db_->ForEachRelationship(nodes_[0], Direction::kBoth, follows_,
+                                       [&](const GraphDb::RelInfo&) {
+                                         ++visits;
+                                         return true;
+                                       })
+                  .ok());
+  EXPECT_EQ(visits, 1);
+}
+
+TEST_F(PartitionedGraphDbTest, AgreesWithSharedLayoutOnWorkload) {
+  // Load the same dataset into a partitioned and a shared-store database
+  // and compare a whole-workload query through the Cypher engine.
+  twitter::DatasetSpec spec;
+  spec.num_users = 300;
+  spec.seed = 3;
+  twitter::Dataset dataset = twitter::GenerateDataset(spec);
+
+  GraphDb partitioned(PartitionedOptions());
+  ASSERT_TRUE(twitter::LoadIntoNodestore(dataset, &partitioned).ok());
+  GraphDbOptions mixed_options = PartitionedOptions();
+  mixed_options.semantic_partitioning = false;
+  GraphDb mixed(mixed_options);
+  ASSERT_TRUE(twitter::LoadIntoNodestore(dataset, &mixed).ok());
+
+  core::NodestoreEngine a(&partitioned);
+  core::NodestoreEngine b(&mixed);
+  for (int64_t uid : {0, 42, 299}) {
+    auto ra = a.RecommendFolloweesOfFollowees(uid, 1 << 30);
+    auto rb = b.RecommendFolloweesOfFollowees(uid, 1 << 30);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(*ra, *rb) << uid;
+    auto ia = a.PotentialInfluence(uid, 1 << 30);
+    auto ib = b.PotentialInfluence(uid, 1 << 30);
+    ASSERT_TRUE(ia.ok() && ib.ok());
+    EXPECT_EQ(*ia, *ib) << uid;
+  }
+}
+
+// ------------------------------------------------------- Update streaming
+
+class UpdateStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    twitter::DatasetSpec spec;
+    spec.num_users = 200;
+    spec.seed = 17;
+    dataset_ = twitter::GenerateDataset(spec);
+  }
+  twitter::Dataset dataset_;
+};
+
+TEST_F(UpdateStreamTest, DeterministicFromSeed) {
+  twitter::UpdateStream a(dataset_, twitter::StreamMix{}, 5);
+  twitter::UpdateStream b(dataset_, twitter::StreamMix{}, 5);
+  for (int i = 0; i < 500; ++i) {
+    auto ea = a.Next();
+    auto eb = b.Next();
+    EXPECT_EQ(static_cast<int>(ea.kind), static_cast<int>(eb.kind));
+    EXPECT_EQ(ea.uid, eb.uid);
+    EXPECT_EQ(ea.src_uid, eb.src_uid);
+    EXPECT_EQ(ea.tid, eb.tid);
+  }
+}
+
+TEST_F(UpdateStreamTest, EventsAreReferentiallyConsistent) {
+  twitter::UpdateStream stream(dataset_, twitter::StreamMix{}, 6);
+  int64_t max_uid = static_cast<int64_t>(dataset_.users.size()) - 1;
+  int64_t max_tid = static_cast<int64_t>(dataset_.tweets.size()) - 1;
+  for (const auto& e : stream.Take(2000)) {
+    switch (e.kind) {
+      case twitter::StreamEvent::Kind::kNewUser:
+        EXPECT_EQ(e.uid, max_uid + 1);
+        max_uid = e.uid;
+        break;
+      case twitter::StreamEvent::Kind::kNewFollow:
+      case twitter::StreamEvent::Kind::kUnfollow:
+        EXPECT_LE(e.src_uid, max_uid);
+        EXPECT_LE(e.dst_uid, max_uid);
+        EXPECT_NE(e.src_uid, e.dst_uid);
+        break;
+      case twitter::StreamEvent::Kind::kNewTweet:
+        EXPECT_EQ(e.tid, max_tid + 1);
+        max_tid = e.tid;
+        EXPECT_LE(e.uid, max_uid);
+        break;
+      case twitter::StreamEvent::Kind::kNewRetweet:
+        EXPECT_EQ(e.tid, max_tid + 1);
+        max_tid = e.tid;
+        EXPECT_GE(e.orig_tid, 0);
+        EXPECT_LT(e.orig_tid, e.tid);
+        break;
+      case twitter::StreamEvent::Kind::kNewMention:
+        EXPECT_LE(e.tid, max_tid);
+        EXPECT_LE(e.dst_uid, max_uid);
+        break;
+      case twitter::StreamEvent::Kind::kNewTag:
+        EXPECT_LE(e.tid, max_tid);
+        EXPECT_FALSE(e.text.empty());
+        break;
+    }
+  }
+}
+
+TEST_F(UpdateStreamTest, AppliersKeepEnginesInAgreement) {
+  nodestore::GraphDbOptions ndb_options;
+  ndb_options.disk_profile = storage::DiskProfile::Instant();
+  ndb_options.wal_enabled = true;  // exercise the transactional path
+  GraphDb db(ndb_options);
+  auto nh = twitter::LoadIntoNodestore(dataset_, &db);
+  ASSERT_TRUE(nh.ok());
+  bitmapstore::GraphOptions bg_options;
+  bg_options.disk_profile = storage::DiskProfile::Instant();
+  bitmapstore::Graph graph(bg_options);
+  auto bh = twitter::LoadIntoBitmapstore(dataset_, &graph);
+  ASSERT_TRUE(bh.ok());
+
+  core::NodestoreUpdateApplier ns_applier(&db, *nh, dataset_);
+  core::BitmapUpdateApplier bm_applier(&graph, *bh, dataset_);
+  twitter::UpdateStream stream(dataset_, twitter::StreamMix{}, 9);
+  for (int batch = 0; batch < 5; ++batch) {
+    auto events = stream.Take(300);
+    ASSERT_TRUE(ns_applier.ApplyBatch(events).ok()) << batch;
+    ASSERT_TRUE(bm_applier.ApplyBatch(events).ok()) << batch;
+  }
+  EXPECT_EQ(ns_applier.events_applied(), 1500u);
+  EXPECT_EQ(db.NumNodes(), graph.NumNodes());
+  EXPECT_EQ(db.NumRels(), graph.NumEdges());
+
+  core::NodestoreEngine ns(&db);
+  core::BitmapEngine bm(&graph, *bh);
+  for (int64_t uid : {0, 50, 150}) {
+    auto a = ns.FolloweesOf(uid);
+    auto b = bm.FolloweesOf(uid);
+    ASSERT_TRUE(a.ok() && b.ok());
+    core::SortRows(&*a);
+    core::SortRows(&*b);
+    EXPECT_EQ(*a, *b) << uid;
+  }
+}
+
+TEST_F(UpdateStreamTest, ApplierRejectsUnknownReferences) {
+  nodestore::GraphDbOptions options;
+  options.disk_profile = storage::DiskProfile::Instant();
+  options.wal_enabled = false;
+  GraphDb db(options);
+  auto nh = twitter::LoadIntoNodestore(dataset_, &db);
+  ASSERT_TRUE(nh.ok());
+  core::NodestoreUpdateApplier applier(&db, *nh, dataset_);
+  twitter::StreamEvent bogus;
+  bogus.kind = twitter::StreamEvent::Kind::kNewFollow;
+  bogus.src_uid = 999999;
+  bogus.dst_uid = 0;
+  EXPECT_TRUE(applier.ApplyBatch({bogus}).IsNotFound());
+}
+
+}  // namespace
+}  // namespace mbq

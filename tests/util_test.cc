@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace mbq {
+namespace {
+
+// ------------------------------------------------------------------ Status
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status st = Status::NotFound("no such node");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "no such node");
+  EXPECT_EQ(st.ToString(), "NotFound: no such node");
+}
+
+TEST(StatusTest, CopyableAndCheap) {
+  Status a = Status::IoError("disk");
+  Status b = a;
+  EXPECT_TRUE(b.IsIoError());
+  EXPECT_EQ(b.message(), "disk");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Status FailingFn() { return Status::Aborted("nope"); }
+Status PropagatingFn() {
+  MBQ_RETURN_IF_ERROR(FailingFn());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(PropagatingFn().IsAborted());
+}
+
+// ------------------------------------------------------------------ Result
+
+Result<int> ParseOrFail(bool fail) {
+  if (fail) return Status::InvalidArgument("bad");
+  return 42;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParseOrFail(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParseOrFail(true);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+Result<int> Doubled(bool fail) {
+  MBQ_ASSIGN_OR_RETURN(int v, ParseOrFail(fail));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(false), 84);
+  EXPECT_FALSE(Doubled(true).ok());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r{std::make_unique<int>(5)};
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ------------------------------------------------------------------ String
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimString("  x y\t\n"), "x y");
+  EXPECT_EQ(TrimString(""), "");
+  EXPECT_EQ(TrimString("   "), "");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("4x").ok());
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, CsvEscape) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsWithAndLower) {
+  EXPECT_TRUE(StartsWith("MATCH (u)", "MATCH"));
+  EXPECT_FALSE(StartsWith("MA", "MATCH"));
+  EXPECT_EQ(ToLowerAscii("MaTcH"), "match");
+}
+
+// --------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(6);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// Zipf property sweep: mass concentrates on low ranks and all draws are
+// in range for a spread of (n, s) configurations.
+class ZipfTest : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {
+};
+
+TEST_P(ZipfTest, SamplesInRangeAndSkewed) {
+  auto [n, s] = GetParam();
+  ZipfSampler zipf(n, s);
+  Rng rng(42);
+  const int kDraws = 20000;
+  uint64_t top_decile = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t r = zipf.Sample(rng);
+    ASSERT_LT(r, n);
+    if (r < std::max<uint64_t>(1, n / 10)) ++top_decile;
+  }
+  // With any meaningful skew the top decile of ranks draws far more than
+  // 10% of the mass.
+  EXPECT_GT(top_decile, static_cast<uint64_t>(kDraws) / 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfTest,
+    ::testing::Values(std::make_tuple(uint64_t{10}, 0.8),
+                      std::make_tuple(uint64_t{100}, 0.9),
+                      std::make_tuple(uint64_t{100}, 1.0),
+                      std::make_tuple(uint64_t{5000}, 1.0),
+                      std::make_tuple(uint64_t{5000}, 1.2),
+                      std::make_tuple(uint64_t{100000}, 0.9)));
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(9);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  int max_rank = static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  EXPECT_EQ(max_rank, 0);
+}
+
+// ------------------------------------------------------------------- Clock
+
+TEST(ClockTest, VirtualClockAdvancesOnlyExplicitly) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowNanos(), 0u);
+  clock.AdvanceNanos(500);
+  EXPECT_EQ(clock.NowNanos(), 500u);
+  clock.AdvanceNanos(250);
+  EXPECT_EQ(clock.NowNanos(), 750u);
+}
+
+TEST(ClockTest, WallClockMonotonic) {
+  WallClock clock;
+  uint64_t a = clock.NowNanos();
+  uint64_t b = clock.NowNanos();
+  EXPECT_LE(a, b);
+  clock.AdvanceNanos(1000000);  // no-op
+  EXPECT_LE(b, clock.NowNanos() + 1000000);
+}
+
+TEST(ClockTest, StopwatchMeasuresVirtualTime) {
+  VirtualClock clock;
+  Stopwatch sw(clock);
+  clock.AdvanceNanos(3000000);
+  EXPECT_DOUBLE_EQ(sw.ElapsedMillis(), 3.0);
+  sw.Restart();
+  EXPECT_EQ(sw.ElapsedNanos(), 0u);
+}
+
+}  // namespace
+}  // namespace mbq
