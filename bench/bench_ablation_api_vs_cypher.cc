@@ -110,7 +110,8 @@ void Run() {
 }  // namespace
 }  // namespace mbq::bench
 
-int main() {
+int main(int argc, char** argv) {
+  mbq::bench::MetricsExportGuard metrics(argc, argv);
   mbq::bench::Run();
   return 0;
 }

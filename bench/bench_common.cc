@@ -1,7 +1,10 @@
 #include "bench/bench_common.h"
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace mbq::bench {
@@ -54,6 +57,32 @@ Testbed BuildTestbed(uint64_t num_users) {
   bed.bitmap_engine =
       std::make_unique<core::BitmapEngine>(bed.graph.get(), bed.bm_handles);
   return bed;
+}
+
+MetricsExportGuard::MetricsExportGuard(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      path_ = argv[i + 1];
+      return;
+    }
+    const char* prefix = "--metrics-out=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      path_ = argv[i] + std::strlen(prefix);
+      return;
+    }
+  }
+}
+
+MetricsExportGuard::~MetricsExportGuard() {
+  if (path_.empty()) return;
+  std::ofstream out(path_);
+  if (!out) {
+    std::fprintf(stderr, "could not open metrics output file: %s\n",
+                 path_.c_str());
+    return;
+  }
+  out << obs::MetricsRegistry::Default().Snapshot().ToJson();
+  std::fprintf(stderr, "metrics written to %s\n", path_.c_str());
 }
 
 void PrintRow(const std::vector<std::string>& cells,

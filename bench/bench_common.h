@@ -44,6 +44,30 @@ twitter::DatasetSpec BenchSpec(uint64_t num_users);
 /// disks, warm after load unless DropCaches is called).
 Testbed BuildTestbed(uint64_t num_users);
 
+/// Parses `--metrics-out <file>.json` from argv and, on destruction,
+/// writes a JSON snapshot of the default metrics registry to that file.
+/// Declare one at the top of a bench's main():
+///
+///   int main(int argc, char** argv) {
+///     mbq::bench::MetricsExportGuard metrics(argc, argv);
+///     ...
+///   }
+///
+/// Without the flag the guard is inert. `--metrics-out=<file>` also works.
+class MetricsExportGuard {
+ public:
+  MetricsExportGuard(int argc, char** argv);
+  ~MetricsExportGuard();
+
+  MetricsExportGuard(const MetricsExportGuard&) = delete;
+  MetricsExportGuard& operator=(const MetricsExportGuard&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
 /// Prints a markdown-ish table row: fixed-width columns.
 void PrintRow(const std::vector<std::string>& cells,
               const std::vector<int>& widths);

@@ -2,16 +2,21 @@
 //
 //   ./shell [num_users]
 //
-// Reads one query per line from stdin and prints rows. Dot-commands:
+// Reads one query per line from stdin and prints rows. Queries may be
+// prefixed with the PROFILE verb (run and print the operator tree with
+// per-operator rows and db hits) or EXPLAIN (print the plan shape
+// without running). Dot-commands:
 //   :help              this text
-//   :profile <query>   run and print the operator tree with db hits
+//   :profile <query>   alias for the PROFILE prefix
 //   :stats             database counters (nodes, rels, db hits)
+//   :metrics           full observability snapshot (docs/OBSERVABILITY.md)
 //   :cold              drop the page cache (next query runs cold)
 //   :quit              exit
 //
 // Example session:
 //   mbq> MATCH (u:user) WHERE u.followers_count > 50 RETURN u.uid LIMIT 5
-//   mbq> :profile MATCH (a:user {uid: 7})-[:follows]->(f:user) RETURN f.uid
+//   mbq> PROFILE MATCH (a:user {uid: 7})-[:follows]->(f:user) RETURN f.uid
+//   mbq> EXPLAIN MATCH (u:user)-[:posts]->(t:tweet) RETURN count(t)
 
 #include <cstdio>
 #include <iostream>
@@ -19,12 +24,17 @@
 
 #include "core/workload.h"
 #include "cypher/session.h"
+#include "obs/metrics.h"
 #include "twitter/loaders.h"
 #include "util/string_util.h"
 
 namespace {
 
 void PrintResult(const mbq::cypher::QueryResult& result, bool with_profile) {
+  if (result.explain_only) {
+    std::printf("compiled plan (not executed):\n%s", result.profile.c_str());
+    return;
+  }
   std::string header;
   for (size_t i = 0; i < result.columns.size(); ++i) {
     if (i > 0) header += " | ";
@@ -92,13 +102,22 @@ int main(int argc, char** argv) {
     if (trimmed == ":quit" || trimmed == ":exit") break;
     if (trimmed == ":help") {
       std::printf(
-          ":profile <query>  run with the operator tree\n"
+          "PROFILE <query>   run and print the operator tree with db hits\n"
+          "EXPLAIN <query>   print the compiled plan without running it\n"
+          ":profile <query>  alias for the PROFILE prefix\n"
           ":stats            database counters\n"
+          ":metrics          full observability snapshot\n"
           ":cold             drop the page cache\n"
           ":quit             exit\n"
           "anything else is parsed as a mini-Cypher query, e.g.\n"
           "  MATCH (u:user) WHERE u.followers_count > 50 "
           "RETURN u.uid LIMIT 5\n");
+      continue;
+    }
+    if (trimmed == ":metrics") {
+      std::printf("%s",
+                  mbq::obs::MetricsRegistry::Default().Snapshot().ToText()
+                      .c_str());
       continue;
     }
     if (trimmed == ":stats") {
@@ -114,18 +133,16 @@ int main(int argc, char** argv) {
       std::printf("%s\n", st.ok() ? "page cache dropped" : st.ToString().c_str());
       continue;
     }
-    bool profile = false;
     std::string query(trimmed);
     if (mbq::StartsWith(query, ":profile")) {
-      profile = true;
-      query = std::string(mbq::TrimString(query.substr(8)));
+      query = "PROFILE " + std::string(mbq::TrimString(query.substr(8)));
     }
     auto result = session.Run(query);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    PrintResult(*result, profile);
+    PrintResult(*result, result->profiled);
   }
   std::printf("\nbye\n");
   return 0;

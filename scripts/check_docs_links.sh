@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Doc hygiene checks:
+#   1. Every relative markdown link in the top-level *.md files and
+#      docs/*.md resolves to an existing file.
+#   2. Every metric name literal registered in src/ appears in
+#      docs/OBSERVABILITY.md (the catalogue must stay complete).
+#
+# Exits non-zero listing every violation. Run from anywhere:
+#   scripts/check_docs_links.sh
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+failures=0
+
+# ---- 1. markdown link targets exist -------------------------------------
+# Matches [text](target) where target is a relative path (skip http(s),
+# mailto and pure #anchors); strips any #fragment before the existence
+# check.
+for doc in *.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  doc_dir="$(dirname "$doc")"
+  # shellcheck disable=SC2013
+  for target in $(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\(//; s/\)$//'); do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$doc_dir/$path" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      failures=$((failures + 1))
+    fi
+  done
+done
+
+# ---- 2. every registered metric name is documented ----------------------
+catalogue="docs/OBSERVABILITY.md"
+if [ ! -f "$catalogue" ]; then
+  echo "MISSING: $catalogue"
+  failures=$((failures + 1))
+else
+  # Metric names are always written as full string literals at the
+  # registration site (GetCounter / GetHistogram / sink->Gauge), so a
+  # grep over src/ finds the complete set.
+  for name in $(grep -rhoE '"(nodestore|bitmapstore|cypher)\.[a-z0-9_.]+"' src/ |
+                tr -d '"' | sort -u); do
+    if ! grep -q -F "\`$name\`" "$catalogue"; then
+      echo "UNDOCUMENTED METRIC: $name (add it to $catalogue)"
+      failures=$((failures + 1))
+    fi
+  done
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_docs_links: $failures problem(s) found"
+  exit 1
+fi
+echo "check_docs_links: OK"

@@ -30,6 +30,47 @@ Graph::Graph(GraphOptions options) : options_(options) {
   accountant_ =
       std::make_unique<storage::StorageAccountant>(cache_.get(), extents_.get());
   object_table_stream_ = accountant_->NewStream();
+
+  obs::MetricsRegistry* registry = options_.metrics != nullptr
+                                       ? options_.metrics
+                                       : &obs::MetricsRegistry::Default();
+  metrics_provider_ =
+      obs::ScopedProvider(registry, [this](obs::MetricsSink* sink) {
+        sink->Gauge("bitmapstore.neighbors_calls",
+                    static_cast<double>(stats_.neighbors_calls), "calls");
+        sink->Gauge("bitmapstore.explode_calls",
+                    static_cast<double>(stats_.explode_calls), "calls");
+        sink->Gauge("bitmapstore.select_calls",
+                    static_cast<double>(stats_.select_calls), "calls");
+        sink->Gauge("bitmapstore.attribute_reads",
+                    static_cast<double>(stats_.attribute_reads), "reads");
+        sink->Gauge("bitmapstore.attribute_writes",
+                    static_cast<double>(stats_.attribute_writes), "writes");
+        const storage::BufferCacheStats& cache = cache_->stats();
+        sink->Gauge("bitmapstore.page_cache.hits",
+                    static_cast<double>(cache.hits), "pages");
+        sink->Gauge("bitmapstore.page_cache.misses",
+                    static_cast<double>(cache.misses), "pages");
+        sink->Gauge("bitmapstore.page_cache.evictions",
+                    static_cast<double>(cache.evictions), "pages");
+        sink->Gauge("bitmapstore.page_cache.pages_flushed",
+                    static_cast<double>(cache.pages_flushed), "pages");
+        sink->Gauge("bitmapstore.page_cache.flush_stalls",
+                    static_cast<double>(cache.flush_stalls), "events");
+        const storage::DiskStats& disk = disk_->stats();
+        sink->Gauge("bitmapstore.disk.page_reads",
+                    static_cast<double>(disk.page_reads), "pages");
+        sink->Gauge("bitmapstore.disk.page_writes",
+                    static_cast<double>(disk.page_writes), "pages");
+        sink->Gauge("bitmapstore.disk.seeks", static_cast<double>(disk.seeks),
+                    "seeks");
+        sink->Gauge("bitmapstore.disk.busy_nanos",
+                    static_cast<double>(disk.busy_nanos), "ns");
+        sink->Gauge("bitmapstore.nodes", static_cast<double>(num_nodes_),
+                    "nodes");
+        sink->Gauge("bitmapstore.edges", static_cast<double>(num_edges_),
+                    "edges");
+      });
 }
 
 Graph::~Graph() = default;
@@ -576,7 +617,7 @@ Result<Objects> Graph::Neighbors(const Objects& nodes, TypeId etype,
       status = r.status();
       return false;
     }
-    result.bitmap().InplaceOr(r->bitmap());
+    result.UnionInPlace(*r);
     return true;
   });
   MBQ_RETURN_IF_ERROR(status);

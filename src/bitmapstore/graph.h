@@ -70,6 +70,9 @@ struct GraphOptions {
   bool recovery_enabled = false;
   /// Latency model of the backing device.
   storage::DiskProfile disk_profile;
+  /// Registry this graph reports its `bitmapstore.*` metrics to;
+  /// null means the process-wide obs::MetricsRegistry::Default().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// I/O and operation counters surfaced by the engine.
@@ -265,6 +268,10 @@ class Graph {
   uint32_t object_table_stream_ = 0;
 
   mutable GraphStats stats_;
+
+  /// Reports this instance's `bitmapstore.*` gauges at snapshot time;
+  /// unregisters automatically on destruction.
+  obs::ScopedProvider metrics_provider_;
 };
 
 }  // namespace mbq::bitmapstore

@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "common/csv.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 #include "util/string_util.h"
 
 namespace mbq::bitmapstore {
@@ -136,11 +138,13 @@ Status ScriptLoader::Execute(const std::string& script_text,
                              const std::string& base_dir) {
   wall_start_millis_ = NowWallMillis();
   io_start_nanos_ = graph_->SimulatedIoNanos();
+  obs::TraceSpan import_span(trace_, "import:bitmapstore");
   for (std::string_view line : SplitString(script_text, '\n')) {
     std::vector<std::string> tokens = Tokenize(line);
     if (tokens.empty()) continue;
     MBQ_RETURN_IF_ERROR(ExecuteStatement(tokens, base_dir));
   }
+  import_span.AddItems(total_objects_);
   return graph_->Flush();
 }
 
@@ -212,9 +216,18 @@ Status ScriptLoader::LoadNodes(const std::vector<std::string>& tokens,
     bound.push_back({idx, attr, ValueType::kNull});
   }
   const std::string phase = "nodes:" + graph_->TypeName(type);
+  obs::TraceSpan span(trace_, phase);
+  WallClock clock;
+  uint64_t parse_nanos = 0;
+  uint64_t insert_nanos = 0;
   std::vector<std::string> row;
   uint64_t phase_objects = 0;
-  while (reader.NextRow(&row)) {
+  for (;;) {
+    uint64_t t0 = clock.NowNanos();
+    bool more = reader.NextRow(&row);
+    uint64_t t1 = clock.NowNanos();
+    parse_nanos += t1 - t0;
+    if (!more) break;
     MBQ_ASSIGN_OR_RETURN(Oid node, graph_->NewNode(type));
     for (const BoundColumn& b : bound) {
       MBQ_ASSIGN_OR_RETURN(
@@ -224,12 +237,25 @@ Status ScriptLoader::LoadNodes(const std::vector<std::string>& tokens,
         MBQ_RETURN_IF_ERROR(graph_->SetAttribute(node, b.attr, value));
       }
     }
+    insert_nanos += clock.NowNanos() - t1;
     ++nodes_loaded_;
     ++total_objects_;
     ++phase_objects;
     ReportProgress(phase, phase_objects, false);
   }
   MBQ_RETURN_IF_ERROR(reader.status());
+  if (trace_ != nullptr) {
+    trace_->AppendChild("parse", static_cast<double>(parse_nanos) / 1e6,
+                        phase_objects);
+    trace_->AppendChild("node-insert",
+                        static_cast<double>(insert_nanos) / 1e6,
+                        phase_objects);
+  }
+  span.AddItems(phase_objects);
+  obs::MetricsRegistry::Default()
+      .GetCounter("bitmapstore.import.nodes", "nodes",
+                  "nodes ingested by the script loader")
+      ->Inc(phase_objects);
   ReportProgress(phase, phase_objects, true);
   return Status::OK();
 }
@@ -252,9 +278,18 @@ Status ScriptLoader::LoadEdges(const std::vector<std::string>& tokens,
     return Status::InvalidArgument("edge CSV needs at least two columns");
   }
   const std::string phase = "edges:" + graph_->TypeName(etype);
+  obs::TraceSpan span(trace_, phase);
+  WallClock clock;
+  uint64_t parse_nanos = 0;
+  uint64_t insert_nanos = 0;
   std::vector<std::string> row;
   uint64_t phase_objects = 0;
-  while (reader.NextRow(&row)) {
+  for (;;) {
+    uint64_t t0 = clock.NowNanos();
+    bool more = reader.NextRow(&row);
+    uint64_t t1 = clock.NowNanos();
+    parse_nanos += t1 - t0;
+    if (!more) break;
     MBQ_ASSIGN_OR_RETURN(
         Value src_key,
         ParseTypedValue(row[0], graph_->AttributeType(from_bind.second)));
@@ -268,12 +303,25 @@ Status ScriptLoader::LoadEdges(const std::vector<std::string>& tokens,
                               row[1]);
     }
     MBQ_RETURN_IF_ERROR(graph_->NewEdge(etype, src, dst).status());
+    insert_nanos += clock.NowNanos() - t1;
     ++edges_loaded_;
     ++total_objects_;
     ++phase_objects;
     ReportProgress(phase, phase_objects, false);
   }
   MBQ_RETURN_IF_ERROR(reader.status());
+  if (trace_ != nullptr) {
+    trace_->AppendChild("parse", static_cast<double>(parse_nanos) / 1e6,
+                        phase_objects);
+    trace_->AppendChild("edge-insert",
+                        static_cast<double>(insert_nanos) / 1e6,
+                        phase_objects);
+  }
+  span.AddItems(phase_objects);
+  obs::MetricsRegistry::Default()
+      .GetCounter("bitmapstore.import.edges", "edges",
+                  "edges ingested by the script loader")
+      ->Inc(phase_objects);
   ReportProgress(phase, phase_objects, true);
   return Status::OK();
 }

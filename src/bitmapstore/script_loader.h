@@ -7,6 +7,7 @@
 
 #include "bitmapstore/graph.h"
 #include "common/import_progress.h"
+#include "obs/trace.h"
 
 namespace mbq::bitmapstore {
 
@@ -36,6 +37,11 @@ class ScriptLoader {
   /// Calls `fn` every `interval` loaded objects (and at phase ends).
   void SetProgressCallback(ProgressFn fn, uint64_t interval);
 
+  /// Collects phase-level spans (per LOAD statement, split into parse vs
+  /// insert) into `trace`. The log must outlive Execute(); pass null to
+  /// disable tracing.
+  void SetTraceLog(obs::TraceLog* trace) { trace_ = trace; }
+
   /// Runs the script. Relative CSV paths resolve under `base_dir`.
   Status Execute(const std::string& script_text, const std::string& base_dir);
 
@@ -58,6 +64,7 @@ class ScriptLoader {
 
   Graph* graph_;
   ProgressFn progress_;
+  obs::TraceLog* trace_ = nullptr;
   uint64_t progress_interval_ = 100000;
   uint64_t nodes_loaded_ = 0;
   uint64_t edges_loaded_ = 0;

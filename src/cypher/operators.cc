@@ -612,4 +612,23 @@ std::string DescribePlanTree(const Operator& root, int indent) {
   return out;
 }
 
+std::string DescribePlanShape(const Operator& root, int indent) {
+  std::string out(indent * 2, ' ');
+  out += root.Describe();
+  out += "\n";
+  if (const auto* apply = dynamic_cast<const Apply*>(&root)) {
+    if (apply->child() != nullptr) {
+      out += DescribePlanShape(*apply->child(), indent + 1);
+    }
+    if (apply->right() != nullptr) {
+      out += DescribePlanShape(*apply->right(), indent + 1);
+    }
+    return out;
+  }
+  if (root.child() != nullptr) {
+    out += DescribePlanShape(*root.child(), indent + 1);
+  }
+  return out;
+}
+
 }  // namespace mbq::cypher

@@ -407,6 +407,10 @@ class Apply : public Operator {
 /// Renders a plan tree as an indented string (PROFILE output).
 std::string DescribePlanTree(const Operator& root, int indent = 0);
 
+/// Renders the plan tree shape only — operator names without rows/db-hits
+/// (EXPLAIN output: the query was compiled but never executed).
+std::string DescribePlanShape(const Operator& root, int indent = 0);
+
 }  // namespace mbq::cypher
 
 #endif  // MBQ_CYPHER_OPERATORS_H_

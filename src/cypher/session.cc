@@ -1,17 +1,77 @@
 #include "cypher/session.h"
 
+#include <cctype>
+
 #include "cypher/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/string_util.h"
 
 namespace mbq::cypher {
+
+namespace {
+
+/// Session-level metrics, shared by every CypherSession in the process
+/// (the registry deduplicates by name).
+struct SessionMetrics {
+  obs::Counter* queries;
+  obs::Counter* rows_returned;
+  obs::Counter* db_hits;
+  obs::Counter* plan_cache_hits;
+  obs::Counter* plan_cache_misses;
+  obs::Histogram* query_latency;
+
+  static SessionMetrics& Get() {
+    static SessionMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+      SessionMetrics m;
+      m.queries = r.GetCounter("cypher.queries", "queries",
+                               "queries executed (EXPLAIN excluded)");
+      m.rows_returned =
+          r.GetCounter("cypher.rows_returned", "rows", "result rows produced");
+      m.db_hits = r.GetCounter("cypher.db_hits", "records",
+                               "record accesses charged to queries");
+      m.plan_cache_hits =
+          r.GetCounter("cypher.plan_cache.hits", "hits",
+                       "Prepare() served from the plan cache");
+      m.plan_cache_misses =
+          r.GetCounter("cypher.plan_cache.misses", "misses",
+                       "Prepare() that had to parse and plan");
+      m.query_latency = r.GetHistogram("cypher.query_latency", "ns",
+                                       "wall time per executed query");
+      return m;
+    }();
+    return m;
+  }
+};
+
+/// Strips a leading case-insensitive keyword (followed by whitespace)
+/// from `query`; returns true and advances past it on a match.
+bool ConsumeVerb(std::string_view* query, std::string_view verb) {
+  if (query->size() <= verb.size()) return false;
+  for (size_t i = 0; i < verb.size(); ++i) {
+    char c = (*query)[i];
+    if (std::toupper(static_cast<unsigned char>(c)) != verb[i]) return false;
+  }
+  char next = (*query)[verb.size()];
+  if (!std::isspace(static_cast<unsigned char>(next))) return false;
+  query->remove_prefix(verb.size());
+  *query = TrimString(*query);
+  return true;
+}
+
+}  // namespace
 
 Result<const PlannedQuery*> CypherSession::Prepare(const std::string& query) {
   auto it = plan_cache_.find(query);
   if (plan_cache_enabled_ && it != plan_cache_.end()) {
     ++plan_cache_hits_;
+    SessionMetrics::Get().plan_cache_hits->Inc();
     last_prepare_was_cache_hit_ = true;
     return const_cast<const PlannedQuery*>(it->second.get());
   }
   ++plan_cache_misses_;
+  SessionMetrics::Get().plan_cache_misses->Inc();
   last_prepare_was_cache_hit_ = false;
   MBQ_ASSIGN_OR_RETURN(Query ast, ParseQuery(query));
   MBQ_ASSIGN_OR_RETURN(std::unique_ptr<PlannedQuery> plan,
@@ -28,16 +88,31 @@ Result<const PlannedQuery*> CypherSession::Prepare(const std::string& query) {
 
 Result<QueryResult> CypherSession::Run(const std::string& query,
                                        const Params& params) {
-  MBQ_ASSIGN_OR_RETURN(const PlannedQuery* plan, Prepare(query));
-  bool cached = last_prepare_was_cache_hit_;
+  std::string_view text = TrimString(query);
+  bool profiled = ConsumeVerb(&text, "PROFILE");
+  bool explain_only = !profiled && ConsumeVerb(&text, "EXPLAIN");
+  std::string body(text);
 
-  ExecContext ctx;
-  ctx.db = db_;
-  ctx.params = &params;
+  MBQ_ASSIGN_OR_RETURN(const PlannedQuery* plan, Prepare(body));
+  bool cached = last_prepare_was_cache_hit_;
 
   QueryResult result;
   result.columns = plan->columns;
   result.plan_cached = cached;
+  result.profiled = profiled;
+  result.explain_only = explain_only;
+
+  if (explain_only) {
+    result.profile = DescribePlanShape(*plan->root);
+    return result;
+  }
+
+  SessionMetrics& metrics = SessionMetrics::Get();
+  obs::TraceSpan latency(metrics.query_latency);
+
+  ExecContext ctx;
+  ctx.db = db_;
+  ctx.params = &params;
 
   uint64_t hits_before = db_->db_hits();
   Operator* root = plan->root.get();
@@ -51,6 +126,10 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   }
   result.db_hits = db_->db_hits() - hits_before;
   result.profile = plan->Explain();
+
+  metrics.queries->Inc();
+  metrics.rows_returned->Inc(result.rows.size());
+  metrics.db_hits->Inc(result.db_hits);
   return result;
 }
 

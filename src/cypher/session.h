@@ -19,8 +19,14 @@ struct QueryResult {
   uint64_t db_hits = 0;
   /// True if the plan came from the plan cache (no re-compilation).
   bool plan_cached = false;
-  /// Indented plan tree with per-operator rows and db hits.
+  /// Indented plan tree with per-operator rows and db hits (for EXPLAIN,
+  /// the shape only — the query never executed).
   std::string profile;
+  /// True when the query carried a PROFILE prefix.
+  bool profiled = false;
+  /// True when the query carried an EXPLAIN prefix: the plan was compiled
+  /// but not executed, so `rows` is empty and `db_hits` is 0.
+  bool explain_only = false;
 };
 
 /// The declarative query interface over the record-store engine: parse ->
@@ -35,7 +41,10 @@ class CypherSession {
   CypherSession(const CypherSession&) = delete;
   CypherSession& operator=(const CypherSession&) = delete;
 
-  /// Parses (or fetches from cache), plans and runs `query`.
+  /// Parses (or fetches from cache), plans and runs `query`. A leading
+  /// `PROFILE` keyword marks the result profiled (the operator tree with
+  /// per-operator rows and db hits, Neo4j's PROFILE verb); a leading
+  /// `EXPLAIN` compiles and returns the plan shape without executing.
   Result<QueryResult> Run(const std::string& query, const Params& params);
   Result<QueryResult> Run(const std::string& query) {
     return Run(query, Params{});

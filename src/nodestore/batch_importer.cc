@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "common/csv.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 #include "util/string_util.h"
 
 namespace mbq::nodestore {
@@ -78,9 +80,18 @@ Status BatchImporter::ImportNodeFile(const ImportSpec::NodeFile& file,
   }
   auto& mapper = id_mapper_[file.label];
   const std::string phase = "nodes:" + file.label;
+  obs::TraceSpan span(trace_, phase);
+  WallClock clock;
+  uint64_t parse_nanos = 0;
+  uint64_t insert_nanos = 0;
   std::vector<std::string> row;
   uint64_t phase_objects = 0;
-  while (reader.NextRow(&row)) {
+  for (;;) {
+    uint64_t t0 = clock.NowNanos();
+    bool more = reader.NextRow(&row);
+    uint64_t t1 = clock.NowNanos();
+    parse_nanos += t1 - t0;
+    if (!more) break;
     MBQ_ASSIGN_OR_RETURN(NodeId node, db_->CreateNode(label));
     for (const Bound& b : bound) {
       Value v = CoerceField(row[b.csv_index]);
@@ -89,12 +100,25 @@ Status BatchImporter::ImportNodeFile(const ImportSpec::NodeFile& file,
       }
     }
     mapper.emplace(row[bound[0].csv_index], node);
+    insert_nanos += clock.NowNanos() - t1;
     ++nodes_imported_;
     ++total_objects_;
     ++phase_objects;
     Report(phase, phase_objects, false);
   }
   MBQ_RETURN_IF_ERROR(reader.status());
+  if (trace_ != nullptr) {
+    trace_->AppendChild("parse", static_cast<double>(parse_nanos) / 1e6,
+                        phase_objects);
+    trace_->AppendChild("node-insert",
+                        static_cast<double>(insert_nanos) / 1e6,
+                        phase_objects);
+  }
+  span.AddItems(phase_objects);
+  obs::MetricsRegistry::Default()
+      .GetCounter("nodestore.import.nodes", "nodes",
+                  "nodes ingested by the batch importer")
+      ->Inc(phase_objects);
   Report(phase, phase_objects, true);
   return Status::OK();
 }
@@ -115,9 +139,18 @@ Status BatchImporter::ImportRelFile(const ImportSpec::RelFile& file,
         "relationship file references labels not yet imported");
   }
   const std::string phase = "rels:" + file.type;
+  obs::TraceSpan span(trace_, phase);
+  WallClock clock;
+  uint64_t parse_nanos = 0;
+  uint64_t link_nanos = 0;
   std::vector<std::string> row;
   uint64_t phase_objects = 0;
-  while (reader.NextRow(&row)) {
+  for (;;) {
+    uint64_t t0 = clock.NowNanos();
+    bool more = reader.NextRow(&row);
+    uint64_t t1 = clock.NowNanos();
+    parse_nanos += t1 - t0;
+    if (!more) break;
     auto src = src_mapper->second.find(row[0]);
     auto dst = dst_mapper->second.find(row[1]);
     if (src == src_mapper->second.end() || dst == dst_mapper->second.end()) {
@@ -126,12 +159,24 @@ Status BatchImporter::ImportRelFile(const ImportSpec::RelFile& file,
     }
     MBQ_RETURN_IF_ERROR(
         db_->CreateRelationship(type, src->second, dst->second).status());
+    link_nanos += clock.NowNanos() - t1;
     ++rels_imported_;
     ++total_objects_;
     ++phase_objects;
     Report(phase, phase_objects, false);
   }
   MBQ_RETURN_IF_ERROR(reader.status());
+  if (trace_ != nullptr) {
+    trace_->AppendChild("parse", static_cast<double>(parse_nanos) / 1e6,
+                        phase_objects);
+    trace_->AppendChild("rel-chain-link",
+                        static_cast<double>(link_nanos) / 1e6, phase_objects);
+  }
+  span.AddItems(phase_objects);
+  obs::MetricsRegistry::Default()
+      .GetCounter("nodestore.import.rels", "rels",
+                  "relationships ingested by the batch importer")
+      ->Inc(phase_objects);
   Report(phase, phase_objects, true);
   return Status::OK();
 }
@@ -139,6 +184,7 @@ Status BatchImporter::ImportRelFile(const ImportSpec::RelFile& file,
 Status BatchImporter::Run(const ImportSpec& spec, const std::string& base_dir) {
   wall_start_millis_ = NowWallMillis();
   io_start_nanos_ = db_->SimulatedIoNanos();
+  obs::TraceSpan import_span(trace_, "import:nodestore");
 
   for (const auto& file : spec.nodes) {
     MBQ_RETURN_IF_ERROR(ImportNodeFile(file, base_dir));
@@ -151,7 +197,15 @@ Status BatchImporter::Run(const ImportSpec& spec, const std::string& base_dir) {
     MBQ_RETURN_IF_ERROR(ImportRelFile(file, base_dir));
   }
 
-  MBQ_ASSIGN_OR_RETURN(dense_nodes_, db_->ComputeDenseNodes());
+  {
+    obs::TraceSpan dense_span(trace_, "dense-nodes");
+    MBQ_ASSIGN_OR_RETURN(dense_nodes_, db_->ComputeDenseNodes());
+    dense_span.AddItems(dense_nodes_);
+  }
+  obs::MetricsRegistry::Default()
+      .GetCounter("nodestore.import.dense_nodes", "nodes",
+                  "nodes flagged dense after import")
+      ->Inc(dense_nodes_);
   Report("dense-nodes", dense_nodes_, true);
 
   // Index build happens strictly after import (the tool "cannot create
@@ -159,12 +213,16 @@ Status BatchImporter::Run(const ImportSpec& spec, const std::string& base_dir) {
   for (const auto& index : spec.indexes) {
     MBQ_ASSIGN_OR_RETURN(LabelId label, db_->FindLabel(index.label));
     PropKeyId key = db_->PropKey(index.property);
+    obs::TraceSpan index_span(trace_,
+                              "index:" + index.label + "." + index.property);
     MBQ_RETURN_IF_ERROR(db_->CreateIndex(label, key, index.unique));
+    index_span.AddItems(db_->CountNodesWithLabel(label));
     Report("index:" + index.label + "." + index.property,
            db_->CountNodesWithLabel(label), true);
   }
 
   MBQ_RETURN_IF_ERROR(db_->Flush());
+  import_span.AddItems(total_objects_);
   Report("done", 0, true);
   return Status::OK();
 }

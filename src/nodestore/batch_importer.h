@@ -8,6 +8,7 @@
 #include "common/import_progress.h"
 #include "common/value.h"
 #include "nodestore/graph_db.h"
+#include "obs/trace.h"
 
 namespace mbq::nodestore {
 
@@ -60,6 +61,11 @@ class BatchImporter {
   /// Calls `fn` every `interval` imported entities and at phase ends.
   void SetProgressCallback(ProgressFn fn, uint64_t interval);
 
+  /// Collects phase-level spans (per input file, split into parse vs
+  /// insert, plus the dense-node and index-build steps) into `trace`.
+  /// The log must outlive Run(); pass null to disable tracing.
+  void SetTraceLog(obs::TraceLog* trace) { trace_ = trace; }
+
   /// Runs the import. Relative CSV paths resolve under `base_dir`.
   Status Run(const ImportSpec& spec, const std::string& base_dir);
 
@@ -76,6 +82,7 @@ class BatchImporter {
 
   GraphDb* db_;
   ProgressFn progress_;
+  obs::TraceLog* trace_ = nullptr;
   uint64_t progress_interval_ = 100000;
   uint64_t nodes_imported_ = 0;
   uint64_t rels_imported_ = 0;

@@ -88,6 +88,46 @@ GraphDb::GraphDb(GraphDbOptions options) : options_(options) {
                                                StringRecord::kSize, &db_hits_);
   group_store_ = std::make_unique<RecordFile>("groupstore", cache_.get(),
                                               GroupRecord::kSize, &db_hits_);
+
+  obs::MetricsRegistry* registry = options_.metrics != nullptr
+                                       ? options_.metrics
+                                       : &obs::MetricsRegistry::Default();
+  metrics_provider_ =
+      obs::ScopedProvider(registry, [this](obs::MetricsSink* sink) {
+        const storage::BufferCacheStats& cache = cache_->stats();
+        sink->Gauge("nodestore.page_cache.hits",
+                    static_cast<double>(cache.hits), "pages");
+        sink->Gauge("nodestore.page_cache.misses",
+                    static_cast<double>(cache.misses), "pages");
+        sink->Gauge("nodestore.page_cache.evictions",
+                    static_cast<double>(cache.evictions), "pages");
+        sink->Gauge("nodestore.page_cache.pages_flushed",
+                    static_cast<double>(cache.pages_flushed), "pages");
+        sink->Gauge("nodestore.page_cache.flush_stalls",
+                    static_cast<double>(cache.flush_stalls), "events");
+        sink->Gauge("nodestore.wal.syncs",
+                    static_cast<double>(wal_->syncs()), "syncs");
+        sink->Gauge("nodestore.wal.pages_written",
+                    static_cast<double>(wal_->pages_written()), "pages");
+        sink->Gauge("nodestore.wal.records",
+                    static_cast<double>(wal_->next_lsn()), "records");
+        sink->Gauge("nodestore.wal.durable_bytes",
+                    static_cast<double>(wal_->durable_bytes()), "bytes");
+        const storage::DiskStats& disk = disk_->stats();
+        sink->Gauge("nodestore.disk.page_reads",
+                    static_cast<double>(disk.page_reads), "pages");
+        sink->Gauge("nodestore.disk.page_writes",
+                    static_cast<double>(disk.page_writes), "pages");
+        sink->Gauge("nodestore.disk.seeks", static_cast<double>(disk.seeks),
+                    "seeks");
+        sink->Gauge("nodestore.disk.busy_nanos",
+                    static_cast<double>(disk.busy_nanos), "ns");
+        sink->Gauge("nodestore.record_reads", static_cast<double>(db_hits_),
+                    "records");
+        sink->Gauge("nodestore.nodes", static_cast<double>(num_nodes_),
+                    "nodes");
+        sink->Gauge("nodestore.rels", static_cast<double>(num_rels_), "rels");
+      });
 }
 
 GraphDb::~GraphDb() = default;

@@ -13,6 +13,7 @@
 #include "common/value.h"
 #include "nodestore/record_file.h"
 #include "nodestore/records.h"
+#include "obs/metrics.h"
 #include "storage/buffer_cache.h"
 #include "storage/simulated_disk.h"
 #include "storage/storage_accountant.h"
@@ -51,6 +52,9 @@ struct GraphDbOptions {
   /// a chain walk over one type stays within that type's pages instead of
   /// interleaving with every other type's records.
   bool semantic_partitioning = false;
+  /// Registry this database reports its `nodestore.*` metrics to;
+  /// null means the process-wide obs::MetricsRegistry::Default().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A transactional property-graph engine with Neo4j's storage
@@ -301,6 +305,10 @@ class GraphDb {
   /// re-logging of replayed operations).
   bool replaying_ = false;
   std::vector<std::function<Status()>> undo_log_;
+
+  /// Reports this instance's `nodestore.*` gauges at snapshot time;
+  /// unregisters automatically on destruction.
+  obs::ScopedProvider metrics_provider_;
 };
 
 }  // namespace mbq::nodestore

@@ -1,0 +1,287 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace mbq::obs {
+
+// ---------------------------------------------------------------- Histogram
+
+uint32_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSub) return static_cast<uint32_t>(value);
+  uint32_t s = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  uint32_t sub =
+      static_cast<uint32_t>(value >> (s - kSubBits)) - kSub;  // [0, kSub)
+  uint32_t index = kSub + (s - kSubBits) * kSub + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLow(uint32_t index) {
+  if (index < kSub) return index;
+  uint32_t seg = (index - kSub) / kSub;
+  uint32_t sub = (index - kSub) % kSub;
+  return static_cast<uint64_t>(kSub + sub) << seg;
+}
+
+uint64_t Histogram::BucketWidth(uint32_t index) {
+  if (index < kSub) return 1;
+  return uint64_t{1} << ((index - kSub) / kSub);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen_min = min_.load(std::memory_order_relaxed);
+  while (value < seen_min &&
+         !min_.compare_exchange_weak(seen_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t seen_max = max_.load(std::memory_order_relaxed);
+  while (value > seen_max &&
+         !max_.compare_exchange_weak(seen_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(total);
+  double cum = 0;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cum + static_cast<double>(in_bucket) >= target) {
+      // Interpolate within the bucket's value range.
+      double fraction =
+          in_bucket == 0 ? 0 : (target - cum) / static_cast<double>(in_bucket);
+      return static_cast<double>(BucketLow(i)) +
+             fraction * static_cast<double>(BucketWidth(i));
+    }
+    cum += static_cast<double>(in_bucket);
+  }
+  return static_cast<double>(max());
+}
+
+// ----------------------------------------------------------------- Snapshot
+
+void MetricsSink::Gauge(const std::string& name, double value,
+                        const std::string& unit) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(name, GaugeSnapshot{name, unit, value});
+  } else {
+    it->second.value += value;  // several providers, one logical metric
+  }
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // Integral values print without a fraction so counters stay readable.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  auto line = [&out](const std::string& name, const std::string& value,
+                     const std::string& unit) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-48s %16s %s\n", name.c_str(),
+                  value.c_str(), unit.c_str());
+    out += buf;
+  };
+  for (const auto& c : counters) {
+    line(c.name, std::to_string(c.value), c.unit);
+  }
+  for (const auto& g : gauges) {
+    line(g.name, FormatDouble(g.value), g.unit);
+  }
+  for (const auto& h : histograms) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-48s count=%llu sum=%llu min=%llu max=%llu "
+                  "p50=%.0f p95=%.0f p99=%.0f %s\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.min),
+                  static_cast<unsigned long long>(h.max), h.p50, h.p95, h.p99,
+                  h.unit.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& c : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + JsonEscape(c.name) + "\", \"unit\": \"" +
+           JsonEscape(c.unit) + "\", \"value\": " + std::to_string(c.value) +
+           "}";
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& g : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + JsonEscape(g.name) + "\", \"unit\": \"" +
+           JsonEscape(g.unit) + "\", \"value\": " + FormatDouble(g.value) +
+           "}";
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"unit\": \"%s\", \"count\": %llu, "
+        "\"sum\": %llu, \"min\": %llu, \"max\": %llu, \"p50\": %.3f, "
+        "\"p95\": %.3f, \"p99\": %.3f}",
+        JsonEscape(h.name).c_str(), JsonEscape(h.unit).c_str(),
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum),
+        static_cast<unsigned long long>(h.min),
+        static_cast<unsigned long long>(h.max), h.p50, h.p95, h.p99);
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+double MetricsSnapshot::ValueOf(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return static_cast<double>(c.value);
+  }
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return -1;
+}
+
+// ----------------------------------------------------------------- Registry
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& unit,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_by_name_.find(name);
+  if (it != counter_by_name_.end()) return it->second.get();
+  auto* c = new Counter(name, unit, help);
+  counter_by_name_[name] = std::unique_ptr<Counter>(c);
+  return c;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& unit,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histogram_by_name_.find(name);
+  if (it != histogram_by_name_.end()) return it->second.get();
+  auto* h = new Histogram(name, unit, help);
+  histogram_by_name_[name] = std::unique_ptr<Histogram>(h);
+  return h;
+}
+
+uint64_t MetricsRegistry::RegisterProvider(ProviderFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_provider_id_++;
+  providers_[id] = std::move(fn);
+  return id;
+}
+
+void MetricsRegistry::UnregisterProvider(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = providers_.find(id);
+  if (it == providers_.end()) return;
+  MetricsSink sink;
+  it->second(&sink);
+  for (const auto& [name, gauge] : sink.gauges_) {
+    auto retained = retained_gauges_.find(name);
+    if (retained == retained_gauges_.end()) {
+      retained_gauges_.emplace(name, gauge);
+    } else {
+      retained->second.value += gauge.value;
+    }
+  }
+  providers_.erase(it);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counter_by_name_) {
+    snap.counters.push_back({name, counter->unit(), counter->value()});
+  }
+  MetricsSink sink;
+  sink.gauges_ = retained_gauges_;
+  for (const auto& [id, fn] : providers_) {
+    fn(&sink);
+  }
+  for (const auto& [name, gauge] : sink.gauges_) {
+    snap.gauges.push_back(gauge);
+  }
+  for (const auto& [name, hist] : histogram_by_name_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.unit = hist->unit();
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.min = hist->min();
+    h.max = hist->max();
+    h.p50 = hist->Quantile(0.50);
+    h.p95 = hist->Quantile(0.95);
+    h.p99 = hist->Quantile(0.99);
+    snap.histograms.push_back(h);
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace mbq::obs

@@ -1,0 +1,221 @@
+#ifndef MBQ_OBS_METRICS_H_
+#define MBQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mbq::obs {
+
+/// A monotonically increasing event count. Incrementing is a single
+/// relaxed atomic add, cheap enough for per-record hot paths; everything
+/// else (registration, snapshotting) takes the registry lock.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& unit() const { return unit_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string unit, std::string help)
+      : name_(std::move(name)), unit_(std::move(unit)), help_(std::move(help)) {}
+
+  std::string name_;
+  std::string unit_;
+  std::string help_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A log-linear latency/size histogram (HdrHistogram-style): each
+/// power-of-two segment is split into 32 sub-buckets, bounding the
+/// relative quantile error at ~3% while keeping Record() lock-free.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Value at quantile `q` in [0, 1], linearly interpolated within the
+  /// containing bucket. 0 when empty.
+  double Quantile(double q) const;
+
+  const std::string& name() const { return name_; }
+  const std::string& unit() const { return unit_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::string unit, std::string help)
+      : name_(std::move(name)), unit_(std::move(unit)), help_(std::move(help)) {}
+
+  // Values < 32 land in exact buckets [0, 32); larger values go to
+  // segment s = floor(log2(v)) with 32 sub-buckets each.
+  static constexpr uint32_t kSubBits = 5;
+  static constexpr uint32_t kSub = 1u << kSubBits;  // 32
+  static constexpr uint32_t kNumBuckets = kSub + (64 - kSubBits) * kSub;
+
+  static uint32_t BucketIndex(uint64_t value);
+  /// Inclusive lower bound of bucket `index`.
+  static uint64_t BucketLow(uint32_t index);
+  /// Width (number of distinct values) of bucket `index`.
+  static uint64_t BucketWidth(uint32_t index);
+
+  std::string name_;
+  std::string unit_;
+  std::string help_;
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time snapshot rows.
+struct CounterSnapshot {
+  std::string name;
+  std::string unit;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::string unit;
+  double value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string unit;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// One consistent read of every metric in a registry, exportable as an
+/// aligned text table or a JSON document (the bench --metrics-out format).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;    // sorted by name
+  std::vector<GaugeSnapshot> gauges;        // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  std::string ToText() const;
+  std::string ToJson() const;
+
+  /// Value of a counter or gauge by exact name; -1 when absent.
+  double ValueOf(const std::string& name) const;
+  bool Has(const std::string& name) const { return ValueOf(name) >= 0; }
+};
+
+/// Callback surface handed to pull providers during Snapshot(): each
+/// provider reports its component's counters as named gauges. Gauges
+/// reported under the same name by several providers (e.g. two GraphDb
+/// instances) are summed.
+class MetricsSink {
+ public:
+  void Gauge(const std::string& name, double value,
+             const std::string& unit = "");
+
+ private:
+  friend class MetricsRegistry;
+  std::map<std::string, GaugeSnapshot> gauges_;
+};
+
+/// The process-wide (or test-local) home of every metric. Counters and
+/// histograms are push-based and live as long as the registry; components
+/// with pre-existing internal counters (buffer caches, engines) register
+/// a pull provider instead and report at snapshot time.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Gets or creates the counter `name`. The returned pointer stays valid
+  /// for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, const std::string& unit = "",
+                      const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& unit = "",
+                          const std::string& help = "");
+
+  using ProviderFn = std::function<void(MetricsSink*)>;
+  /// Registers a pull provider; returns an id for UnregisterProvider.
+  uint64_t RegisterProvider(ProviderFn fn);
+  /// Pulls the provider's final gauge values before removing it, so the
+  /// component's totals stay visible in later snapshots (e.g. a bench
+  /// exporting metrics after its testbed is torn down). The provider must
+  /// still be safe to call at this point.
+  void UnregisterProvider(uint64_t id);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// The process-wide default registry every component reports to unless
+  /// explicitly given another one.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  // unique_ptr storage: metric addresses stay stable for the registry's
+  // lifetime even as more metrics register.
+  std::map<std::string, std::unique_ptr<Counter>> counter_by_name_;
+  std::map<std::string, std::unique_ptr<Histogram>> histogram_by_name_;
+  std::map<uint64_t, ProviderFn> providers_;
+  // Final values pulled from unregistered providers; Snapshot() sums
+  // these with the live providers' reports.
+  std::map<std::string, GaugeSnapshot> retained_gauges_;
+  uint64_t next_provider_id_ = 1;
+};
+
+/// RAII registration of a pull provider (movable, auto-unregisters).
+class ScopedProvider {
+ public:
+  ScopedProvider() = default;
+  ScopedProvider(MetricsRegistry* registry, MetricsRegistry::ProviderFn fn)
+      : registry_(registry), id_(registry->RegisterProvider(std::move(fn))) {}
+  ~ScopedProvider() { Reset(); }
+
+  ScopedProvider(ScopedProvider&& other) noexcept
+      : registry_(other.registry_), id_(other.id_) {
+    other.registry_ = nullptr;
+  }
+  ScopedProvider& operator=(ScopedProvider&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      registry_ = other.registry_;
+      id_ = other.id_;
+      other.registry_ = nullptr;
+    }
+    return *this;
+  }
+  ScopedProvider(const ScopedProvider&) = delete;
+  ScopedProvider& operator=(const ScopedProvider&) = delete;
+
+  void Reset() {
+    if (registry_ != nullptr) registry_->UnregisterProvider(id_);
+    registry_ = nullptr;
+  }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+}  // namespace mbq::obs
+
+#endif  // MBQ_OBS_METRICS_H_

@@ -30,7 +30,9 @@ Status Wal::Sync() {
     std::fill(page.begin(), page.end(), 0);
     std::memcpy(page.data(), buffer_.data() + begin, end - begin);
     MBQ_RETURN_IF_ERROR(disk_->WritePage(pages_[p], page.data()));
+    ++pages_written_;
   }
+  ++syncs_;
   durable_bytes_ = buffer_.size();
   return Status::OK();
 }

@@ -36,6 +36,11 @@ class Wal {
 
   uint64_t next_lsn() const { return next_lsn_; }
   uint64_t durable_bytes() const { return durable_bytes_; }
+  /// Number of Sync() calls that reached the disk (fsync-equivalents).
+  uint64_t syncs() const { return syncs_; }
+  /// Log pages written across all syncs (a page rewritten by two syncs
+  /// counts twice, as on a real device).
+  uint64_t pages_written() const { return pages_written_; }
 
   /// Discards the durable tail after byte offset 0 — a fresh log. (The
   /// nodestore truncates after a checkpoint.)
@@ -47,6 +52,8 @@ class Wal {
   std::vector<uint8_t> buffer_;     // full log image (durable + pending)
   uint64_t durable_bytes_ = 0;
   uint64_t next_lsn_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t pages_written_ = 0;
   std::vector<uint64_t> record_offsets_;  // byte offset of each record
 };
 

@@ -636,5 +636,71 @@ TEST_F(CypherAggregateTest, MixedIntDoubleSumPromotes) {
   EXPECT_DOUBLE_EQ(r->rows[0][0].value.AsDouble(), 3.5);
 }
 
+// -------------------------------------------------------- PROFILE / EXPLAIN
+
+TEST_F(CypherExecTest, ProfileExecutesAndMarksResult) {
+  auto r = Run("PROFILE MATCH (u:user) RETURN u.uid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->profiled);
+  EXPECT_FALSE(r->explain_only);
+  EXPECT_EQ(r->rows.size(), 5u);
+  // The profile tree carries per-operator stats.
+  EXPECT_NE(r->profile.find("NodeByLabelScan"), std::string::npos);
+  EXPECT_NE(r->profile.find("dbHits="), std::string::npos);
+  EXPECT_NE(r->profile.find("rows="), std::string::npos);
+}
+
+TEST_F(CypherExecTest, ProfileVerbIsCaseInsensitive) {
+  auto r = Run("profile MATCH (u:user) RETURN u.uid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->profiled);
+  EXPECT_EQ(r->rows.size(), 5u);
+}
+
+TEST_F(CypherExecTest, ProfileDbHitsStableAcrossRuns) {
+  // The same query over the same fixed graph must charge the same db
+  // hits every time — the profile is deterministic, not timing-based.
+  const std::string q =
+      "PROFILE MATCH (a:user {uid: 0})-[:follows]->(f:user) RETURN f.uid";
+  auto first = Run(q);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_GT(first->db_hits, 0u);
+  for (int i = 0; i < 3; ++i) {
+    auto again = Run(q);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->db_hits, first->db_hits);
+    EXPECT_EQ(again->profile, first->profile);
+  }
+}
+
+TEST_F(CypherExecTest, ExplainCompilesWithoutExecuting) {
+  uint64_t hits_before =
+      Run("MATCH (u:user) RETURN u.uid")->db_hits;  // warm the cache
+  auto r = Run("EXPLAIN MATCH (u:user) RETURN u.uid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->explain_only);
+  EXPECT_FALSE(r->profiled);
+  EXPECT_TRUE(r->rows.empty());
+  EXPECT_EQ(r->db_hits, 0u);
+  EXPECT_NE(r->profile.find("NodeByLabelScan"), std::string::npos);
+  // The shape-only tree carries no runtime stats.
+  EXPECT_EQ(r->profile.find("dbHits="), std::string::npos);
+  EXPECT_GT(hits_before, 0u);
+}
+
+TEST_F(CypherExecTest, ProfiledQuerySharesPlanCacheWithPlainQuery) {
+  auto plain = Run("MATCH (u:user {uid: $id}) RETURN u.name",
+                   {{"id", Value::Int(1)}});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->plan_cached);
+  auto profiled = Run("PROFILE MATCH (u:user {uid: $id}) RETURN u.name",
+                      {{"id", Value::Int(2)}});
+  ASSERT_TRUE(profiled.ok());
+  // The PROFILE prefix is stripped before the cache lookup.
+  EXPECT_TRUE(profiled->plan_cached);
+  ASSERT_EQ(profiled->rows.size(), 1u);
+  EXPECT_EQ(profiled->rows[0][0].value.AsString(), "u2");
+}
+
 }  // namespace
 }  // namespace mbq::cypher
