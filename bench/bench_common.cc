@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -59,6 +60,34 @@ Testbed BuildTestbed(uint64_t num_users) {
   return bed;
 }
 
+uint32_t BenchThreads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      value = argv[i] + 10;
+    }
+    if (value != nullptr) {
+      uint32_t v = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+      if (v >= 1 && v <= 256) return v;
+      std::fprintf(stderr, "ignoring bad --threads value: %s\n", value);
+    }
+  }
+  const char* env = std::getenv("CYPHER_THREADS");
+  if (env != nullptr) {
+    uint32_t v = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+    if (v >= 1 && v <= 256) return v;
+  }
+  return 1;
+}
+
+void ApplyThreads(Testbed& bed, uint32_t threads) {
+  if (threads < 1) threads = 1;
+  bed.nodestore_engine->SetThreads(threads);
+  bed.bitmap_engine->SetThreads(threads);
+}
+
 MetricsExportGuard::MetricsExportGuard(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
@@ -75,6 +104,10 @@ MetricsExportGuard::MetricsExportGuard(int argc, char** argv) {
 
 MetricsExportGuard::~MetricsExportGuard() {
   if (path_.empty()) return;
+  // Workers may still be folding their per-thread counters into the
+  // registry; snapshotting before they finish loses the tail of the last
+  // parallel query. Join in-flight pool work first.
+  exec::ThreadPool::Default().Drain();
   std::ofstream out(path_);
   if (!out) {
     std::fprintf(stderr, "could not open metrics output file: %s\n",

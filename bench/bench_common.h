@@ -44,6 +44,16 @@ twitter::DatasetSpec BenchSpec(uint64_t num_users);
 /// disks, warm after load unless DropCaches is called).
 Testbed BuildTestbed(uint64_t num_users);
 
+/// Parses `--threads N` (or `--threads=N`) from argv; falls back to the
+/// CYPHER_THREADS environment variable, then to 1 (fully sequential).
+uint32_t BenchThreads(int argc, char** argv);
+
+/// Configures both engines of `bed` for `threads`-way parallel execution
+/// (morsel-parallel Cypher pipelines on the nodestore side, fanned-out
+/// Neighbors loops on the bitmap side). `threads == 1` restores the
+/// sequential default. Workers come from exec::ThreadPool::Default().
+void ApplyThreads(Testbed& bed, uint32_t threads);
+
 /// Parses `--metrics-out <file>.json` from argv and, on destruction,
 /// writes a JSON snapshot of the default metrics registry to that file.
 /// Declare one at the top of a bench's main():

@@ -11,11 +11,12 @@
 namespace mbq::bench {
 namespace {
 
-void Run() {
+void Run(uint32_t threads) {
   uint64_t users = BenchUsers();
-  std::printf("Figure 4(a,b) — Q3.1 co-occurrence, %s users\n\n",
-              FormatCount(users).c_str());
+  std::printf("Figure 4(a,b) — Q3.1 co-occurrence, %s users, %u thread%s\n\n",
+              FormatCount(users).c_str(), threads, threads == 1 ? "" : "s");
   Testbed bed = BuildTestbed(users);
+  ApplyThreads(bed, threads);
   uint32_t runs = BenchRuns();
 
   // Sample users across the mention-count spectrum (the paper's x-axis is
@@ -79,6 +80,52 @@ void Run() {
         FormatMillis(lo.bm).c_str(), FormatMillis(hi.bm).c_str(),
         FormatCount(lo.rows).c_str(), FormatCount(hi.rows).c_str());
   }
+
+  // Scaling curve: re-run the heaviest sampled point at 1..threads workers
+  // and report the speedup over the sequential baseline. Wall-clock gains
+  // require real cores; on a single-core host the interesting number is
+  // that the parallel plan returns identical rows at no modelled-I/O cost.
+  if (threads > 1 && !points.empty()) {
+    int64_t uid = points.back().uid;
+    std::printf("\nscaling (uid %lld, rows %s):\n",
+                static_cast<long long>(uid),
+                FormatCount(points.back().rows).c_str());
+    std::vector<int> swidths{8, 14, 14, 10, 10};
+    PrintRow({"threads", "nodestore", "bitmapstore", "ns x", "bm x"}, swidths);
+    PrintRule(swidths);
+    double base_ns = 0.0, base_bm = 0.0;
+    for (uint32_t t = 1; t <= threads; t *= 2) {
+      ApplyThreads(bed, t);
+      auto ns = core::MeasureQuery(
+          [&]() -> Result<uint64_t> {
+            MBQ_ASSIGN_OR_RETURN(
+                auto r, bed.nodestore_engine->TopCoMentionedUsers(uid, 1 << 30));
+            return r.size();
+          },
+          1, runs, [&] { return bed.db->SimulatedIoNanos(); });
+      auto bm = core::MeasureQuery(
+          [&]() -> Result<uint64_t> {
+            MBQ_ASSIGN_OR_RETURN(
+                auto r, bed.bitmap_engine->TopCoMentionedUsers(uid, 1 << 30));
+            return r.size();
+          },
+          1, runs, [&] { return bed.graph->SimulatedIoNanos(); });
+      if (!ns.ok() || !bm.ok()) continue;
+      if (t == 1) {
+        base_ns = ns->avg_millis;
+        base_bm = bm->avg_millis;
+      }
+      char ns_x[32], bm_x[32];
+      std::snprintf(ns_x, sizeof(ns_x), "%.2fx",
+                    ns->avg_millis > 0 ? base_ns / ns->avg_millis : 0.0);
+      std::snprintf(bm_x, sizeof(bm_x), "%.2fx",
+                    bm->avg_millis > 0 ? base_bm / bm->avg_millis : 0.0);
+      PrintRow({std::to_string(t), FormatMillis(ns->avg_millis),
+                FormatMillis(bm->avg_millis), ns_x, bm_x},
+               swidths);
+    }
+    ApplyThreads(bed, threads);
+  }
 }
 
 }  // namespace
@@ -86,6 +133,6 @@ void Run() {
 
 int main(int argc, char** argv) {
   mbq::bench::MetricsExportGuard metrics(argc, argv);
-  mbq::bench::Run();
+  mbq::bench::Run(mbq::bench::BenchThreads(argc, argv));
   return 0;
 }

@@ -12,11 +12,12 @@
 namespace mbq::bench {
 namespace {
 
-void Run() {
+void Run(uint32_t threads) {
   uint64_t users = BenchUsers();
-  std::printf("Figure 4(e,f) — Q5.2 potential influence, %s users\n\n",
-              FormatCount(users).c_str());
+  std::printf("Figure 4(e,f) — Q5.2 potential influence, %s users, %u thread%s\n\n",
+              FormatCount(users).c_str(), threads, threads == 1 ? "" : "s");
   Testbed bed = BuildTestbed(users);
+  ApplyThreads(bed, threads);
   uint32_t runs = BenchRuns();
 
   // Spread the sample across *distinct* mention degrees (the raw rank
@@ -73,6 +74,6 @@ void Run() {
 
 int main(int argc, char** argv) {
   mbq::bench::MetricsExportGuard metrics(argc, argv);
-  mbq::bench::Run();
+  mbq::bench::Run(mbq::bench::BenchThreads(argc, argv));
   return 0;
 }

@@ -13,11 +13,12 @@
 namespace mbq::bench {
 namespace {
 
-void Run() {
+void Run(uint32_t threads) {
   uint64_t users = BenchUsers();
-  std::printf("Figure 4(c,d) — Q4.1 recommendation, %s users\n\n",
-              FormatCount(users).c_str());
+  std::printf("Figure 4(c,d) — Q4.1 recommendation, %s users, %u thread%s\n\n",
+              FormatCount(users).c_str(), threads, threads == 1 ? "" : "s");
   Testbed bed = BuildTestbed(users);
+  ApplyThreads(bed, threads);
   uint32_t runs = BenchRuns();
 
   auto by_followees = core::UsersByFolloweeCount(bed.dataset);
@@ -100,6 +101,6 @@ void Run() {
 
 int main(int argc, char** argv) {
   mbq::bench::MetricsExportGuard metrics(argc, argv);
-  mbq::bench::Run();
+  mbq::bench::Run(mbq::bench::BenchThreads(argc, argv));
   return 0;
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ThreadSanitizer and (optionally)
+# AddressSanitizer. The TSan pass is the acceptance gate for the parallel
+# execution work: the concurrency harness must come back clean.
+#
+# Usage:
+#   scripts/run_sanitized_tests.sh               # TSan, concurrency-focused tests
+#   scripts/run_sanitized_tests.sh --all         # TSan, full suite
+#   scripts/run_sanitized_tests.sh --asan        # also run an ASan pass
+#
+# The focused TSan pass runs the tests that exercise shared state
+# (ThreadPool, concurrency harness, agreement sweep, cypher runtime) with
+# CYPHER_THREADS=4 so the morsel-parallel paths engage. A full-suite TSan
+# run works too but is several times slower.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+run_all=0
+run_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --all) run_all=1 ;;
+    --asan) run_asan=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+focused='Exec|Concurrency|Agreement|Cypher'
+
+echo "== ThreadSanitizer build (build-tsan/) =="
+cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs"
+
+echo "== ThreadSanitizer tests (CYPHER_THREADS=4) =="
+if [ "$run_all" -eq 1 ]; then
+  (cd build-tsan && CYPHER_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --output-on-failure)
+else
+  (cd build-tsan && CYPHER_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --output-on-failure -R "$focused")
+fi
+
+if [ "$run_asan" -eq 1 ]; then
+  echo "== AddressSanitizer build (build-asan/) =="
+  cmake -B build-asan -S . -DSANITIZE=address >/dev/null
+  cmake --build build-asan -j "$jobs"
+  echo "== AddressSanitizer tests =="
+  (cd build-asan && CYPHER_THREADS=4 ctest --output-on-failure -R "$focused")
+fi
+
+echo "sanitized tests passed"

@@ -367,7 +367,7 @@ Result<Objects> Graph::Select(TypeId type) const {
   if (type < 0 || static_cast<size_t>(type) >= types_.size()) {
     return Status::InvalidArgument("bad type id");
   }
-  ++stats_.select_calls;
+  stats_.select_calls.fetch_add(1, std::memory_order_relaxed);
   return Objects(types_[type].objects);
 }
 
@@ -439,7 +439,7 @@ Status Graph::SetAttribute(Oid oid, AttrId attr, const Value& value) {
     }
     info.values.erase(prev);
   }
-  ++stats_.attribute_writes;
+  stats_.attribute_writes.fetch_add(1, std::memory_order_relaxed);
   if (value.is_null()) return Status::OK();
   info.values.emplace(oid, value);
   if (indexed) info.index[value].Add(oid);
@@ -453,7 +453,7 @@ Status Graph::SetAttribute(Oid oid, AttrId attr, const Value& value) {
 Result<Value> Graph::GetAttribute(Oid oid, AttrId attr) const {
   MBQ_RETURN_IF_ERROR(CheckOid(oid));
   MBQ_ASSIGN_OR_RETURN(const AttributeInfo* info, CheckAttr(attr));
-  ++stats_.attribute_reads;
+  stats_.attribute_reads.fetch_add(1, std::memory_order_relaxed);
   auto it = info->values.find(oid);
   if (it == info->values.end()) return Value::Null();
   auto loc = info->locations.find(oid);
@@ -477,7 +477,7 @@ Result<Oid> Graph::FindObject(AttrId attr, const Value& value) const {
 Result<Objects> Graph::Select(AttrId attr, Condition cond,
                               const Value& value) const {
   MBQ_ASSIGN_OR_RETURN(const AttributeInfo* info, CheckAttr(attr));
-  ++stats_.select_calls;
+  stats_.select_calls.fetch_add(1, std::memory_order_relaxed);
   Objects out;
   if (info->kind == AttributeKind::kBasic) {
     // Unindexed: scan every stored value (and pay its pages).
@@ -594,7 +594,7 @@ Result<Objects> Graph::Neighbors(Oid node, TypeId etype,
       types_[etype].kind != ObjectKind::kEdge) {
     return Status::InvalidArgument("bad edge type");
   }
-  ++stats_.neighbors_calls;
+  stats_.neighbors_calls.fetch_add(1, std::memory_order_relaxed);
   const TypeInfo& et = types_[etype];
   if (dir == EdgesDirection::kOutgoing) {
     return NeighborsOneDirection(node, et, true);
@@ -631,7 +631,7 @@ Result<Objects> Graph::Explode(Oid node, TypeId etype,
       types_[etype].kind != ObjectKind::kEdge) {
     return Status::InvalidArgument("bad edge type");
   }
-  ++stats_.explode_calls;
+  stats_.explode_calls.fetch_add(1, std::memory_order_relaxed);
   const TypeInfo& et = types_[etype];
   Objects out;
   auto collect = [&](const AdjacencyIndex& adj) -> Status {
@@ -670,11 +670,9 @@ Status Graph::Flush() { return accountant_->Finalize(); }
 
 Status Graph::DropCaches() { return cache_->EvictAll(); }
 
-const storage::BufferCacheStats& Graph::cache_stats() const {
-  return cache_->stats();
-}
+storage::BufferCacheStats Graph::cache_stats() const { return cache_->stats(); }
 
-const storage::DiskStats& Graph::disk_stats() const { return disk_->stats(); }
+storage::DiskStats Graph::disk_stats() const { return disk_->stats(); }
 
 uint64_t Graph::DiskSizeBytes() const { return disk_->SizeBytes(); }
 

@@ -1,6 +1,7 @@
 #ifndef MBQ_BITMAPSTORE_GRAPH_H_
 #define MBQ_BITMAPSTORE_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -75,13 +76,23 @@ struct GraphOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// I/O and operation counters surfaced by the engine.
+/// I/O and operation counters surfaced by the engine. Fields are relaxed
+/// atomics so concurrent reader threads can bump them without a data race;
+/// they read as plain integers (atomic<uint64_t> converts implicitly).
 struct GraphStats {
-  uint64_t neighbors_calls = 0;
-  uint64_t explode_calls = 0;
-  uint64_t select_calls = 0;
-  uint64_t attribute_reads = 0;
-  uint64_t attribute_writes = 0;
+  std::atomic<uint64_t> neighbors_calls{0};
+  std::atomic<uint64_t> explode_calls{0};
+  std::atomic<uint64_t> select_calls{0};
+  std::atomic<uint64_t> attribute_reads{0};
+  std::atomic<uint64_t> attribute_writes{0};
+
+  void Reset() {
+    neighbors_calls = 0;
+    explode_calls = 0;
+    select_calls = 0;
+    attribute_reads = 0;
+    attribute_writes = 0;
+  }
 };
 
 /// A directed labelled multigraph with typed attributes, stored over
@@ -193,9 +204,9 @@ class Graph {
   Status DropCaches();
 
   const GraphStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = GraphStats(); }
-  const storage::BufferCacheStats& cache_stats() const;
-  const storage::DiskStats& disk_stats() const;
+  void ResetStats() { stats_.Reset(); }
+  storage::BufferCacheStats cache_stats() const;
+  storage::DiskStats disk_stats() const;
   /// Simulated on-disk footprint in bytes.
   uint64_t DiskSizeBytes() const;
   /// Simulated device time consumed so far (nanoseconds).

@@ -1,13 +1,74 @@
 #include "core/bitmap_engine.h"
 
+#include <algorithm>
 #include <map>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
+
+#include "exec/thread_pool.h"
 
 namespace mbq::core {
 
 using bitmapstore::EdgesDirection;
 using bitmapstore::Objects;
 using bitmapstore::Oid;
+
+void BitmapEngine::SetThreads(uint32_t threads, exec::ThreadPool* pool) {
+  threads_ = threads == 0 ? 1 : threads;
+  pool_ = pool;
+}
+
+Result<std::unordered_map<Oid, int64_t>> BitmapEngine::CountNeighborsPerSource(
+    const Objects& sources, bitmapstore::TypeId etype, EdgesDirection dir,
+    Oid exclude) {
+  std::unordered_map<Oid, int64_t> counts;
+  if (threads_ <= 1) {
+    Status status = Status::OK();
+    sources.ForEach([&](uint32_t src) -> bool {
+      auto nbrs = graph_->Neighbors(src, etype, dir);
+      if (!nbrs.ok()) {
+        status = nbrs.status();
+        return false;
+      }
+      nbrs->ForEach([&](uint32_t other) {
+        if (other != exclude) ++counts[other];
+      });
+      return true;
+    });
+    MBQ_RETURN_IF_ERROR(status);
+    return counts;
+  }
+  // Parallel across source elements: workers count into private maps and
+  // merge under one lock. Neighbors() is read-only over the immutable
+  // bitmaps and the sharded page cache, so concurrent calls are safe.
+  std::vector<Oid> elems = sources.ToVector();
+  exec::ThreadPool& pool =
+      pool_ != nullptr ? *pool_ : exec::ThreadPool::Default();
+  std::mutex mu;
+  Status first_error = Status::OK();
+  uint64_t grain = std::max<uint64_t>(
+      1, elems.size() / (static_cast<uint64_t>(threads_) * 4));
+  pool.ParallelFor(0, elems.size(), grain, [&](uint64_t begin, uint64_t end) {
+    std::unordered_map<Oid, int64_t> local;
+    Status st = Status::OK();
+    for (uint64_t i = begin; i < end && st.ok(); ++i) {
+      auto nbrs = graph_->Neighbors(elems[i], etype, dir);
+      if (!nbrs.ok()) {
+        st = nbrs.status();
+        break;
+      }
+      nbrs->ForEach([&](uint32_t other) {
+        if (other != exclude) ++local[other];
+      });
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (!st.ok() && first_error.ok()) first_error = st;
+    for (const auto& [oid, count] : local) counts[oid] += count;
+  });
+  MBQ_RETURN_IF_ERROR(first_error);
+  return counts;
+}
 
 Result<Oid> BitmapEngine::UserByUid(int64_t uid) const {
   MBQ_ASSIGN_OR_RETURN(Oid user,
@@ -116,21 +177,10 @@ Result<ValueRows> BitmapEngine::TopCoMentionedUsers(int64_t uid, int64_t n) {
   MBQ_ASSIGN_OR_RETURN(
       Objects tweets,
       graph_->Neighbors(user, h_.mentions, EdgesDirection::kIngoing));
-  std::unordered_map<Oid, int64_t> counts;
-  Status status = Status::OK();
-  tweets.ForEach([&](uint32_t tweet) -> bool {
-    auto mentioned =
-        graph_->Neighbors(tweet, h_.mentions, EdgesDirection::kOutgoing);
-    if (!mentioned.ok()) {
-      status = mentioned.status();
-      return false;
-    }
-    mentioned->ForEach([&](uint32_t other) {
-      if (other != user) ++counts[other];
-    });
-    return true;
-  });
-  MBQ_RETURN_IF_ERROR(status);
+  MBQ_ASSIGN_OR_RETURN(auto counts,
+                       CountNeighborsPerSource(tweets, h_.mentions,
+                                               EdgesDirection::kOutgoing,
+                                               user));
   std::vector<std::pair<Value, int64_t>> keyed;
   keyed.reserve(counts.size());
   for (const auto& [oid, count] : counts) {
@@ -150,20 +200,10 @@ Result<ValueRows> BitmapEngine::TopCoOccurringHashtags(const std::string& tag,
   MBQ_ASSIGN_OR_RETURN(
       Objects tweets,
       graph_->Neighbors(hashtag, h_.tags, EdgesDirection::kIngoing));
-  std::unordered_map<Oid, int64_t> counts;
-  Status status = Status::OK();
-  tweets.ForEach([&](uint32_t tweet) -> bool {
-    auto cooc = graph_->Neighbors(tweet, h_.tags, EdgesDirection::kOutgoing);
-    if (!cooc.ok()) {
-      status = cooc.status();
-      return false;
-    }
-    cooc->ForEach([&](uint32_t other) {
-      if (other != hashtag) ++counts[other];
-    });
-    return true;
-  });
-  MBQ_RETURN_IF_ERROR(status);
+  MBQ_ASSIGN_OR_RETURN(auto counts,
+                       CountNeighborsPerSource(tweets, h_.tags,
+                                               EdgesDirection::kOutgoing,
+                                               hashtag));
   std::vector<std::pair<Value, int64_t>> keyed;
   keyed.reserve(counts.size());
   for (const auto& [oid, count] : counts) {
@@ -181,23 +221,13 @@ Result<ValueRows> BitmapEngine::Recommend(int64_t uid, int64_t n,
       graph_->Neighbors(user, h_.follows, EdgesDirection::kOutgoing));
   // "A separate neighbours call has to be executed for each 1-step
   // followee of A" — the per-followee loop the paper calls expensive.
-  std::unordered_map<Oid, int64_t> counts;
-  Status status = Status::OK();
-  followees.ForEach([&](uint32_t followee) -> bool {
-    auto second = graph_->Neighbors(followee, h_.follows, second_hop);
-    if (!second.ok()) {
-      status = second.status();
-      return false;
-    }
-    second->ForEach([&](uint32_t candidate) { ++counts[candidate]; });
-    return true;
-  });
-  MBQ_RETURN_IF_ERROR(status);
+  MBQ_ASSIGN_OR_RETURN(auto counts,
+                       CountNeighborsPerSource(followees, h_.follows,
+                                               second_hop,
+                                               bitmapstore::kInvalidOid));
   // Remove A itself and anyone A already follows.
   counts.erase(user);
-  Status erase_status = Status::OK();
   followees.ForEach([&](uint32_t followee) { counts.erase(followee); });
-  MBQ_RETURN_IF_ERROR(erase_status);
   std::vector<std::pair<Value, int64_t>> keyed;
   keyed.reserve(counts.size());
   for (const auto& [oid, count] : counts) {
@@ -225,21 +255,10 @@ Result<ValueRows> BitmapEngine::Influence(int64_t uid, int64_t n,
   MBQ_ASSIGN_OR_RETURN(
       Objects tweets,
       graph_->Neighbors(user, h_.mentions, EdgesDirection::kIngoing));
-  std::unordered_map<Oid, int64_t> counts;
-  Status status = Status::OK();
-  tweets.ForEach([&](uint32_t tweet) -> bool {
-    auto posters =
-        graph_->Neighbors(tweet, h_.posts, EdgesDirection::kIngoing);
-    if (!posters.ok()) {
-      status = posters.status();
-      return false;
-    }
-    posters->ForEach([&](uint32_t poster) {
-      if (poster != user) ++counts[poster];
-    });
-    return true;
-  });
-  MBQ_RETURN_IF_ERROR(status);
+  MBQ_ASSIGN_OR_RETURN(auto counts,
+                       CountNeighborsPerSource(tweets, h_.posts,
+                                               EdgesDirection::kIngoing,
+                                               user));
   // "Removing (or retaining) the users who are already following A."
   MBQ_ASSIGN_OR_RETURN(
       Objects followers,

@@ -2,11 +2,16 @@
 #define MBQ_CORE_BITMAP_ENGINE_H_
 
 #include <string>
+#include <unordered_map>
 
 #include "bitmapstore/graph.h"
 #include "bitmapstore/shortest_path.h"
 #include "core/engine.h"
 #include "twitter/loaders.h"
+
+namespace mbq::exec {
+class ThreadPool;
+}  // namespace mbq::exec
 
 namespace mbq::core {
 
@@ -40,11 +45,23 @@ class BitmapEngine : public MicroblogEngine {
 
   Status DropCaches() override { return graph_->DropCaches(); }
 
+  /// Fans the per-element Neighbors loops of the heavy queries (Q3-Q5)
+  /// out over `threads` workers; 1 (default) keeps everything sequential.
+  /// `pool` is borrowed; null uses exec::ThreadPool::Default().
+  void SetThreads(uint32_t threads, exec::ThreadPool* pool = nullptr);
+
   bitmapstore::Graph* graph() { return graph_; }
   const twitter::BitmapHandles& handles() const { return h_; }
 
  private:
   Result<bitmapstore::Oid> UserByUid(int64_t uid) const;
+  /// For every element of `sources`, counts the neighbors reached via
+  /// (etype, dir) — skipping `exclude` — into one map. Splits the source
+  /// set across worker threads when SetThreads enabled parallelism;
+  /// reads share the immutable bitmaps and the sharded page cache.
+  Result<std::unordered_map<bitmapstore::Oid, int64_t>> CountNeighborsPerSource(
+      const bitmapstore::Objects& sources, bitmapstore::TypeId etype,
+      bitmapstore::EdgesDirection dir, bitmapstore::Oid exclude);
   /// Shared Q4 core: for each 1-step followee, gather `second_hop`
   /// neighbors, count candidates, drop direct followees and self.
   Result<ValueRows> Recommend(int64_t uid, int64_t n,
@@ -55,6 +72,8 @@ class BitmapEngine : public MicroblogEngine {
 
   bitmapstore::Graph* graph_;
   twitter::BitmapHandles h_;
+  uint32_t threads_ = 1;
+  exec::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace mbq::core

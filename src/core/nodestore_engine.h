@@ -38,6 +38,12 @@ class NodestoreEngine : public MicroblogEngine {
 
   Status DropCaches() override { return db_->DropCaches(); }
 
+  /// Morsel-parallel Cypher execution for eligible pipelines (delegates
+  /// to CypherSession::SetThreads).
+  void SetThreads(uint32_t threads, exec::ThreadPool* pool = nullptr) {
+    session_.SetThreads(threads, pool);
+  }
+
   cypher::CypherSession& session() { return session_; }
   nodestore::GraphDb* db() { return db_; }
 

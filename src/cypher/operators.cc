@@ -2,14 +2,24 @@
 
 #include <algorithm>
 
+#include "cypher/parallel.h"
+#include "nodestore/record_file.h"
+
 namespace mbq::cypher {
 
 Result<bool> Operator::NextTracked(Row* out) {
-  uint64_t before = ctx_ != nullptr ? ctx_->db->db_hits() : 0;
+  // Thread-local deltas, not the database's global counter: parallel
+  // worker pipelines each profile their own ops without seeing hits
+  // charged by sibling threads.
+  uint64_t before = nodestore::DbHitCounter::ThreadHits();
   Result<bool> r = Next(out);
-  if (ctx_ != nullptr) db_hits_ += ctx_->db->db_hits() - before;
+  db_hits_ += nodestore::DbHitCounter::ThreadHits() - before;
   if (r.ok() && *r) ++rows_produced_;
   return r;
+}
+
+std::unique_ptr<Operator> Operator::CloneTree() const {
+  return CloneWithChild(child_ != nullptr ? child_->CloneTree() : nullptr);
 }
 
 Status Operator::Drain(std::vector<Row>* rows) {
@@ -40,6 +50,11 @@ Result<bool> SingleRow::Next(Row* out) {
   return true;
 }
 
+std::unique_ptr<Operator> SingleRow::CloneWithChild(
+    std::unique_ptr<Operator>) const {
+  return std::make_unique<SingleRow>(width_);
+}
+
 // ------------------------------------------------------------ NodeLabelScan
 
 Status NodeLabelScan::Open(ExecContext* ctx) {
@@ -63,6 +78,11 @@ Result<bool> NodeLabelScan::Next(Row* out) {
   }
   (*out)[slot_] = RtValue::FromNode(buffer_[index_++]);
   return true;
+}
+
+std::unique_ptr<Operator> NodeLabelScan::CloneWithChild(
+    std::unique_ptr<Operator>) const {
+  return std::make_unique<NodeLabelScan>(slot_, width_, label_);
 }
 
 // ------------------------------------------------------------ NodeIndexSeek
@@ -95,6 +115,12 @@ Result<bool> NodeIndexSeek::Next(Row* out) {
   }
   (*out)[slot_] = RtValue::FromNode(buffer_[index_++]);
   return true;
+}
+
+std::unique_ptr<Operator> NodeIndexSeek::CloneWithChild(
+    std::unique_ptr<Operator>) const {
+  return std::make_unique<NodeIndexSeek>(slot_, width_, label_, property_,
+                                         value_);
 }
 
 // ----------------------------------------------------------------- Expand
@@ -156,6 +182,12 @@ Result<bool> Expand::Next(Row* out) {
     have_row_ = true;
     MBQ_RETURN_IF_ERROR(RefillFromRow());
   }
+}
+
+std::unique_ptr<Operator> Expand::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<Expand>(std::move(child), from_slot_, to_slot_,
+                                  rel_slot_, rel_type_, dir_, into_bound_);
 }
 
 // --------------------------------------------------------- VarLengthExpand
@@ -231,6 +263,13 @@ Result<bool> VarLengthExpand::Next(Row* out) {
   }
 }
 
+std::unique_ptr<Operator> VarLengthExpand::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<VarLengthExpand>(std::move(child), from_slot_,
+                                           to_slot_, rel_type_, dir_,
+                                           min_hops_, max_hops_);
+}
+
 // ----------------------------------------------------------------- Filter
 
 Status Filter::Open(ExecContext* ctx) {
@@ -246,6 +285,11 @@ Result<bool> Filter::Next(Row* out) {
                          EvalPredicate(*predicate_, *out, *slots_, ctx_));
     if (keep) return true;
   }
+}
+
+std::unique_ptr<Operator> Filter::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<Filter>(std::move(child), predicate_, slots_);
 }
 
 // ------------------------------------------------------------- LabelFilter
@@ -274,6 +318,11 @@ Result<bool> LabelFilter::Next(Row* out) {
                          ctx_->db->NodeLabel(v.node));
     if (label == *resolved_) return true;
   }
+}
+
+std::unique_ptr<Operator> LabelFilter::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<LabelFilter>(std::move(child), slot_, label_);
 }
 
 // ---------------------------------------------------------- ShortestPathOp
@@ -311,11 +360,19 @@ Result<bool> ShortestPathOp::Next(Row* out) {
   }
 }
 
+std::unique_ptr<Operator> ShortestPathOp::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<ShortestPathOp>(std::move(child), src_slot_,
+                                          dst_slot_, path_slot_, rel_type_,
+                                          dir_, max_hops_);
+}
+
 // --------------------------------------------------------------- Aggregate
 
 Status Aggregate::Open(ExecContext* ctx) {
   ctx_ = ctx;
   materialized_ = false;
+  groups_.clear();
   output_.clear();
   index_ = 0;
   return child_->Open(ctx);
@@ -323,16 +380,7 @@ Status Aggregate::Open(ExecContext* ctx) {
 
 namespace {
 
-/// Running state of one aggregate within one group.
-struct AggState {
-  uint64_t count = 0;
-  int64_t isum = 0;
-  double dsum = 0;
-  bool saw_double = false;
-  bool has_best = false;
-  RtValue best;
-  std::unordered_set<Row, RowHash, RowEq> distinct;
-};
+using AggState = Aggregate::AggState;
 
 Status AccumulateValue(const Aggregate::AggItem& agg, const RtValue& v,
                        AggState* state) {
@@ -409,45 +457,70 @@ Result<RtValue> FinalizeAgg(const Aggregate::AggItem& agg, AggState* state) {
 
 }  // namespace
 
-Status Aggregate::Materialize() {
-  struct GroupState {
-    Row keys;
-    std::vector<AggState> aggs;
-  };
-  std::unordered_map<Row, GroupState, RowHash, RowEq> groups;
-
-  Row row;
-  for (;;) {
-    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(&row));
-    if (!more) break;
-    Row keys;
-    keys.reserve(group_exprs_.size());
-    for (const Expr* e : group_exprs_) {
-      MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*e, row, *slots_, ctx_));
-      keys.push_back(std::move(v));
+Status Aggregate::AccumulateRow(const Row& row, ExecContext* ctx) {
+  Row keys;
+  keys.reserve(group_exprs_.size());
+  for (const Expr* e : group_exprs_) {
+    MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*e, row, *slots_, ctx));
+    keys.push_back(std::move(v));
+  }
+  auto [it, inserted] = groups_.try_emplace(keys);
+  GroupState& state = it->second;
+  if (inserted) {
+    state.keys = keys;
+    state.aggs.resize(aggs_.size());
+  }
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    const AggItem& agg = aggs_[a];
+    if (agg.arg == nullptr) {  // COUNT(*)
+      ++state.aggs[a].count;
+      continue;
     }
-    auto [it, inserted] = groups.try_emplace(keys);
-    GroupState& state = it->second;
-    if (inserted) {
-      state.keys = keys;
-      state.aggs.resize(aggs_.size());
-    }
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      const AggItem& agg = aggs_[a];
-      if (agg.arg == nullptr) {  // COUNT(*)
-        ++state.aggs[a].count;
-        continue;
-      }
-      MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*agg.arg, row, *slots_, ctx_));
-      if (v.is_null()) continue;  // aggregates skip nulls
-      if (agg.distinct) {
-        state.aggs[a].distinct.insert(Row{v});
-      } else {
-        MBQ_RETURN_IF_ERROR(AccumulateValue(agg, v, &state.aggs[a]));
-      }
+    MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*agg.arg, row, *slots_, ctx));
+    if (v.is_null()) continue;  // aggregates skip nulls
+    if (agg.distinct) {
+      state.aggs[a].distinct.insert(Row{v});
+    } else {
+      MBQ_RETURN_IF_ERROR(AccumulateValue(agg, v, &state.aggs[a]));
     }
   }
-  for (auto& [keys, state] : groups) {
+  return Status::OK();
+}
+
+Status Aggregate::MergeFrom(Aggregate* other) {
+  for (auto& [keys, theirs] : other->groups_) {
+    auto [it, inserted] = groups_.try_emplace(keys);
+    GroupState& ours = it->second;
+    if (inserted) {
+      ours = std::move(theirs);
+      continue;
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      AggState& dst = ours.aggs[a];
+      AggState& src = theirs.aggs[a];
+      dst.count += src.count;
+      dst.isum += src.isum;
+      dst.dsum += src.dsum;
+      dst.saw_double |= src.saw_double;
+      if (src.has_best) {
+        bool better =
+            !dst.has_best || (aggs_[a].func == AggFunc::kMin
+                                  ? src.best.Compare(dst.best) < 0
+                                  : src.best.Compare(dst.best) > 0);
+        if (better) {
+          dst.best = std::move(src.best);
+          dst.has_best = true;
+        }
+      }
+      dst.distinct.merge(src.distinct);
+    }
+  }
+  other->groups_.clear();
+  return Status::OK();
+}
+
+Status Aggregate::FinalizeGroups() {
+  for (auto& [keys, state] : groups_) {
     Row out = state.keys;
     for (size_t a = 0; a < aggs_.size(); ++a) {
       MBQ_ASSIGN_OR_RETURN(RtValue v, FinalizeAgg(aggs_[a], &state.aggs[a]));
@@ -455,8 +528,35 @@ Status Aggregate::Materialize() {
     }
     output_.push_back(std::move(out));
   }
+  groups_.clear();
   materialized_ = true;
   return Status::OK();
+}
+
+std::unique_ptr<Operator> Aggregate::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<Aggregate>(std::move(child), group_exprs_, aggs_,
+                                     slots_);
+}
+
+std::unique_ptr<Aggregate> Aggregate::CloneCollector() const {
+  return std::make_unique<Aggregate>(nullptr, group_exprs_, aggs_, slots_);
+}
+
+Status Aggregate::Materialize() {
+  if (ctx_->pool != nullptr && ctx_->threads > 1 &&
+      ctx_->outer_row == nullptr) {
+    MBQ_ASSIGN_OR_RETURN(bool consumed,
+                         ParallelMaterializeAggregate(this, ctx_));
+    if (consumed) return FinalizeGroups();
+  }
+  Row row;
+  for (;;) {
+    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(&row));
+    if (!more) break;
+    MBQ_RETURN_IF_ERROR(AccumulateRow(row, ctx_));
+  }
+  return FinalizeGroups();
 }
 
 Result<bool> Aggregate::Next(Row* out) {
@@ -484,6 +584,11 @@ Result<bool> Projection::Next(Row* out) {
     out->push_back(std::move(v));
   }
   return true;
+}
+
+std::unique_ptr<Operator> Projection::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<Projection>(std::move(child), exprs_, slots_);
 }
 
 // ------------------------------------------------------------------- Sort
@@ -519,6 +624,11 @@ Result<bool> Sort::Next(Row* out) {
   return true;
 }
 
+std::unique_ptr<Operator> Sort::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<Sort>(std::move(child), keys_);
+}
+
 // ------------------------------------------------------------------ Limit
 
 Status Limit::Open(ExecContext* ctx) {
@@ -542,6 +652,11 @@ Result<bool> Limit::Next(Row* out) {
   return true;
 }
 
+std::unique_ptr<Operator> Limit::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<Limit>(std::move(child), count_expr_, slots_);
+}
+
 // --------------------------------------------------------------- Distinct
 
 Status Distinct::Open(ExecContext* ctx) {
@@ -556,6 +671,11 @@ Result<bool> Distinct::Next(Row* out) {
     if (!more) return false;
     if (seen_.insert(*out).second) return true;
   }
+}
+
+std::unique_ptr<Operator> Distinct::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<Distinct>(std::move(child));
 }
 
 // ------------------------------------------------------------------ Apply
@@ -589,6 +709,43 @@ Result<bool> Apply::Next(Row* out) {
   }
 }
 
+std::unique_ptr<Operator> Apply::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<Apply>(std::move(child), right_->CloneTree());
+}
+
+// ---------------------------------------------------------- RowBufferSource
+
+Status RowBufferSource::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  morsel_pos_ = 0;
+  morsel_end_ = 0;
+  return Status::OK();
+}
+
+Result<bool> RowBufferSource::Next(Row* out) {
+  if (morsel_pos_ >= morsel_end_) {
+    if (cursor_ == nullptr) {
+      // Serve-all mode: one pass over the whole buffer.
+      if (morsel_end_ != 0 || rows_->empty()) return false;
+      morsel_pos_ = 0;
+      morsel_end_ = rows_->size();
+    } else {
+      size_t begin = cursor_->fetch_add(grain_, std::memory_order_relaxed);
+      if (begin >= rows_->size()) return false;
+      morsel_pos_ = begin;
+      morsel_end_ = std::min(begin + grain_, rows_->size());
+    }
+  }
+  *out = (*rows_)[morsel_pos_++];
+  return true;
+}
+
+std::unique_ptr<Operator> RowBufferSource::CloneWithChild(
+    std::unique_ptr<Operator>) const {
+  return std::make_unique<RowBufferSource>(rows_, cursor_, grain_);
+}
+
 // ----------------------------------------------------------------- Helpers
 
 std::string DescribePlanTree(const Operator& root, int indent) {
@@ -596,6 +753,9 @@ std::string DescribePlanTree(const Operator& root, int indent) {
   out += root.Describe();
   out += "  rows=" + std::to_string(root.rows_produced());
   out += " dbHits=" + std::to_string(root.db_hits());
+  if (root.parallel_workers() > 0) {
+    out += " par=" + std::to_string(root.parallel_workers());
+  }
   out += "\n";
   if (const auto* apply = dynamic_cast<const Apply*>(&root)) {
     if (apply->child() != nullptr) {

@@ -1,10 +1,12 @@
 #ifndef MBQ_CYPHER_OPERATORS_H_
 #define MBQ_CYPHER_OPERATORS_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -15,8 +17,9 @@ namespace mbq::cypher {
 
 /// Pull-based physical operator. Open() resets state; Next() produces one
 /// row or signals exhaustion. Every operator tracks the rows it produced
-/// and the db hits charged while it (and its own logic, not its children)
-/// was running, for PROFILE output.
+/// and the db hits charged while it was running (inclusive of its
+/// children, since the counter delta spans the whole Next call), for
+/// PROFILE output.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -27,6 +30,15 @@ class Operator {
   /// Operator name with its key argument, e.g. "NodeIndexSeek(:user.uid)".
   virtual std::string Describe() const = 0;
 
+  /// Fresh operator with the same configuration but pristine runtime
+  /// state, over `child` (ignored by leaves). Cached plans are shared
+  /// across threads, so every execution clones the plan tree first.
+  virtual std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const = 0;
+
+  /// Deep-clones this operator and its children.
+  std::unique_ptr<Operator> CloneTree() const;
+
   uint64_t rows_produced() const { return rows_produced_; }
   uint64_t db_hits() const { return db_hits_; }
   Operator* child() const { return child_.get(); }
@@ -34,11 +46,26 @@ class Operator {
   /// Pulls everything into `rows` (testing / pipeline breakers).
   Status Drain(std::vector<Row>* rows);
 
+  /// Folds a clone's profile back into this operator — how the parallel
+  /// executor attributes worker-pipeline rows/db-hits to the plan ops the
+  /// user sees in PROFILE.
+  void AbsorbStats(const Operator& other) {
+    rows_produced_ += other.rows_produced_;
+    db_hits_ += other.db_hits_;
+  }
+  void AddDbHits(uint64_t hits) { db_hits_ += hits; }
+
+  /// Annotates PROFILE output with the worker count that executed this
+  /// operator (shown as `par=N`); 0 means sequential.
+  void MarkParallel(uint32_t workers) { parallel_workers_ = workers; }
+  uint32_t parallel_workers() const { return parallel_workers_; }
+
   /// Zeroes the rows/db-hits profile of this operator and its subtree —
   /// called per execution so PROFILE output covers one run.
   virtual void ResetStatsTree() {
     rows_produced_ = 0;
     db_hits_ = 0;
+    parallel_workers_ = 0;
     if (child_ != nullptr) child_->ResetStatsTree();
   }
 
@@ -52,6 +79,7 @@ class Operator {
   ExecContext* ctx_ = nullptr;
   uint64_t rows_produced_ = 0;
   uint64_t db_hits_ = 0;
+  uint32_t parallel_workers_ = 0;
 
  public:
   /// Next() wrapped with rows/db-hit accounting. The session calls this
@@ -67,6 +95,8 @@ class SingleRow : public Operator {
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(Row* out) override;
   std::string Describe() const override { return "SingleRow"; }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   uint32_t width_;
@@ -83,6 +113,8 @@ class NodeLabelScan : public Operator {
   std::string Describe() const override {
     return "NodeByLabelScan(:" + label_ + ")";
   }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   uint32_t slot_;
@@ -107,6 +139,8 @@ class NodeIndexSeek : public Operator {
   std::string Describe() const override {
     return "NodeIndexSeek(:" + label_ + "." + property_ + ")";
   }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   uint32_t slot_;
@@ -141,6 +175,8 @@ class Expand : public Operator {
     return std::string(into_bound_ ? "Expand(Into" : "Expand(All") +
            (rel_type_.empty() ? "" : ", :" + rel_type_) + ")";
   }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   Status RefillFromRow();
@@ -180,6 +216,8 @@ class VarLengthExpand : public Operator {
     return "VarLengthExpand(:" + rel_type_ + "*" + std::to_string(min_hops_) +
            ".." + std::to_string(max_hops_) + ")";
   }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   Status RefillFromRow();
@@ -209,6 +247,8 @@ class Filter : public Operator {
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(Row* out) override;
   std::string Describe() const override { return "Filter"; }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   const Expr* predicate_;
@@ -228,6 +268,8 @@ class LabelFilter : public Operator {
   std::string Describe() const override {
     return "Filter(label :" + label_ + ")";
   }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   uint32_t slot_;
@@ -258,6 +300,8 @@ class ShortestPathOp : public Operator {
     return "ShortestPath(:" + rel_type_ + "*.." + std::to_string(max_hops_) +
            ")";
   }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   uint32_t src_slot_;
@@ -270,7 +314,10 @@ class ShortestPathOp : public Operator {
 };
 
 /// Grouped aggregation (pipeline breaker). Output rows are
-/// [group keys..., aggregate values...].
+/// [group keys..., aggregate values...]. When the ExecContext carries a
+/// thread pool and the input chain is a parallelizable pipeline (scans,
+/// expands and filters only), Materialize fans the input out over worker
+/// threads and merges the partial groups (see cypher/parallel.h).
 class Aggregate : public Operator {
  public:
   struct AggItem {
@@ -279,6 +326,22 @@ class Aggregate : public Operator {
     AggFunc func = AggFunc::kCount;
     bool distinct = false;
   };
+
+  /// Running state of one aggregate within one group.
+  struct AggState {
+    uint64_t count = 0;
+    int64_t isum = 0;
+    double dsum = 0;
+    bool saw_double = false;
+    bool has_best = false;
+    RtValue best;
+    std::unordered_set<Row, RowHash, RowEq> distinct;
+  };
+  struct GroupState {
+    Row keys;
+    std::vector<AggState> aggs;
+  };
+
   Aggregate(std::unique_ptr<Operator> child,
             std::vector<const Expr*> group_exprs, std::vector<AggItem> aggs,
             const SlotMap* slots)
@@ -293,6 +356,18 @@ class Aggregate : public Operator {
     return "EagerAggregation(" + std::to_string(group_exprs_.size()) +
            " keys, " + std::to_string(aggs_.size()) + " aggregates)";
   }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
+
+  /// Childless clone used by worker threads as a partial-group collector.
+  std::unique_ptr<Aggregate> CloneCollector() const;
+  /// Folds `row` into the group table (ctx passed explicitly so worker
+  /// threads can use their own context).
+  Status AccumulateRow(const Row& row, ExecContext* ctx);
+  /// Merges another collector's partial groups into this one.
+  Status MergeFrom(Aggregate* other);
+  /// Converts the group table into output rows.
+  Status FinalizeGroups();
 
  private:
   Status Materialize();
@@ -300,6 +375,7 @@ class Aggregate : public Operator {
   std::vector<const Expr*> group_exprs_;
   std::vector<AggItem> aggs_;
   const SlotMap* slots_;
+  std::unordered_map<Row, GroupState, RowHash, RowEq> groups_;
   bool materialized_ = false;
   std::vector<Row> output_;
   size_t index_ = 0;
@@ -318,6 +394,8 @@ class Projection : public Operator {
   std::string Describe() const override {
     return "Projection(" + std::to_string(exprs_.size()) + " columns)";
   }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   std::vector<const Expr*> exprs_;
@@ -340,6 +418,8 @@ class Sort : public Operator {
   std::string Describe() const override {
     return "Sort(" + std::to_string(keys_.size()) + " keys)";
   }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   std::vector<Key> keys_;
@@ -359,6 +439,8 @@ class Limit : public Operator {
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(Row* out) override;
   std::string Describe() const override { return "Limit"; }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   const Expr* count_expr_;
@@ -375,6 +457,8 @@ class Distinct : public Operator {
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(Row* out) override;
   std::string Describe() const override { return "Distinct"; }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
 
  private:
   std::unordered_set<Row, RowHash, RowEq> seen_;
@@ -392,6 +476,8 @@ class Apply : public Operator {
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(Row* out) override;
   std::string Describe() const override { return "Apply"; }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
   Operator* right() const { return right_.get(); }
   void ResetStatsTree() override {
     Operator::ResetStatsTree();
@@ -402,6 +488,29 @@ class Apply : public Operator {
   std::unique_ptr<Operator> right_;
   Row left_row_;
   bool have_left_ = false;
+};
+
+/// Replays rows from a shared in-memory buffer — the source under worker
+/// pipelines in morsel-parallel execution. With a shared atomic cursor,
+/// concurrent instances claim disjoint morsels of `grain` rows each; with
+/// a null cursor a single instance serves the whole buffer in order.
+class RowBufferSource : public Operator {
+ public:
+  RowBufferSource(std::shared_ptr<const std::vector<Row>> rows,
+                  std::shared_ptr<std::atomic<size_t>> cursor, size_t grain)
+      : rows_(std::move(rows)), cursor_(std::move(cursor)), grain_(grain) {}
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override { return "RowBuffer"; }
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
+
+ private:
+  std::shared_ptr<const std::vector<Row>> rows_;
+  std::shared_ptr<std::atomic<size_t>> cursor_;
+  size_t grain_;
+  size_t morsel_pos_ = 0;
+  size_t morsel_end_ = 0;
 };
 
 /// Renders a plan tree as an indented string (PROFILE output).

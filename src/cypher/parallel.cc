@@ -1,0 +1,196 @@
+#include "cypher/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cypher/operators.h"
+#include "exec/thread_pool.h"
+#include "nodestore/record_file.h"
+#include "obs/metrics.h"
+
+namespace mbq::cypher {
+
+namespace {
+
+/// Process-wide counters for the parallel executor; names are documented
+/// in docs/OBSERVABILITY.md.
+struct ParallelMetrics {
+  obs::Counter* pipelines;
+  obs::Counter* seed_rows;
+  obs::Counter* worker_db_hits;
+
+  static ParallelMetrics& Get() {
+    static ParallelMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+      ParallelMetrics m;
+      m.pipelines =
+          r.GetCounter("cypher.parallel.pipelines", "pipelines",
+                       "aggregation pipelines executed morsel-parallel");
+      m.seed_rows = r.GetCounter("cypher.parallel.seed_rows", "rows",
+                                 "rows fanned out to worker pipelines");
+      m.worker_db_hits =
+          r.GetCounter("cypher.parallel.worker_db_hits", "records",
+                       "db hits charged on non-session worker threads");
+      return m;
+    }();
+    return m;
+  }
+};
+
+bool IsParallelLeaf(const Operator* op) {
+  return dynamic_cast<const NodeLabelScan*>(op) != nullptr ||
+         dynamic_cast<const NodeIndexSeek*>(op) != nullptr ||
+         dynamic_cast<const SingleRow*>(op) != nullptr;
+}
+
+bool IsParallelIntermediate(const Operator* op) {
+  return dynamic_cast<const Expand*>(op) != nullptr ||
+         dynamic_cast<const VarLengthExpand*>(op) != nullptr ||
+         dynamic_cast<const Filter*>(op) != nullptr ||
+         dynamic_cast<const LabelFilter*>(op) != nullptr;
+}
+
+std::shared_ptr<const std::vector<Row>> ShareRows(std::vector<Row> rows) {
+  return std::make_shared<const std::vector<Row>>(std::move(rows));
+}
+
+}  // namespace
+
+Result<bool> ParallelMaterializeAggregate(Aggregate* agg, ExecContext* ctx) {
+  // ---------------------------------------------------- Chain validation
+  // chain[0] is the aggregate's direct input; chain.back() sits just
+  // above the leaf. Anything outside the allow-list (Apply, Sort, nested
+  // Aggregate, ShortestPath, ...) keeps the pipeline sequential.
+  std::vector<Operator*> chain;
+  Operator* op = agg->child();
+  while (op != nullptr && IsParallelIntermediate(op)) {
+    chain.push_back(op);
+    op = op->child();
+  }
+  if (op == nullptr || !IsParallelLeaf(op)) return false;
+  Operator* leaf = op;
+
+  // ------------------------------------------------------------ Seeding
+  // The subtree is already Open()ed, so the leaf can be drained directly;
+  // its rows/db-hits land on the leaf operator as in sequential runs.
+  std::vector<Row> rows;
+  MBQ_RETURN_IF_ERROR(leaf->Drain(&rows));
+
+  // A one-row seed (the common IndexSeek anchor) gives no parallelism;
+  // run lower pipeline stages sequentially until the row set fans out
+  // enough to feed every worker a few morsels.
+  const size_t min_fanout = static_cast<size_t>(ctx->threads) * 4;
+  while (rows.size() < min_fanout && !chain.empty()) {
+    Operator* stage = chain.back();
+    std::unique_ptr<Operator> clone = stage->CloneWithChild(
+        std::make_unique<RowBufferSource>(ShareRows(std::move(rows)),
+                                          nullptr, 0));
+    ExecContext seq_ctx = *ctx;
+    seq_ctx.pool = nullptr;
+    seq_ctx.threads = 1;
+    MBQ_RETURN_IF_ERROR(clone->Open(&seq_ctx));
+    std::vector<Row> expanded;
+    MBQ_RETURN_IF_ERROR(clone->Drain(&expanded));
+    stage->AbsorbStats(*clone);
+    rows = std::move(expanded);
+    chain.pop_back();
+  }
+
+  ParallelMetrics& metrics = ParallelMetrics::Get();
+  metrics.pipelines->Inc();
+  metrics.seed_rows->Inc(rows.size());
+
+  if (rows.empty()) return true;  // nothing to aggregate
+
+  // ----------------------------------------------------------- Fan-out
+  const uint32_t workers = static_cast<uint32_t>(std::min<uint64_t>(
+      ctx->threads, static_cast<uint64_t>(rows.size())));
+  const size_t grain =
+      std::max<size_t>(1, rows.size() / (static_cast<size_t>(workers) * 4));
+  std::shared_ptr<const std::vector<Row>> buffer =
+      ShareRows(std::move(rows));
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+
+  std::vector<std::unique_ptr<Operator>> pipelines(workers);
+  std::vector<std::vector<Operator*>> level_clones(workers);
+  std::vector<std::unique_ptr<Aggregate>> collectors(workers);
+  std::vector<ExecContext> worker_ctx(workers);
+  std::vector<Status> statuses(workers, Status::OK());
+  std::vector<uint64_t> hit_deltas(workers, 0);
+  std::vector<std::thread::id> worker_tids(workers);
+
+  for (uint32_t k = 0; k < workers; ++k) {
+    std::unique_ptr<Operator> node =
+        std::make_unique<RowBufferSource>(buffer, cursor, grain);
+    level_clones[k].resize(chain.size());
+    for (size_t i = chain.size(); i-- > 0;) {
+      std::unique_ptr<Operator> parent =
+          chain[i]->CloneWithChild(std::move(node));
+      level_clones[k][i] = parent.get();
+      node = std::move(parent);
+    }
+    pipelines[k] = std::move(node);
+    collectors[k] = agg->CloneCollector();
+    worker_ctx[k] = *ctx;
+    worker_ctx[k].pool = nullptr;  // no nested parallelism
+    worker_ctx[k].threads = 1;
+  }
+
+  const std::thread::id caller_tid = std::this_thread::get_id();
+  ctx->pool->ParallelFor(0, workers, 1, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t k = begin; k < end; ++k) {
+      uint64_t before = nodestore::DbHitCounter::ThreadHits();
+      Status st = pipelines[k]->Open(&worker_ctx[k]);
+      Row row;
+      while (st.ok()) {
+        Result<bool> more = pipelines[k]->NextTracked(&row);
+        if (!more.ok()) {
+          st = more.status();
+          break;
+        }
+        if (!*more) break;
+        st = collectors[k]->AccumulateRow(row, &worker_ctx[k]);
+      }
+      statuses[k] = st;
+      hit_deltas[k] = nodestore::DbHitCounter::ThreadHits() - before;
+      worker_tids[k] = std::this_thread::get_id();
+    }
+  });
+
+  for (const Status& st : statuses) MBQ_RETURN_IF_ERROR(st);
+
+  // ------------------------------------------------- Profile absorption
+  // Worker-clone stats fold back into the plan's operators. Hits charged
+  // on non-caller threads are invisible to the session thread's counter
+  // deltas, so they are also surfaced through side_hits (query total) and
+  // added to the aggregate's inclusive tally.
+  for (size_t i = 0; i < chain.size(); ++i) {
+    for (uint32_t k = 0; k < workers; ++k) {
+      chain[i]->AbsorbStats(*level_clones[k][i]);
+    }
+    chain[i]->MarkParallel(workers);
+  }
+  uint64_t side = 0;
+  for (uint32_t k = 0; k < workers; ++k) {
+    if (worker_tids[k] != caller_tid) side += hit_deltas[k];
+  }
+  if (side > 0) {
+    agg->AddDbHits(side);
+    if (ctx->side_hits != nullptr) {
+      ctx->side_hits->fetch_add(side, std::memory_order_relaxed);
+    }
+    metrics.worker_db_hits->Inc(side);
+  }
+  agg->MarkParallel(workers);
+
+  // --------------------------------------------------------------- Merge
+  for (uint32_t k = 0; k < workers; ++k) {
+    MBQ_RETURN_IF_ERROR(agg->MergeFrom(collectors[k].get()));
+  }
+  return true;
+}
+
+}  // namespace mbq::cypher

@@ -1,0 +1,30 @@
+#ifndef MBQ_CYPHER_PARALLEL_H_
+#define MBQ_CYPHER_PARALLEL_H_
+
+#include "cypher/runtime.h"
+
+namespace mbq::cypher {
+
+class Aggregate;
+
+/// Morsel-driven parallel consumption of an aggregation pipeline
+/// (Leis et al., SIGMOD'14 adapted to the pull model): when the chain
+/// under `agg` is scan/expand/filter only, the leaf is drained into a
+/// shared row buffer, each of the context's worker threads runs a cloned
+/// copy of the chain over disjoint morsels of that buffer into a private
+/// partial-group collector, and the partial groups are merged back into
+/// `agg`. Returns true if the input was consumed this way (the caller
+/// finalizes groups), false if the chain is not parallelizable and the
+/// caller must fall back to the sequential pull loop. Per-operator
+/// rows/db-hits from the worker clones are folded back into the plan's
+/// operators so PROFILE output stays meaningful (annotated `par=N`).
+///
+/// Preconditions: the subtree under `agg` is Open()ed, `ctx->pool` is
+/// non-null, `ctx->threads > 1`, and `ctx->outer_row == nullptr` (inside
+/// an Apply the pipeline re-runs per outer row; too fine-grained to pay
+/// the fan-out cost).
+Result<bool> ParallelMaterializeAggregate(Aggregate* agg, ExecContext* ctx);
+
+}  // namespace mbq::cypher
+
+#endif  // MBQ_CYPHER_PARALLEL_H_

@@ -1,6 +1,7 @@
 #ifndef MBQ_CYPHER_RUNTIME_H_
 #define MBQ_CYPHER_RUNTIME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,10 @@
 #include "common/value.h"
 #include "cypher/ast.h"
 #include "nodestore/graph_db.h"
+
+namespace mbq::exec {
+class ThreadPool;
+}  // namespace mbq::exec
 
 namespace mbq::cypher {
 
@@ -93,6 +98,15 @@ struct ExecContext {
   /// Set by Apply while driving its right side: scans start from this row
   /// instead of an empty one, so already-bound slots carry across.
   const Row* outer_row = nullptr;
+  /// Morsel-parallel execution: with `threads > 1` and a pool, eligible
+  /// aggregation pipelines fan their input out across worker threads.
+  /// Worker pipelines run with a thread-local copy where pool is null and
+  /// threads is 1 (no nested parallelism).
+  exec::ThreadPool* pool = nullptr;
+  uint32_t threads = 1;
+  /// Db hits charged by worker threads (the session adds them to the
+  /// caller thread's own tally for QueryResult::db_hits). May be null.
+  std::atomic<uint64_t>* side_hits = nullptr;
 };
 
 /// Variable -> slot assignment produced by the planner.

@@ -1,8 +1,11 @@
 #include "cypher/session.h"
 
 #include <cctype>
+#include <cstdlib>
 
 #include "cypher/parser.h"
+#include "exec/thread_pool.h"
+#include "nodestore/record_file.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
@@ -62,28 +65,59 @@ bool ConsumeVerb(std::string_view* query, std::string_view verb) {
 
 }  // namespace
 
-Result<const PlannedQuery*> CypherSession::Prepare(const std::string& query) {
+CypherSession::CypherSession(GraphDb* db) : db_(db) {
+  // Opt-in default parallelism: sessions stay sequential unless the
+  // process sets CYPHER_THREADS (or the embedder calls SetThreads).
+  if (const char* env = std::getenv("CYPHER_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v > 0 && v <= 256) {
+      threads_.store(static_cast<uint32_t>(v), std::memory_order_relaxed);
+    }
+  }
+}
+
+void CypherSession::SetThreads(uint32_t threads, exec::ThreadPool* pool) {
+  threads_.store(threads == 0 ? 1 : threads, std::memory_order_relaxed);
+  pool_.store(pool, std::memory_order_relaxed);
+}
+
+Result<std::shared_ptr<const PlannedQuery>> CypherSession::PrepareShared(
+    const std::string& query, bool* cache_hit) {
+  // The lock covers parse+plan, so a second thread racing on the same
+  // uncached text blocks here and then takes the cache hit below —
+  // single-flight compilation, never two plans for one text.
+  std::lock_guard<std::mutex> lock(mu_);
+  *cache_hit = false;
   auto it = plan_cache_.find(query);
   if (plan_cache_enabled_ && it != plan_cache_.end()) {
-    ++plan_cache_hits_;
+    plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
     SessionMetrics::Get().plan_cache_hits->Inc();
     last_prepare_was_cache_hit_ = true;
-    return const_cast<const PlannedQuery*>(it->second.get());
+    *cache_hit = true;
+    return std::shared_ptr<const PlannedQuery>(it->second);
   }
-  ++plan_cache_misses_;
+  plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   SessionMetrics::Get().plan_cache_misses->Inc();
   last_prepare_was_cache_hit_ = false;
   MBQ_ASSIGN_OR_RETURN(Query ast, ParseQuery(query));
   MBQ_ASSIGN_OR_RETURN(std::unique_ptr<PlannedQuery> plan,
                        PlanQuery(std::move(ast), db_));
-  const PlannedQuery* raw = plan.get();
+  std::shared_ptr<PlannedQuery> shared = std::move(plan);
   if (plan_cache_enabled_) {
-    plan_cache_[query] = std::move(plan);
+    plan_cache_[query] = shared;
   } else {
     // Keep the most recent uncached plan alive for the caller.
-    uncached_plan_ = std::move(plan);
+    uncached_plan_ = shared;
   }
-  return raw;
+  return std::shared_ptr<const PlannedQuery>(shared);
+}
+
+Result<const PlannedQuery*> CypherSession::Prepare(const std::string& query) {
+  bool cache_hit = false;
+  MBQ_ASSIGN_OR_RETURN(std::shared_ptr<const PlannedQuery> plan,
+                       PrepareShared(query, &cache_hit));
+  return plan.get();
 }
 
 Result<QueryResult> CypherSession::Run(const std::string& query,
@@ -93,8 +127,9 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   bool explain_only = !profiled && ConsumeVerb(&text, "EXPLAIN");
   std::string body(text);
 
-  MBQ_ASSIGN_OR_RETURN(const PlannedQuery* plan, Prepare(body));
-  bool cached = last_prepare_was_cache_hit_;
+  bool cached = false;
+  MBQ_ASSIGN_OR_RETURN(std::shared_ptr<const PlannedQuery> plan,
+                       PrepareShared(body, &cached));
 
   QueryResult result;
   result.columns = plan->columns;
@@ -113,10 +148,19 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   ExecContext ctx;
   ctx.db = db_;
   ctx.params = &params;
+  uint32_t threads = threads_.load(std::memory_order_relaxed);
+  if (threads > 1) {
+    exec::ThreadPool* pool = pool_.load(std::memory_order_relaxed);
+    ctx.pool = pool != nullptr ? pool : &exec::ThreadPool::Default();
+    ctx.threads = threads;
+  }
+  std::atomic<uint64_t> side_hits{0};
+  ctx.side_hits = &side_hits;
 
-  uint64_t hits_before = db_->db_hits();
-  Operator* root = plan->root.get();
-  root->ResetStatsTree();
+  // The cached plan tree is shared across threads and never executed
+  // directly — each run drives a private clone.
+  std::unique_ptr<Operator> root = plan->root->CloneTree();
+  uint64_t hits_before = nodestore::DbHitCounter::ThreadHits();
   MBQ_RETURN_IF_ERROR(root->Open(&ctx));
   Row row;
   for (;;) {
@@ -124,8 +168,9 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
     if (!more) break;
     result.rows.push_back(row);
   }
-  result.db_hits = db_->db_hits() - hits_before;
-  result.profile = plan->Explain();
+  result.db_hits = nodestore::DbHitCounter::ThreadHits() - hits_before +
+                   side_hits.load(std::memory_order_relaxed);
+  result.profile = DescribePlanTree(*root);
 
   metrics.queries->Inc();
   metrics.rows_returned->Inc(result.rows.size());

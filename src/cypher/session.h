@@ -1,13 +1,19 @@
 #ifndef MBQ_CYPHER_SESSION_H_
 #define MBQ_CYPHER_SESSION_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cypher/planner.h"
 #include "cypher/runtime.h"
+
+namespace mbq::exec {
+class ThreadPool;
+}  // namespace mbq::exec
 
 namespace mbq::cypher {
 
@@ -34,9 +40,14 @@ struct QueryResult {
 /// queries ($param) reuse cached plans across executions — the speedup
 /// the paper attributes to "specifying parameters, because it allows
 /// Cypher to cache the execution plans".
+/// Thread-safety: Run/Prepare may be called from concurrent threads over
+/// the same session. The plan cache is mutex-guarded and single-flight
+/// (two threads racing on the same uncached query text compile it once);
+/// cached plan trees are immutable — every execution clones the operator
+/// tree, so concurrent runs of one plan never share runtime state.
 class CypherSession {
  public:
-  explicit CypherSession(GraphDb* db) : db_(db) {}
+  explicit CypherSession(GraphDb* db);
 
   CypherSession(const CypherSession&) = delete;
   CypherSession& operator=(const CypherSession&) = delete;
@@ -55,22 +66,48 @@ class CypherSession {
 
   /// Enables/disables the plan cache (the cold-cache ablation measures
   /// the recompilation cost the paper mentions).
-  void SetPlanCacheEnabled(bool enabled) { plan_cache_enabled_ = enabled; }
+  void SetPlanCacheEnabled(bool enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_cache_enabled_ = enabled;
+  }
 
-  uint64_t plan_cache_hits() const { return plan_cache_hits_; }
-  uint64_t plan_cache_misses() const { return plan_cache_misses_; }
-  void ClearPlanCache() { plan_cache_.clear(); }
+  /// Worker count for eligible pipelines; 1 (the default when the
+  /// CYPHER_THREADS environment variable is unset) executes everything
+  /// sequentially. `pool` is borrowed and must outlive the session; null
+  /// uses the process-wide exec::ThreadPool::Default().
+  void SetThreads(uint32_t threads, exec::ThreadPool* pool = nullptr);
+  uint32_t threads() const {
+    return threads_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t plan_cache_hits() const {
+    return plan_cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t plan_cache_misses() const {
+    return plan_cache_misses_.load(std::memory_order_relaxed);
+  }
+  void ClearPlanCache() {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_cache_.clear();
+  }
 
  private:
+  /// Cache lookup or single-flight compile; sets *cache_hit.
+  Result<std::shared_ptr<const PlannedQuery>> PrepareShared(
+      const std::string& query, bool* cache_hit);
+
   GraphDb* db_;
+  mutable std::mutex mu_;
   bool plan_cache_enabled_ = true;
   bool last_prepare_was_cache_hit_ = false;
-  uint64_t plan_cache_hits_ = 0;
-  uint64_t plan_cache_misses_ = 0;
-  std::unordered_map<std::string, std::unique_ptr<PlannedQuery>> plan_cache_;
+  std::atomic<uint32_t> threads_{1};
+  std::atomic<exec::ThreadPool*> pool_{nullptr};
+  std::atomic<uint64_t> plan_cache_hits_{0};
+  std::atomic<uint64_t> plan_cache_misses_{0};
+  std::unordered_map<std::string, std::shared_ptr<PlannedQuery>> plan_cache_;
   /// Most recent plan compiled with the cache disabled (kept alive for
   /// the caller of Prepare/Run).
-  std::unique_ptr<PlannedQuery> uncached_plan_;
+  std::shared_ptr<PlannedQuery> uncached_plan_;
 };
 
 }  // namespace mbq::cypher

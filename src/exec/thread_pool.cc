@@ -1,0 +1,198 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace mbq::exec {
+
+namespace {
+
+/// Identity of the current thread inside its owning pool, so Submit can
+/// push to the local deque and stealing can skip self.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_index = 0;
+
+}  // namespace
+
+size_t ThreadPool::DefaultThreads() {
+  const char* env = std::getenv("CYPHER_THREADS");
+  if (env != nullptr) {
+    unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  size_t workers = threads >= 1 ? threads - 1 : 0;
+  queues_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Drain();
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (queues_.empty()) {
+    // No workers: run inline so the task cannot be stranded.
+    fn();
+    return;
+  }
+  size_t target;
+  if (tls_pool == this) {
+    target = tls_index;  // local push, popped LIFO by this worker
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(fn));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    queued_hint_ += 1;
+    wake_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::PopTask(size_t victim, bool lifo,
+                         std::function<void()>* out) {
+  Worker& w = *queues_[victim];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.tasks.empty()) return false;
+  if (lifo) {
+    *out = std::move(w.tasks.back());
+    w.tasks.pop_back();
+  } else {
+    *out = std::move(w.tasks.front());
+    w.tasks.pop_front();
+  }
+  return true;
+}
+
+bool ThreadPool::TryRunOne(size_t self) {
+  std::function<void()> task;
+  bool found = false;
+  if (self < queues_.size() && PopTask(self, /*lifo=*/true, &task)) {
+    found = true;
+  } else {
+    // Steal the oldest task from another worker's deque.
+    for (size_t i = 1; !found && i <= queues_.size(); ++i) {
+      size_t victim = (self + i) % queues_.size();
+      if (victim == self) continue;
+      found = PopTask(victim, /*lifo=*/false, &task);
+    }
+  }
+  if (!found) return false;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    queued_hint_ -= 1;
+  }
+  task();
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_index = self;
+  for (;;) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) || queued_hint_ > 0;
+    });
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end, uint64_t grain,
+    const std::function<void(uint64_t, uint64_t)>& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  uint64_t total = end - begin;
+  uint64_t chunks = (total + grain - 1) / grain;
+
+  struct ForState {
+    std::atomic<uint64_t> cursor{0};
+    std::atomic<uint64_t> done{0};
+    uint64_t begin, end, grain, chunks;
+    const std::function<void(uint64_t, uint64_t)>* body;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->chunks = chunks;
+  state->body = &body;
+
+  auto run_chunks = [](const std::shared_ptr<ForState>& s) {
+    for (;;) {
+      uint64_t c = s->cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s->chunks) return;
+      uint64_t lo = s->begin + c * s->grain;
+      uint64_t hi = std::min(s->end, lo + s->grain);
+      (*s->body)(lo, hi);
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->chunks) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper per executor that could contribute; the caller is the
+  // remaining executor. Helpers arriving after the cursor is exhausted
+  // fall through immediately.
+  size_t helpers = queues_.empty()
+                       ? 0
+                       : static_cast<size_t>(std::min<uint64_t>(
+                             workers_.size(), chunks > 0 ? chunks - 1 : 0));
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state, run_chunks] { run_chunks(state); });
+  }
+  run_chunks(state);
+
+  // The caller's body pointer dies with this frame, so wait for every
+  // chunk (helpers may still be mid-chunk even though the cursor is dry).
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->chunks;
+  });
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace mbq::exec

@@ -1,0 +1,91 @@
+#ifndef MBQ_EXEC_THREAD_POOL_H_
+#define MBQ_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mbq::exec {
+
+/// A small work-stealing thread pool for query-internal parallelism.
+///
+/// `ThreadPool(n)` gives a pool with parallelism `n`: it spawns `n - 1`
+/// worker threads and the caller of ParallelFor acts as the n-th
+/// executor, so a pool of size 1 spawns no threads and runs everything
+/// inline. Each worker owns a deque: its own submissions are pushed and
+/// popped LIFO (cache-warm), idle workers steal FIFO from the others
+/// (oldest work first, the classic Blumofe–Leiserson discipline).
+///
+/// Blocking joins happen only in ParallelFor and Drain; Submit never
+/// blocks. The pool is safe to share between concurrent sessions — tasks
+/// from different callers interleave freely.
+class ThreadPool {
+ public:
+  /// Parallelism `threads` (clamped to >= 1): `threads - 1` workers.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Workers + the participating caller.
+  size_t parallelism() const { return workers_.size() + 1; }
+
+  /// Enqueues `fn` for asynchronous execution. When called from a pool
+  /// worker the task lands on that worker's own deque (LIFO), otherwise
+  /// it is distributed round-robin.
+  void Submit(std::function<void()> fn);
+
+  /// Runs `body(chunk_begin, chunk_end)` over [begin, end) split into
+  /// chunks of at most `grain` items. Chunks are claimed dynamically from
+  /// a shared cursor, so uneven chunks balance across executors. The
+  /// caller participates and the call returns only when every chunk has
+  /// finished. Safe to nest: an inner call simply runs on the executors
+  /// that reach it.
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+  /// Blocks until every queued and running task has completed. Used by
+  /// exporters that must not snapshot while worker tasks are in flight.
+  void Drain();
+
+  /// Process-wide pool sized by the CYPHER_THREADS environment variable
+  /// (falling back to std::thread::hardware_concurrency), created on
+  /// first use.
+  static ThreadPool& Default();
+
+  /// Parses CYPHER_THREADS: 0/unset means hardware_concurrency.
+  static size_t DefaultThreads();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops from `self`'s deque or steals from another worker.
+  bool TryRunOne(size_t self);
+  bool PopTask(size_t victim, bool lifo, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  /// Tasks sitting in deques, guarded by wake_mu_ — the sleep predicate
+  /// (pending_ alone would busy-spin workers while the last task runs).
+  uint64_t queued_hint_ = 0;
+  std::atomic<uint64_t> pending_{0};  // queued + running tasks
+  std::atomic<uint64_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace mbq::exec
+
+#endif  // MBQ_EXEC_THREAD_POOL_H_

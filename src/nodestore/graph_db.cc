@@ -94,7 +94,7 @@ GraphDb::GraphDb(GraphDbOptions options) : options_(options) {
                                        : &obs::MetricsRegistry::Default();
   metrics_provider_ =
       obs::ScopedProvider(registry, [this](obs::MetricsSink* sink) {
-        const storage::BufferCacheStats& cache = cache_->stats();
+        const storage::BufferCacheStats cache = cache_->stats();
         sink->Gauge("nodestore.page_cache.hits",
                     static_cast<double>(cache.hits), "pages");
         sink->Gauge("nodestore.page_cache.misses",
@@ -113,7 +113,7 @@ GraphDb::GraphDb(GraphDbOptions options) : options_(options) {
                     static_cast<double>(wal_->next_lsn()), "records");
         sink->Gauge("nodestore.wal.durable_bytes",
                     static_cast<double>(wal_->durable_bytes()), "bytes");
-        const storage::DiskStats& disk = disk_->stats();
+        const storage::DiskStats disk = disk_->stats();
         sink->Gauge("nodestore.disk.page_reads",
                     static_cast<double>(disk.page_reads), "pages");
         sink->Gauge("nodestore.disk.page_writes",
@@ -122,8 +122,8 @@ GraphDb::GraphDb(GraphDbOptions options) : options_(options) {
                     "seeks");
         sink->Gauge("nodestore.disk.busy_nanos",
                     static_cast<double>(disk.busy_nanos), "ns");
-        sink->Gauge("nodestore.record_reads", static_cast<double>(db_hits_),
-                    "records");
+        sink->Gauge("nodestore.record_reads",
+                    static_cast<double>(db_hits_.total()), "records");
         sink->Gauge("nodestore.nodes", static_cast<double>(num_nodes_),
                     "nodes");
         sink->Gauge("nodestore.rels", static_cast<double>(num_rels_), "rels");
@@ -1056,7 +1056,7 @@ Result<NodeId> GraphDb::IndexSeek(LabelId label, PropKeyId key,
   IndexDef* index = FindIndexDef(label, key);
   if (index == nullptr) return Status::NotFound("no such index");
   MBQ_RETURN_IF_ERROR(TouchIndex(*index, value));
-  ++db_hits_;  // index lookups count as hits in the profiler
+  db_hits_.Inc();  // index lookups count as hits in the profiler
   auto it = index->entries.find(value);
   if (it == index->entries.end() || it->second.empty()) {
     return kInvalidNode;
@@ -1069,7 +1069,7 @@ Result<std::vector<NodeId>> GraphDb::IndexLookup(LabelId label, PropKeyId key,
   IndexDef* index = FindIndexDef(label, key);
   if (index == nullptr) return Status::NotFound("no such index");
   MBQ_RETURN_IF_ERROR(TouchIndex(*index, value));
-  ++db_hits_;
+  db_hits_.Inc();
   auto it = index->entries.find(value);
   if (it == index->entries.end()) return std::vector<NodeId>{};
   return it->second;
@@ -1122,13 +1122,11 @@ Status GraphDb::Flush() { return cache_->FlushAll(); }
 
 Status GraphDb::DropCaches() { return cache_->EvictAll(); }
 
-const storage::BufferCacheStats& GraphDb::cache_stats() const {
+storage::BufferCacheStats GraphDb::cache_stats() const {
   return cache_->stats();
 }
 
-const storage::DiskStats& GraphDb::disk_stats() const {
-  return disk_->stats();
-}
+storage::DiskStats GraphDb::disk_stats() const { return disk_->stats(); }
 
 uint64_t GraphDb::DiskSizeBytes() const {
   return disk_->SizeBytes() + wal_disk_->SizeBytes();

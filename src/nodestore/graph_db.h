@@ -172,16 +172,17 @@ class GraphDb {
   Transaction BeginTx() { return Transaction(this); }
 
   // --------------------------------------------------------------- Stats
-  /// Total record accesses (the Cypher profiler's "db hits").
-  uint64_t db_hits() const { return db_hits_; }
-  void ResetDbHits() { db_hits_ = 0; }
+  /// Total record accesses (the Cypher profiler's "db hits"), across all
+  /// threads. Per-thread deltas come from DbHitCounter::ThreadHits().
+  uint64_t db_hits() const { return db_hits_.total(); }
+  void ResetDbHits() { db_hits_.Reset(); }
 
   Status Flush();
   /// Evicts the page cache (cold-start simulation).
   Status DropCaches();
 
-  const storage::BufferCacheStats& cache_stats() const;
-  const storage::DiskStats& disk_stats() const;
+  storage::BufferCacheStats cache_stats() const;
+  storage::DiskStats disk_stats() const;
   uint64_t DiskSizeBytes() const;
   /// Simulated device time consumed so far (nanoseconds).
   uint64_t SimulatedIoNanos() const;
@@ -272,7 +273,7 @@ class GraphDb {
                    const std::function<bool(const RelInfo&)>& fn,
                    bool* stopped);
 
-  uint64_t db_hits_ = 0;
+  DbHitCounter db_hits_;
   std::unique_ptr<RecordFile> node_store_;
   std::unique_ptr<RecordFile> rel_store_;
   /// Per-type stores, lazily created (semantic partitioning only).

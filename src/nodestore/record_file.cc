@@ -7,8 +7,10 @@ namespace mbq::nodestore {
 using storage::kPageSize;
 using storage::PageRef;
 
+thread_local uint64_t DbHitCounter::tls_hits_ = 0;
+
 RecordFile::RecordFile(std::string name, storage::BufferCache* cache,
-                       uint32_t record_size, uint64_t* db_hits)
+                       uint32_t record_size, DbHitCounter* db_hits)
     : name_(std::move(name)),
       cache_(cache),
       record_size_(record_size),
@@ -44,7 +46,7 @@ Status RecordFile::Read(RecordId id, uint8_t* out) {
     return Status::OutOfRange(name_ + ": record " + std::to_string(id) +
                               " past high id " + std::to_string(high_id_));
   }
-  if (db_hits_ != nullptr) ++*db_hits_;
+  if (db_hits_ != nullptr) db_hits_->Inc();
   MBQ_ASSIGN_OR_RETURN(PageRef ref, PageForRecord(id, /*for_init=*/false));
   uint64_t offset = (id % records_per_page_) * record_size_;
   std::memcpy(out, ref.data() + offset, record_size_);
@@ -56,7 +58,7 @@ Status RecordFile::Write(RecordId id, const uint8_t* data) {
     return Status::OutOfRange(name_ + ": record " + std::to_string(id) +
                               " past high id " + std::to_string(high_id_));
   }
-  if (db_hits_ != nullptr) ++*db_hits_;
+  if (db_hits_ != nullptr) db_hits_->Inc();
   MBQ_ASSIGN_OR_RETURN(PageRef ref, PageForRecord(id, /*for_init=*/false));
   uint64_t offset = (id % records_per_page_) * record_size_;
   std::memcpy(ref.data() + offset, data, record_size_);

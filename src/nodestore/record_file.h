@@ -1,6 +1,7 @@
 #ifndef MBQ_NODESTORE_RECORD_FILE_H_
 #define MBQ_NODESTORE_RECORD_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -11,6 +12,30 @@
 
 namespace mbq::nodestore {
 
+/// The database's "db hits" tally, safe to bump from concurrent reader
+/// threads: a relaxed atomic total plus a monotonic thread-local count.
+/// The thread-local side gives the Cypher profiler exact per-operator
+/// attribution on whichever thread an operator runs — deltas of
+/// ThreadHits() around a call see only that thread's hits, unpolluted by
+/// parallel workers or concurrent sessions.
+class DbHitCounter {
+ public:
+  void Inc() {
+    total_.fetch_add(1, std::memory_order_relaxed);
+    ++tls_hits_;
+  }
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  void Reset() { total_.store(0, std::memory_order_relaxed); }
+
+  /// Hits charged by the calling thread since it started, across every
+  /// database in the process (deltas, not absolute values, are meaningful).
+  static uint64_t ThreadHits() { return tls_hits_; }
+
+ private:
+  std::atomic<uint64_t> total_{0};
+  static thread_local uint64_t tls_hits_;
+};
+
 /// One store file of fixed-width records over the shared page cache —
 /// the shape of Neo4j's neostore.*.db files. Every record access counts
 /// one "db hit" toward the shared profiler counter, which is what the
@@ -19,7 +44,7 @@ class RecordFile {
  public:
   /// `db_hits` is a shared counter owned by the database; may be null.
   RecordFile(std::string name, storage::BufferCache* cache,
-             uint32_t record_size, uint64_t* db_hits);
+             uint32_t record_size, DbHitCounter* db_hits);
 
   RecordFile(const RecordFile&) = delete;
   RecordFile& operator=(const RecordFile&) = delete;
@@ -67,7 +92,7 @@ class RecordFile {
   storage::BufferCache* cache_;
   uint32_t record_size_;
   uint32_t records_per_page_;
-  uint64_t* db_hits_;
+  DbHitCounter* db_hits_;
   std::vector<storage::PageId> pages_;
   std::vector<RecordId> free_list_;
   RecordId high_id_ = 0;

@@ -6,15 +6,10 @@
 
 namespace mbq::storage {
 
-PageRef::PageRef(BufferCache* cache, size_t frame)
-    : cache_(cache), frame_(frame) {
-  cache_->Pin(frame_);
-}
-
 PageRef::~PageRef() { Release(); }
 
 PageRef::PageRef(PageRef&& other) noexcept
-    : cache_(other.cache_), frame_(other.frame_) {
+    : cache_(other.cache_), shard_(other.shard_), frame_(other.frame_) {
   other.cache_ = nullptr;
 }
 
@@ -22,6 +17,7 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
   if (this != &other) {
     Release();
     cache_ = other.cache_;
+    shard_ = other.shard_;
     frame_ = other.frame_;
     other.cache_ = nullptr;
   }
@@ -30,33 +26,38 @@ PageRef& PageRef::operator=(PageRef&& other) noexcept {
 
 void PageRef::Release() {
   if (cache_ != nullptr) {
-    cache_->Unpin(frame_);
+    cache_->Unpin(shard_, frame_);
     cache_ = nullptr;
   }
 }
 
+// A pinned frame cannot be evicted or have its data vector resized, so
+// data()/page_id() need no lock — concurrent pinned readers of the same
+// page are plain const reads.
 uint8_t* PageRef::data() {
   MBQ_CHECK(cache_ != nullptr);
-  return cache_->frames_[frame_].data.data();
+  return cache_->shards_[shard_]->frames[frame_].data.data();
 }
 
 const uint8_t* PageRef::data() const {
   MBQ_CHECK(cache_ != nullptr);
-  return cache_->frames_[frame_].data.data();
+  return cache_->shards_[shard_]->frames[frame_].data.data();
 }
 
 PageId PageRef::page_id() const {
   MBQ_CHECK(cache_ != nullptr);
-  return cache_->frames_[frame_].page_id;
+  return cache_->shards_[shard_]->frames[frame_].page_id;
 }
 
 void PageRef::MarkDirty() {
   MBQ_CHECK(cache_ != nullptr);
-  BufferCache::Frame& frame = cache_->frames_[frame_];
+  BufferCache::Shard& s = *cache_->shards_[shard_];
+  std::lock_guard<std::mutex> lock(s.mu);
+  BufferCache::Frame& frame = s.frames[frame_];
   if (cache_->options_.write_policy == WritePolicy::kWriteThrough) {
     Status st = cache_->disk_->WritePage(frame.page_id, frame.data.data());
     MBQ_CHECK(st.ok());
-    ++cache_->stats_.pages_flushed;
+    ++s.stats.pages_flushed;
   } else {
     frame.dirty = true;
   }
@@ -65,162 +66,231 @@ void PageRef::MarkDirty() {
 BufferCache::BufferCache(SimulatedDisk* disk, BufferCacheOptions options)
     : disk_(disk), options_(options) {
   MBQ_CHECK(options_.capacity_pages > 0);
-  frames_.resize(options_.capacity_pages);
-  free_frames_.reserve(options_.capacity_pages);
-  for (size_t i = 0; i < options_.capacity_pages; ++i) {
-    frames_[i].data.resize(kPageSize);
-    free_frames_.push_back(options_.capacity_pages - 1 - i);
+  size_t num_shards = options_.shards;
+  if (num_shards == 0) {
+    num_shards = std::clamp<size_t>(options_.capacity_pages / 256, 1, 16);
+  }
+  num_shards = std::min(num_shards, options_.capacity_pages);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    // First `capacity % shards` shards get one extra frame.
+    size_t cap = options_.capacity_pages / num_shards +
+                 (s < options_.capacity_pages % num_shards ? 1 : 0);
+    auto shard = std::make_unique<Shard>();
+    shard->frames.resize(cap);
+    shard->free_frames.reserve(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      shard->frames[i].data.resize(kPageSize);
+      shard->free_frames.push_back(cap - 1 - i);
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
-void BufferCache::Touch(size_t frame) {
-  Frame& f = frames_[frame];
+void BufferCache::TouchLocked(Shard& s, size_t frame) {
+  Frame& f = s.frames[frame];
   if (f.in_lru) {
-    lru_.erase(f.lru_pos);
+    s.lru.erase(f.lru_pos);
     f.in_lru = false;
   }
   if (f.pins == 0) {
-    lru_.push_front(frame);
-    f.lru_pos = lru_.begin();
+    s.lru.push_front(frame);
+    f.lru_pos = s.lru.begin();
     f.in_lru = true;
   }
 }
 
-void BufferCache::Pin(size_t frame) {
-  Frame& f = frames_[frame];
+PageRef BufferCache::PinLocked(Shard& s, size_t shard_index, size_t frame) {
+  Frame& f = s.frames[frame];
   if (f.in_lru) {
-    lru_.erase(f.lru_pos);
+    s.lru.erase(f.lru_pos);
     f.in_lru = false;
   }
   ++f.pins;
+  return PageRef(this, shard_index, frame);
 }
 
-void BufferCache::Unpin(size_t frame) {
-  Frame& f = frames_[frame];
+void BufferCache::Unpin(size_t shard, size_t frame) {
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  Frame& f = s.frames[frame];
   MBQ_CHECK(f.pins > 0);
   --f.pins;
   if (f.pins == 0) {
-    lru_.push_front(frame);
-    f.lru_pos = lru_.begin();
+    s.lru.push_front(frame);
+    f.lru_pos = s.lru.begin();
     f.in_lru = true;
   }
 }
 
-Status BufferCache::WriteBack(size_t frame) {
-  Frame& f = frames_[frame];
+Status BufferCache::WriteBackLocked(Shard& s, size_t frame) {
+  Frame& f = s.frames[frame];
   if (f.dirty) {
     MBQ_RETURN_IF_ERROR(disk_->WritePage(f.page_id, f.data.data()));
     f.dirty = false;
-    ++stats_.pages_flushed;
+    ++s.stats.pages_flushed;
   }
   return Status::OK();
 }
 
-Result<size_t> BufferCache::AcquireFrame() {
-  if (!free_frames_.empty()) {
-    size_t frame = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferCache::AcquireFrameLocked(Shard& s) {
+  if (!s.free_frames.empty()) {
+    size_t frame = s.free_frames.back();
+    s.free_frames.pop_back();
     return frame;
   }
-  if (lru_.empty()) {
+  if (s.lru.empty()) {
     return Status::FailedPrecondition(
         "buffer cache exhausted: all frames pinned");
   }
   // Prefer evicting a clean page (cheap). If none is clean and the
-  // flush-all policy is on, flush the entire dirty set in one stall.
-  size_t victim = lru_.back();
-  if (frames_[victim].dirty && options_.flush_all_when_full) {
-    ++stats_.flush_stalls;
-    MBQ_RETURN_IF_ERROR(FlushAll());
+  // flush-all policy is on, flush the shard's entire dirty set in one
+  // stall (shard-local so no cross-shard lock nesting).
+  size_t victim = s.lru.back();
+  if (s.frames[victim].dirty && options_.flush_all_when_full) {
+    ++s.stats.flush_stalls;
+    MBQ_RETURN_IF_ERROR(FlushShardLocked(s));
   }
-  victim = lru_.back();
-  lru_.pop_back();
-  frames_[victim].in_lru = false;
-  MBQ_RETURN_IF_ERROR(WriteBack(victim));
-  frame_of_page_.erase(frames_[victim].page_id);
-  frames_[victim].page_id = kInvalidPageId;
-  ++stats_.evictions;
+  victim = s.lru.back();
+  s.lru.pop_back();
+  s.frames[victim].in_lru = false;
+  MBQ_RETURN_IF_ERROR(WriteBackLocked(s, victim));
+  s.frame_of_page.erase(s.frames[victim].page_id);
+  s.frames[victim].page_id = kInvalidPageId;
+  ++s.stats.evictions;
   return victim;
 }
 
 Result<PageRef> BufferCache::GetPage(PageId id) {
-  auto it = frame_of_page_.find(id);
-  if (it != frame_of_page_.end()) {
-    ++stats_.hits;
-    Touch(it->second);
-    return PageRef(this, it->second);
+  size_t si = ShardOf(id);
+  Shard& s = *shards_[si];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.frame_of_page.find(id);
+  if (it != s.frame_of_page.end()) {
+    ++s.stats.hits;
+    TouchLocked(s, it->second);
+    return PinLocked(s, si, it->second);
   }
-  ++stats_.misses;
-  MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrame());
-  Frame& f = frames_[frame];
+  ++s.stats.misses;
+  MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrameLocked(s));
+  Frame& f = s.frames[frame];
+  // The disk read happens under the shard lock, so a second reader of the
+  // same page waits here and then hits the freshly loaded frame.
   Status st = disk_->ReadPage(id, f.data.data());
   if (!st.ok()) {
-    free_frames_.push_back(frame);
+    s.free_frames.push_back(frame);
     return st;
   }
   f.page_id = id;
   f.dirty = false;
-  frame_of_page_[id] = frame;
-  return PageRef(this, frame);
+  s.frame_of_page[id] = frame;
+  return PinLocked(s, si, frame);
 }
 
 Result<PageRef> BufferCache::GetPageForInit(PageId id) {
-  auto it = frame_of_page_.find(id);
-  if (it != frame_of_page_.end()) {
-    ++stats_.hits;
-    Touch(it->second);
-    return PageRef(this, it->second);
+  size_t si = ShardOf(id);
+  Shard& s = *shards_[si];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.frame_of_page.find(id);
+  if (it != s.frame_of_page.end()) {
+    ++s.stats.hits;
+    TouchLocked(s, it->second);
+    return PinLocked(s, si, it->second);
   }
-  MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrame());
-  Frame& f = frames_[frame];
+  MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrameLocked(s));
+  Frame& f = s.frames[frame];
   std::fill(f.data.begin(), f.data.end(), 0);
   f.page_id = id;
   f.dirty = options_.write_policy == WritePolicy::kWriteBack;
-  frame_of_page_[id] = frame;
-  return PageRef(this, frame);
+  s.frame_of_page[id] = frame;
+  return PinLocked(s, si, frame);
 }
 
 Result<PageRef> BufferCache::NewPage() {
   PageId id = disk_->AllocatePage();
-  MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrame());
-  Frame& f = frames_[frame];
+  size_t si = ShardOf(id);
+  Shard& s = *shards_[si];
+  std::lock_guard<std::mutex> lock(s.mu);
+  MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrameLocked(s));
+  Frame& f = s.frames[frame];
   std::fill(f.data.begin(), f.data.end(), 0);
   f.page_id = id;
   f.dirty = options_.write_policy == WritePolicy::kWriteBack;
-  frame_of_page_[id] = frame;
-  return PageRef(this, frame);
+  s.frame_of_page[id] = frame;
+  return PinLocked(s, si, frame);
 }
 
-Status BufferCache::FlushAll() {
+Status BufferCache::FlushShardLocked(Shard& s) {
   // Elevator flush: write dirty pages in ascending page order so the
   // device sees one mostly-sequential sweep.
   std::vector<std::pair<PageId, size_t>> dirty;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].page_id != kInvalidPageId && frames_[i].dirty) {
-      dirty.emplace_back(frames_[i].page_id, i);
+  for (size_t i = 0; i < s.frames.size(); ++i) {
+    if (s.frames[i].page_id != kInvalidPageId && s.frames[i].dirty) {
+      dirty.emplace_back(s.frames[i].page_id, i);
     }
   }
   std::sort(dirty.begin(), dirty.end());
   for (const auto& [page, frame] : dirty) {
-    MBQ_RETURN_IF_ERROR(WriteBack(frame));
+    MBQ_RETURN_IF_ERROR(WriteBackLocked(s, frame));
+  }
+  return Status::OK();
+}
+
+Status BufferCache::FlushAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    MBQ_RETURN_IF_ERROR(FlushShardLocked(*shard));
   }
   return Status::OK();
 }
 
 Status BufferCache::EvictAll() {
-  MBQ_RETURN_IF_ERROR(FlushAll());
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& f = frames_[i];
-    if (f.page_id == kInvalidPageId || f.pins > 0) continue;
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    MBQ_RETURN_IF_ERROR(FlushShardLocked(s));
+    for (size_t i = 0; i < s.frames.size(); ++i) {
+      Frame& f = s.frames[i];
+      if (f.page_id == kInvalidPageId || f.pins > 0) continue;
+      if (f.in_lru) {
+        s.lru.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      s.frame_of_page.erase(f.page_id);
+      f.page_id = kInvalidPageId;
+      s.free_frames.push_back(i);
     }
-    frame_of_page_.erase(f.page_id);
-    f.page_id = kInvalidPageId;
-    free_frames_.push_back(i);
   }
   return Status::OK();
+}
+
+BufferCacheStats BufferCache::stats() const {
+  BufferCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.pages_flushed += shard->stats.pages_flushed;
+    total.flush_stalls += shard->stats.flush_stalls;
+  }
+  return total;
+}
+
+void BufferCache::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = BufferCacheStats();
+  }
+}
+
+size_t BufferCache::cached_pages() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->frame_of_page.size();
+  }
+  return total;
 }
 
 }  // namespace mbq::storage

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +31,11 @@ struct BufferCacheOptions {
   /// Under kWriteBack: when no clean frame can be evicted, flush every
   /// dirty page in one stall instead of writing back a single victim.
   bool flush_all_when_full = false;
+  /// Number of independently locked shards. 0 (the default) picks one
+  /// shard per 256 pages of capacity, capped at 16 — small caches stay
+  /// single-shard, so their hit/miss/eviction accounting is exactly the
+  /// classic single-LRU behaviour the storage tests pin down.
+  size_t shards = 0;
 };
 
 struct BufferCacheStats {
@@ -36,7 +43,7 @@ struct BufferCacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t pages_flushed = 0;
-  /// Number of whole-cache flush stalls (flush_all_when_full events).
+  /// Number of whole-shard flush stalls (flush_all_when_full events).
   uint64_t flush_stalls = 0;
 };
 
@@ -47,7 +54,6 @@ class BufferCache;
 class PageRef {
  public:
   PageRef() = default;
-  PageRef(BufferCache* cache, size_t frame);
   ~PageRef();
 
   PageRef(PageRef&& other) noexcept;
@@ -62,16 +68,26 @@ class PageRef {
   bool valid() const { return cache_ != nullptr; }
 
  private:
+  friend class BufferCache;
+  /// Adopts a pin the cache already took under the shard lock.
+  PageRef(BufferCache* cache, size_t shard, size_t frame)
+      : cache_(cache), shard_(shard), frame_(frame) {}
+
   void Release();
 
   BufferCache* cache_ = nullptr;
+  size_t shard_ = 0;
   size_t frame_ = 0;
 };
 
-/// A fixed-capacity LRU page cache over a SimulatedDisk.
+/// A fixed-capacity LRU page cache over a SimulatedDisk, sharded by page
+/// id so concurrent readers only contend within a shard.
 ///
-/// Single-threaded by design (both engines in this reproduction are
-/// embedded and driven by one session, matching the paper's setup).
+/// Thread-safety: any number of threads may call GetPage concurrently
+/// (the reader path the parallel executor uses). Mutations of page
+/// contents follow the engines' single-writer rule — a writer is never
+/// concurrent with readers — so MarkDirty and the flush/evict entry
+/// points need no cross-page coordination beyond the shard locks.
 class BufferCache {
  public:
   BufferCache(SimulatedDisk* disk, BufferCacheOptions options);
@@ -97,10 +113,13 @@ class BufferCache {
   /// a cold cache / restart without re-opening the store.
   Status EvictAll();
 
-  const BufferCacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferCacheStats(); }
+  /// Aggregated counters across all shards (a consistent-enough snapshot
+  /// for reporting; each shard is read under its lock).
+  BufferCacheStats stats() const;
+  void ResetStats();
   size_t capacity_pages() const { return options_.capacity_pages; }
-  size_t cached_pages() const { return frame_of_page_.size(); }
+  size_t cached_pages() const;
+  size_t num_shards() const { return shards_.size(); }
   SimulatedDisk* disk() { return disk_; }
 
  private:
@@ -111,24 +130,33 @@ class BufferCache {
     std::vector<uint8_t> data;
     bool dirty = false;
     uint32_t pins = 0;
-    // Position in lru_ when unpinned; lru_.end() sentinel handled via flag.
+    // Position in lru when unpinned; end() sentinel handled via flag.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
-  Result<size_t> AcquireFrame();  // frame index with no resident page
-  Status WriteBack(size_t frame);
-  void Touch(size_t frame);
-  void Pin(size_t frame);
-  void Unpin(size_t frame);
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    std::vector<size_t> free_frames;
+    std::unordered_map<PageId, size_t> frame_of_page;
+    std::list<size_t> lru;  // front = most recently used
+    BufferCacheStats stats;
+  };
+
+  size_t ShardOf(PageId id) const { return id % shards_.size(); }
+  /// Frame with no resident page; may evict (caller holds s.mu).
+  Result<size_t> AcquireFrameLocked(Shard& s);
+  Status WriteBackLocked(Shard& s, size_t frame);
+  Status FlushShardLocked(Shard& s);
+  void TouchLocked(Shard& s, size_t frame);
+  /// Pin + wrap: caller holds s.mu and passes the shard's index.
+  PageRef PinLocked(Shard& s, size_t shard_index, size_t frame);
+  void Unpin(size_t shard, size_t frame);
 
   SimulatedDisk* disk_;
   BufferCacheOptions options_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> frame_of_page_;
-  std::list<size_t> lru_;  // front = most recently used
-  BufferCacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace mbq::storage

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "util/clock.h"
@@ -50,6 +51,10 @@ struct DiskStats {
 /// The paper's import-time "jumps" (Figures 2 and 3) and the cold-cache
 /// discussion in Section 4 are disk effects; modelling the device lets the
 /// benches reproduce those shapes deterministically at laptop scale.
+///
+/// Thread-safe: one internal mutex serializes accesses, modelling a
+/// single-head device — concurrent readers queue at the disk exactly as
+/// they would at real hardware.
 class SimulatedDisk {
  public:
   /// Charges latency to `clock` (typically a VirtualClock owned by the
@@ -73,21 +78,36 @@ class SimulatedDisk {
   /// tests verify that errors propagate as Status through every layer
   /// instead of crashing.
   void InjectFailureAfter(uint64_t ops) {
+    std::lock_guard<std::mutex> lock(mu_);
     fail_after_ = ops;
     failing_ = false;
   }
   void ClearFailure() {
+    std::lock_guard<std::mutex> lock(mu_);
     fail_after_ = UINT64_MAX;
     failing_ = false;
   }
 
-  uint64_t num_pages() const { return pages_.size(); }
-  const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats(); }
+  uint64_t num_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size();
+  }
+  /// Snapshot of the cumulative counters (copied under the lock).
+  DiskStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DiskStats();
+  }
   const DiskProfile& profile() const { return profile_; }
 
   /// Total bytes held (the simulated on-disk footprint).
-  uint64_t SizeBytes() const { return pages_.size() * kPageSize; }
+  uint64_t SizeBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size() * kPageSize;
+  }
 
  private:
   void Charge(PageId id, uint64_t transfer_nanos);
@@ -95,6 +115,7 @@ class SimulatedDisk {
 
   DiskProfile profile_;
   Clock* clock_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
   PageId last_page_ = kInvalidPageId;
   DiskStats stats_;

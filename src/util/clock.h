@@ -1,6 +1,7 @@
 #ifndef MBQ_UTIL_CLOCK_H_
 #define MBQ_UTIL_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -35,14 +36,19 @@ class WallClock : public Clock {
 };
 
 /// A counter that only moves when explicitly advanced. Used by the
-/// simulated disk to model HDD latency deterministically.
+/// simulated disk to model HDD latency deterministically. Atomic so
+/// benches can read SimulatedIoNanos while reader threads charge I/O.
 class VirtualClock : public Clock {
  public:
-  uint64_t NowNanos() const override { return now_nanos_; }
-  void AdvanceNanos(uint64_t nanos) override { now_nanos_ += nanos; }
+  uint64_t NowNanos() const override {
+    return now_nanos_.load(std::memory_order_relaxed);
+  }
+  void AdvanceNanos(uint64_t nanos) override {
+    now_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t now_nanos_ = 0;
+  std::atomic<uint64_t> now_nanos_{0};
 };
 
 /// Measures elapsed time against a Clock.

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace mbq::exec {
+namespace {
+
+TEST(ThreadPoolTest, ParallelismClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.parallelism(), 1u);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.parallelism(), 4u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr uint64_t kN = 100000;
+  std::vector<std::atomic<uint32_t>> touched(kN);
+  pool.ParallelFor(0, kN, 128, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      touched[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSumsRange) {
+  ThreadPool pool(3);
+  constexpr uint64_t kN = 50000;
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, kN, 64, [&](uint64_t lo, uint64_t hi) {
+    uint64_t local = 0;
+    for (uint64_t i = lo; i < hi; ++i) local += i;
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> calls{0};
+  pool.ParallelFor(10, 10, 4,
+                   [&](uint64_t, uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainLargerThanRange) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> items{0};
+  pool.ParallelFor(0, 7, 1000, [&](uint64_t lo, uint64_t hi) {
+    calls.fetch_add(1);
+    items.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(calls.load(), 1u);
+  EXPECT_EQ(items.load(), 7u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> off_thread{false};
+  pool.ParallelFor(0, 100, 10, [&](uint64_t, uint64_t) {
+    if (std::this_thread::get_id() != caller) off_thread.store(true);
+  });
+  EXPECT_FALSE(off_thread.load());
+}
+
+TEST(ThreadPoolTest, SubmitThenDrainCompletesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> done{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 200u);
+}
+
+TEST(ThreadPoolTest, DrainOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Drain();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 8, 1, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      pool.ParallelFor(0, 100, 10, [&](uint64_t ilo, uint64_t ihi) {
+        sum.fetch_add(ihi - ilo, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(sum.load(), 8u * 100u);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareOnePool) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr uint64_t kN = 20000;
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      pool.ParallelFor(0, kN, 97, [&](uint64_t lo, uint64_t hi) {
+        total.fetch_add(hi - lo, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), kCallers * kN);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsParsesEnvironment) {
+  // DefaultThreads re-reads the environment on each call (only the pool
+  // instance behind Default() is pinned at first use).
+  char saved[32] = {0};
+  const char* old = std::getenv("CYPHER_THREADS");
+  if (old != nullptr) std::snprintf(saved, sizeof(saved), "%s", old);
+
+  setenv("CYPHER_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreads(), 3u);
+
+  if (old != nullptr) {
+    setenv("CYPHER_THREADS", saved, 1);
+  } else {
+    unsetenv("CYPHER_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace mbq::exec

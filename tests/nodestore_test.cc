@@ -97,7 +97,7 @@ TEST(RecordFileTest, AllocateReadWriteFree) {
   VirtualClock clock;
   storage::SimulatedDisk disk(storage::DiskProfile::Instant(), &clock);
   storage::BufferCache cache(&disk, storage::BufferCacheOptions{});
-  uint64_t hits = 0;
+  nodestore::DbHitCounter hits;
   RecordFile file("test", &cache, 24, &hits);
 
   auto id = file.Allocate();
@@ -109,7 +109,7 @@ TEST(RecordFileTest, AllocateReadWriteFree) {
   uint8_t out[24] = {};
   ASSERT_TRUE(file.Read(*id, out).ok());
   EXPECT_EQ(std::memcmp(out, data, 24), 0);
-  EXPECT_EQ(hits, 2u);  // one read + one write
+  EXPECT_EQ(hits.total(), 2u);  // one read + one write
 
   ASSERT_TRUE(file.Free(*id).ok());
   auto recycled = file.Allocate();
