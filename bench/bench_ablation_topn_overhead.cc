@@ -33,7 +33,7 @@ void Run() {
     auto timing = core::MeasureQuery(
         [&]() -> Result<uint64_t> {
           MBQ_ASSIGN_OR_RETURN(cypher::QueryResult result,
-                               bed.nodestore_engine->session().Run(query,
+                               bed.nodestore()->session().Run(query,
                                                                    params));
           return result.rows.size();
         },

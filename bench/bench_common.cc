@@ -54,9 +54,18 @@ Testbed BuildTestbed(uint64_t num_users) {
   MBQ_CHECK(bh.ok());
   bed.bm_handles = *bh;
 
-  bed.nodestore_engine = std::make_unique<core::NodestoreEngine>(bed.db.get());
-  bed.bitmap_engine =
-      std::make_unique<core::BitmapEngine>(bed.graph.get(), bed.bm_handles);
+  core::EngineOptions ns_options;
+  ns_options.db = bed.db.get();
+  auto ns = core::OpenEngine(core::EngineKind::kNodestore, ns_options);
+  MBQ_CHECK(ns.ok());
+  bed.nodestore_engine = std::move(*ns);
+
+  core::EngineOptions bm_options;
+  bm_options.graph = bed.graph.get();
+  bm_options.handles = &bed.bm_handles;
+  auto bm = core::OpenEngine(core::EngineKind::kBitmap, bm_options);
+  MBQ_CHECK(bm.ok());
+  bed.bitmap_engine = std::move(*bm);
   return bed;
 }
 
@@ -86,6 +95,63 @@ void ApplyThreads(Testbed& bed, uint32_t threads) {
   if (threads < 1) threads = 1;
   bed.nodestore_engine->SetThreads(threads);
   bed.bitmap_engine->SetThreads(threads);
+}
+
+namespace {
+
+/// on/off/1/0/true/false; anything else keeps `fallback` and warns.
+bool ParseOnOff(const char* flag, const char* value, bool fallback) {
+  if (std::strcmp(value, "on") == 0 || std::strcmp(value, "1") == 0 ||
+      std::strcmp(value, "true") == 0) {
+    return true;
+  }
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0 ||
+      std::strcmp(value, "false") == 0) {
+    return false;
+  }
+  std::fprintf(stderr, "ignoring bad %s value: %s\n", flag, value);
+  return fallback;
+}
+
+/// Extracts the value of `--flag V` / `--flag=V` from argv, else null.
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  options.threads = BenchThreads(argc, argv);
+  if (const char* v = FlagValue(argc, argv, "--result-cache")) {
+    options.result_cache = ParseOnOff("--result-cache", v, false);
+  }
+  if (const char* v = FlagValue(argc, argv, "--adj-cache")) {
+    options.adj_cache = ParseOnOff("--adj-cache", v, false);
+  }
+  return options;
+}
+
+void ApplyBenchOptions(Testbed& bed, const BenchOptions& options) {
+  ApplyThreads(bed, options.threads);
+  cypher::SessionOptions session;
+  session.threads = 0;  // keep what ApplyThreads just set
+  session.result_cache = options.result_cache;
+  session.result_cache_capacity = options.result_cache_capacity;
+  session.adjacency_cache = options.adj_cache;
+  session.adjacency_cache_capacity = options.adj_cache_capacity;
+  bed.nodestore()->Configure(session);
+  bed.bitmap()->EnableAdjacencyCache(
+      options.adj_cache ? options.adj_cache_capacity : 0, /*min_degree=*/8);
 }
 
 MetricsExportGuard::MetricsExportGuard(int argc, char** argv) {

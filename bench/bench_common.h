@@ -16,15 +16,36 @@
 namespace mbq::bench {
 
 /// One fully loaded experimental setup: the generated dataset plus both
-/// engines carrying it, ready for the Table 2 workload.
+/// engines carrying it, ready for the Table 2 workload. Engines are built
+/// through core::OpenEngine and held by interface; the typed accessors
+/// below recover the concrete engines for implementation-specific knobs
+/// (the Cypher session, bitmap handles).
 struct Testbed {
   twitter::Dataset dataset;
   std::unique_ptr<nodestore::GraphDb> db;
   std::unique_ptr<bitmapstore::Graph> graph;
   twitter::NodestoreHandles ndb_handles;
   twitter::BitmapHandles bm_handles;
-  std::unique_ptr<core::NodestoreEngine> nodestore_engine;
-  std::unique_ptr<core::BitmapEngine> bitmap_engine;
+  std::unique_ptr<core::MicroblogEngine> nodestore_engine;
+  std::unique_ptr<core::MicroblogEngine> bitmap_engine;
+
+  core::NodestoreEngine* nodestore() const {
+    return static_cast<core::NodestoreEngine*>(nodestore_engine.get());
+  }
+  core::BitmapEngine* bitmap() const {
+    return static_cast<core::BitmapEngine*>(bitmap_engine.get());
+  }
+};
+
+/// The option surface shared by every bench binary: thread count plus the
+/// read-cache toggles, parsed from one flag vocabulary (`--threads N`,
+/// `--result-cache on|off`, `--adj-cache on|off`, `=`-forms accepted).
+struct BenchOptions {
+  uint32_t threads = 1;
+  bool result_cache = false;
+  bool adj_cache = false;
+  size_t result_cache_capacity = 256;
+  size_t adj_cache_capacity = 4096;
 };
 
 /// Scale factor: number of users in the synthetic crawl. Overridable with
@@ -47,6 +68,16 @@ Testbed BuildTestbed(uint64_t num_users);
 /// Parses `--threads N` (or `--threads=N`) from argv; falls back to the
 /// CYPHER_THREADS environment variable, then to 1 (fully sequential).
 uint32_t BenchThreads(int argc, char** argv);
+
+/// Parses the whole shared bench flag surface (threads via BenchThreads,
+/// `--result-cache` / `--adj-cache` with on/off/1/0/true/false values).
+/// Unknown flags are left for the bench's own parsing.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// Applies `options` to both engines: thread count everywhere, result +
+/// adjacency caches on the Cypher session, adjacency cache on the bitmap
+/// engine.
+void ApplyBenchOptions(Testbed& bed, const BenchOptions& options);
 
 /// Configures both engines of `bed` for `threads`-way parallel execution
 /// (morsel-parallel Cypher pipelines on the nodestore side, fanned-out

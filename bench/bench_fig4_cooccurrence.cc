@@ -11,12 +11,16 @@
 namespace mbq::bench {
 namespace {
 
-void Run(uint32_t threads) {
+void Run(const BenchOptions& options) {
+  uint32_t threads = options.threads;
   uint64_t users = BenchUsers();
   std::printf("Figure 4(a,b) — Q3.1 co-occurrence, %s users, %u thread%s\n\n",
               FormatCount(users).c_str(), threads, threads == 1 ? "" : "s");
+  std::printf("caches: result=%s adjacency=%s\n\n",
+              options.result_cache ? "on" : "off",
+              options.adj_cache ? "on" : "off");
   Testbed bed = BuildTestbed(users);
-  ApplyThreads(bed, threads);
+  ApplyBenchOptions(bed, options);
   uint32_t runs = BenchRuns();
 
   // Sample users across the mention-count spectrum (the paper's x-axis is
@@ -133,6 +137,6 @@ void Run(uint32_t threads) {
 
 int main(int argc, char** argv) {
   mbq::bench::MetricsExportGuard metrics(argc, argv);
-  mbq::bench::Run(mbq::bench::BenchThreads(argc, argv));
+  mbq::bench::Run(mbq::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

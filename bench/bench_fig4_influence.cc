@@ -12,12 +12,16 @@
 namespace mbq::bench {
 namespace {
 
-void Run(uint32_t threads) {
+void Run(const BenchOptions& options) {
+  uint32_t threads = options.threads;
   uint64_t users = BenchUsers();
   std::printf("Figure 4(e,f) — Q5.2 potential influence, %s users, %u thread%s\n\n",
               FormatCount(users).c_str(), threads, threads == 1 ? "" : "s");
+  std::printf("caches: result=%s adjacency=%s\n\n",
+              options.result_cache ? "on" : "off",
+              options.adj_cache ? "on" : "off");
   Testbed bed = BuildTestbed(users);
-  ApplyThreads(bed, threads);
+  ApplyBenchOptions(bed, options);
   uint32_t runs = BenchRuns();
 
   // Spread the sample across *distinct* mention degrees (the raw rank
@@ -74,6 +78,6 @@ void Run(uint32_t threads) {
 
 int main(int argc, char** argv) {
   mbq::bench::MetricsExportGuard metrics(argc, argv);
-  mbq::bench::Run(mbq::bench::BenchThreads(argc, argv));
+  mbq::bench::Run(mbq::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

@@ -16,11 +16,15 @@
 namespace mbq::bench {
 namespace {
 
-void Run() {
+void Run(const BenchOptions& options) {
   uint64_t users = BenchUsers();
   std::printf("Figure 4(g,h) — Q6.1 shortest path (max 3 hops), %s users\n\n",
               FormatCount(users).c_str());
+  std::printf("caches: result=%s adjacency=%s\n\n",
+              options.result_cache ? "on" : "off",
+              options.adj_cache ? "on" : "off");
   Testbed bed = BuildTestbed(users);
+  ApplyBenchOptions(bed, options);
   uint32_t runs = BenchRuns();
   const uint32_t kMaxHops = 3;
 
@@ -96,6 +100,6 @@ void Run() {
 
 int main(int argc, char** argv) {
   mbq::bench::MetricsExportGuard metrics(argc, argv);
-  mbq::bench::Run();
+  mbq::bench::Run(mbq::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

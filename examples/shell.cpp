@@ -10,6 +10,9 @@
 //   :profile <query>   alias for the PROFILE prefix
 //   :stats             database counters (nodes, rels, db hits)
 //   :metrics           full observability snapshot (docs/OBSERVABILITY.md)
+//   :cache             read-cache stats (result + adjacency)
+//   :cache on|off      enable/disable both read caches
+//   :cache clear       empty the read caches (keeps them enabled)
 //   :cold              drop the page cache (next query runs cold)
 //   :quit              exit
 //
@@ -107,6 +110,9 @@ int main(int argc, char** argv) {
           ":profile <query>  alias for the PROFILE prefix\n"
           ":stats            database counters\n"
           ":metrics          full observability snapshot\n"
+          ":cache            read-cache stats (result + adjacency)\n"
+          ":cache on|off     enable/disable both read caches\n"
+          ":cache clear      empty the read caches\n"
           ":cold             drop the page cache\n"
           ":quit             exit\n"
           "anything else is parsed as a mini-Cypher query, e.g.\n"
@@ -126,6 +132,45 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(db.NumRels()),
                   static_cast<unsigned long long>(db.db_hits()),
                   static_cast<unsigned long long>(db.DiskSizeBytes()));
+      continue;
+    }
+    if (trimmed == ":cache" || trimmed == ":cache on" ||
+        trimmed == ":cache off" || trimmed == ":cache clear") {
+      if (trimmed == ":cache on" || trimmed == ":cache off") {
+        mbq::cypher::SessionOptions options;
+        options.threads = 0;  // keep the current thread setting
+        options.result_cache = trimmed == ":cache on";
+        options.adjacency_cache = trimmed == ":cache on";
+        session.Configure(options);
+        std::printf("read caches %s\n",
+                    trimmed == ":cache on" ? "enabled" : "disabled");
+        continue;
+      }
+      if (trimmed == ":cache clear") {
+        session.ClearReadCaches();
+        std::printf("read caches cleared\n");
+        continue;
+      }
+      auto print_stats = [](const char* name, bool enabled,
+                            const mbq::cache::CacheStats& stats) {
+        if (!enabled) {
+          std::printf("%s: disabled (:cache on to enable)\n", name);
+          return;
+        }
+        std::printf(
+            "%s: %llu hits / %llu misses, %llu entries (%llu bytes), "
+            "%llu evicted, %llu invalidated\n",
+            name, static_cast<unsigned long long>(stats.hits),
+            static_cast<unsigned long long>(stats.misses),
+            static_cast<unsigned long long>(stats.entries),
+            static_cast<unsigned long long>(stats.bytes),
+            static_cast<unsigned long long>(stats.evictions),
+            static_cast<unsigned long long>(stats.invalidations));
+      };
+      print_stats("result cache   ", session.result_cache_enabled(),
+                  session.result_cache_stats());
+      print_stats("adjacency cache", session.adjacency_cache_enabled(),
+                  session.adjacency_cache_stats());
       continue;
     }
     if (trimmed == ":cold") {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Smoke-runs one figure-4 bench with the result cache enabled and asserts
+# that the exported metrics JSON reports actual cache traffic — the fast
+# end-to-end check that the caching layer is wired through the bench
+# harness (flag parsing -> engine factory -> session -> metrics export).
+#
+# Usage:
+#   scripts/bench_smoke.sh <bench-binary> [metrics-out.json]
+#
+# The dataset is kept tiny (300 users, 2 measured runs) so the whole
+# smoke finishes in seconds.
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <bench-binary> [metrics-out.json]" >&2
+  exit 2
+fi
+
+bench="$1"
+out="${2:-$(mktemp /tmp/mbq_bench_smoke.XXXXXX.json)}"
+
+if [ ! -x "$bench" ]; then
+  echo "bench-smoke: $bench is not an executable" >&2
+  exit 2
+fi
+
+MBQ_BENCH_USERS=300 MBQ_BENCH_RUNS=2 \
+  "$bench" --result-cache on --adj-cache on --metrics-out "$out" >/dev/null
+
+fail=0
+for metric in cache.result.hits cache.result.misses; do
+  # Exported lines look like: {"name": "cache.result.hits", ..., "value": N}
+  line="$(grep "\"$metric\"" "$out" || true)"
+  if [ -z "$line" ]; then
+    echo "bench-smoke: metric $metric missing from $out" >&2
+    fail=1
+    continue
+  fi
+  value="$(printf '%s' "$line" | sed -n 's/.*"value": \([0-9][0-9]*\).*/\1/p')"
+  if [ -z "$value" ] || [ "$value" -eq 0 ]; then
+    echo "bench-smoke: metric $metric is zero or unparsable: $line" >&2
+    fail=1
+  else
+    echo "bench-smoke: $metric = $value"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench-smoke: FAILED (metrics in $out)" >&2
+  exit 1
+fi
+echo "bench-smoke: OK (metrics in $out)"

@@ -28,7 +28,7 @@ for arg in "$@"; do
 done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-focused='Exec|Concurrency|Agreement|Cypher'
+focused='Exec|Concurrency|Agreement|Cypher|Cache'
 
 echo "== ThreadSanitizer build (build-tsan/) =="
 cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
@@ -42,6 +42,10 @@ else
   (cd build-tsan && CYPHER_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     ctest --output-on-failure -R "$focused")
 fi
+
+echo "== bench smoke (read caches on, TSan binary) =="
+TSAN_OPTIONS="halt_on_error=1" \
+  scripts/bench_smoke.sh build-tsan/bench/bench_fig4_recommendation
 
 if [ "$run_asan" -eq 1 ]; then
   echo "== AddressSanitizer build (build-asan/) =="

@@ -209,6 +209,7 @@ Result<Oid> Graph::NewNode(TypeId type) {
       types_[type].kind != ObjectKind::kNode) {
     return Status::InvalidArgument("bad node type");
   }
+  epochs_.Bump(cache::TypeDomain(type));
   Oid oid = static_cast<Oid>(type_of_.size());
   type_of_.push_back(type);
   edge_tail_.push_back(kInvalidOid);
@@ -229,6 +230,7 @@ Result<Oid> Graph::NewEdge(TypeId type, Oid tail, Oid head) {
   }
   MBQ_RETURN_IF_ERROR(CheckNodeOid(tail));
   MBQ_RETURN_IF_ERROR(CheckNodeOid(head));
+  epochs_.Bump(cache::TypeDomain(type));
   Oid oid = static_cast<Oid>(type_of_.size());
   type_of_.push_back(type);
   edge_tail_.push_back(tail);
@@ -281,6 +283,9 @@ Status Graph::Drop(Oid oid) {
   MBQ_RETURN_IF_ERROR(CheckOid(oid));
   TypeId type = type_of_[oid];
   TypeInfo& t = types_[type];
+  // Incident edges of a dropped node bump their own types through the
+  // recursive Drop calls below.
+  epochs_.Bump(cache::TypeDomain(type));
   if (t.kind == ObjectKind::kNode) {
     // Remove incident edges of every edge type first.
     for (size_t ti = 0; ti < types_.size(); ++ti) {
@@ -418,6 +423,7 @@ Status Graph::SetAttribute(Oid oid, AttrId attr, const Value& value) {
         common::ValueTypeName(info.dtype) + ", got " +
         common::ValueTypeName(value.type()));
   }
+  epochs_.Bump(cache::TypeDomain(info.type));
   bool indexed = info.kind != AttributeKind::kBasic;
   if (indexed && info.kind == AttributeKind::kUnique && !value.is_null()) {
     auto idx = info.index.find(value);

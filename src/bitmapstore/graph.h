@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bitmapstore/objects.h"
+#include "cache/epoch.h"
 #include "storage/storage_accountant.h"
 #include "common/value.h"
 #include "storage/buffer_cache.h"
@@ -205,6 +206,10 @@ class Graph {
 
   const GraphStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
+  /// Write epochs for read caches: every mutation bumps the epoch of the
+  /// object type it touches (cache::TypeDomain over the unified node/edge
+  /// TypeId space); dropping a node bumps each incident edge type too.
+  const cache::EpochRegistry& epochs() const { return epochs_; }
   storage::BufferCacheStats cache_stats() const;
   storage::DiskStats disk_stats() const;
   /// Simulated on-disk footprint in bytes.
@@ -279,6 +284,7 @@ class Graph {
   uint32_t object_table_stream_ = 0;
 
   mutable GraphStats stats_;
+  cache::EpochRegistry epochs_;
 
   /// Reports this instance's `bitmapstore.*` gauges at snapshot time;
   /// unregisters automatically on destruction.

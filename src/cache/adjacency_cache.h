@@ -1,0 +1,99 @@
+#ifndef MBQ_CACHE_ADJACENCY_CACHE_H_
+#define MBQ_CACHE_ADJACENCY_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/lru_cache.h"
+
+namespace mbq::cache {
+
+/// One memoized neighbor list: the edges incident to a node through one
+/// edge/relationship type in one direction, with the opposite endpoints.
+/// `neighbors[i]` is the other endpoint reached over `edges[i]`, in the
+/// order the store produced them, so replaying a cached entry yields
+/// exactly what the walk would have.
+struct AdjacencyEntry {
+  std::vector<uint64_t> neighbors;
+  std::vector<uint64_t> edges;
+
+  uint64_t degree() const { return neighbors.size(); }
+  size_t ByteSize() const {
+    return sizeof(*this) +
+           (neighbors.capacity() + edges.capacity()) * sizeof(uint64_t);
+  }
+};
+
+/// The hot adjacency cache: memoizes neighbor lists for high-degree
+/// vertices (celebrities — the nodes whose expansions dominate Q3-Q5),
+/// shared by the record-store Expand operator and the bitmap engine's
+/// Neighbors loops. Entries are validated against the edge type's epoch
+/// domain, so any write touching that type drops them lazily.
+class AdjacencyCache {
+ public:
+  struct Options {
+    size_t capacity = 4096;  // entries
+    size_t shards = 8;
+    /// Only lists at least this long are cached: short adjacency lists
+    /// are cheap to re-walk, and skipping them keeps the cache for the
+    /// hubs it exists for.
+    uint64_t min_degree = 8;
+    /// Metric prefix; empty disables obs wiring.
+    std::string metric_prefix = "cache.adjacency";
+  };
+
+  AdjacencyCache(const Options& options, const EpochRegistry* epochs)
+      : options_(options),
+        cache_(LruOptions{options.capacity, options.shards,
+                          options.metric_prefix},
+               epochs) {}
+
+  std::shared_ptr<const AdjacencyEntry> Get(uint64_t node, int32_t etype,
+                                            uint8_t dir) {
+    std::shared_ptr<const AdjacencyEntry> out;
+    if (cache_.Get(Key{node, etype, dir}, &out)) return out;
+    return nullptr;
+  }
+
+  /// Inserts unless the list is below the min-degree threshold or the
+  /// stamp already expired.
+  void Put(uint64_t node, int32_t etype, uint8_t dir,
+           std::shared_ptr<const AdjacencyEntry> entry, EpochStamp stamp) {
+    if (entry == nullptr || entry->degree() < options_.min_degree) return;
+    size_t bytes = entry->ByteSize();
+    cache_.Put(Key{node, etype, dir}, std::move(entry), bytes,
+               std::move(stamp));
+  }
+
+  void Clear() { cache_.Clear(); }
+  CacheStats stats() const { return cache_.stats(); }
+  uint64_t min_degree() const { return options_.min_degree; }
+
+ private:
+  struct Key {
+    uint64_t node = 0;
+    int32_t etype = 0;
+    uint8_t dir = 0;
+
+    bool operator==(const Key& other) const {
+      return node == other.node && etype == other.etype && dir == other.dir;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      uint64_t h = key.node * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<uint64_t>(static_cast<uint32_t>(key.etype)) << 8) |
+           key.dir;
+      h *= 0xc2b2ae3d27d4eb4fULL;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+
+  Options options_;
+  ShardedLruCache<Key, std::shared_ptr<const AdjacencyEntry>, KeyHash> cache_;
+};
+
+}  // namespace mbq::cache
+
+#endif  // MBQ_CACHE_ADJACENCY_CACHE_H_

@@ -1,0 +1,30 @@
+#include "cache/epoch.h"
+
+#include <algorithm>
+
+namespace mbq::cache {
+
+EpochStamp CaptureStamp(const EpochRegistry& registry,
+                        const std::vector<uint32_t>& domains, bool use_global) {
+  EpochStamp stamp;
+  if (use_global) {
+    stamp.use_global = true;
+    stamp.global = registry.GlobalEpoch();
+    return stamp;
+  }
+  stamp.slots.reserve(domains.size());
+  for (uint32_t domain : domains) {
+    uint32_t slot = domain % EpochRegistry::kSlots;
+    bool seen = false;
+    for (const auto& [prev, _] : stamp.slots) {
+      if (prev % EpochRegistry::kSlots == slot) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) stamp.slots.emplace_back(domain, registry.SlotEpoch(domain));
+  }
+  return stamp;
+}
+
+}  // namespace mbq::cache

@@ -1,0 +1,220 @@
+#ifndef MBQ_CACHE_LRU_CACHE_H_
+#define MBQ_CACHE_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/epoch.h"
+#include "obs/metrics.h"
+
+namespace mbq::cache {
+
+/// Point-in-time counters of one cache instance (the shell's `:cache`
+/// view; process-wide totals go to obs under the cache's metric prefix).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+};
+
+struct LruOptions {
+  /// Maximum resident entries across all shards.
+  size_t capacity = 1024;
+  size_t shards = 8;
+  /// Metric namespace, e.g. "cache.result" registers cache.result.hits,
+  /// .misses, .evictions, .invalidations counters and .bytes/.entries
+  /// gauges with obs::MetricsRegistry::Default(). Empty disables obs
+  /// wiring (unit tests with private registries).
+  std::string metric_prefix;
+};
+
+/// A sharded LRU map with epoch validation: Get() returns an entry only
+/// while every epoch it recorded at insertion still matches the registry;
+/// mismatched entries are erased lazily and counted as invalidations.
+/// Each shard is guarded by its own mutex, so concurrent readers on
+/// different shards never contend; values should be cheap to copy out
+/// (shared_ptr payloads).
+template <typename Key, typename V, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  ShardedLruCache(LruOptions options, const EpochRegistry* epochs)
+      : options_(std::move(options)), epochs_(epochs) {
+    if (options_.shards == 0) options_.shards = 1;
+    if (options_.capacity < options_.shards) {
+      options_.capacity = options_.shards;
+    }
+    shard_capacity_ = (options_.capacity + options_.shards - 1) /
+                      options_.shards;
+    shards_.reserve(options_.shards);
+    for (size_t i = 0; i < options_.shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    if (!options_.metric_prefix.empty()) {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
+      const std::string& p = options_.metric_prefix;
+      m_hits_ = r.GetCounter(p + ".hits", "hits", "cache lookups served");
+      m_misses_ = r.GetCounter(p + ".misses", "misses",
+                               "cache lookups that found nothing usable");
+      m_evictions_ = r.GetCounter(p + ".evictions", "entries",
+                                  "entries evicted by LRU capacity");
+      m_invalidations_ =
+          r.GetCounter(p + ".invalidations", "entries",
+                       "entries dropped on epoch mismatch (stale)");
+      provider_ = obs::ScopedProvider(&r, [this](obs::MetricsSink* sink) {
+        const std::string& prefix = options_.metric_prefix;
+        sink->Gauge(prefix + ".bytes",
+                    static_cast<double>(
+                        bytes_.load(std::memory_order_relaxed)),
+                    "bytes");
+        sink->Gauge(prefix + ".entries",
+                    static_cast<double>(
+                        entries_.load(std::memory_order_relaxed)),
+                    "entries");
+      });
+    }
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Copies the value into *out and returns true on a valid hit; erases
+  /// and misses when the entry's epochs have moved on.
+  bool Get(const Key& key, V* out) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      CountMiss();
+      return false;
+    }
+    if (epochs_ != nullptr && !it->second->stamp.Valid(*epochs_)) {
+      EraseLocked(shard, it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      if (m_invalidations_ != nullptr) m_invalidations_->Inc();
+      CountMiss();
+      return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    *out = it->second->value;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (m_hits_ != nullptr) m_hits_->Inc();
+    return true;
+  }
+
+  /// Inserts (or replaces) `key`. An already-stale stamp is refused — a
+  /// write landed while the value was being produced, so caching it could
+  /// serve a stale read later.
+  void Put(const Key& key, V value, size_t bytes, EpochStamp stamp) {
+    if (epochs_ != nullptr && !stamp.Valid(*epochs_)) return;
+    size_t entry_bytes = bytes + stamp.ByteSize() + sizeof(Entry);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) EraseLocked(shard, it);
+    shard.lru.push_front(
+        Entry{key, std::move(value), entry_bytes, std::move(stamp)});
+    shard.index.emplace(key, shard.lru.begin());
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
+    while (shard.lru.size() > shard_capacity_) {
+      auto victim = std::prev(shard.lru.end());
+      shard.index.erase(victim->key);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      bytes_.fetch_sub(victim->bytes, std::memory_order_relaxed);
+      shard.lru.erase(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (m_evictions_ != nullptr) m_evictions_->Inc();
+    }
+  }
+
+  void Clear() {
+    for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const Entry& e : shard.lru) {
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+        bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
+      }
+      shard.lru.clear();
+      shard.index.clear();
+    }
+  }
+
+  CacheStats stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
+    s.entries = entries_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  size_t capacity() const { return options_.capacity; }
+
+ private:
+  struct Entry {
+    Key key;
+    V value;
+    size_t bytes = 0;
+    EpochStamp stamp;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[Hash{}(key) % shards_.size()];
+  }
+
+  void EraseLocked(Shard& shard,
+                   typename std::unordered_map<
+                       Key, typename std::list<Entry>::iterator,
+                       Hash>::iterator it) {
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+
+  void CountMiss() {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (m_misses_ != nullptr) m_misses_->Inc();
+  }
+
+  LruOptions options_;
+  const EpochRegistry* epochs_;
+  size_t shard_capacity_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> bytes_{0};
+
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_invalidations_ = nullptr;
+  /// Declared last: destroyed first, and UnregisterProvider pulls final
+  /// gauge values while the atomics above are still alive.
+  obs::ScopedProvider provider_;
+};
+
+}  // namespace mbq::cache
+
+#endif  // MBQ_CACHE_LRU_CACHE_H_

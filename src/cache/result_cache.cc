@@ -1,0 +1,25 @@
+#include "cache/result_cache.h"
+
+#include <cctype>
+
+namespace mbq::cache {
+
+std::string CanonicalQueryText(std::string_view query) {
+  std::string out;
+  out.reserve(query.size());
+  bool pending_space = false;
+  for (char c : query) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace mbq::cache

@@ -1,0 +1,58 @@
+#ifndef MBQ_CACHE_RESULT_CACHE_H_
+#define MBQ_CACHE_RESULT_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cache/lru_cache.h"
+
+namespace mbq::cache {
+
+/// Canonicalizes query text for cache keying: trims and collapses every
+/// whitespace run to one space, so reformattings of the same query share
+/// an entry. Verb prefixes (PROFILE) must be stripped by the caller —
+/// profiled and plain executions of one query are the same result.
+std::string CanonicalQueryText(std::string_view query);
+
+/// The sharded LRU query result cache: canonicalized query text +
+/// serialized parameters -> an immutable payload (the cypher layer stores
+/// columns, rows and the run's profile). Payloads are shared_ptr so a hit
+/// is a refcount bump, not a deep copy; epoch stamps carry the plan's
+/// label/rel-type footprint.
+template <typename Payload>
+class ResultCache {
+ public:
+  struct Options {
+    size_t capacity = 256;  // entries
+    size_t shards = 8;
+    std::string metric_prefix = "cache.result";
+  };
+
+  ResultCache(const Options& options, const EpochRegistry* epochs)
+      : cache_(LruOptions{options.capacity, options.shards,
+                          options.metric_prefix},
+               epochs) {}
+
+  std::shared_ptr<const Payload> Get(const std::string& key) {
+    std::shared_ptr<const Payload> out;
+    if (cache_.Get(key, &out)) return out;
+    return nullptr;
+  }
+
+  void Put(const std::string& key, std::shared_ptr<const Payload> payload,
+           size_t payload_bytes, EpochStamp stamp) {
+    cache_.Put(key, std::move(payload), payload_bytes + key.size(),
+               std::move(stamp));
+  }
+
+  void Clear() { cache_.Clear(); }
+  CacheStats stats() const { return cache_.stats(); }
+
+ private:
+  ShardedLruCache<std::string, std::shared_ptr<const Payload>> cache_;
+};
+
+}  // namespace mbq::cache
+
+#endif  // MBQ_CACHE_RESULT_CACHE_H_

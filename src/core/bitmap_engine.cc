@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/epoch.h"
 #include "exec/thread_pool.h"
 
 namespace mbq::core {
@@ -19,6 +20,43 @@ void BitmapEngine::SetThreads(uint32_t threads, exec::ThreadPool* pool) {
   pool_ = pool;
 }
 
+void BitmapEngine::EnableAdjacencyCache(size_t capacity,
+                                        uint64_t min_degree) {
+  if (capacity == 0) {
+    adj_cache_.reset();
+    return;
+  }
+  cache::AdjacencyCache::Options options;
+  options.capacity = capacity;
+  options.min_degree = min_degree;
+  adj_cache_ =
+      std::make_unique<cache::AdjacencyCache>(options, &graph_->epochs());
+}
+
+Result<Objects> BitmapEngine::NeighborsCached(Oid node,
+                                              bitmapstore::TypeId etype,
+                                              EdgesDirection dir) const {
+  if (adj_cache_ == nullptr) return graph_->Neighbors(node, etype, dir);
+  uint8_t d = static_cast<uint8_t>(dir);
+  if (auto entry = adj_cache_->Get(node, etype, d)) {
+    Objects out;
+    for (uint64_t other : entry->neighbors) {
+      out.Add(static_cast<Oid>(other));
+    }
+    return out;
+  }
+  // Stamp before the walk: a write landing mid-walk invalidates the entry
+  // at Put() rather than caching a torn read.
+  cache::EpochStamp stamp = cache::CaptureStamp(
+      graph_->epochs(), {cache::TypeDomain(etype)}, /*use_global=*/false);
+  MBQ_ASSIGN_OR_RETURN(Objects nbrs, graph_->Neighbors(node, etype, dir));
+  auto entry = std::make_shared<cache::AdjacencyEntry>();
+  entry->neighbors.reserve(nbrs.Count());
+  nbrs.ForEach([&](uint32_t other) { entry->neighbors.push_back(other); });
+  adj_cache_->Put(node, etype, d, std::move(entry), std::move(stamp));
+  return nbrs;
+}
+
 Result<std::unordered_map<Oid, int64_t>> BitmapEngine::CountNeighborsPerSource(
     const Objects& sources, bitmapstore::TypeId etype, EdgesDirection dir,
     Oid exclude) {
@@ -26,7 +64,7 @@ Result<std::unordered_map<Oid, int64_t>> BitmapEngine::CountNeighborsPerSource(
   if (threads_ <= 1) {
     Status status = Status::OK();
     sources.ForEach([&](uint32_t src) -> bool {
-      auto nbrs = graph_->Neighbors(src, etype, dir);
+      auto nbrs = NeighborsCached(src, etype, dir);
       if (!nbrs.ok()) {
         status = nbrs.status();
         return false;
@@ -53,7 +91,7 @@ Result<std::unordered_map<Oid, int64_t>> BitmapEngine::CountNeighborsPerSource(
     std::unordered_map<Oid, int64_t> local;
     Status st = Status::OK();
     for (uint64_t i = begin; i < end && st.ok(); ++i) {
-      auto nbrs = graph_->Neighbors(elems[i], etype, dir);
+      auto nbrs = NeighborsCached(elems[i], etype, dir);
       if (!nbrs.ok()) {
         st = nbrs.status();
         break;
@@ -103,7 +141,7 @@ Result<ValueRows> BitmapEngine::FolloweesOf(int64_t uid) {
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
-      graph_->Neighbors(user, h_.follows, EdgesDirection::kOutgoing));
+      NeighborsCached(user, h_.follows, EdgesDirection::kOutgoing));
   ValueRows rows;
   Status status = Status::OK();
   followees.ForEach([&](uint32_t oid) -> bool {
@@ -123,7 +161,7 @@ Result<ValueRows> BitmapEngine::TweetsOfFollowees(int64_t uid) {
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
-      graph_->Neighbors(user, h_.follows, EdgesDirection::kOutgoing));
+      NeighborsCached(user, h_.follows, EdgesDirection::kOutgoing));
   // NOTE: the Cypher side enumerates one row per (followee, tweet) path;
   // tweet posters are unique, so the sets coincide.
   MBQ_ASSIGN_OR_RETURN(
@@ -148,7 +186,7 @@ Result<ValueRows> BitmapEngine::HashtagsUsedByFollowees(int64_t uid) {
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
-      graph_->Neighbors(user, h_.follows, EdgesDirection::kOutgoing));
+      NeighborsCached(user, h_.follows, EdgesDirection::kOutgoing));
   MBQ_ASSIGN_OR_RETURN(
       Objects tweets,
       graph_->Neighbors(followees, h_.posts, EdgesDirection::kOutgoing));
@@ -176,7 +214,7 @@ Result<ValueRows> BitmapEngine::TopCoMentionedUsers(int64_t uid, int64_t n) {
   // mention, counted in a map (the paper's two-step co-occurrence plan).
   MBQ_ASSIGN_OR_RETURN(
       Objects tweets,
-      graph_->Neighbors(user, h_.mentions, EdgesDirection::kIngoing));
+      NeighborsCached(user, h_.mentions, EdgesDirection::kIngoing));
   MBQ_ASSIGN_OR_RETURN(auto counts,
                        CountNeighborsPerSource(tweets, h_.mentions,
                                                EdgesDirection::kOutgoing,
@@ -199,7 +237,7 @@ Result<ValueRows> BitmapEngine::TopCoOccurringHashtags(const std::string& tag,
   }
   MBQ_ASSIGN_OR_RETURN(
       Objects tweets,
-      graph_->Neighbors(hashtag, h_.tags, EdgesDirection::kIngoing));
+      NeighborsCached(hashtag, h_.tags, EdgesDirection::kIngoing));
   MBQ_ASSIGN_OR_RETURN(auto counts,
                        CountNeighborsPerSource(tweets, h_.tags,
                                                EdgesDirection::kOutgoing,
@@ -218,7 +256,7 @@ Result<ValueRows> BitmapEngine::Recommend(int64_t uid, int64_t n,
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
-      graph_->Neighbors(user, h_.follows, EdgesDirection::kOutgoing));
+      NeighborsCached(user, h_.follows, EdgesDirection::kOutgoing));
   // "A separate neighbours call has to be executed for each 1-step
   // followee of A" — the per-followee loop the paper calls expensive.
   MBQ_ASSIGN_OR_RETURN(auto counts,
@@ -254,7 +292,7 @@ Result<ValueRows> BitmapEngine::Influence(int64_t uid, int64_t n,
   // counted per poster.
   MBQ_ASSIGN_OR_RETURN(
       Objects tweets,
-      graph_->Neighbors(user, h_.mentions, EdgesDirection::kIngoing));
+      NeighborsCached(user, h_.mentions, EdgesDirection::kIngoing));
   MBQ_ASSIGN_OR_RETURN(auto counts,
                        CountNeighborsPerSource(tweets, h_.posts,
                                                EdgesDirection::kIngoing,
@@ -262,7 +300,7 @@ Result<ValueRows> BitmapEngine::Influence(int64_t uid, int64_t n,
   // "Removing (or retaining) the users who are already following A."
   MBQ_ASSIGN_OR_RETURN(
       Objects followers,
-      graph_->Neighbors(user, h_.follows, EdgesDirection::kIngoing));
+      NeighborsCached(user, h_.follows, EdgesDirection::kIngoing));
   std::vector<std::pair<Value, int64_t>> keyed;
   for (const auto& [oid, count] : counts) {
     if (followers.Contains(oid) != keep_followers) continue;

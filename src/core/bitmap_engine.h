@@ -1,11 +1,13 @@
 #ifndef MBQ_CORE_BITMAP_ENGINE_H_
 #define MBQ_CORE_BITMAP_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "bitmapstore/graph.h"
 #include "bitmapstore/shortest_path.h"
+#include "cache/adjacency_cache.h"
 #include "core/engine.h"
 #include "twitter/loaders.h"
 
@@ -43,18 +45,38 @@ class BitmapEngine : public MicroblogEngine {
   Result<int64_t> ShortestPathLength(int64_t uid_a, int64_t uid_b,
                                      uint32_t max_hops) override;
 
-  Status DropCaches() override { return graph_->DropCaches(); }
+  /// Cold-cache reset: drops the store's page cache and empties the hot
+  /// adjacency cache layered on it.
+  Status DropCaches() override {
+    if (adj_cache_ != nullptr) adj_cache_->Clear();
+    return graph_->DropCaches();
+  }
 
   /// Fans the per-element Neighbors loops of the heavy queries (Q3-Q5)
   /// out over `threads` workers; 1 (default) keeps everything sequential.
   /// `pool` is borrowed; null uses exec::ThreadPool::Default().
-  void SetThreads(uint32_t threads, exec::ThreadPool* pool = nullptr);
+  void SetThreads(uint32_t threads, exec::ThreadPool* pool = nullptr) override;
+
+  /// Turns the hot adjacency cache on (capacity 0 turns it off): every
+  /// single-node Neighbors call the Table 2 queries issue is memoized,
+  /// validated against the edge type's epoch. Safe across the worker
+  /// threads of SetThreads — the cache is internally sharded and locked.
+  void EnableAdjacencyCache(size_t capacity, uint64_t min_degree);
+  bool adjacency_cache_enabled() const { return adj_cache_ != nullptr; }
+  cache::CacheStats adjacency_cache_stats() const {
+    return adj_cache_ != nullptr ? adj_cache_->stats() : cache::CacheStats{};
+  }
 
   bitmapstore::Graph* graph() { return graph_; }
   const twitter::BitmapHandles& handles() const { return h_; }
 
  private:
   Result<bitmapstore::Oid> UserByUid(int64_t uid) const;
+  /// Neighbors() through the adjacency cache when enabled; identical
+  /// result set either way (entries replay the store's own output).
+  Result<bitmapstore::Objects> NeighborsCached(
+      bitmapstore::Oid node, bitmapstore::TypeId etype,
+      bitmapstore::EdgesDirection dir) const;
   /// For every element of `sources`, counts the neighbors reached via
   /// (etype, dir) — skipping `exclude` — into one map. Splits the source
   /// set across worker threads when SetThreads enabled parallelism;
@@ -74,6 +96,7 @@ class BitmapEngine : public MicroblogEngine {
   twitter::BitmapHandles h_;
   uint32_t threads_ = 1;
   exec::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<cache::AdjacencyCache> adj_cache_;
 };
 
 }  // namespace mbq::core

@@ -2,7 +2,49 @@
 
 #include <algorithm>
 
+#include "core/bitmap_engine.h"
+#include "core/nodestore_engine.h"
+#include "cypher/session.h"
+
 namespace mbq::core {
+
+Result<std::unique_ptr<MicroblogEngine>> OpenEngine(
+    EngineKind kind, const EngineOptions& options) {
+  switch (kind) {
+    case EngineKind::kNodestore: {
+      if (options.db == nullptr) {
+        return Status::InvalidArgument(
+            "OpenEngine(kNodestore) needs EngineOptions.db");
+      }
+      auto engine = std::make_unique<NodestoreEngine>(options.db);
+      cypher::SessionOptions session;
+      session.threads = options.threads == 0 ? 1 : options.threads;
+      session.pool = options.pool;
+      session.result_cache = options.result_cache;
+      session.result_cache_capacity = options.result_cache_capacity;
+      session.adjacency_cache = options.adjacency_cache;
+      session.adjacency_cache_capacity = options.adjacency_cache_capacity;
+      session.adjacency_min_degree = options.adjacency_min_degree;
+      engine->Configure(session);
+      return std::unique_ptr<MicroblogEngine>(std::move(engine));
+    }
+    case EngineKind::kBitmap: {
+      if (options.graph == nullptr || options.handles == nullptr) {
+        return Status::InvalidArgument(
+            "OpenEngine(kBitmap) needs EngineOptions.graph and .handles");
+      }
+      auto engine =
+          std::make_unique<BitmapEngine>(options.graph, *options.handles);
+      engine->SetThreads(options.threads, options.pool);
+      if (options.adjacency_cache) {
+        engine->EnableAdjacencyCache(options.adjacency_cache_capacity,
+                                     options.adjacency_min_degree);
+      }
+      return std::unique_ptr<MicroblogEngine>(std::move(engine));
+    }
+  }
+  return Status::InvalidArgument("unknown EngineKind");
+}
 
 void SortRows(ValueRows* rows) {
   std::sort(rows->begin(), rows->end(),

@@ -2,11 +2,25 @@
 #define MBQ_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/value.h"
 #include "util/result.h"
+
+namespace mbq::nodestore {
+class GraphDb;
+}  // namespace mbq::nodestore
+namespace mbq::bitmapstore {
+class Graph;
+}  // namespace mbq::bitmapstore
+namespace mbq::twitter {
+struct BitmapHandles;
+}  // namespace mbq::twitter
+namespace mbq::exec {
+class ThreadPool;
+}  // namespace mbq::exec
 
 namespace mbq::core {
 
@@ -61,9 +75,57 @@ class MicroblogEngine {
   virtual Result<int64_t> ShortestPathLength(int64_t uid_a, int64_t uid_b,
                                              uint32_t max_hops) = 0;
 
-  /// Drops page caches (cold-cache experiments).
+  /// Drops page caches — and any read caches layered on them — for
+  /// cold-cache experiments.
   virtual Status DropCaches() = 0;
+
+  /// Worker count for the engine's parallel paths; the base implementation
+  /// is a no-op so engines without a parallel mode satisfy the interface.
+  /// `pool` is borrowed and must outlive the engine; null uses the
+  /// process-wide default pool.
+  virtual void SetThreads(uint32_t threads, exec::ThreadPool* pool = nullptr) {
+    (void)threads;
+    (void)pool;
+  }
 };
+
+/// Which Table 2 implementation OpenEngine builds.
+enum class EngineKind {
+  kNodestore,  ///< declarative mini-Cypher over the record store
+  kBitmap,     ///< imperative navigation over the bitmap store
+};
+
+/// The one configuration surface for constructing engines. Callers fill
+/// the store pointers for the kind they open (`db` for kNodestore;
+/// `graph` + `handles` for kBitmap) and tune the shared knobs; benches
+/// and tests go through this instead of the concrete constructors, so new
+/// knobs reach every harness without touching call sites.
+struct EngineOptions {
+  /// Record store (required for EngineKind::kNodestore).
+  nodestore::GraphDb* db = nullptr;
+  /// Bitmap store and its loaded type/attribute handles (required for
+  /// EngineKind::kBitmap). `handles` is copied at open.
+  bitmapstore::Graph* graph = nullptr;
+  const twitter::BitmapHandles* handles = nullptr;
+
+  /// Worker count for parallel paths; 1 is fully sequential. `pool` is
+  /// borrowed (null = process default).
+  uint32_t threads = 1;
+  exec::ThreadPool* pool = nullptr;
+
+  /// Query result cache (nodestore only: it memoizes Cypher results).
+  bool result_cache = false;
+  size_t result_cache_capacity = 256;  // entries
+  /// Hot adjacency cache (both engines).
+  bool adjacency_cache = false;
+  size_t adjacency_cache_capacity = 4096;  // entries
+  uint64_t adjacency_min_degree = 8;
+};
+
+/// Builds an engine of `kind` configured per `options`. Fails with
+/// InvalidArgument when the stores the kind needs are missing.
+Result<std::unique_ptr<MicroblogEngine>> OpenEngine(
+    EngineKind kind, const EngineOptions& options);
 
 /// Canonicalizes rows for cross-engine comparison: sorts lexicographically.
 void SortRows(ValueRows* rows);

@@ -36,12 +36,23 @@ class NodestoreEngine : public MicroblogEngine {
   Result<int64_t> ShortestPathLength(int64_t uid_a, int64_t uid_b,
                                      uint32_t max_hops) override;
 
-  Status DropCaches() override { return db_->DropCaches(); }
+  /// Cold-cache reset: drops the store's page caches and empties the
+  /// session's result and adjacency caches (the plan cache is left alone —
+  /// the ablation toggles it separately via SetPlanCacheEnabled).
+  Status DropCaches() override {
+    session_.ClearReadCaches();
+    return db_->DropCaches();
+  }
 
   /// Morsel-parallel Cypher execution for eligible pipelines (delegates
   /// to CypherSession::SetThreads).
-  void SetThreads(uint32_t threads, exec::ThreadPool* pool = nullptr) {
+  void SetThreads(uint32_t threads, exec::ThreadPool* pool = nullptr) override {
     session_.SetThreads(threads, pool);
+  }
+
+  /// Full session tuning surface (threads + plan/result/adjacency caches).
+  void Configure(const cypher::SessionOptions& options) {
+    session_.Configure(options);
   }
 
   cypher::CypherSession& session() { return session_; }

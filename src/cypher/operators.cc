@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/adjacency_cache.h"
 #include "cypher/parallel.h"
 #include "nodestore/record_file.h"
 
@@ -157,6 +158,44 @@ Status Expand::RefillFromRow() {
       return Status::InvalidArgument("expand-into target is not a node");
     }
     bound_target = to.node;
+  }
+  // Hot adjacency cache: typed expansions replay a memoized (rel, other)
+  // list instead of re-walking the chain — no record reads, no db hits.
+  // Only typed expansions qualify; an untyped walk has no single epoch
+  // domain to validate against.
+  cache::AdjacencyCache* adj_cache = ctx_->adj_cache;
+  if (adj_cache != nullptr && resolved_type_.has_value()) {
+    int32_t etype = static_cast<int32_t>(*resolved_type_);
+    uint8_t dir = static_cast<uint8_t>(dir_);
+    if (auto entry = adj_cache->Get(from.node, etype, dir)) {
+      for (size_t i = 0; i < entry->edges.size(); ++i) {
+        if (into_bound_ && entry->neighbors[i] != bound_target) continue;
+        GraphDb::RelInfo rel;
+        rel.id = entry->edges[i];
+        rel.type = *resolved_type_;
+        rel.other = entry->neighbors[i];
+        matches_.push_back(rel);
+      }
+      return Status::OK();
+    }
+    // Miss: one walk fills both the operator's matches and the cache
+    // entry (unfiltered, so later ExpandAll and ExpandInto share it).
+    cache::EpochStamp stamp =
+        cache::CaptureStamp(ctx_->db->epochs(),
+                            {cache::RelTypeDomain(*resolved_type_)},
+                            /*use_global=*/false);
+    auto entry = std::make_shared<cache::AdjacencyEntry>();
+    MBQ_RETURN_IF_ERROR(ctx_->db->ForEachRelationship(
+        from.node, dir_, resolved_type_, [&](const GraphDb::RelInfo& rel) {
+          entry->edges.push_back(rel.id);
+          entry->neighbors.push_back(rel.other);
+          if (!into_bound_ || rel.other == bound_target) {
+            matches_.push_back(rel);
+          }
+          return true;
+        }));
+    adj_cache->Put(from.node, etype, dir, std::move(entry), std::move(stamp));
+    return Status::OK();
   }
   return ctx_->db->ForEachRelationship(
       from.node, dir_, resolved_type_, [&](const GraphDb::RelInfo& rel) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "cache/epoch.h"
 #include "util/logging.h"
 
 namespace mbq::cypher {
@@ -522,6 +523,68 @@ class PlanBuilder {
   int anon_counter_ = 0;
 };
 
+/// Accumulates the rel-type domains of pattern predicates nested in an
+/// expression tree.
+void CollectExprDomains(const Expr& expr, GraphDb* db,
+                        std::vector<uint32_t>* domains, bool* use_global) {
+  if (expr.kind == ExprKind::kPatternPred) {
+    if (expr.pattern_rel_type.empty()) {
+      *use_global = true;
+    } else if (auto type = db->FindRelType(expr.pattern_rel_type);
+               type.ok()) {
+      domains->push_back(cache::RelTypeDomain(*type));
+    } else {
+      *use_global = true;
+    }
+  }
+  for (const ExprPtr& child : expr.children) {
+    CollectExprDomains(*child, db, domains, use_global);
+  }
+}
+
+/// Resolves the query's epoch footprint against the current schema. An
+/// unlabelled node can be of any label (so any node write may change the
+/// result), an untyped relationship likewise; a name the schema does not
+/// know yet could be registered by a later write — all three degrade to
+/// the global epoch rather than risk a stale cached result.
+void ComputeEpochFootprint(const Query& ast, GraphDb* db, PlannedQuery* plan) {
+  bool use_global = false;
+  std::vector<uint32_t> domains;
+  for (const PatternPart& part : ast.patterns) {
+    for (const NodePattern& node : part.nodes) {
+      if (node.label.empty()) {
+        use_global = true;
+      } else if (auto label = db->FindLabel(node.label); label.ok()) {
+        domains.push_back(cache::LabelDomain(*label));
+      } else {
+        use_global = true;
+      }
+    }
+    for (const RelPattern& rel : part.rels) {
+      if (rel.type.empty()) {
+        use_global = true;
+      } else if (auto type = db->FindRelType(rel.type); type.ok()) {
+        domains.push_back(cache::RelTypeDomain(*type));
+      } else {
+        use_global = true;
+      }
+    }
+  }
+  if (ast.where != nullptr) {
+    CollectExprDomains(*ast.where, db, &domains, &use_global);
+  }
+  for (const ReturnItem& item : ast.return_items) {
+    CollectExprDomains(*item.expr, db, &domains, &use_global);
+  }
+  for (const OrderItem& item : ast.order_by) {
+    CollectExprDomains(*item.expr, db, &domains, &use_global);
+  }
+  std::sort(domains.begin(), domains.end());
+  domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
+  plan->epoch_domains = std::move(domains);
+  plan->epoch_use_global = use_global;
+}
+
 }  // namespace
 
 std::string PlannedQuery::Explain() const {
@@ -530,7 +593,9 @@ std::string PlannedQuery::Explain() const {
 
 Result<std::unique_ptr<PlannedQuery>> PlanQuery(Query query, GraphDb* db) {
   PlanBuilder builder(std::move(query), db);
-  return builder.Build();
+  MBQ_ASSIGN_OR_RETURN(std::unique_ptr<PlannedQuery> plan, builder.Build());
+  ComputeEpochFootprint(plan->ast, db, plan.get());
+  return plan;
 }
 
 }  // namespace mbq::cypher

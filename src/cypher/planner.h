@@ -23,6 +23,14 @@ struct PlannedQuery {
   uint32_t width = 0;                       // match-phase row width
   std::vector<std::string> columns;         // visible output column names
   std::unique_ptr<Operator> root;
+  /// Epoch footprint for the result cache: the label/rel-type domains
+  /// this query reads (cache::LabelDomain / cache::RelTypeDomain).
+  /// `epoch_use_global` marks an inexact footprint — an unlabelled node,
+  /// an untyped relationship, or a name unknown at plan time — in which
+  /// case cached results validate against the global epoch instead (any
+  /// write invalidates).
+  std::vector<uint32_t> epoch_domains;
+  bool epoch_use_global = false;
 
   /// Renders the (profiled) plan tree.
   std::string Explain() const;

@@ -15,6 +15,10 @@ namespace mbq::exec {
 class ThreadPool;
 }  // namespace mbq::exec
 
+namespace mbq::cache {
+class AdjacencyCache;
+}  // namespace mbq::cache
+
 namespace mbq::cypher {
 
 using common::Value;
@@ -107,6 +111,10 @@ struct ExecContext {
   /// Db hits charged by worker threads (the session adds them to the
   /// caller thread's own tally for QueryResult::db_hits). May be null.
   std::atomic<uint64_t>* side_hits = nullptr;
+  /// Hot adjacency cache consulted by Expand; null disables it. Shared by
+  /// all worker pipelines of a query (internally sharded and locked), and
+  /// propagated to workers by the context copy in parallel.cc.
+  cache::AdjacencyCache* adj_cache = nullptr;
 };
 
 /// Variable -> slot assignment produced by the planner.

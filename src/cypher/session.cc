@@ -1,8 +1,10 @@
 #include "cypher/session.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
+#include "cache/epoch.h"
 #include "cypher/parser.h"
 #include "exec/thread_pool.h"
 #include "nodestore/record_file.h"
@@ -65,6 +67,15 @@ bool ConsumeVerb(std::string_view* query, std::string_view verb) {
 
 }  // namespace
 
+size_t CypherSession::CachedResult::ByteSize() const {
+  size_t bytes = profile.size();
+  for (const std::string& c : columns) bytes += c.size() + sizeof(std::string);
+  // Rows hold RtValues whose payloads (strings, paths) we approximate by
+  // the slot footprint — good enough for an eviction budget.
+  for (const Row& r : rows) bytes += r.size() * sizeof(RtValue);
+  return bytes;
+}
+
 CypherSession::CypherSession(GraphDb* db) : db_(db) {
   // Opt-in default parallelism: sessions stay sequential unless the
   // process sets CYPHER_THREADS (or the embedder calls SetThreads).
@@ -80,6 +91,53 @@ CypherSession::CypherSession(GraphDb* db) : db_(db) {
 void CypherSession::SetThreads(uint32_t threads, exec::ThreadPool* pool) {
   threads_.store(threads == 0 ? 1 : threads, std::memory_order_relaxed);
   pool_.store(pool, std::memory_order_relaxed);
+}
+
+void CypherSession::Configure(const SessionOptions& options) {
+  if (options.threads != 0) {
+    SetThreads(options.threads, options.pool);
+  } else if (options.pool != nullptr) {
+    pool_.store(options.pool, std::memory_order_relaxed);
+  }
+  SetPlanCacheEnabled(options.plan_cache);
+  if (options.result_cache) {
+    cache::ResultCache<CachedResult>::Options rc;
+    rc.capacity = options.result_cache_capacity;
+    result_cache_ =
+        std::make_unique<cache::ResultCache<CachedResult>>(rc, &db_->epochs());
+  } else {
+    result_cache_.reset();
+  }
+  if (options.adjacency_cache) {
+    cache::AdjacencyCache::Options ac;
+    ac.capacity = options.adjacency_cache_capacity;
+    ac.min_degree = options.adjacency_min_degree;
+    adj_cache_ = std::make_unique<cache::AdjacencyCache>(ac, &db_->epochs());
+  } else {
+    adj_cache_.reset();
+  }
+}
+
+std::string CypherSession::ResultCacheKey(const std::string& body,
+                                          const Params& params) {
+  std::string key = cache::CanonicalQueryText(body);
+  if (!params.empty()) {
+    std::vector<const std::pair<const std::string, Value>*> sorted;
+    sorted.reserve(params.size());
+    for (const auto& kv : params) sorted.push_back(&kv);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* kv : sorted) {
+      key += '\n';
+      key += kv->first;
+      key += '=';
+      // Type tag keeps Int(1) and String("1") distinct keys.
+      key += std::to_string(static_cast<int>(kv->second.type()));
+      key += ':';
+      key += kv->second.ToString();
+    }
+  }
+  return key;
 }
 
 Result<std::shared_ptr<const PlannedQuery>> CypherSession::PrepareShared(
@@ -127,6 +185,30 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   bool explain_only = !profiled && ConsumeVerb(&text, "EXPLAIN");
   std::string body(text);
 
+  SessionMetrics& metrics = SessionMetrics::Get();
+
+  // Result-cache probe before any parsing: a hit needs neither a plan nor
+  // an execution. EXPLAIN always goes to the planner (it reports shape,
+  // not rows).
+  cache::ResultCache<CachedResult>* rcache = result_cache_.get();
+  std::string result_key;
+  if (rcache != nullptr && !explain_only) {
+    result_key = ResultCacheKey(body, params);
+    if (std::shared_ptr<const CachedResult> hit = rcache->Get(result_key)) {
+      QueryResult result;
+      result.columns = hit->columns;
+      result.rows = hit->rows;
+      result.db_hits = 0;
+      result.plan_cached = true;
+      result.result_cached = true;
+      result.profiled = profiled;
+      result.profile = "cache=hit\n" + hit->profile;
+      metrics.queries->Inc();
+      metrics.rows_returned->Inc(result.rows.size());
+      return result;
+    }
+  }
+
   bool cached = false;
   MBQ_ASSIGN_OR_RETURN(std::shared_ptr<const PlannedQuery> plan,
                        PrepareShared(body, &cached));
@@ -142,7 +224,14 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
     return result;
   }
 
-  SessionMetrics& metrics = SessionMetrics::Get();
+  // Stamp the epochs BEFORE executing: a write that lands mid-execution
+  // invalidates the entry we are about to insert, never the other way.
+  cache::EpochStamp stamp;
+  if (rcache != nullptr) {
+    stamp = cache::CaptureStamp(db_->epochs(), plan->epoch_domains,
+                                plan->epoch_use_global);
+  }
+
   obs::TraceSpan latency(metrics.query_latency);
 
   ExecContext ctx;
@@ -156,6 +245,7 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   }
   std::atomic<uint64_t> side_hits{0};
   ctx.side_hits = &side_hits;
+  ctx.adj_cache = adj_cache_.get();
 
   // The cached plan tree is shared across threads and never executed
   // directly — each run drives a private clone.
@@ -171,6 +261,16 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   result.db_hits = nodestore::DbHitCounter::ThreadHits() - hits_before +
                    side_hits.load(std::memory_order_relaxed);
   result.profile = DescribePlanTree(*root);
+
+  if (rcache != nullptr) {
+    auto payload = std::make_shared<CachedResult>();
+    payload->columns = result.columns;
+    payload->rows = result.rows;
+    payload->profile = result.profile;
+    size_t bytes = payload->ByteSize();
+    result.profile = "cache=miss\n" + result.profile;
+    rcache->Put(result_key, std::move(payload), bytes, std::move(stamp));
+  }
 
   metrics.queries->Inc();
   metrics.rows_returned->Inc(result.rows.size());

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/adjacency_cache.h"
+#include "cache/result_cache.h"
 #include "cypher/planner.h"
 #include "cypher/runtime.h"
 
@@ -25,14 +27,40 @@ struct QueryResult {
   uint64_t db_hits = 0;
   /// True if the plan came from the plan cache (no re-compilation).
   bool plan_cached = false;
+  /// True if the rows came from the result cache (no re-execution).
+  bool result_cached = false;
   /// Indented plan tree with per-operator rows and db hits (for EXPLAIN,
-  /// the shape only — the query never executed).
+  /// the shape only — the query never executed). With the result cache
+  /// enabled the first line is `cache=hit` or `cache=miss`.
   std::string profile;
   /// True when the query carried a PROFILE prefix.
   bool profiled = false;
   /// True when the query carried an EXPLAIN prefix: the plan was compiled
   /// but not executed, so `rows` is empty and `db_hits` is 0.
   bool explain_only = false;
+};
+
+/// Everything a session can be tuned with, in one struct — threads (what
+/// SetThreads configured), the plan cache, and the two read caches. Apply
+/// with CypherSession::Configure before issuing concurrent queries.
+struct SessionOptions {
+  /// Worker count for eligible pipelines; 0 keeps the session's current
+  /// setting (the CYPHER_THREADS default), 1 is fully sequential.
+  uint32_t threads = 0;
+  /// Borrowed pool for parallel execution; null uses the process default.
+  exec::ThreadPool* pool = nullptr;
+  /// Plan cache (compiled operator trees keyed by query text).
+  bool plan_cache = true;
+  /// Result cache: canonicalized query text + parameters -> rows, served
+  /// without re-execution until a write bumps an epoch in the plan's
+  /// footprint.
+  bool result_cache = false;
+  size_t result_cache_capacity = 256;  // entries
+  /// Hot adjacency cache consulted by the Expand operator.
+  bool adjacency_cache = false;
+  size_t adjacency_cache_capacity = 4096;  // entries
+  /// Neighbor lists shorter than this are not cached (hub-only caching).
+  uint64_t adjacency_min_degree = 8;
 };
 
 /// The declarative query interface over the record-store engine: parse ->
@@ -44,7 +72,9 @@ struct QueryResult {
 /// the same session. The plan cache is mutex-guarded and single-flight
 /// (two threads racing on the same uncached query text compile it once);
 /// cached plan trees are immutable — every execution clones the operator
-/// tree, so concurrent runs of one plan never share runtime state.
+/// tree, so concurrent runs of one plan never share runtime state. The
+/// result and adjacency caches are internally sharded and locked;
+/// Configure itself must not race concurrent queries.
 class CypherSession {
  public:
   explicit CypherSession(GraphDb* db);
@@ -56,6 +86,9 @@ class CypherSession {
   /// `PROFILE` keyword marks the result profiled (the operator tree with
   /// per-operator rows and db hits, Neo4j's PROFILE verb); a leading
   /// `EXPLAIN` compiles and returns the plan shape without executing.
+  /// With the result cache enabled, a repeated (query, params) pair whose
+  /// epoch stamp is still valid returns the memoized rows with zero db
+  /// hits and `result_cached` set.
   Result<QueryResult> Run(const std::string& query, const Params& params);
   Result<QueryResult> Run(const std::string& query) {
     return Run(query, Params{});
@@ -63,6 +96,11 @@ class CypherSession {
 
   /// Compiles without executing; useful for EXPLAIN-style tests.
   Result<const PlannedQuery*> Prepare(const std::string& query);
+
+  /// Applies the whole option surface at once (threads, plan cache,
+  /// result cache, adjacency cache). Re-enabling a cache with a new
+  /// capacity replaces it empty; disabling destroys it.
+  void Configure(const SessionOptions& options);
 
   /// Enables/disables the plan cache (the cold-cache ablation measures
   /// the recompilation cost the paper mentions).
@@ -91,10 +129,43 @@ class CypherSession {
     plan_cache_.clear();
   }
 
+  bool result_cache_enabled() const { return result_cache_ != nullptr; }
+  bool adjacency_cache_enabled() const { return adj_cache_ != nullptr; }
+  /// Zeroed stats when the corresponding cache is disabled.
+  cache::CacheStats result_cache_stats() const {
+    return result_cache_ != nullptr ? result_cache_->stats()
+                                    : cache::CacheStats{};
+  }
+  cache::CacheStats adjacency_cache_stats() const {
+    return adj_cache_ != nullptr ? adj_cache_->stats() : cache::CacheStats{};
+  }
+  /// Empties the result and adjacency caches (entries, not configuration).
+  void ClearReadCaches() {
+    if (result_cache_ != nullptr) result_cache_->Clear();
+    if (adj_cache_ != nullptr) adj_cache_->Clear();
+  }
+
+  /// The adjacency cache instance (null when disabled) — shared with
+  /// embedders that expand outside the session.
+  cache::AdjacencyCache* adjacency_cache() { return adj_cache_.get(); }
+
  private:
+  /// What the result cache stores per (query, params) key. Immutable
+  /// after insertion; hits share it by reference.
+  struct CachedResult {
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+    std::string profile;  // the miss run's plan tree
+    size_t ByteSize() const;
+  };
+
   /// Cache lookup or single-flight compile; sets *cache_hit.
   Result<std::shared_ptr<const PlannedQuery>> PrepareShared(
       const std::string& query, bool* cache_hit);
+  /// Canonical text + parameters serialized sorted by name (typed, so
+  /// Int(1) and String("1") never collide).
+  static std::string ResultCacheKey(const std::string& body,
+                                    const Params& params);
 
   GraphDb* db_;
   mutable std::mutex mu_;
@@ -108,6 +179,9 @@ class CypherSession {
   /// Most recent plan compiled with the cache disabled (kept alive for
   /// the caller of Prepare/Run).
   std::shared_ptr<PlannedQuery> uncached_plan_;
+
+  std::unique_ptr<cache::ResultCache<CachedResult>> result_cache_;
+  std::unique_ptr<cache::AdjacencyCache> adj_cache_;
 };
 
 }  // namespace mbq::cypher

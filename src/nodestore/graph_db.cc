@@ -311,6 +311,7 @@ Result<NodeId> GraphDb::CreateNode(LabelId label) {
   if (label >= label_names_.size()) {
     return Status::InvalidArgument("unknown label id");
   }
+  epochs_.Bump(cache::LabelDomain(label));
   MBQ_ASSIGN_OR_RETURN(NodeId id, node_store_->Allocate());
   NodeRecord rec;
   rec.in_use = true;
@@ -377,6 +378,7 @@ Result<RelId> GraphDb::CreateRelationship(RelTypeId type, NodeId src,
   if (type >= rel_type_names_.size()) {
     return Status::InvalidArgument("unknown relationship type id");
   }
+  epochs_.Bump(cache::RelTypeDomain(type));
   MBQ_ASSIGN_OR_RETURN(NodeRecord src_rec, node_store_->Get<NodeRecord>(src));
   if (!src_rec.in_use) return Status::NotFound("source node not in use");
   MBQ_ASSIGN_OR_RETURN(NodeRecord dst_rec, node_store_->Get<NodeRecord>(dst));
@@ -462,6 +464,7 @@ Status GraphDb::UnlinkRelationship(const RelRecord& rel, RelId rel_id) {
 Status GraphDb::DeleteRelationship(RelId rel_id) {
   MBQ_ASSIGN_OR_RETURN(RelRecord rel, GetRel(rel_id));
   if (!rel.in_use) return Status::NotFound("relationship not in use");
+  epochs_.Bump(cache::RelTypeDomain(rel.type));
   MBQ_RETURN_IF_ERROR(UnlinkRelationship(rel, rel_id));
   MBQ_RETURN_IF_ERROR(FreePropertyChain(rel.first_prop));
   RelRecord cleared;
@@ -482,6 +485,7 @@ Status GraphDb::DeleteRelationship(RelId rel_id) {
 Status GraphDb::DeleteNode(NodeId node) {
   MBQ_ASSIGN_OR_RETURN(NodeRecord rec, node_store_->Get<NodeRecord>(node));
   if (!rec.in_use) return Status::NotFound("node not in use");
+  epochs_.Bump(cache::LabelDomain(rec.label));
   if (options_.semantic_partitioning) {
     // first_rel heads the group list; groups must all be empty, and the
     // empty group records are freed with the node.
@@ -772,6 +776,7 @@ Status GraphDb::SetNodeProperty(NodeId node, PropKeyId key,
                                 const Value& value) {
   MBQ_ASSIGN_OR_RETURN(NodeRecord rec, node_store_->Get<NodeRecord>(node));
   if (!rec.in_use) return Status::NotFound("node not in use");
+  epochs_.Bump(cache::LabelDomain(rec.label));
   bool had_old = false;
   MBQ_ASSIGN_OR_RETURN(Value old_value,
                        ReadPropertyChain(rec.first_prop, key, &had_old));
@@ -799,6 +804,7 @@ Status GraphDb::SetNodeProperty(NodeId node, PropKeyId key,
 Status GraphDb::SetRelProperty(RelId rel, PropKeyId key, const Value& value) {
   MBQ_ASSIGN_OR_RETURN(RelRecord rec, GetRel(rel));
   if (!rec.in_use) return Status::NotFound("relationship not in use");
+  epochs_.Bump(cache::RelTypeDomain(rec.type));
   RecordId first = rec.first_prop;
   MBQ_RETURN_IF_ERROR(WritePropertyChain(&first, key, value));
   if (first != rec.first_prop) {

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/epoch.h"
 #include "common/value.h"
 #include "nodestore/record_file.h"
 #include "nodestore/records.h"
@@ -181,6 +182,12 @@ class GraphDb {
   /// Evicts the page cache (cold-start simulation).
   Status DropCaches();
 
+  /// Write epochs for read caches: every mutation bumps the epoch of the
+  /// label/relationship-type domains it touches (cache::LabelDomain /
+  /// cache::RelTypeDomain); result and adjacency caches stamp entries
+  /// against this registry and drop them lazily on mismatch.
+  const cache::EpochRegistry& epochs() const { return epochs_; }
+
   storage::BufferCacheStats cache_stats() const;
   storage::DiskStats disk_stats() const;
   uint64_t DiskSizeBytes() const;
@@ -300,6 +307,8 @@ class GraphDb {
 
   uint64_t num_nodes_ = 0;
   uint64_t num_rels_ = 0;
+
+  cache::EpochRegistry epochs_;
 
   bool in_tx_ = false;
   /// True while this database is the target of RecoverInto (suppresses

@@ -55,8 +55,18 @@ class AgreementSweepTest : public ::testing::TestWithParam<AgreementCase> {
     auto bh = twitter::LoadIntoBitmapstore(dataset_, graph_.get());
     ASSERT_TRUE(bh.ok()) << bh.status().ToString();
 
-    ns_ = std::make_unique<NodestoreEngine>(db_.get());
-    bm_ = std::make_unique<BitmapEngine>(graph_.get(), *bh);
+    EngineOptions ns_options;
+    ns_options.db = db_.get();
+    auto ns = OpenEngine(EngineKind::kNodestore, ns_options);
+    ASSERT_TRUE(ns.ok()) << ns.status().ToString();
+    ns_.reset(static_cast<NodestoreEngine*>(ns->release()));
+
+    EngineOptions bm_options;
+    bm_options.graph = graph_.get();
+    bm_options.handles = &*bh;
+    auto bm = OpenEngine(EngineKind::kBitmap, bm_options);
+    ASSERT_TRUE(bm.ok()) << bm.status().ToString();
+    bm_.reset(static_cast<BitmapEngine*>(bm->release()));
   }
 
   void ExpectSame(Result<ValueRows> a, Result<ValueRows> b,
@@ -165,8 +175,34 @@ class RandomDifferentialTest : public ::testing::TestWithParam<uint64_t> {
     auto bh = twitter::LoadIntoBitmapstore(dataset_, graph_.get());
     ASSERT_TRUE(bh.ok()) << bh.status().ToString();
 
-    ns_ = std::make_unique<NodestoreEngine>(db_.get());
-    bm_ = std::make_unique<BitmapEngine>(graph_.get(), *bh);
+    // Both read caches stay ON throughout the differential stream: every
+    // repeated query mixes cached and fresh executions across the two
+    // engines, so a cache replaying wrong rows diverges immediately.
+    // Capacities are drawn small or default — the small draws force
+    // evictions mid-stream.
+    EngineOptions ns_options;
+    ns_options.db = db_.get();
+    ns_options.result_cache = true;
+    ns_options.result_cache_capacity =
+        shape_rng.NextBounded(2) == 1 ? 4 : 256;
+    ns_options.adjacency_cache = true;
+    ns_options.adjacency_cache_capacity =
+        shape_rng.NextBounded(2) == 1 ? 8 : 4096;
+    ns_options.adjacency_min_degree = shape_rng.NextBounded(2) == 1 ? 0 : 8;
+    auto ns = OpenEngine(EngineKind::kNodestore, ns_options);
+    ASSERT_TRUE(ns.ok()) << ns.status().ToString();
+    ns_.reset(static_cast<NodestoreEngine*>(ns->release()));
+
+    EngineOptions bm_options;
+    bm_options.graph = graph_.get();
+    bm_options.handles = &*bh;
+    bm_options.adjacency_cache = true;
+    bm_options.adjacency_cache_capacity =
+        shape_rng.NextBounded(2) == 1 ? 8 : 4096;
+    bm_options.adjacency_min_degree = shape_rng.NextBounded(2) == 1 ? 0 : 8;
+    auto bm = OpenEngine(EngineKind::kBitmap, bm_options);
+    ASSERT_TRUE(bm.ok()) << bm.status().ToString();
+    bm_.reset(static_cast<BitmapEngine*>(bm->release()));
 
     // Each engine independently draws sequential or parallel execution,
     // so runs also cross-check parallel-vs-sequential between engines.

@@ -44,8 +44,20 @@ class EnginesTest : public ::testing::Test {
     auto bh = twitter::LoadIntoBitmapstore(*dataset_, graph_);
     ASSERT_TRUE(bh.ok()) << bh.status().ToString();
 
-    ns_engine_ = new NodestoreEngine(db_);
-    bm_engine_ = new BitmapEngine(graph_, *bh);
+    // Through the factory (the one construction surface benches and tests
+    // share); the typed pointers are recovered for session()-level tests.
+    EngineOptions ns_options;
+    ns_options.db = db_;
+    auto ns = OpenEngine(EngineKind::kNodestore, ns_options);
+    ASSERT_TRUE(ns.ok()) << ns.status().ToString();
+    ns_engine_ = static_cast<NodestoreEngine*>(ns->release());
+
+    EngineOptions bm_options;
+    bm_options.graph = graph_;
+    bm_options.handles = &*bh;
+    auto bm = OpenEngine(EngineKind::kBitmap, bm_options);
+    ASSERT_TRUE(bm.ok()) << bm.status().ToString();
+    bm_engine_ = static_cast<BitmapEngine*>(bm->release());
   }
 
   static void TearDownTestSuite() {
