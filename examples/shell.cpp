@@ -4,10 +4,11 @@
 //
 // Reads one query per line from stdin and prints rows. Queries may be
 // prefixed with the PROFILE verb (run and print the operator tree with
-// per-operator rows and db hits) or EXPLAIN (print the plan shape
-// without running). Dot-commands:
+// per-operator rows and db hits), EXPLAIN (print the plan shape
+// without running), or LINT (semantic analysis only). Dot-commands:
 //   :help              this text
 //   :profile <query>   alias for the PROFILE prefix
+//   :lint <query>      alias for the LINT prefix (semantic diagnostics)
 //   :stats             database counters (nodes, rels, db hits)
 //   :metrics           full observability snapshot (docs/OBSERVABILITY.md)
 //   :cache             read-cache stats (result + adjacency)
@@ -34,6 +35,14 @@
 namespace {
 
 void PrintResult(const mbq::cypher::QueryResult& result, bool with_profile) {
+  if (result.lint_only) {
+    if (result.rows.empty()) {
+      std::printf("no diagnostics\n");
+    } else {
+      std::printf("%s", result.profile.c_str());
+    }
+    return;
+  }
   if (result.explain_only) {
     std::printf("compiled plan (not executed):\n%s", result.profile.c_str());
     return;
@@ -107,7 +116,9 @@ int main(int argc, char** argv) {
       std::printf(
           "PROFILE <query>   run and print the operator tree with db hits\n"
           "EXPLAIN <query>   print the compiled plan without running it\n"
+          "LINT <query>      semantic diagnostics only (never executes)\n"
           ":profile <query>  alias for the PROFILE prefix\n"
+          ":lint <query>     alias for the LINT prefix\n"
           ":stats            database counters\n"
           ":metrics          full observability snapshot\n"
           ":cache            read-cache stats (result + adjacency)\n"
@@ -181,6 +192,8 @@ int main(int argc, char** argv) {
     std::string query(trimmed);
     if (mbq::StartsWith(query, ":profile")) {
       query = "PROFILE " + std::string(mbq::TrimString(query.substr(8)));
+    } else if (mbq::StartsWith(query, ":lint")) {
+      query = "LINT " + std::string(mbq::TrimString(query.substr(5)));
     }
     auto result = session.Run(query);
     if (!result.ok()) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config in .clang-tidy) over the statically-gated
+# directories using the CMake compilation database.
+#
+#   scripts/run_clang_tidy.sh [build-dir] [dir ...]
+#
+# build-dir defaults to ./build and must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default preset does this).
+# Additional arguments narrow the scan to specific source directories;
+# the default gate is src/cache and src/cypher (docs/STATIC_ANALYSIS.md).
+# Exits non-zero on any diagnostic (WarningsAsErrors: '*').
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+GATED_DIRS=("$@")
+if [ "${#GATED_DIRS[@]}" -eq 0 ]; then
+  GATED_DIRS=(src/cache src/cypher)
+fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found; skipping (install LLVM to enable)"
+  exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: $BUILD_DIR/compile_commands.json missing;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+FILES=()
+for dir in "${GATED_DIRS[@]}"; do
+  while IFS= read -r f; do
+    FILES+=("$f")
+  done < <(find "$dir" -name '*.cc' | sort)
+done
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy.sh: no sources under: ${GATED_DIRS[*]}" >&2
+  exit 2
+fi
+
+echo "clang-tidy over ${#FILES[@]} files (${GATED_DIRS[*]})"
+STATUS=0
+for f in "${FILES[@]}"; do
+  clang-tidy -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+if [ "$STATUS" -ne 0 ]; then
+  echo "run_clang_tidy.sh: diagnostics found" >&2
+fi
+exit "$STATUS"

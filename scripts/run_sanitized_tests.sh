@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Builds and runs the test suite under ThreadSanitizer and (optionally)
-# AddressSanitizer. The TSan pass is the acceptance gate for the parallel
-# execution work: the concurrency harness must come back clean.
+# AddressSanitizer / UndefinedBehaviorSanitizer. The TSan pass is the
+# acceptance gate for the parallel execution work: the concurrency
+# harness must come back clean. The UBSan pass runs the full suite with
+# recovery disabled, gating the static-analysis work
+# (docs/STATIC_ANALYSIS.md).
 #
 # Usage:
 #   scripts/run_sanitized_tests.sh               # TSan, concurrency-focused tests
 #   scripts/run_sanitized_tests.sh --all         # TSan, full suite
 #   scripts/run_sanitized_tests.sh --asan        # also run an ASan pass
+#   scripts/run_sanitized_tests.sh --ubsan       # also run a UBSan pass
 #
 # The focused TSan pass runs the tests that exercise shared state
 # (ThreadPool, concurrency harness, agreement sweep, cypher runtime) with
@@ -19,10 +23,12 @@ cd "$repo_root"
 
 run_all=0
 run_asan=0
+run_ubsan=0
 for arg in "$@"; do
   case "$arg" in
     --all) run_all=1 ;;
     --asan) run_asan=1 ;;
+    --ubsan) run_ubsan=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -53,6 +59,15 @@ if [ "$run_asan" -eq 1 ]; then
   cmake --build build-asan -j "$jobs"
   echo "== AddressSanitizer tests =="
   (cd build-asan && CYPHER_THREADS=4 ctest --output-on-failure -R "$focused")
+fi
+
+if [ "$run_ubsan" -eq 1 ]; then
+  echo "== UndefinedBehaviorSanitizer build (build-ubsan/) =="
+  cmake -B build-ubsan -S . -DSANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$jobs"
+  echo "== UndefinedBehaviorSanitizer tests (full suite) =="
+  (cd build-ubsan && UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --output-on-failure -j "$jobs")
 fi
 
 echo "sanitized tests passed"

@@ -709,4 +709,15 @@ void Graph::RawEdgeEndpoints(Oid edge, Oid* tail, Oid* head) const {
   *head = edge_head_[edge];
 }
 
+void Graph::CorruptAdjacencyForTest(TypeId etype, Oid node, Oid edge) {
+  MBQ_CHECK(etype >= 0 && static_cast<size_t>(etype) < types_.size());
+  MBQ_CHECK(types_[etype].kind == ObjectKind::kEdge);
+  types_[etype].out.edges[node].Add(edge);
+}
+
+void Graph::CorruptTypeCountForTest(TypeId type, int64_t delta) {
+  MBQ_CHECK(type >= 0 && static_cast<size_t>(type) < types_.size());
+  types_[type].count += delta;
+}
+
 }  // namespace mbq::bitmapstore

@@ -220,6 +220,17 @@ class Graph {
   uint64_t NumEdges() const { return num_edges_; }
   const GraphOptions& options() const { return options_; }
 
+  // ---------------------------------------------------------- Integrity
+  // Fault injection for the storage checker's tests (core/check.cc) —
+  // deliberately break internal invariants without going through the
+  // write paths. Never call these outside tests.
+  /// Adds `edge` to `node`'s outgoing adjacency bitmap of edge type
+  /// `etype` without creating an edge record.
+  void CorruptAdjacencyForTest(TypeId etype, Oid node, Oid edge);
+  /// Skews the cached object count of `type` by `delta` without touching
+  /// its membership bitmap.
+  void CorruptTypeCountForTest(TypeId type, int64_t delta);
+
  private:
   struct AttributeInfo {
     TypeId type = kInvalidType;

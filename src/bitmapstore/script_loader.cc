@@ -145,7 +145,12 @@ Status ScriptLoader::Execute(const std::string& script_text,
     MBQ_RETURN_IF_ERROR(ExecuteStatement(tokens, base_dir));
   }
   import_span.AddItems(total_objects_);
-  return graph_->Flush();
+  MBQ_RETURN_IF_ERROR(graph_->Flush());
+  if (post_import_check_) {
+    obs::TraceSpan check_span(trace_, "post-import-check");
+    MBQ_RETURN_IF_ERROR(post_import_check_());
+  }
+  return Status::OK();
 }
 
 Status ScriptLoader::ExecuteStatement(const std::vector<std::string>& tokens,

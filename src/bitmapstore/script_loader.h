@@ -42,6 +42,14 @@ class ScriptLoader {
   /// disable tracing.
   void SetTraceLog(obs::TraceLog* trace) { trace_ = trace; }
 
+  /// Installs a verification step that runs after a successful load
+  /// (post-flush); a non-OK return fails Execute(). Wire it to
+  /// core::CheckBitmapstore for a loaded-data fsck — the loader cannot
+  /// depend on the checker directly, so the caller supplies it.
+  void SetPostImportCheck(std::function<Status()> check) {
+    post_import_check_ = std::move(check);
+  }
+
   /// Runs the script. Relative CSV paths resolve under `base_dir`.
   Status Execute(const std::string& script_text, const std::string& base_dir);
 
@@ -64,6 +72,7 @@ class ScriptLoader {
 
   Graph* graph_;
   ProgressFn progress_;
+  std::function<Status()> post_import_check_;
   obs::TraceLog* trace_ = nullptr;
   uint64_t progress_interval_ = 100000;
   uint64_t nodes_loaded_ = 0;

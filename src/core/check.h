@@ -1,0 +1,65 @@
+#ifndef MBQ_CORE_CHECK_H_
+#define MBQ_CORE_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitmapstore/graph.h"
+#include "nodestore/graph_db.h"
+#include "util/result.h"
+
+namespace mbq::core {
+
+/// One invariant violation found by the storage checker.
+struct CheckIssue {
+  /// Which invariant broke: "node-record", "rel-record", "rel-chain",
+  /// "label-scan", "prop-index", "type-count", "adjacency", "attr-index".
+  std::string component;
+  std::string message;
+};
+
+struct CheckOptions {
+  /// Issues materialized in the report; further findings only increment
+  /// `suppressed` (the walk itself always completes).
+  size_t max_issues = 64;
+};
+
+/// The fsck result: findings plus coverage counters. `ok()` is the
+/// checkdb exit criterion — zero on a clean store, non-zero otherwise.
+struct CheckReport {
+  std::vector<CheckIssue> issues;
+  uint64_t suppressed = 0;  // found beyond max_issues
+  uint64_t nodes_checked = 0;
+  uint64_t rels_checked = 0;
+  uint64_t labels_checked = 0;
+  uint64_t indexes_checked = 0;
+  uint64_t objects_checked = 0;
+  uint64_t attrs_checked = 0;
+
+  bool ok() const { return issues.empty() && suppressed == 0; }
+  /// Human-readable summary: one line per issue plus a coverage footer.
+  std::string ToText() const;
+};
+
+/// Walks the record-store engine: relationship-chain doubly-linked
+/// consistency (every in-use relationship reachable exactly once from
+/// each endpoint's chain; prev/next pointers mutually consistent in the
+/// unpartitioned layout), record-pointer bounds, and label-scan/property-
+/// index completeness against a full node scan. Reports `check.*`
+/// metrics; the returned status is only non-OK for I/O failures —
+/// corruption lands in the report.
+Result<CheckReport> CheckNodestore(nodestore::GraphDb* db,
+                                   const CheckOptions& options = {});
+
+/// Walks the bitmap engine: per-type bitmap cardinality vs. the cached
+/// object count, object-table type agreement, mutual src/dst adjacency
+/// agreement (every edge present in its tail's outgoing and head's
+/// incoming bitmaps, and nothing else), and indexed-attribute value-set
+/// counts vs. their bitmaps.
+Result<CheckReport> CheckBitmapstore(bitmapstore::Graph* graph,
+                                     const CheckOptions& options = {});
+
+}  // namespace mbq::core
+
+#endif  // MBQ_CORE_CHECK_H_

@@ -35,6 +35,7 @@ ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
   auto e = std::make_unique<Expr>();
   e->kind = ExprKind::kComparison;
   e->op = op;
+  e->span = lhs->span;
   e->children.push_back(std::move(lhs));
   e->children.push_back(std::move(rhs));
   return e;
@@ -43,6 +44,7 @@ ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
 ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
   auto e = std::make_unique<Expr>();
   e->kind = ExprKind::kAnd;
+  e->span = lhs->span;
   e->children.push_back(std::move(lhs));
   e->children.push_back(std::move(rhs));
   return e;
@@ -51,6 +53,7 @@ ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs) {
 ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
   auto e = std::make_unique<Expr>();
   e->kind = ExprKind::kOr;
+  e->span = lhs->span;
   e->children.push_back(std::move(lhs));
   e->children.push_back(std::move(rhs));
   return e;
@@ -59,6 +62,7 @@ ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs) {
 ExprPtr MakeNot(ExprPtr operand) {
   auto e = std::make_unique<Expr>();
   e->kind = ExprKind::kNot;
+  e->span = operand->span;
   e->children.push_back(std::move(operand));
   return e;
 }
@@ -79,6 +83,7 @@ ExprPtr MakeAggregate(AggFunc func, ExprPtr argument, bool distinct) {
   e->kind = ExprKind::kAggCall;
   e->agg_func = func;
   e->distinct = distinct;
+  e->span = argument->span;
   e->children.push_back(std::move(argument));
   return e;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/value.h"
+#include "cypher/diag.h"
 
 namespace mbq::cypher {
 
@@ -64,6 +65,9 @@ struct Expr {
   std::string pattern_rel_type;
   std::string pattern_dst;
   bool pattern_right_arrow = true;  // false for <-
+  // Source position of the expression's first token. Unknown (line 0)
+  // for expressions synthesized outside the parser (tests, planner).
+  SourceSpan span;
 
   /// True if this expression contains an aggregate call.
   bool ContainsAggregate() const {
@@ -82,6 +86,8 @@ struct NodePattern {
   std::string variable;  // may be empty (anonymous)
   std::string label;     // may be empty
   std::vector<std::pair<std::string, ExprPtr>> properties;
+  SourceSpan span;        // position of the opening '('
+  SourceSpan label_span;  // position of the label name, if present
 };
 
 /// -[:type]->, <-[:type]-, -[:type*min..max]->, -[:type]- (undirected)
@@ -93,6 +99,8 @@ struct RelPattern {
   /// Variable-length bounds; {1,1} is a plain single hop.
   uint32_t min_hops = 1;
   uint32_t max_hops = 1;
+  SourceSpan span;       // position of the leading '-' or '<-'
+  SourceSpan type_span;  // position of the type name, if present
 };
 
 /// A linear chain: node (rel node)*. `path_variable` is set for

@@ -21,17 +21,34 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
   std::vector<Token> tokens;
   size_t i = 0;
   const size_t n = query.size();
+  // Line/column bookkeeping for error messages and diagnostic spans.
+  // `line_start` is the offset of the first byte of the current line.
+  uint32_t line = 1;
+  size_t line_start = 0;
+  auto column_of = [&](size_t pos) {
+    return static_cast<uint32_t>(pos - line_start + 1);
+  };
+  auto at = [&](size_t pos) {
+    return "at line " + std::to_string(line) + ", column " +
+           std::to_string(column_of(pos));
+  };
   auto push = [&](TokenKind kind, std::string text, size_t pos) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.position = pos;
+    t.line = line;
+    t.column = column_of(pos);
     tokens.push_back(std::move(t));
   };
 
   while (i < n) {
     char c = query[i];
     if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
       ++i;
       continue;
     }
@@ -55,6 +72,8 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
       std::string text = query.substr(start, i - start);
       Token t;
       t.position = pos;
+      t.line = line;
+      t.column = column_of(pos);
       t.text = text;
       if (is_float) {
         t.kind = TokenKind::kFloat;
@@ -72,8 +91,7 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
         size_t start = i;
         while (i < n && IsIdentChar(query[i])) ++i;
         if (start == i) {
-          return Status::InvalidArgument("empty parameter name at offset " +
-                                         std::to_string(pos));
+          return Status::InvalidArgument("empty parameter name " + at(pos));
         }
         push(TokenKind::kParameter, query.substr(start, i - start), pos);
         break;
@@ -84,9 +102,18 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
         ++i;
         std::string text;
         bool closed = false;
+        // Strings may span lines; keep the line bookkeeping exact so
+        // later tokens still report correct positions.
+        auto track_newline = [&](size_t offset) {
+          if (query[offset] == '\n') {
+            ++line;
+            line_start = offset + 1;
+          }
+        };
         while (i < n) {
           if (query[i] == '\\' && i + 1 < n) {
             text += query[i + 1];
+            track_newline(i + 1);
             i += 2;
             continue;
           }
@@ -95,11 +122,11 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
             ++i;
             break;
           }
+          track_newline(i);
           text += query[i++];
         }
         if (!closed) {
-          return Status::InvalidArgument("unterminated string at offset " +
-                                         std::to_string(pos));
+          return Status::InvalidArgument("unterminated string " + at(pos));
         }
         push(TokenKind::kString, std::move(text), pos);
         break;
@@ -188,8 +215,7 @@ Result<std::vector<Token>> Tokenize(const std::string& query) {
         break;
       default:
         return Status::InvalidArgument(std::string("unexpected character '") +
-                                       c + "' at offset " +
-                                       std::to_string(pos));
+                                       c + "' " + at(pos));
     }
   }
   push(TokenKind::kEnd, "", n);

@@ -43,7 +43,9 @@ struct Token {
   std::string text;   // identifier/param/string payload, literal spelling
   int64_t int_value = 0;
   double float_value = 0;
-  size_t position = 0;  // byte offset in the query, for error messages
+  size_t position = 0;  // byte offset in the query
+  uint32_t line = 1;    // 1-based source line
+  uint32_t column = 1;  // 1-based source column
 };
 
 /// Tokenizes a query string. Keywords are returned as identifiers; the

@@ -90,10 +90,22 @@ class Parser {
     }
     return Status::OK();
   }
+  static SourceSpan SpanOf(const Token& t) {
+    SourceSpan span;
+    span.offset = t.position;
+    span.line = t.line;
+    span.column = t.column;
+    return span;
+  }
   Status Error(const std::string& message) const {
-    return Status::InvalidArgument(message + " near offset " +
-                                   std::to_string(Peek().position) + " ('" +
-                                   Peek().text + "')");
+    const Token& t = Peek();
+    std::string where = SpanOf(t).ToString();
+    if (t.kind == TokenKind::kEnd) {
+      return Status::InvalidArgument(message + " at " + where +
+                                     " (end of input)");
+    }
+    return Status::InvalidArgument(message + " at " + where + " ('" + t.text +
+                                   "')");
   }
   Result<std::string> ExpectIdentifier(const char* what) {
     if (Peek().kind != TokenKind::kIdentifier) {
@@ -153,12 +165,15 @@ class Parser {
   }
 
   Result<NodePattern> ParseNodePattern() {
+    SourceSpan span = SpanOf(Peek());
     MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kLParen, "'(' of node pattern"));
     NodePattern node;
+    node.span = span;
     if (Peek().kind == TokenKind::kIdentifier) {
       node.variable = Advance().text;
     }
     if (AcceptToken(TokenKind::kColon)) {
+      node.label_span = SpanOf(Peek());
       MBQ_ASSIGN_OR_RETURN(node.label, ExpectIdentifier("label name"));
     }
     if (AcceptToken(TokenKind::kLBrace)) {
@@ -176,6 +191,7 @@ class Parser {
 
   Result<RelPattern> ParseRelPattern() {
     RelPattern rel;
+    rel.span = SpanOf(Peek());
     bool left_arrow = false;
     if (AcceptToken(TokenKind::kArrowLeftDash)) {
       left_arrow = true;
@@ -187,6 +203,7 @@ class Parser {
         rel.variable = Advance().text;
       }
       if (AcceptToken(TokenKind::kColon)) {
+        rel.type_span = SpanOf(Peek());
         MBQ_ASSIGN_OR_RETURN(rel.type, ExpectIdentifier("relationship type"));
       }
       if (AcceptToken(TokenKind::kStar)) {
@@ -288,6 +305,7 @@ class Parser {
   }
 
   Result<ExprPtr> ParsePatternPredicate() {
+    SourceSpan span = SpanOf(Peek());
     MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kLParen, "'('"));
     MBQ_ASSIGN_OR_RETURN(std::string src, ExpectIdentifier("variable"));
     MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
@@ -300,6 +318,7 @@ class Parser {
     }
     auto e = std::make_unique<Expr>();
     e->kind = ExprKind::kPatternPred;
+    e->span = span;
     e->pattern_src = std::move(src);
     e->pattern_dst = std::move(dst);
     e->pattern_rel_type = rel.type;
@@ -314,22 +333,27 @@ class Parser {
 
   Result<ExprPtr> ParsePrimary() {
     const Token& t = Peek();
+    SourceSpan span = SpanOf(t);
+    auto with_span = [&](ExprPtr e) {
+      e->span = span;
+      return e;
+    };
     switch (t.kind) {
       case TokenKind::kInteger: {
         Advance();
-        return MakeLiteral(Value::Int(t.int_value));
+        return with_span(MakeLiteral(Value::Int(t.int_value)));
       }
       case TokenKind::kFloat: {
         Advance();
-        return MakeLiteral(Value::Double(t.float_value));
+        return with_span(MakeLiteral(Value::Double(t.float_value)));
       }
       case TokenKind::kString: {
         Advance();
-        return MakeLiteral(Value::String(t.text));
+        return with_span(MakeLiteral(Value::String(t.text)));
       }
       case TokenKind::kParameter: {
         Advance();
-        return MakeParameter(t.text);
+        return with_span(MakeParameter(t.text));
       }
       case TokenKind::kLParen: {
         Advance();
@@ -344,9 +368,9 @@ class Parser {
     }
     std::string name = Advance().text;
     std::string lower = ToLowerAscii(name);
-    if (lower == "true") return MakeLiteral(Value::Bool(true));
-    if (lower == "false") return MakeLiteral(Value::Bool(false));
-    if (lower == "null") return MakeLiteral(Value::Null());
+    if (lower == "true") return with_span(MakeLiteral(Value::Bool(true)));
+    if (lower == "false") return with_span(MakeLiteral(Value::Bool(false)));
+    if (lower == "null") return with_span(MakeLiteral(Value::Null()));
     bool is_agg = lower == "count" || lower == "sum" || lower == "min" ||
                   lower == "max" || lower == "avg";
     if (Peek().kind == TokenKind::kLParen &&
@@ -355,7 +379,7 @@ class Parser {
       if (is_agg) {
         if (lower == "count" && AcceptToken(TokenKind::kStar)) {
           MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
-          return MakeCount("", /*star=*/true, /*distinct=*/false);
+          return with_span(MakeCount("", /*star=*/true, /*distinct=*/false));
         }
         bool distinct = AcceptKeyword("distinct");
         MBQ_ASSIGN_OR_RETURN(ExprPtr argument, ParsePrimary());
@@ -371,20 +395,20 @@ class Parser {
         agg->variable = arg.kind == ExprKind::kProperty
                             ? arg.variable + "." + arg.property
                             : arg.variable;
-        return agg;
+        return with_span(std::move(agg));
       }
       MBQ_ASSIGN_OR_RETURN(std::string var, ExpectIdentifier("variable"));
       MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kRParen, "')'"));
       auto e = std::make_unique<Expr>();
       e->kind = lower == "length" ? ExprKind::kLengthCall : ExprKind::kIdCall;
       e->variable = std::move(var);
-      return ExprPtr(std::move(e));
+      return with_span(ExprPtr(std::move(e)));
     }
     if (AcceptToken(TokenKind::kDot)) {
       MBQ_ASSIGN_OR_RETURN(std::string prop, ExpectIdentifier("property name"));
-      return MakeProperty(std::move(name), std::move(prop));
+      return with_span(MakeProperty(std::move(name), std::move(prop)));
     }
-    return MakeVariable(std::move(name));
+    return with_span(MakeVariable(std::move(name)));
   }
 
   std::vector<Token> tokens_;

@@ -31,6 +31,10 @@ struct PlannedQuery {
   /// write invalidates).
   std::vector<uint32_t> epoch_domains;
   bool epoch_use_global = false;
+  /// Semantic diagnostics from the analyzer pass (cypher/semantic.h),
+  /// attached by the session at compile time; EXPLAIN/PROFILE prepend
+  /// them and strict mode re-checks them on plan-cache hits.
+  std::vector<Diagnostic> diagnostics;
 
   /// Renders the (profiled) plan tree.
   std::string Explain() const;

@@ -1,0 +1,579 @@
+#include "cypher/semantic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace mbq::cypher {
+
+namespace {
+
+using common::ValueType;
+
+/// What a pattern binds a name to.
+enum class BindKind : uint8_t { kNode, kRel, kPath };
+
+struct Binding {
+  BindKind kind;
+  SourceSpan span;       // first binding site
+  std::string label;     // first non-empty label/type seen for the name
+  uint32_t pattern_uses = 0;
+  uint32_t expr_uses = 0;
+};
+
+/// Case-insensitive Levenshtein distance, banded: stops caring past
+/// `limit` (returns limit + 1).
+uint32_t EditDistance(const std::string& a, const std::string& b,
+                      uint32_t limit) {
+  const size_t m = a.size(), n = b.size();
+  if (m > n) return EditDistance(b, a, limit);
+  if (n - m > limit) return limit + 1;
+  std::vector<uint32_t> row(m + 1);
+  for (size_t i = 0; i <= m; ++i) row[i] = static_cast<uint32_t>(i);
+  for (size_t j = 1; j <= n; ++j) {
+    uint32_t prev = row[0];
+    row[0] = static_cast<uint32_t>(j);
+    uint32_t best = row[0];
+    for (size_t i = 1; i <= m; ++i) {
+      uint32_t del = row[i] + 1;
+      uint32_t ins = row[i - 1] + 1;
+      char ca = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(a[i - 1])));
+      char cb = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(b[j - 1])));
+      uint32_t sub = prev + (ca == cb ? 0 : 1);
+      prev = row[i];
+      row[i] = std::min({del, ins, sub});
+      best = std::min(best, row[i]);
+    }
+    if (best > limit) return limit + 1;
+  }
+  return row[m];
+}
+
+/// " (did you mean 'x'?)" or "".
+std::string DidYouMean(const std::string& name,
+                       const std::vector<std::string>& candidates) {
+  std::string nearest = NearestName(name, candidates);
+  if (nearest.empty()) return "";
+  return " (did you mean '" + nearest + "'?)";
+}
+
+/// The analysis pass. One instance per query; collects bindings, then
+/// walks patterns and expressions emitting diagnostics in rule order.
+class Analyzer {
+ public:
+  Analyzer(const Query& query, GraphDb* db) : query_(query), db_(db) {}
+
+  AnalysisResult Run() {
+    CollectBindings();
+    CheckPatterns();
+    CheckExpressions();
+    CheckAnchors();
+    CheckConnectivity();
+    CheckUnusedBindings();
+    return std::move(result_);
+  }
+
+ private:
+  void Add(Severity severity, const char* rule, std::string message,
+           SourceSpan span) {
+    Diagnostic d;
+    d.severity = severity;
+    d.rule = rule;
+    d.message = std::move(message);
+    d.span = span;
+    result_.diagnostics.push_back(std::move(d));
+  }
+
+  void Bind(const std::string& name, BindKind kind, SourceSpan span,
+            const std::string& label) {
+    if (name.empty()) return;
+    auto [it, inserted] = bindings_.emplace(name, Binding{kind, span, label});
+    ++it->second.pattern_uses;
+    if (!inserted && it->second.label.empty()) it->second.label = label;
+  }
+
+  void CollectBindings() {
+    for (const PatternPart& part : query_.patterns) {
+      if (!part.path_variable.empty()) {
+        SourceSpan span =
+            part.nodes.empty() ? SourceSpan{} : part.nodes.front().span;
+        Bind(part.path_variable, BindKind::kPath, span, "");
+      }
+      for (const NodePattern& node : part.nodes) {
+        Bind(node.variable, BindKind::kNode, node.span, node.label);
+      }
+      for (const RelPattern& rel : part.rels) {
+        Bind(rel.variable, BindKind::kRel, rel.span, rel.type);
+      }
+    }
+  }
+
+  std::vector<std::string> BindingNames() const {
+    std::vector<std::string> names;
+    names.reserve(bindings_.size());
+    for (const auto& [name, binding] : bindings_) names.push_back(name);
+    return names;
+  }
+
+  // ------------------------------------------------------- Pattern rules
+
+  void CheckPatterns() {
+    for (const PatternPart& part : query_.patterns) {
+      for (const NodePattern& node : part.nodes) {
+        if (db_ != nullptr && !node.label.empty() &&
+            !db_->FindLabel(node.label).ok()) {
+          Add(Severity::kError, "unknown-label",
+              "unknown label '" + node.label + "'" +
+                  DidYouMean(node.label, db_->LabelNames()) +
+                  "; the match can never produce rows",
+              node.label_span);
+        }
+        for (const auto& [key, value] : node.properties) {
+          CheckPropertyKey(key, node.span);
+          CheckExpr(*value, /*aggregates_allowed=*/false);
+        }
+      }
+      for (const RelPattern& rel : part.rels) {
+        if (db_ != nullptr && !rel.type.empty() &&
+            !db_->FindRelType(rel.type).ok()) {
+          Add(Severity::kError, "unknown-rel-type",
+              "unknown relationship type '" + rel.type + "'" +
+                  DidYouMean(rel.type, db_->RelTypeNames()) +
+                  "; the match can never produce rows",
+              rel.type_span);
+        }
+        if (rel.max_hops == UINT32_MAX && !part.shortest_path) {
+          Add(Severity::kWarning, "unbounded-varlength-path",
+              "variable-length pattern has no upper bound; expansion may "
+              "visit the whole graph (add '*..k')",
+              rel.span);
+        }
+      }
+    }
+  }
+
+  void CheckPropertyKey(const std::string& key, SourceSpan span) {
+    if (db_ == nullptr || key.empty()) return;
+    if (db_->FindPropKey(key).ok()) return;
+    Add(Severity::kWarning, "unknown-property",
+        "property '" + key + "' was never written" +
+            DidYouMean(key, db_->PropKeyNames()) +
+            "; the comparison is always against null",
+        span);
+  }
+
+  // ---------------------------------------------------- Expression rules
+
+  void CheckExpressions() {
+    if (query_.where != nullptr) {
+      CheckExpr(*query_.where, /*aggregates_allowed=*/false);
+    }
+    for (const ReturnItem& item : query_.return_items) {
+      CheckExpr(*item.expr, /*aggregates_allowed=*/true);
+    }
+    for (const OrderItem& item : query_.order_by) {
+      CheckExpr(*item.expr, /*aggregates_allowed=*/true);
+    }
+    if (query_.limit != nullptr) {
+      CheckExpr(*query_.limit, /*aggregates_allowed=*/false);
+    }
+  }
+
+  void CheckVariableRef(const std::string& name, SourceSpan span) {
+    if (name.empty()) return;
+    auto it = bindings_.find(name);
+    if (it == bindings_.end()) {
+      Add(Severity::kError, "undefined-variable",
+          "variable '" + name + "' is not defined in any pattern" +
+              DidYouMean(name, BindingNames()),
+          span);
+      return;
+    }
+    ++it->second.expr_uses;
+  }
+
+  void CheckExpr(const Expr& expr, bool aggregates_allowed) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+      case ExprKind::kParameter:
+        return;
+      case ExprKind::kVariable:
+      case ExprKind::kLengthCall:
+      case ExprKind::kIdCall:
+        CheckVariableRef(expr.variable, expr.span);
+        return;
+      case ExprKind::kProperty:
+        CheckVariableRef(expr.variable, expr.span);
+        CheckPropertyKey(expr.property, expr.span);
+        return;
+      case ExprKind::kPatternPred:
+        CheckVariableRef(expr.pattern_src, expr.span);
+        CheckVariableRef(expr.pattern_dst, expr.span);
+        if (db_ != nullptr && !expr.pattern_rel_type.empty() &&
+            !db_->FindRelType(expr.pattern_rel_type).ok()) {
+          Add(Severity::kError, "unknown-rel-type",
+              "unknown relationship type '" + expr.pattern_rel_type + "'" +
+                  DidYouMean(expr.pattern_rel_type, db_->RelTypeNames()) +
+                  "; the predicate can never hold",
+              expr.span);
+        }
+        return;
+      case ExprKind::kAggCall:
+        if (!aggregates_allowed) {
+          Add(Severity::kError, "aggregate-in-where",
+              "aggregate functions are only allowed in RETURN and ORDER BY",
+              expr.span);
+        }
+        for (const ExprPtr& child : expr.children) {
+          CheckExpr(*child, /*aggregates_allowed=*/false);
+        }
+        return;
+      case ExprKind::kComparison: {
+        CheckExpr(*expr.children[0], aggregates_allowed);
+        CheckExpr(*expr.children[1], aggregates_allowed);
+        InferredType lhs = InferExprType(*expr.children[0], query_);
+        InferredType rhs = InferExprType(*expr.children[1], query_);
+        if (!Comparable(lhs, rhs)) {
+          Add(Severity::kError, "type-mismatch",
+              std::string("comparison between ") + InferredTypeName(lhs) +
+                  " and " + InferredTypeName(rhs) + " can never be true",
+              expr.span);
+        }
+        return;
+      }
+      case ExprKind::kAnd:
+      case ExprKind::kOr:
+      case ExprKind::kNot:
+        for (const ExprPtr& child : expr.children) {
+          CheckExpr(*child, aggregates_allowed);
+        }
+        return;
+    }
+  }
+
+  static bool IsNumeric(InferredType t) {
+    return t == InferredType::kInt || t == InferredType::kDouble;
+  }
+  static bool Comparable(InferredType lhs, InferredType rhs) {
+    if (lhs == InferredType::kAny || rhs == InferredType::kAny) return true;
+    if (lhs == rhs) return true;
+    return IsNumeric(lhs) && IsNumeric(rhs);
+  }
+
+  // ----------------------------------------------- Plan-shape rules
+
+  /// Equality filters per variable: inline `{key: v}` maps and top-level
+  /// WHERE conjuncts of the form `var.key = x` / `x = var.key`.
+  struct Filter {
+    std::string key;
+    SourceSpan span;
+    bool from_where;
+  };
+
+  void CollectWhereFilters(
+      const Expr& expr,
+      std::unordered_map<std::string, std::vector<Filter>>* filters) {
+    if (expr.kind == ExprKind::kAnd) {
+      CollectWhereFilters(*expr.children[0], filters);
+      CollectWhereFilters(*expr.children[1], filters);
+      return;
+    }
+    if (expr.kind != ExprKind::kComparison || expr.op != CompareOp::kEq) {
+      return;
+    }
+    for (const ExprPtr& side : expr.children) {
+      if (side->kind == ExprKind::kProperty) {
+        (*filters)[side->variable].push_back(
+            {side->property, side->span, /*from_where=*/true});
+      }
+    }
+  }
+
+  /// Mirrors the planner's anchor choice (planner.cc PlanChainPart): a
+  /// part expanding from an already-bound variable needs no scan; an
+  /// index-seekable inline property scores 3, label+props 2, label 1,
+  /// bare node 0. Warns when the winning anchor filters on properties
+  /// the planner cannot turn into an index seek.
+  void CheckAnchors() {
+    if (db_ == nullptr) return;
+    std::unordered_map<std::string, std::vector<Filter>> where_filters;
+    if (query_.where != nullptr) {
+      CollectWhereFilters(*query_.where, &where_filters);
+    }
+    std::unordered_set<std::string> bound;
+    for (const PatternPart& part : query_.patterns) {
+      if (part.nodes.empty()) continue;
+      bool has_bound_anchor = false;
+      for (const NodePattern& node : part.nodes) {
+        if (!node.variable.empty() && bound.count(node.variable) != 0) {
+          has_bound_anchor = true;
+          break;
+        }
+      }
+      if (!has_bound_anchor) {
+        const NodePattern* anchor = &part.nodes.front();
+        int best_score = -1;
+        for (const NodePattern& node : part.nodes) {
+          int score = AnchorScore(node);
+          if (score > best_score) {
+            best_score = score;
+            anchor = &node;
+          }
+        }
+        WarnUnindexedAnchor(*anchor, best_score, where_filters);
+      }
+      if (!part.path_variable.empty()) bound.insert(part.path_variable);
+      for (const NodePattern& node : part.nodes) {
+        if (!node.variable.empty()) bound.insert(node.variable);
+      }
+      for (const RelPattern& rel : part.rels) {
+        if (!rel.variable.empty()) bound.insert(rel.variable);
+      }
+    }
+  }
+
+  int AnchorScore(const NodePattern& node) {
+    if (!node.label.empty() && !node.properties.empty()) {
+      auto label = db_->FindLabel(node.label);
+      if (label.ok()) {
+        for (const auto& [key, value] : node.properties) {
+          auto prop = db_->FindPropKey(key);
+          if (prop.ok() && db_->HasIndex(*label, *prop)) return 3;
+        }
+      }
+      return 2;
+    }
+    if (!node.label.empty()) return 1;
+    return 0;
+  }
+
+  void WarnUnindexedAnchor(
+      const NodePattern& anchor, int score,
+      const std::unordered_map<std::string, std::vector<Filter>>&
+          where_filters) {
+    if (score >= 3) return;  // index seek
+    std::vector<Filter> filters;
+    for (const auto& [key, value] : anchor.properties) {
+      filters.push_back({key, anchor.span, /*from_where=*/false});
+    }
+    if (!anchor.variable.empty()) {
+      auto it = where_filters.find(anchor.variable);
+      if (it != where_filters.end()) {
+        filters.insert(filters.end(), it->second.begin(), it->second.end());
+      }
+    }
+    if (filters.empty()) return;
+    std::string shown = anchor.variable.empty() ? "" : anchor.variable + ".";
+    if (anchor.label.empty()) {
+      Add(Severity::kWarning, "full-scan-no-index",
+          "equality filter on '" + shown + filters.front().key +
+              "' anchors an unlabelled node; the match scans the whole "
+              "node store (add a label)",
+          filters.front().span);
+      return;
+    }
+    auto label = db_->FindLabel(anchor.label);
+    if (!label.ok()) return;  // unknown-label already reported
+    for (const Filter& filter : filters) {
+      auto prop = db_->FindPropKey(filter.key);
+      bool indexed = prop.ok() && db_->HasIndex(*label, *prop);
+      if (!indexed) {
+        Add(Severity::kWarning, "full-scan-no-index",
+            "filter on '" + shown + filter.key + "' is not backed by an "
+            "index; the match scans all " +
+                std::to_string(db_->CountNodesWithLabel(*label)) + " :" +
+                anchor.label + " nodes (CREATE INDEX on :" + anchor.label +
+                "(" + filter.key + ") to seek)",
+            filter.span);
+      } else if (filter.from_where) {
+        Add(Severity::kWarning, "full-scan-no-index",
+            ":" + anchor.label + "(" + filter.key + ") is indexed but the "
+            "planner only seeks inline property maps; write (" +
+                anchor.variable + ":" + anchor.label + " {" + filter.key +
+                ": ...}) to use it",
+            filter.span);
+      }
+    }
+  }
+
+  /// Disconnected pattern parts multiply row counts (the planner nests
+  /// one scan inside the other). Parts are connected by shared variables
+  /// or by a WHERE pattern predicate bridging them.
+  void CheckConnectivity() {
+    const size_t parts = query_.patterns.size();
+    if (parts < 2) return;
+    std::vector<size_t> parent(parts);
+    for (size_t i = 0; i < parts; ++i) parent[i] = i;
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+
+    std::unordered_map<std::string, size_t> owner;
+    auto link_var = [&](const std::string& name, size_t part) {
+      if (name.empty()) return;
+      auto [it, inserted] = owner.emplace(name, part);
+      if (!inserted) unite(it->second, part);
+    };
+    for (size_t i = 0; i < parts; ++i) {
+      const PatternPart& part = query_.patterns[i];
+      link_var(part.path_variable, i);
+      for (const NodePattern& node : part.nodes) link_var(node.variable, i);
+      for (const RelPattern& rel : part.rels) link_var(rel.variable, i);
+    }
+    if (query_.where != nullptr) LinkPatternPreds(*query_.where, owner, unite);
+
+    std::unordered_set<size_t> reported;
+    size_t first_root = find(0);
+    for (size_t i = 1; i < parts; ++i) {
+      size_t root = find(i);
+      if (root == first_root || !reported.insert(root).second) continue;
+      SourceSpan span = query_.patterns[i].nodes.empty()
+                            ? SourceSpan{}
+                            : query_.patterns[i].nodes.front().span;
+      Add(Severity::kWarning, "cartesian-product",
+          "pattern part " + std::to_string(i + 1) + " shares no variable "
+          "with the preceding parts; the match builds a cartesian product",
+          span);
+    }
+  }
+
+  template <typename Unite>
+  void LinkPatternPreds(const Expr& expr,
+                        std::unordered_map<std::string, size_t>& owner,
+                        Unite& unite) {
+    if (expr.kind == ExprKind::kPatternPred) {
+      auto src = owner.find(expr.pattern_src);
+      auto dst = owner.find(expr.pattern_dst);
+      if (src != owner.end() && dst != owner.end()) {
+        unite(src->second, dst->second);
+      }
+      return;
+    }
+    for (const ExprPtr& child : expr.children) {
+      LinkPatternPreds(*child, owner, unite);
+    }
+  }
+
+  // -------------------------------------------------------- Hygiene
+
+  void CheckUnusedBindings() {
+    for (const auto& [name, binding] : bindings_) {
+      if (binding.pattern_uses > 1 || binding.expr_uses > 0) continue;
+      Add(Severity::kHint, "unused-binding",
+          "'" + name + "' is bound but never used; anonymize it or return "
+          "it",
+          binding.span);
+    }
+  }
+
+  const Query& query_;
+  GraphDb* db_;
+  AnalysisResult result_;
+  std::unordered_map<std::string, Binding> bindings_;
+};
+
+}  // namespace
+
+const char* InferredTypeName(InferredType type) {
+  switch (type) {
+    case InferredType::kAny:
+      return "any";
+    case InferredType::kBool:
+      return "boolean";
+    case InferredType::kInt:
+      return "integer";
+    case InferredType::kDouble:
+      return "float";
+    case InferredType::kString:
+      return "string";
+    case InferredType::kNode:
+      return "node";
+    case InferredType::kRel:
+      return "relationship";
+    case InferredType::kPath:
+      return "path";
+  }
+  return "any";
+}
+
+InferredType InferExprType(const Expr& expr, const Query& query) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      switch (expr.literal.type()) {
+        case ValueType::kBool:
+          return InferredType::kBool;
+        case ValueType::kInt:
+          return InferredType::kInt;
+        case ValueType::kDouble:
+          return InferredType::kDouble;
+        case ValueType::kString:
+          return InferredType::kString;
+        case ValueType::kNull:
+          return InferredType::kAny;
+      }
+      return InferredType::kAny;
+    case ExprKind::kParameter:
+    case ExprKind::kProperty:
+      return InferredType::kAny;  // runtime-typed
+    case ExprKind::kVariable: {
+      for (const PatternPart& part : query.patterns) {
+        if (!part.path_variable.empty() &&
+            part.path_variable == expr.variable) {
+          return InferredType::kPath;
+        }
+        for (const NodePattern& node : part.nodes) {
+          if (node.variable == expr.variable) return InferredType::kNode;
+        }
+        for (const RelPattern& rel : part.rels) {
+          if (rel.variable == expr.variable) return InferredType::kRel;
+        }
+      }
+      return InferredType::kAny;
+    }
+    case ExprKind::kComparison:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+    case ExprKind::kPatternPred:
+      return InferredType::kBool;
+    case ExprKind::kAggCall:
+      return expr.agg_func == AggFunc::kCount ? InferredType::kInt
+                                              : InferredType::kAny;
+    case ExprKind::kLengthCall:
+    case ExprKind::kIdCall:
+      return InferredType::kInt;
+  }
+  return InferredType::kAny;
+}
+
+std::string NearestName(const std::string& name,
+                        const std::vector<std::string>& candidates) {
+  uint32_t limit = std::max<uint32_t>(
+      1, static_cast<uint32_t>(name.size()) / 3 + 1);
+  std::string best;
+  uint32_t best_distance = limit + 1;
+  for (const std::string& candidate : candidates) {
+    if (candidate == name) continue;
+    uint32_t d = EditDistance(name, candidate, limit);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+AnalysisResult AnalyzeQuery(const Query& query, GraphDb* db) {
+  return Analyzer(query, db).Run();
+}
+
+}  // namespace mbq::cypher

@@ -1,0 +1,65 @@
+#ifndef MBQ_CYPHER_SEMANTIC_H_
+#define MBQ_CYPHER_SEMANTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "cypher/ast.h"
+#include "cypher/diag.h"
+#include "nodestore/graph_db.h"
+
+namespace mbq::cypher {
+
+using nodestore::GraphDb;
+
+/// Static types the analyzer infers for expressions. kAny marks an
+/// expression whose type depends on runtime data (parameters, properties
+/// of unknown keys); comparisons against kAny never warn.
+enum class InferredType : uint8_t {
+  kAny = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kNode,
+  kRel,
+  kPath,
+};
+
+const char* InferredTypeName(InferredType type);
+
+/// Infers the static type of `expr` given the pattern bindings in
+/// `query` (node/rel/path variables). Pure; never touches the store.
+InferredType InferExprType(const Expr& expr, const Query& query);
+
+/// The lint rule catalogue (stable identifiers used in Diagnostic::rule
+/// and documented in docs/STATIC_ANALYSIS.md):
+///
+///   error    undefined-variable        reference to an unbound variable
+///   error    unknown-label             label absent from the schema
+///   error    unknown-rel-type          rel type absent from the schema
+///   error    type-mismatch             comparison can never be true
+///   error    aggregate-in-where        aggregates are RETURN-only
+///   warning  unknown-property          property key never written
+///   warning  full-scan-no-index        anchor filter not index-backed
+///   warning  cartesian-product         disconnected pattern parts
+///   warning  unbounded-varlength-path  `*..` with no upper bound
+///   hint     unused-binding            named binding never referenced
+///
+/// The semantic pass between parser and planner: scope checking, type
+/// inference over comparisons, and schema validation against the live
+/// database catalogue (so a mistyped label is caught here instead of
+/// silently matching nothing at runtime — the paper's Neo4j footgun).
+/// `db` may be null, which skips the schema- and index-dependent rules
+/// (unknown-*, full-scan-no-index) and keeps the pure ones.
+AnalysisResult AnalyzeQuery(const Query& query, GraphDb* db);
+
+/// Nearest candidate to `name` by edit distance (case-insensitive),
+/// or empty when nothing is within distance max(1, |name|/3 + 1).
+/// Exposed for tests; AnalyzeQuery uses it for did-you-mean hints.
+std::string NearestName(const std::string& name,
+                        const std::vector<std::string>& candidates);
+
+}  // namespace mbq::cypher
+
+#endif  // MBQ_CYPHER_SEMANTIC_H_

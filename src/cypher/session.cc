@@ -6,6 +6,7 @@
 
 #include "cache/epoch.h"
 #include "cypher/parser.h"
+#include "cypher/semantic.h"
 #include "exec/thread_pool.h"
 #include "nodestore/record_file.h"
 #include "obs/metrics.h"
@@ -25,13 +26,16 @@ struct SessionMetrics {
   obs::Counter* plan_cache_hits;
   obs::Counter* plan_cache_misses;
   obs::Histogram* query_latency;
+  obs::Counter* lint_runs;
+  obs::Counter* lint_diagnostics;
+  obs::Counter* lint_rejected;
 
   static SessionMetrics& Get() {
     static SessionMetrics m = [] {
       obs::MetricsRegistry& r = obs::MetricsRegistry::Default();
       SessionMetrics m;
       m.queries = r.GetCounter("cypher.queries", "queries",
-                               "queries executed (EXPLAIN excluded)");
+                               "queries executed (EXPLAIN/LINT excluded)");
       m.rows_returned =
           r.GetCounter("cypher.rows_returned", "rows", "result rows produced");
       m.db_hits = r.GetCounter("cypher.db_hits", "records",
@@ -44,6 +48,13 @@ struct SessionMetrics {
                        "Prepare() that had to parse and plan");
       m.query_latency = r.GetHistogram("cypher.query_latency", "ns",
                                        "wall time per executed query");
+      m.lint_runs = r.GetCounter("cypher.lint.runs", "queries",
+                                 "LINT verb invocations");
+      m.lint_diagnostics =
+          r.GetCounter("cypher.lint.diagnostics", "diagnostics",
+                       "semantic diagnostics emitted at compile/lint time");
+      m.lint_rejected = r.GetCounter("cypher.lint.rejected", "queries",
+                                     "queries refused by strict lint mode");
       return m;
     }();
     return m;
@@ -100,6 +111,7 @@ void CypherSession::Configure(const SessionOptions& options) {
     pool_.store(options.pool, std::memory_order_relaxed);
   }
   SetPlanCacheEnabled(options.plan_cache);
+  SetLintLevel(options.lint_level);
   if (options.result_cache) {
     cache::ResultCache<CachedResult>::Options rc;
     rc.capacity = options.result_cache_capacity;
@@ -140,10 +152,24 @@ std::string CypherSession::ResultCacheKey(const std::string& body,
   return key;
 }
 
+Status CypherSession::LintGate(
+    const std::vector<Diagnostic>& diagnostics) const {
+  if (lint_level_ == LintLevel::kOff) return Status::OK();
+  for (const Diagnostic& d : diagnostics) {
+    if (LintLevelBlocks(lint_level_, d.severity)) {
+      SessionMetrics::Get().lint_rejected->Inc();
+      return Status::InvalidArgument(
+          "query rejected by strict lint mode: " + d.ToString() +
+          " (run LINT <query> for the full report)");
+    }
+  }
+  return Status::OK();
+}
+
 Result<std::shared_ptr<const PlannedQuery>> CypherSession::PrepareShared(
-    const std::string& query, bool* cache_hit) {
-  // The lock covers parse+plan, so a second thread racing on the same
-  // uncached text blocks here and then takes the cache hit below —
+    const std::string& query, bool* cache_hit, bool enforce_lint) {
+  // The lock covers parse+analyze+plan, so a second thread racing on the
+  // same uncached text blocks here and then takes the cache hit below —
   // single-flight compilation, never two plans for one text.
   std::lock_guard<std::mutex> lock(mu_);
   *cache_hit = false;
@@ -153,14 +179,23 @@ Result<std::shared_ptr<const PlannedQuery>> CypherSession::PrepareShared(
     SessionMetrics::Get().plan_cache_hits->Inc();
     last_prepare_was_cache_hit_ = true;
     *cache_hit = true;
+    // A plan cached by a lenient compile (EXPLAIN, lint_level off) still
+    // carries its diagnostics; strict mode re-checks them on every hit.
+    if (enforce_lint) MBQ_RETURN_IF_ERROR(LintGate(it->second->diagnostics));
     return std::shared_ptr<const PlannedQuery>(it->second);
   }
   plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   SessionMetrics::Get().plan_cache_misses->Inc();
   last_prepare_was_cache_hit_ = false;
   MBQ_ASSIGN_OR_RETURN(Query ast, ParseQuery(query));
+  // The semantic pass sits between parser and planner: strict mode
+  // refuses blocked queries here, before any planning work.
+  AnalysisResult analysis = AnalyzeQuery(ast, db_);
+  SessionMetrics::Get().lint_diagnostics->Inc(analysis.diagnostics.size());
+  if (enforce_lint) MBQ_RETURN_IF_ERROR(LintGate(analysis.diagnostics));
   MBQ_ASSIGN_OR_RETURN(std::unique_ptr<PlannedQuery> plan,
                        PlanQuery(std::move(ast), db_));
+  plan->diagnostics = std::move(analysis.diagnostics);
   std::shared_ptr<PlannedQuery> shared = std::move(plan);
   if (plan_cache_enabled_) {
     plan_cache_[query] = shared;
@@ -174,8 +209,42 @@ Result<std::shared_ptr<const PlannedQuery>> CypherSession::PrepareShared(
 Result<const PlannedQuery*> CypherSession::Prepare(const std::string& query) {
   bool cache_hit = false;
   MBQ_ASSIGN_OR_RETURN(std::shared_ptr<const PlannedQuery> plan,
-                       PrepareShared(query, &cache_hit));
+                       PrepareShared(query, &cache_hit,
+                                     /*enforce_lint=*/false));
   return plan.get();
+}
+
+Result<QueryResult> CypherSession::Lint(const std::string& query) {
+  SessionMetrics& metrics = SessionMetrics::Get();
+  metrics.lint_runs->Inc();
+  AnalysisResult analysis;
+  auto parsed = ParseQuery(query);
+  if (!parsed.ok()) {
+    // Lexer/parser failures become a diagnostic row (their messages
+    // already carry line:column spans) so :lint always renders a report.
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.rule = "parse-error";
+    d.message = parsed.status().message();
+    analysis.diagnostics.push_back(std::move(d));
+  } else {
+    analysis = AnalyzeQuery(*parsed, db_);
+  }
+  metrics.lint_diagnostics->Inc(analysis.diagnostics.size());
+  QueryResult result;
+  result.lint_only = true;
+  result.columns = {"severity", "rule", "at", "message"};
+  for (const Diagnostic& d : analysis.diagnostics) {
+    Row row;
+    row.push_back(RtValue::FromValue(Value::String(SeverityName(d.severity))));
+    row.push_back(RtValue::FromValue(Value::String(d.rule)));
+    row.push_back(RtValue::FromValue(
+        Value::String(d.span.known() ? d.span.ToString() : "")));
+    row.push_back(RtValue::FromValue(Value::String(d.message)));
+    result.rows.push_back(std::move(row));
+  }
+  result.profile = analysis.ToText();
+  return result;
 }
 
 Result<QueryResult> CypherSession::Run(const std::string& query,
@@ -184,6 +253,12 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   bool profiled = ConsumeVerb(&text, "PROFILE");
   bool explain_only = !profiled && ConsumeVerb(&text, "EXPLAIN");
   std::string body(text);
+
+  // Analysis-only verb: never plans, executes, touches the result cache
+  // or bumps the cypher.query.* metrics (mirroring EXPLAIN's bypass).
+  if (!profiled && !explain_only && ConsumeVerb(&text, "LINT")) {
+    return Lint(std::string(text));
+  }
 
   SessionMetrics& metrics = SessionMetrics::Get();
 
@@ -211,7 +286,16 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
 
   bool cached = false;
   MBQ_ASSIGN_OR_RETURN(std::shared_ptr<const PlannedQuery> plan,
-                       PrepareShared(body, &cached));
+                       PrepareShared(body, &cached,
+                                     /*enforce_lint=*/!explain_only));
+
+  // EXPLAIN/PROFILE lead with the compile-time diagnostics; execution
+  // results keep their plain plan tree.
+  std::string diagnostics_text;
+  for (const Diagnostic& d : plan->diagnostics) {
+    diagnostics_text += d.ToString();
+    diagnostics_text += '\n';
+  }
 
   QueryResult result;
   result.columns = plan->columns;
@@ -220,7 +304,7 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   result.explain_only = explain_only;
 
   if (explain_only) {
-    result.profile = DescribePlanShape(*plan->root);
+    result.profile = diagnostics_text + DescribePlanShape(*plan->root);
     return result;
   }
 
@@ -270,6 +354,12 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
     size_t bytes = payload->ByteSize();
     result.profile = "cache=miss\n" + result.profile;
     rcache->Put(result_key, std::move(payload), bytes, std::move(stamp));
+  }
+
+  // After the payload capture, so cached profiles stay plain (a result-
+  // cache hit skips compilation and has no diagnostics to show).
+  if (profiled && !diagnostics_text.empty()) {
+    result.profile = diagnostics_text + result.profile;
   }
 
   metrics.queries->Inc();

@@ -10,6 +10,7 @@
 
 #include "cache/adjacency_cache.h"
 #include "cache/result_cache.h"
+#include "cypher/diag.h"
 #include "cypher/planner.h"
 #include "cypher/runtime.h"
 
@@ -38,6 +39,11 @@ struct QueryResult {
   /// True when the query carried an EXPLAIN prefix: the plan was compiled
   /// but not executed, so `rows` is empty and `db_hits` is 0.
   bool explain_only = false;
+  /// True when the query carried a LINT prefix: the query was parsed and
+  /// semantically analyzed but never planned or executed; `rows` holds
+  /// one (severity, rule, at, message) row per diagnostic and `profile`
+  /// the rendered diagnostic lines.
+  bool lint_only = false;
 };
 
 /// Everything a session can be tuned with, in one struct — threads (what
@@ -61,6 +67,11 @@ struct SessionOptions {
   size_t adjacency_cache_capacity = 4096;  // entries
   /// Neighbor lists shorter than this are not cached (hub-only caching).
   uint64_t adjacency_min_degree = 8;
+  /// Strict mode: refuse to plan/execute queries carrying semantic
+  /// diagnostics at or above this severity (kError rejects mistyped
+  /// labels and undefined variables; kOff, the default, only reports).
+  /// LINT and EXPLAIN always run regardless of this setting.
+  LintLevel lint_level = LintLevel::kOff;
 };
 
 /// The declarative query interface over the record-store engine: parse ->
@@ -94,8 +105,26 @@ class CypherSession {
     return Run(query, Params{});
   }
 
-  /// Compiles without executing; useful for EXPLAIN-style tests.
+  /// Compiles without executing; useful for EXPLAIN-style tests. Never
+  /// enforces the lint level (the compiled plan carries its diagnostics
+  /// for inspection instead).
   Result<const PlannedQuery*> Prepare(const std::string& query);
+
+  /// Parses and semantically analyzes `query` (no LINT prefix) without
+  /// planning, executing, touching the result cache, or bumping the
+  /// cypher.query.* metrics. Parse failures come back as a single
+  /// error-level `parse-error` diagnostic rather than a failed status.
+  Result<QueryResult> Lint(const std::string& query);
+
+  /// Strict-mode threshold; SessionOptions::lint_level sets it too.
+  void SetLintLevel(LintLevel level) {
+    std::lock_guard<std::mutex> lock(mu_);
+    lint_level_ = level;
+  }
+  LintLevel lint_level() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lint_level_;
+  }
 
   /// Applies the whole option surface at once (threads, plan cache,
   /// result cache, adjacency cache). Re-enabling a cache with a new
@@ -159,9 +188,14 @@ class CypherSession {
     size_t ByteSize() const;
   };
 
-  /// Cache lookup or single-flight compile; sets *cache_hit.
+  /// Cache lookup or single-flight compile; sets *cache_hit. With
+  /// `enforce_lint`, a query whose diagnostics reach the session's lint
+  /// level is refused (InvalidArgument) — before planning on a cache
+  /// miss, from the stored diagnostics on a hit.
   Result<std::shared_ptr<const PlannedQuery>> PrepareShared(
-      const std::string& query, bool* cache_hit);
+      const std::string& query, bool* cache_hit, bool enforce_lint);
+  /// Refusal check against lint_level_; callers hold mu_.
+  Status LintGate(const std::vector<Diagnostic>& diagnostics) const;
   /// Canonical text + parameters serialized sorted by name (typed, so
   /// Int(1) and String("1") never collide).
   static std::string ResultCacheKey(const std::string& body,
@@ -171,6 +205,7 @@ class CypherSession {
   mutable std::mutex mu_;
   bool plan_cache_enabled_ = true;
   bool last_prepare_was_cache_hit_ = false;
+  LintLevel lint_level_ = LintLevel::kOff;
   std::atomic<uint32_t> threads_{1};
   std::atomic<exec::ThreadPool*> pool_{nullptr};
   std::atomic<uint64_t> plan_cache_hits_{0};

@@ -222,6 +222,10 @@ Status BatchImporter::Run(const ImportSpec& spec, const std::string& base_dir) {
   }
 
   MBQ_RETURN_IF_ERROR(db_->Flush());
+  if (post_import_check_) {
+    obs::TraceSpan check_span(trace_, "post-import-check");
+    MBQ_RETURN_IF_ERROR(post_import_check_());
+  }
   import_span.AddItems(total_objects_);
   Report("done", 0, true);
   return Status::OK();

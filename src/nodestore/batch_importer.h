@@ -1,6 +1,7 @@
 #ifndef MBQ_NODESTORE_BATCH_IMPORTER_H_
 #define MBQ_NODESTORE_BATCH_IMPORTER_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,6 +67,14 @@ class BatchImporter {
   /// The log must outlive Run(); pass null to disable tracing.
   void SetTraceLog(obs::TraceLog* trace) { trace_ = trace; }
 
+  /// Installs a verification step that runs after a successful import
+  /// (post-flush); a non-OK return fails Run(). Wire it to
+  /// core::CheckNodestore for an imported-data fsck — the importer
+  /// cannot depend on the checker directly, so the caller supplies it.
+  void SetPostImportCheck(std::function<Status()> check) {
+    post_import_check_ = std::move(check);
+  }
+
   /// Runs the import. Relative CSV paths resolve under `base_dir`.
   Status Run(const ImportSpec& spec, const std::string& base_dir);
 
@@ -82,6 +91,7 @@ class BatchImporter {
 
   GraphDb* db_;
   ProgressFn progress_;
+  std::function<Status()> post_import_check_;
   obs::TraceLog* trace_ = nullptr;
   uint64_t progress_interval_ = 100000;
   uint64_t nodes_imported_ = 0;

@@ -1081,6 +1081,97 @@ Result<std::vector<NodeId>> GraphDb::IndexLookup(LabelId label, PropKeyId key,
   return it->second;
 }
 
+std::vector<GraphDb::IndexInfo> GraphDb::IndexCatalog() const {
+  std::vector<IndexInfo> out;
+  out.reserve(indexes_.size());
+  for (const IndexDef& index : indexes_) {
+    out.push_back({index.label, index.key, index.unique,
+                   static_cast<uint64_t>(index.entries.size())});
+  }
+  return out;
+}
+
+Status GraphDb::ForEachIndexEntry(
+    LabelId label, PropKeyId key,
+    const std::function<bool(const Value&, NodeId)>& fn) const {
+  const IndexDef* def = nullptr;
+  for (const IndexDef& index : indexes_) {
+    if (index.label == label && index.key == key) {
+      def = &index;
+      break;
+    }
+  }
+  if (def == nullptr) return Status::NotFound("no such index");
+  for (const auto& [value, nodes] : def->entries) {
+    for (NodeId node : nodes) {
+      if (!fn(value, node)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- Integrity
+
+NodeId GraphDb::NodeHighId() const { return node_store_->high_id(); }
+
+std::vector<RecordId> GraphDb::RelHighIds() const {
+  std::vector<RecordId> out;
+  if (!options_.semantic_partitioning) {
+    out.push_back(rel_store_->high_id());
+    return out;
+  }
+  out.reserve(typed_rel_stores_.size());
+  for (const auto& store : typed_rel_stores_) {
+    out.push_back(store->high_id());
+  }
+  return out;
+}
+
+Result<NodeRecord> GraphDb::RawNodeRecord(NodeId id) {
+  if (id >= node_store_->high_id()) {
+    return Status::OutOfRange("node id beyond store high id");
+  }
+  return node_store_->Get<NodeRecord>(id);
+}
+
+Result<RelRecord> GraphDb::RawRelRecord(RelId id) {
+  if (options_.semantic_partitioning) {
+    uint64_t partition = id >> 48;
+    if (partition == 0 || partition - 1 >= typed_rel_stores_.size() ||
+        (id & kRelLocalMask) >= typed_rel_stores_[partition - 1]->high_id()) {
+      return Status::OutOfRange("rel id beyond store high id");
+    }
+  } else if (id >= rel_store_->high_id()) {
+    return Status::OutOfRange("rel id beyond store high id");
+  }
+  return GetRel(id);
+}
+
+Status GraphDb::RawPutRelRecord(RelId id, const RelRecord& rec) {
+  return PutRel(id, rec);
+}
+
+Status GraphDb::ForEachRawRel(
+    const std::function<bool(RelId, const RelRecord&)>& fn) {
+  if (!options_.semantic_partitioning) {
+    for (RecordId id = 0; id < rel_store_->high_id(); ++id) {
+      MBQ_ASSIGN_OR_RETURN(RelRecord rec, rel_store_->Get<RelRecord>(id));
+      if (!fn(id, rec)) return Status::OK();
+    }
+    return Status::OK();
+  }
+  for (size_t partition = 0; partition < typed_rel_stores_.size();
+       ++partition) {
+    RecordFile* store = typed_rel_stores_[partition].get();
+    for (RecordId local = 0; local < store->high_id(); ++local) {
+      MBQ_ASSIGN_OR_RETURN(RelRecord rec, store->Get<RelRecord>(local));
+      RelId id = ((partition + 1) << 48) | local;
+      if (!fn(id, rec)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
 // ------------------------------------------------------------ Transactions
 
 GraphDb::Transaction::Transaction(GraphDb* db) : db_(db), active_(true) {

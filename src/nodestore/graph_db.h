@@ -138,11 +138,35 @@ class GraphDb {
                               const std::function<bool(NodeId)>& fn);
   uint64_t CountNodesWithLabel(LabelId label) const;
 
+  // ---------------------------------------------------- Schema catalogue
+  /// All registered names, indexed by id — the linter's schema catalogue
+  /// (unknown-label / unknown-rel-type suggestions) and checkdb's walk.
+  const std::vector<std::string>& LabelNames() const { return label_names_; }
+  const std::vector<std::string>& RelTypeNames() const {
+    return rel_type_names_;
+  }
+  const std::vector<std::string>& PropKeyNames() const {
+    return prop_key_names_;
+  }
+
   // --------------------------------------------------------------- Index
   /// Builds an index on (label, key) by scanning the label's nodes.
   /// `unique` rejects duplicate values during build and later inserts.
   Status CreateIndex(LabelId label, PropKeyId key, bool unique);
   bool HasIndex(LabelId label, PropKeyId key) const;
+  /// Index descriptors without entries, for the linter and checkdb.
+  struct IndexInfo {
+    LabelId label;
+    PropKeyId key;
+    bool unique;
+    uint64_t entries;  // distinct indexed values
+  };
+  std::vector<IndexInfo> IndexCatalog() const;
+  /// Iterates every (value, node) pair of the (label, key) index in value
+  /// order; `fn` returning false stops. NotFound without such an index.
+  Status ForEachIndexEntry(
+      LabelId label, PropKeyId key,
+      const std::function<bool(const Value&, NodeId)>& fn) const;
   /// Point lookup in a unique index.
   Result<NodeId> IndexSeek(LabelId label, PropKeyId key, const Value& value);
   /// All nodes with the given value (non-unique indexes).
@@ -211,6 +235,25 @@ class GraphDb {
   /// boundary is partially applied; dense-node flags are derived state
   /// and must be recomputed.
   Status RecoverInto(GraphDb* target) const;
+
+  // ---------------------------------------------------------- Integrity
+  // Raw record access for the storage checker (src/core/check.cc). These
+  // read/write records verbatim — no chain maintenance, no WAL, no undo —
+  // so writes exist solely for fault injection in checkdb tests.
+  /// One past the highest node id ever allocated.
+  NodeId NodeHighId() const;
+  /// Local high ids per relationship store: one entry (partition 0) when
+  /// unpartitioned, one per typed store under semantic partitioning.
+  std::vector<RecordId> RelHighIds() const;
+  Result<NodeRecord> RawNodeRecord(NodeId id);
+  Result<RelRecord> RawRelRecord(RelId id);
+  /// Overwrites a relationship record verbatim (fault injection).
+  Status RawPutRelRecord(RelId id, const RelRecord& rec);
+  /// Iterates every allocated relationship slot (in-use or freed) across
+  /// all stores, passing full (partition-carrying) ids; `fn` returning
+  /// false stops.
+  Status ForEachRawRel(
+      const std::function<bool(RelId, const RelRecord&)>& fn);
 
  private:
   friend class Transaction;

@@ -198,13 +198,20 @@ TEST_F(ResultCacheCypherTest, ProfileShowsCacheMissThenHit) {
       "PROFILE MATCH (a:user {uid: $uid})-[:follows]->(f:user) RETURN f.uid";
   cypher::Params params{{"uid", common::Value::Int(5)}};
 
+  // Semantic diagnostics (if any) are prepended before the cache line,
+  // so assert the line precedes the operator tree rather than being
+  // byte zero.
   auto miss = session().Run(q, params);
   ASSERT_TRUE(miss.ok());
-  EXPECT_EQ(miss->profile.rfind("cache=miss\n", 0), 0u) << miss->profile;
+  size_t miss_at = miss->profile.find("cache=miss\n");
+  ASSERT_NE(miss_at, std::string::npos) << miss->profile;
+  EXPECT_LT(miss_at, miss->profile.find("rows=")) << miss->profile;
 
   auto hit = session().Run(q, params);
   ASSERT_TRUE(hit.ok());
-  EXPECT_EQ(hit->profile.rfind("cache=hit\n", 0), 0u) << hit->profile;
+  size_t hit_at = hit->profile.find("cache=hit\n");
+  ASSERT_NE(hit_at, std::string::npos) << hit->profile;
+  EXPECT_LT(hit_at, hit->profile.find("rows=")) << hit->profile;
 }
 
 TEST_F(ResultCacheCypherTest, ReformattedQueryTextSharesTheEntry) {

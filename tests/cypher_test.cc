@@ -145,6 +145,64 @@ TEST(ParserTest, RejectsGarbage) {
   EXPECT_FALSE(ParseQuery("MATCH (u:user) RETURN u.uid trailing").ok());
 }
 
+// ------------------------------------------------------------ Spans
+
+TEST(LexerTest, TokensCarryLineAndColumn) {
+  auto tokens = Tokenize("MATCH (u)\nRETURN u");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1u);
+  EXPECT_EQ((*tokens)[0].column, 1u);
+  const Token* ret = nullptr;
+  for (const Token& t : *tokens) {
+    if (t.text == "RETURN") ret = &t;
+  }
+  ASSERT_NE(ret, nullptr);
+  EXPECT_EQ(ret->line, 2u);
+  EXPECT_EQ(ret->column, 1u);
+}
+
+TEST(LexerTest, ErrorsNameLineAndColumn) {
+  auto bad_char = Tokenize("RETURN @x");
+  ASSERT_FALSE(bad_char.ok());
+  EXPECT_NE(bad_char.status().message().find("at line 1, column 8"),
+            std::string::npos)
+      << bad_char.status().ToString();
+
+  auto unterminated = Tokenize("RETURN\n  'oops");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("at line 2, column 3"),
+            std::string::npos)
+      << unterminated.status().ToString();
+}
+
+TEST(ParserTest, ErrorsCarrySourceSpans) {
+  auto missing_paren = ParseQuery("MATCH (u:user RETURN u");
+  ASSERT_FALSE(missing_paren.ok());
+  EXPECT_NE(missing_paren.status().message().find("line 1, column 15"),
+            std::string::npos)
+      << missing_paren.status().ToString();
+  EXPECT_NE(missing_paren.status().message().find("('RETURN')"),
+            std::string::npos);
+
+  auto truncated = ParseQuery("MATCH (u:user) RETURN");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("(end of input)"),
+            std::string::npos)
+      << truncated.status().ToString();
+}
+
+TEST(ParserTest, PatternsCarrySpans) {
+  auto q = ParseQuery("MATCH (u:user)-[:follows]->(f:user) RETURN f.uid");
+  ASSERT_TRUE(q.ok());
+  const NodePattern& anchor = q->patterns[0].nodes[0];
+  EXPECT_TRUE(anchor.span.known());
+  EXPECT_EQ(anchor.span.column, 7u);
+  EXPECT_EQ(anchor.label_span.column, 10u);
+  const RelPattern& rel = q->patterns[0].rels[0];
+  EXPECT_TRUE(rel.type_span.known());
+  EXPECT_EQ(rel.type_span.column, 18u);
+}
+
 // ------------------------------------------------------------- Execution
 
 class CypherExecTest : public ::testing::Test {

@@ -1,0 +1,207 @@
+// checkdb — storage fsck for both engines (src/core/check.h).
+//
+// Generates a microblog graph, loads it into the selected engine(s),
+// optionally injects a storage fault, then walks every structural
+// invariant the engines maintain: relationship-chain consistency,
+// record-pointer bounds and index completeness in the record store;
+// bitmap cardinalities, object-table agreement and mutual src/dst
+// adjacency in the bitmap store.
+//
+//   ./checkdb [options]
+//     --engine=nodestore|bitmapstore|both   engines to check (both)
+//     --users=N                             graph size (500)
+//     --partitioned                         nodestore semantic partitioning
+//     --max-issues=N                        issues materialized (64)
+//     --corrupt=FAULT                       inject a fault first:
+//         rel-chain     nodestore: point a chain pointer at its own record
+//         type-count    bitmapstore: skew a cached type count by +3
+//         adjacency     bitmapstore: phantom edge in an adjacency bitmap
+//     --metrics                             print the check.* metric snapshot
+//
+// Exit status: 0 when every checked store is clean, 1 when corruption
+// was found, 2 on usage or load errors.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/check.h"
+#include "obs/metrics.h"
+#include "twitter/dataset.h"
+#include "twitter/loaders.h"
+
+namespace {
+
+struct Args {
+  bool nodestore = true;
+  bool bitmapstore = true;
+  uint64_t users = 500;
+  bool partitioned = false;
+  size_t max_issues = 64;
+  std::string corrupt;  // empty = none
+  bool metrics = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--engine=")) {
+      args->nodestore = std::string(v) != "bitmapstore";
+      args->bitmapstore = std::string(v) != "nodestore";
+      if (std::string(v) != "nodestore" && std::string(v) != "bitmapstore" &&
+          std::string(v) != "both") {
+        std::fprintf(stderr, "unknown engine: %s\n", v);
+        return false;
+      }
+    } else if (const char* v = value_of("--users=")) {
+      args->users = std::strtoull(v, nullptr, 10);
+      if (args->users < 10) args->users = 10;
+    } else if (const char* v = value_of("--max-issues=")) {
+      args->max_issues = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--corrupt=")) {
+      args->corrupt = v;
+      if (args->corrupt != "rel-chain" && args->corrupt != "type-count" &&
+          args->corrupt != "adjacency") {
+        std::fprintf(stderr, "unknown fault: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--partitioned") {
+      args->partitioned = true;
+    } else if (arg == "--metrics") {
+      args->metrics = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Points an in-use relationship's src_next at its own record: the chain
+// walk cycles and the doubly-linked invariant breaks.
+mbq::Status BreakRelChain(mbq::nodestore::GraphDb* db) {
+  mbq::nodestore::RelId victim = mbq::nodestore::kInvalidRel;
+  mbq::nodestore::RelRecord victim_rec;
+  MBQ_RETURN_IF_ERROR(db->ForEachRawRel(
+      [&](mbq::nodestore::RelId id, const mbq::nodestore::RelRecord& rec) {
+        if (!rec.in_use || rec.src == rec.dst) return true;
+        victim = id;
+        victim_rec = rec;
+        return false;
+      }));
+  if (victim == mbq::nodestore::kInvalidRel) {
+    return mbq::Status::NotFound("no relationship to corrupt");
+  }
+  victim_rec.src_next = victim;
+  std::printf("injected fault: rel %llu src_next -> itself\n",
+              static_cast<unsigned long long>(victim));
+  return db->RawPutRelRecord(victim, victim_rec);
+}
+
+// Adds an existing follows edge to its head's *outgoing* adjacency — the
+// edge's tail is someone else, so the mutual-agreement pass flags it.
+mbq::Status BreakAdjacency(mbq::bitmapstore::Graph* graph,
+                           mbq::bitmapstore::TypeId follows) {
+  MBQ_ASSIGN_OR_RETURN(mbq::bitmapstore::Objects edges,
+                       graph->Select(follows));
+  for (mbq::bitmapstore::Oid edge : edges.ToVector()) {
+    mbq::bitmapstore::Oid tail = mbq::bitmapstore::kInvalidOid;
+    mbq::bitmapstore::Oid head = mbq::bitmapstore::kInvalidOid;
+    graph->RawEdgeEndpoints(edge, &tail, &head);
+    if (tail == head) continue;
+    graph->CorruptAdjacencyForTest(follows, head, edge);
+    std::printf("injected fault: edge %u added to node %u's outgoing "
+                "adjacency\n",
+                edge, head);
+    return mbq::Status::OK();
+  }
+  return mbq::Status::NotFound("no edge to corrupt");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  std::printf("generating a %llu-user microblog graph...\n",
+              static_cast<unsigned long long>(args.users));
+  mbq::twitter::DatasetSpec spec;
+  spec.num_users = args.users;
+  spec.retweet_fraction = 0.15;
+  auto dataset = mbq::twitter::GenerateDataset(spec);
+
+  mbq::core::CheckOptions options;
+  options.max_issues = args.max_issues;
+  int corrupt_stores = 0;
+
+  if (args.nodestore) {
+    mbq::nodestore::GraphDbOptions db_options;
+    db_options.semantic_partitioning = args.partitioned;
+    mbq::nodestore::GraphDb db(db_options);
+    auto handles = mbq::twitter::LoadIntoNodestore(dataset, &db);
+    if (!handles.ok()) {
+      std::fprintf(stderr, "nodestore load failed: %s\n",
+                   handles.status().ToString().c_str());
+      return 2;
+    }
+    if (args.corrupt == "rel-chain") {
+      auto st = BreakRelChain(&db);
+      if (!st.ok()) {
+        std::fprintf(stderr, "fault injection failed: %s\n",
+                     st.ToString().c_str());
+        return 2;
+      }
+    }
+    auto report = mbq::core::CheckNodestore(&db, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "nodestore check failed: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("--- nodestore%s ---\n%s",
+                args.partitioned ? " (partitioned)" : "",
+                report->ToText().c_str());
+    if (!report->ok()) ++corrupt_stores;
+  }
+
+  if (args.bitmapstore) {
+    mbq::bitmapstore::Graph graph;
+    auto handles = mbq::twitter::LoadIntoBitmapstore(dataset, &graph);
+    if (!handles.ok()) {
+      std::fprintf(stderr, "bitmapstore load failed: %s\n",
+                   handles.status().ToString().c_str());
+      return 2;
+    }
+    if (args.corrupt == "type-count") {
+      graph.CorruptTypeCountForTest(handles->user, 3);
+      std::printf("injected fault: user type count skewed by +3\n");
+    } else if (args.corrupt == "adjacency") {
+      auto st = BreakAdjacency(&graph, handles->follows);
+      if (!st.ok()) {
+        std::fprintf(stderr, "fault injection failed: %s\n",
+                     st.ToString().c_str());
+        return 2;
+      }
+    }
+    auto report = mbq::core::CheckBitmapstore(&graph, options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "bitmapstore check failed: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("--- bitmapstore ---\n%s", report->ToText().c_str());
+    if (!report->ok()) ++corrupt_stores;
+  }
+
+  if (args.metrics) {
+    std::printf("%s",
+                mbq::obs::MetricsRegistry::Default().Snapshot().ToText()
+                    .c_str());
+  }
+  return corrupt_stores > 0 ? 1 : 0;
+}

@@ -1,0 +1,12 @@
+# Helper for the checkdb-smoke target: runs checkdb with an injected
+# fault and fails unless it exits 1 (corruption detected).
+execute_process(
+  COMMAND ${CHECKDB} --users=200 --corrupt=${FAULT}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "checkdb --corrupt=${FAULT} exited ${rc}, expected 1\n${out}${err}")
+endif()
+message(STATUS "checkdb caught injected ${FAULT} fault")
