@@ -1,10 +1,13 @@
 #include "bench/bench_common.h"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "exec/thread_pool.h"
+#include "obs/httpd.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -155,33 +158,75 @@ void ApplyBenchOptions(Testbed& bed, const BenchOptions& options) {
 }
 
 MetricsExportGuard::MetricsExportGuard(int argc, char** argv) {
+  bool serve = false;
+  uint16_t serve_port = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       path_ = argv[i + 1];
-      return;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      path_ = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      const char* value = argv[i] + 8;
+      char* end = nullptr;
+      unsigned long v = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || v > 65535) {
+        std::fprintf(stderr, "ignoring bad --serve value: %s\n", value);
+      } else {
+        serve = true;
+        serve_port = static_cast<uint16_t>(v);
+      }
     }
-    const char* prefix = "--metrics-out=";
-    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
-      path_ = argv[i] + std::strlen(prefix);
-      return;
+  }
+  if (serve) {
+    obs::ServeOptions options;
+    options.port = serve_port;
+    auto server = obs::StatsServer::Start(options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "stats server failed to start: %s\n",
+                   server.status().message().c_str());
+    } else {
+      server_ = std::move(server).value();
+      linger_ = true;
+      std::fprintf(stderr, "stats server listening on http://%s:%u/\n",
+                   server_->bind_address().c_str(),
+                   static_cast<unsigned>(server_->port()));
     }
+  } else {
+    server_ = obs::MaybeServeFromEnv();
   }
 }
 
+uint16_t MetricsExportGuard::serve_port() const {
+  return server_ != nullptr ? server_->port() : 0;
+}
+
 MetricsExportGuard::~MetricsExportGuard() {
-  if (path_.empty()) return;
-  // Workers may still be folding their per-thread counters into the
-  // registry; snapshotting before they finish loses the tail of the last
-  // parallel query. Join in-flight pool work first.
-  exec::ThreadPool::Default().Drain();
-  std::ofstream out(path_);
-  if (!out) {
-    std::fprintf(stderr, "could not open metrics output file: %s\n",
-                 path_.c_str());
-    return;
+  if (!path_.empty()) {
+    // Workers may still be folding their per-thread counters into the
+    // registry; snapshotting before they finish loses the tail of the
+    // last parallel query. Join in-flight pool work first.
+    exec::ThreadPool::Default().Drain();
+    std::ofstream out(path_);
+    if (out) {
+      out << obs::MetricsRegistry::Default().Snapshot().ToJson();
+      std::fprintf(stderr, "metrics written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "could not open metrics output file: %s\n",
+                   path_.c_str());
+    }
   }
-  out << obs::MetricsRegistry::Default().Snapshot().ToJson();
-  std::fprintf(stderr, "metrics written to %s\n", path_.c_str());
+  if (linger_ && server_ != nullptr) {
+    // --serve keeps the finished bench scrapeable: the results above are
+    // printed, the server stays up, and the process waits to be killed.
+    std::fprintf(stderr,
+                 "workload done; stats server still on http://%s:%u/ "
+                 "(kill the process to exit)\n",
+                 server_->bind_address().c_str(),
+                 static_cast<unsigned>(server_->port()));
+    for (;;) pause();
+  }
 }
 
 void PrintRow(const std::vector<std::string>& cells,

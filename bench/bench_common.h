@@ -13,6 +13,10 @@
 #include "twitter/dataset.h"
 #include "twitter/loaders.h"
 
+namespace mbq::obs {
+class StatsServer;
+}  // namespace mbq::obs
+
 namespace mbq::bench {
 
 /// One fully loaded experimental setup: the generated dataset plus both
@@ -95,6 +99,13 @@ void ApplyThreads(Testbed& bed, uint32_t threads);
 ///   }
 ///
 /// Without the flag the guard is inert. `--metrics-out=<file>` also works.
+///
+/// The guard also owns the embedded stats server: `--serve` (ephemeral
+/// port) or `--serve=PORT` starts it before the workload runs, and on
+/// destruction the process lingers — serving /metrics, /queries, /slow,
+/// /trace — until killed, so scripts can scrape a finished bench. The
+/// MBQ_STATS_PORT environment variable starts the same server without
+/// the linger.
 class MetricsExportGuard {
  public:
   MetricsExportGuard(int argc, char** argv);
@@ -104,9 +115,13 @@ class MetricsExportGuard {
   MetricsExportGuard& operator=(const MetricsExportGuard&) = delete;
 
   const std::string& path() const { return path_; }
+  /// Bound stats-server port; 0 when not serving.
+  uint16_t serve_port() const;
 
  private:
   std::string path_;
+  bool linger_ = false;
+  std::unique_ptr<obs::StatsServer> server_;
 };
 
 /// Prints a markdown-ish table row: fixed-width columns.

@@ -20,10 +20,14 @@ struct QueryRun {
   const char* description;
 };
 
-void Run() {
+void Run(const BenchOptions& options) {
   uint64_t users = BenchUsers();
   std::printf("Building testbed (%s users)...\n", FormatCount(users).c_str());
   Testbed bed = BuildTestbed(users);
+  ApplyBenchOptions(bed, options);
+  if (options.threads > 1) {
+    std::printf("Threads: %u\n", options.threads);
+  }
   uint32_t runs = BenchRuns();
 
   // Representative parameters: a well-connected user, a popular hashtag,
@@ -161,6 +165,6 @@ void Run() {
 
 int main(int argc, char** argv) {
   mbq::bench::MetricsExportGuard metrics(argc, argv);
-  mbq::bench::Run();
+  mbq::bench::Run(mbq::bench::ParseBenchOptions(argc, argv));
   return 0;
 }

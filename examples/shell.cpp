@@ -11,6 +11,12 @@
 //   :lint <query>      alias for the LINT prefix (semantic diagnostics)
 //   :stats             database counters (nodes, rels, db hits)
 //   :metrics           full observability snapshot (docs/OBSERVABILITY.md)
+//   :metrics <prefix>  only metrics whose name starts with <prefix>
+//   :slow              slow-query flight recorder (threshold via
+//                      MBQ_SLOW_QUERY_MILLIS, default 50 ms)
+//   :slow clear        empty the flight recorder
+//   :serve [port]      start the embedded stats server (/metrics, /queries,
+//                      /slow, /trace); no port picks an ephemeral one
 //   :cache             read-cache stats (result + adjacency)
 //   :cache on|off      enable/disable both read caches
 //   :cache clear       empty the read caches (keeps them enabled)
@@ -22,17 +28,39 @@
 //   mbq> PROFILE MATCH (a:user {uid: 7})-[:follows]->(f:user) RETURN f.uid
 //   mbq> EXPLAIN MATCH (u:user)-[:posts]->(t:tweet) RETURN count(t)
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/workload.h"
 #include "cypher/session.h"
+#include "obs/httpd.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "twitter/loaders.h"
 #include "util/string_util.h"
 
 namespace {
+
+/// Snapshot restricted to metric names starting with `prefix` (":metrics
+/// cypher." shows just the query-layer counters).
+mbq::obs::MetricsSnapshot FilterByPrefix(mbq::obs::MetricsSnapshot snapshot,
+                                         const std::string& prefix) {
+  auto drop = [&](auto* rows) {
+    rows->erase(std::remove_if(rows->begin(), rows->end(),
+                               [&](const auto& row) {
+                                 return row.name.compare(0, prefix.size(),
+                                                         prefix) != 0;
+                               }),
+                rows->end());
+  };
+  drop(&snapshot.counters);
+  drop(&snapshot.gauges);
+  drop(&snapshot.histograms);
+  return snapshot;
+}
 
 void PrintResult(const mbq::cypher::QueryResult& result, bool with_profile) {
   if (result.lint_only) {
@@ -104,6 +132,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(db.NumRels()));
 
   mbq::cypher::CypherSession session(&db);
+  // MBQ_STATS_PORT serves /metrics etc. for the whole session; :serve
+  // starts the same server interactively.
+  std::unique_ptr<mbq::obs::StatsServer> stats = mbq::obs::MaybeServeFromEnv();
   std::string line;
   while (true) {
     std::printf("mbq> ");
@@ -121,6 +152,12 @@ int main(int argc, char** argv) {
           ":lint <query>     alias for the LINT prefix\n"
           ":stats            database counters\n"
           ":metrics          full observability snapshot\n"
+          ":metrics <prefix> only metrics starting with <prefix>, e.g. "
+          ":metrics cypher.\n"
+          ":slow             slow-query flight recorder (:slow clear to "
+          "empty)\n"
+          ":serve [port]     start the embedded stats server "
+          "(/metrics, /queries, /slow, /trace)\n"
           ":cache            read-cache stats (result + adjacency)\n"
           ":cache on|off     enable/disable both read caches\n"
           ":cache clear      empty the read caches\n"
@@ -131,10 +168,57 @@ int main(int argc, char** argv) {
           "RETURN u.uid LIMIT 5\n");
       continue;
     }
-    if (trimmed == ":metrics") {
-      std::printf("%s",
-                  mbq::obs::MetricsRegistry::Default().Snapshot().ToText()
-                      .c_str());
+    if (trimmed == ":metrics" || mbq::StartsWith(trimmed, ":metrics ")) {
+      auto snapshot = mbq::obs::MetricsRegistry::Default().Snapshot();
+      if (trimmed != ":metrics") {
+        std::string prefix(mbq::TrimString(trimmed.substr(9)));
+        snapshot = FilterByPrefix(std::move(snapshot), prefix);
+        if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+            snapshot.histograms.empty()) {
+          std::printf("no metrics with prefix \"%s\"\n", prefix.c_str());
+          continue;
+        }
+      }
+      std::printf("%s", snapshot.ToText().c_str());
+      continue;
+    }
+    if (trimmed == ":slow") {
+      std::printf("%s", mbq::obs::FlightRecorder::Global().ToText().c_str());
+      continue;
+    }
+    if (trimmed == ":slow clear") {
+      mbq::obs::FlightRecorder::Global().Clear();
+      std::printf("flight recorder cleared\n");
+      continue;
+    }
+    if (trimmed == ":serve" || mbq::StartsWith(trimmed, ":serve ")) {
+      if (stats != nullptr) {
+        std::printf("stats server already on http://%s:%u/\n",
+                    stats->bind_address().c_str(),
+                    static_cast<unsigned>(stats->port()));
+        continue;
+      }
+      mbq::obs::ServeOptions serve_options;
+      if (trimmed != ":serve") {
+        unsigned long port = std::strtoul(
+            std::string(mbq::TrimString(trimmed.substr(7))).c_str(), nullptr,
+            10);
+        if (port > 65535) {
+          std::printf("bad port\n");
+          continue;
+        }
+        serve_options.port = static_cast<uint16_t>(port);
+      }
+      auto server = mbq::obs::StatsServer::Start(serve_options);
+      if (!server.ok()) {
+        std::printf("stats server failed: %s\n",
+                    server.status().message().c_str());
+        continue;
+      }
+      stats = std::move(server).value();
+      std::printf("stats server listening on http://%s:%u/\n",
+                  stats->bind_address().c_str(),
+                  static_cast<unsigned>(stats->port()));
       continue;
     }
     if (trimmed == ":stats") {

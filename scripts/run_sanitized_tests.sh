@@ -13,7 +13,8 @@
 #   scripts/run_sanitized_tests.sh --ubsan       # also run a UBSan pass
 #
 # The focused TSan pass runs the tests that exercise shared state
-# (ThreadPool, concurrency harness, agreement sweep, cypher runtime) with
+# (ThreadPool, concurrency harness, agreement sweep, cypher runtime, the
+# query registry / flight recorder and the stats server) with
 # CYPHER_THREADS=4 so the morsel-parallel paths engage. A full-suite TSan
 # run works too but is several times slower.
 set -eu
@@ -34,7 +35,7 @@ for arg in "$@"; do
 done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-focused='Exec|Concurrency|Agreement|Cypher|Cache'
+focused='Exec|Concurrency|Agreement|Cypher|Cache|Introspect|Httpd|SlowQuery'
 
 echo "== ThreadSanitizer build (build-tsan/) =="
 cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null

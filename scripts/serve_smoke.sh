@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Smoke-tests the embedded stats server end to end: starts a bench with
+# --serve on an ephemeral port, waits for the workload to finish, then
+# fetches every endpoint and asserts the payloads are live — HTTP 200s,
+# Prometheus exposition with the server's own request counter, a JSON
+# snapshot, a non-empty slow-query flight recorder (the threshold is
+# forced to 0 so every query is captured) and a Chrome trace.
+#
+# Usage:
+#   scripts/serve_smoke.sh <bench-binary> [mbqtop-binary]
+#
+# Endpoints are fetched with curl when available, else with mbqtop --get
+# (the second argument), so the smoke also works on curl-less machines.
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <bench-binary> [mbqtop-binary]" >&2
+  exit 2
+fi
+
+bench="$1"
+mbqtop="${2:-}"
+
+if [ ! -x "$bench" ]; then
+  echo "serve-smoke: $bench is not an executable" >&2
+  exit 2
+fi
+
+log="$(mktemp /tmp/mbq_serve_smoke.XXXXXX.log)"
+bench_pid=""
+cleanup() {
+  if [ -n "$bench_pid" ]; then
+    kill "$bench_pid" 2>/dev/null || true
+    wait "$bench_pid" 2>/dev/null || true
+  fi
+  rm -f "$log"
+}
+trap cleanup EXIT
+
+# Tiny dataset, capture-everything threshold, ephemeral port.
+MBQ_BENCH_USERS=300 MBQ_BENCH_RUNS=2 MBQ_SLOW_QUERY_MILLIS=0 \
+  "$bench" --serve >/dev/null 2>"$log" &
+bench_pid=$!
+
+# The bench logs the resolved port, then serves forever once the workload
+# is done. Wait for both lines (the workload takes a few seconds).
+port=""
+for _ in $(seq 1 600); do
+  if ! kill -0 "$bench_pid" 2>/dev/null; then
+    echo "serve-smoke: bench exited early" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  if [ -z "$port" ]; then
+    port="$(sed -n 's#.*stats server listening on http://127\.0\.0\.1:\([0-9]*\)/.*#\1#p' "$log" | head -n 1)"
+  fi
+  if [ -n "$port" ] && grep -q "workload done" "$log"; then
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$port" ] || ! grep -q "workload done" "$log"; then
+  echo "serve-smoke: server did not come up / workload did not finish" >&2
+  cat "$log" >&2
+  exit 1
+fi
+
+fetch() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://127.0.0.1:$port$1"
+  elif [ -n "$mbqtop" ] && [ -x "$mbqtop" ]; then
+    "$mbqtop" --port="$port" --get="$1"
+  else
+    echo "serve-smoke: neither curl nor mbqtop available" >&2
+    exit 2
+  fi
+}
+
+fail=0
+expect() {  # expect <path> <required-substring> <label>
+  body="$(fetch "$1")" || { echo "serve-smoke: GET $1 failed" >&2; fail=1; return; }
+  if ! printf '%s' "$body" | grep -q "$2"; then
+    echo "serve-smoke: $3 — $1 is missing '$2'" >&2
+    fail=1
+  fi
+}
+
+expect /              "/metrics"             "index lists endpoints"
+expect /metrics       "obs_http_requests_total" "Prometheus exposition is live"
+expect /metrics.json  '"cypher.queries"'     "JSON snapshot has query counters"
+expect /queries       '"started"'            "active-query table answers"
+expect /trace         '"traceEvents"'        "trace export answers"
+
+# With threshold 0 every query the bench ran was captured.
+slow="$(fetch /slow)"
+captured="$(printf '%s' "$slow" | sed -n 's/.*"captured": \([0-9][0-9]*\).*/\1/p')"
+if [ -z "$captured" ] || [ "$captured" -eq 0 ]; then
+  echo "serve-smoke: flight recorder is empty (captured=${captured:-?})" >&2
+  fail=1
+fi
+
+# Unknown paths must 404, not crash the server.
+if fetch /no-such-endpoint >/dev/null 2>&1; then
+  if command -v curl >/dev/null 2>&1; then
+    echo "serve-smoke: /no-such-endpoint did not 404" >&2
+    fail=1
+  fi
+fi
+expect /metrics "obs_http" "server still answering after 404"
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "serve-smoke: all endpoints live on port $port ($captured slow queries captured)"

@@ -8,12 +8,79 @@
 
 #include "cache/epoch.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace mbq::core {
 
 using bitmapstore::EdgesDirection;
 using bitmapstore::Objects;
 using bitmapstore::Oid;
+
+namespace {
+
+/// RAII introspection for one navigation call: registers it with the
+/// live-query table, records a trace span on exit, and feeds the slow
+/// flight recorder when the call crosses the engine's threshold. The
+/// navigation API has no plan tree, so the "profile" of a capture is the
+/// call description itself.
+class QueryTracker {
+ public:
+  QueryTracker(bitmapstore::Graph* graph, std::string call, uint32_t threads,
+               uint64_t slow_millis)
+      : graph_(graph),
+        call_(std::move(call)),
+        threads_(threads),
+        slow_millis_(slow_millis),
+        scope_(&obs::QueryRegistry::Global(), call_, "bitmap", threads) {}
+
+  QueryTracker(const QueryTracker&) = delete;
+  QueryTracker& operator=(const QueryTracker&) = delete;
+
+  void SetRows(uint64_t rows) {
+    rows_ = rows;
+    scope_.SetRows(rows);
+  }
+
+  ~QueryTracker() {
+    double elapsed_millis = scope_.ElapsedMillis();
+    obs::SpanRecorder::Global().Record(call_, "bitmap", scope_.start_nanos(),
+                                       scope_.ElapsedNanos());
+    if (!obs::IsSlowQuery(elapsed_millis, slow_millis_)) return;
+    obs::SlowQuery slow;
+    slow.query = call_;
+    slow.engine = "bitmap";
+    slow.millis = elapsed_millis;
+    slow.rows = rows_;
+    slow.threads = threads_;
+    slow.cache = "off";
+    slow.epoch = graph_->epochs().GlobalEpoch();
+    obs::FlightRecorder::Global().Record(std::move(slow));
+    static obs::Counter* captured = obs::MetricsRegistry::Default().GetCounter(
+        "bitmapstore.slow.captured", "queries",
+        "navigation calls at/over the slow-query threshold, captured by "
+        "the flight recorder");
+    captured->Inc();
+  }
+
+ private:
+  bitmapstore::Graph* graph_;
+  std::string call_;
+  uint32_t threads_;
+  uint64_t slow_millis_;
+  uint64_t rows_ = 0;
+  obs::ActiveQueryScope scope_;
+};
+
+std::string DescribeCall(const char* name, int64_t arg) {
+  return std::string(name) + "(" + std::to_string(arg) + ")";
+}
+
+std::string DescribeCall(const char* name, int64_t a, int64_t b) {
+  return std::string(name) + "(" + std::to_string(a) + ", " +
+         std::to_string(b) + ")";
+}
+
+}  // namespace
 
 void BitmapEngine::SetThreads(uint32_t threads, exec::ThreadPool* pool) {
   threads_ = threads == 0 ? 1 : threads;
@@ -118,6 +185,9 @@ Result<Oid> BitmapEngine::UserByUid(int64_t uid) const {
 }
 
 Result<ValueRows> BitmapEngine::SelectUsersByFollowerCount(int64_t threshold) {
+  QueryTracker tracker(graph_,
+                       DescribeCall("SelectUsersByFollowerCount", threshold),
+                       threads_, slow_query_millis_);
   MBQ_ASSIGN_OR_RETURN(Objects users,
                        graph_->Select(h_.followers_count,
                                       bitmapstore::Condition::kGreater,
@@ -134,10 +204,13 @@ Result<ValueRows> BitmapEngine::SelectUsersByFollowerCount(int64_t threshold) {
     return true;
   });
   MBQ_RETURN_IF_ERROR(status);
+  tracker.SetRows(rows.size());
   return rows;
 }
 
 Result<ValueRows> BitmapEngine::FolloweesOf(int64_t uid) {
+  QueryTracker tracker(graph_, DescribeCall("FolloweesOf", uid), threads_,
+                       slow_query_millis_);
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
@@ -154,10 +227,13 @@ Result<ValueRows> BitmapEngine::FolloweesOf(int64_t uid) {
     return true;
   });
   MBQ_RETURN_IF_ERROR(status);
+  tracker.SetRows(rows.size());
   return rows;
 }
 
 Result<ValueRows> BitmapEngine::TweetsOfFollowees(int64_t uid) {
+  QueryTracker tracker(graph_, DescribeCall("TweetsOfFollowees", uid),
+                       threads_, slow_query_millis_);
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
@@ -179,10 +255,13 @@ Result<ValueRows> BitmapEngine::TweetsOfFollowees(int64_t uid) {
     return true;
   });
   MBQ_RETURN_IF_ERROR(status);
+  tracker.SetRows(rows.size());
   return rows;
 }
 
 Result<ValueRows> BitmapEngine::HashtagsUsedByFollowees(int64_t uid) {
+  QueryTracker tracker(graph_, DescribeCall("HashtagsUsedByFollowees", uid),
+                       threads_, slow_query_millis_);
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
@@ -205,10 +284,13 @@ Result<ValueRows> BitmapEngine::HashtagsUsedByFollowees(int64_t uid) {
     return true;
   });
   MBQ_RETURN_IF_ERROR(status);
+  tracker.SetRows(rows.size());
   return rows;
 }
 
 Result<ValueRows> BitmapEngine::TopCoMentionedUsers(int64_t uid, int64_t n) {
+  QueryTracker tracker(graph_, DescribeCall("TopCoMentionedUsers", uid, n),
+                       threads_, slow_query_millis_);
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   // Step 1: tweets mentioning A. Step 2: other users those tweets
   // mention, counted in a map (the paper's two-step co-occurrence plan).
@@ -225,11 +307,17 @@ Result<ValueRows> BitmapEngine::TopCoMentionedUsers(int64_t uid, int64_t n) {
     MBQ_ASSIGN_OR_RETURN(Value key, graph_->GetAttribute(oid, h_.uid));
     keyed.emplace_back(std::move(key), count);
   }
-  return TopNCounts(keyed, n);
+  ValueRows top = TopNCounts(keyed, n);
+  tracker.SetRows(top.size());
+  return top;
 }
 
 Result<ValueRows> BitmapEngine::TopCoOccurringHashtags(const std::string& tag,
                                                        int64_t n) {
+  QueryTracker tracker(graph_,
+                       "TopCoOccurringHashtags(\"" + tag + "\", " +
+                           std::to_string(n) + ")",
+                       threads_, slow_query_millis_);
   MBQ_ASSIGN_OR_RETURN(Oid hashtag,
                        graph_->FindObject(h_.tag, Value::String(tag)));
   if (hashtag == bitmapstore::kInvalidOid) {
@@ -248,7 +336,9 @@ Result<ValueRows> BitmapEngine::TopCoOccurringHashtags(const std::string& tag,
     MBQ_ASSIGN_OR_RETURN(Value key, graph_->GetAttribute(oid, h_.tag));
     keyed.emplace_back(std::move(key), count);
   }
-  return TopNCounts(keyed, n);
+  ValueRows top = TopNCounts(keyed, n);
+  tracker.SetRows(top.size());
+  return top;
 }
 
 Result<ValueRows> BitmapEngine::Recommend(int64_t uid, int64_t n,
@@ -277,12 +367,24 @@ Result<ValueRows> BitmapEngine::Recommend(int64_t uid, int64_t n,
 
 Result<ValueRows> BitmapEngine::RecommendFolloweesOfFollowees(int64_t uid,
                                                               int64_t n) {
-  return Recommend(uid, n, EdgesDirection::kOutgoing);
+  QueryTracker tracker(graph_,
+                       DescribeCall("RecommendFolloweesOfFollowees", uid, n),
+                       threads_, slow_query_millis_);
+  MBQ_ASSIGN_OR_RETURN(ValueRows rows,
+                       Recommend(uid, n, EdgesDirection::kOutgoing));
+  tracker.SetRows(rows.size());
+  return rows;
 }
 
 Result<ValueRows> BitmapEngine::RecommendFollowersOfFollowees(int64_t uid,
                                                               int64_t n) {
-  return Recommend(uid, n, EdgesDirection::kIngoing);
+  QueryTracker tracker(graph_,
+                       DescribeCall("RecommendFollowersOfFollowees", uid, n),
+                       threads_, slow_query_millis_);
+  MBQ_ASSIGN_OR_RETURN(ValueRows rows,
+                       Recommend(uid, n, EdgesDirection::kIngoing));
+  tracker.SetRows(rows.size());
+  return rows;
 }
 
 Result<ValueRows> BitmapEngine::Influence(int64_t uid, int64_t n,
@@ -311,15 +413,28 @@ Result<ValueRows> BitmapEngine::Influence(int64_t uid, int64_t n,
 }
 
 Result<ValueRows> BitmapEngine::CurrentInfluence(int64_t uid, int64_t n) {
-  return Influence(uid, n, /*keep_followers=*/true);
+  QueryTracker tracker(graph_, DescribeCall("CurrentInfluence", uid, n),
+                       threads_, slow_query_millis_);
+  MBQ_ASSIGN_OR_RETURN(ValueRows rows,
+                       Influence(uid, n, /*keep_followers=*/true));
+  tracker.SetRows(rows.size());
+  return rows;
 }
 
 Result<ValueRows> BitmapEngine::PotentialInfluence(int64_t uid, int64_t n) {
-  return Influence(uid, n, /*keep_followers=*/false);
+  QueryTracker tracker(graph_, DescribeCall("PotentialInfluence", uid, n),
+                       threads_, slow_query_millis_);
+  MBQ_ASSIGN_OR_RETURN(ValueRows rows,
+                       Influence(uid, n, /*keep_followers=*/false));
+  tracker.SetRows(rows.size());
+  return rows;
 }
 
 Result<int64_t> BitmapEngine::ShortestPathLength(int64_t uid_a, int64_t uid_b,
                                                  uint32_t max_hops) {
+  QueryTracker tracker(graph_, DescribeCall("ShortestPathLength", uid_a, uid_b),
+                       threads_, slow_query_millis_);
+  tracker.SetRows(1);
   MBQ_ASSIGN_OR_RETURN(Oid a, UserByUid(uid_a));
   MBQ_ASSIGN_OR_RETURN(Oid b, UserByUid(uid_b));
   bitmapstore::SinglePairShortestPathBFS bfs(graph_, a, b);

@@ -9,6 +9,7 @@
 #include "bitmapstore/shortest_path.h"
 #include "cache/adjacency_cache.h"
 #include "core/engine.h"
+#include "obs/introspect.h"
 #include "twitter/loaders.h"
 
 namespace mbq::exec {
@@ -70,6 +71,13 @@ class BitmapEngine : public MicroblogEngine {
   bitmapstore::Graph* graph() { return graph_; }
   const twitter::BitmapHandles& handles() const { return h_; }
 
+  /// Navigation calls taking at least this many milliseconds are captured
+  /// by the slow-query flight recorder (served at /slow, shell :slow).
+  /// 0 captures every call; the default comes from MBQ_SLOW_QUERY_MILLIS
+  /// (else 50 ms).
+  void SetSlowQueryMillis(uint64_t millis) { slow_query_millis_ = millis; }
+  uint64_t slow_query_millis() const { return slow_query_millis_; }
+
  private:
   Result<bitmapstore::Oid> UserByUid(int64_t uid) const;
   /// Neighbors() through the adjacency cache when enabled; identical
@@ -95,6 +103,7 @@ class BitmapEngine : public MicroblogEngine {
   bitmapstore::Graph* graph_;
   twitter::BitmapHandles h_;
   uint32_t threads_ = 1;
+  uint64_t slow_query_millis_ = obs::DefaultSlowQueryMillis();
   exec::ThreadPool* pool_ = nullptr;
   std::unique_ptr<cache::AdjacencyCache> adj_cache_;
 };

@@ -9,6 +9,7 @@
 #include "cypher/semantic.h"
 #include "exec/thread_pool.h"
 #include "nodestore/record_file.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
@@ -29,6 +30,7 @@ struct SessionMetrics {
   obs::Counter* lint_runs;
   obs::Counter* lint_diagnostics;
   obs::Counter* lint_rejected;
+  obs::Counter* slow_captured;
 
   static SessionMetrics& Get() {
     static SessionMetrics m = [] {
@@ -55,6 +57,10 @@ struct SessionMetrics {
                        "semantic diagnostics emitted at compile/lint time");
       m.lint_rejected = r.GetCounter("cypher.lint.rejected", "queries",
                                      "queries refused by strict lint mode");
+      m.slow_captured =
+          r.GetCounter("cypher.slow.captured", "queries",
+                       "executions at/over the slow-query threshold, "
+                       "captured by the flight recorder");
       return m;
     }();
     return m;
@@ -88,6 +94,8 @@ size_t CypherSession::CachedResult::ByteSize() const {
 }
 
 CypherSession::CypherSession(GraphDb* db) : db_(db) {
+  slow_query_millis_.store(obs::DefaultSlowQueryMillis(),
+                           std::memory_order_relaxed);
   // Opt-in default parallelism: sessions stay sequential unless the
   // process sets CYPHER_THREADS (or the embedder calls SetThreads).
   if (const char* env = std::getenv("CYPHER_THREADS")) {
@@ -112,6 +120,9 @@ void CypherSession::Configure(const SessionOptions& options) {
   }
   SetPlanCacheEnabled(options.plan_cache);
   SetLintLevel(options.lint_level);
+  if (options.slow_query_millis >= 0) {
+    SetSlowQueryMillis(static_cast<uint64_t>(options.slow_query_millis));
+  }
   if (options.result_cache) {
     cache::ResultCache<CachedResult>::Options rc;
     rc.capacity = options.result_cache_capacity;
@@ -317,11 +328,16 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   }
 
   obs::TraceSpan latency(metrics.query_latency);
+  uint32_t threads = threads_.load(std::memory_order_relaxed);
+  if (threads == 0) threads = 1;
+  // Register with the live-query table (/queries, :queries) for the
+  // duration of the execution.
+  obs::ActiveQueryScope active(&obs::QueryRegistry::Global(), body, "cypher",
+                               threads);
 
   ExecContext ctx;
   ctx.db = db_;
   ctx.params = &params;
-  uint32_t threads = threads_.load(std::memory_order_relaxed);
   if (threads > 1) {
     exec::ThreadPool* pool = pool_.load(std::memory_order_relaxed);
     ctx.pool = pool != nullptr ? pool : &exec::ThreadPool::Default();
@@ -341,10 +357,34 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
     MBQ_ASSIGN_OR_RETURN(bool more, root->NextTracked(&row));
     if (!more) break;
     result.rows.push_back(row);
+    // Live progress for /queries: relaxed stores, unsynchronized reads.
+    active.SetRows(result.rows.size());
+    active.SetDbHits(nodestore::DbHitCounter::ThreadHits() - hits_before);
   }
   result.db_hits = nodestore::DbHitCounter::ThreadHits() - hits_before +
                    side_hits.load(std::memory_order_relaxed);
   result.profile = DescribePlanTree(*root);
+  active.SetDbHits(result.db_hits);
+
+  double elapsed_millis = active.ElapsedMillis();
+  obs::SpanRecorder::Global().Record(body, "cypher", active.start_nanos(),
+                                     active.ElapsedNanos());
+  if (obs::IsSlowQuery(elapsed_millis,
+                       slow_query_millis_.load(std::memory_order_relaxed))) {
+    obs::SlowQuery slow;
+    slow.query = body;
+    slow.engine = "cypher";
+    slow.millis = elapsed_millis;
+    slow.db_hits = result.db_hits;
+    slow.rows = result.rows.size();
+    slow.threads = threads;
+    slow.cache = rcache != nullptr ? "miss" : "off";
+    slow.epoch = db_->epochs().GlobalEpoch();
+    slow.diagnostics = plan->diagnostics.size();
+    slow.profile = result.profile;
+    obs::FlightRecorder::Global().Record(std::move(slow));
+    metrics.slow_captured->Inc();
+  }
 
   if (rcache != nullptr) {
     auto payload = std::make_shared<CachedResult>();

@@ -72,6 +72,12 @@ struct SessionOptions {
   /// labels and undefined variables; kOff, the default, only reports).
   /// LINT and EXPLAIN always run regardless of this setting.
   LintLevel lint_level = LintLevel::kOff;
+  /// Executions taking at least this many milliseconds are captured by
+  /// the slow-query flight recorder (obs::FlightRecorder::Global(),
+  /// served at /slow and shell :slow). 0 captures every query; -1 (the
+  /// default) keeps the session's current threshold — the
+  /// MBQ_SLOW_QUERY_MILLIS environment variable when set, else 50 ms.
+  int64_t slow_query_millis = -1;
 };
 
 /// The declarative query interface over the record-store engine: parse ->
@@ -147,6 +153,15 @@ class CypherSession {
     return threads_.load(std::memory_order_relaxed);
   }
 
+  /// Slow-query capture threshold (milliseconds, inclusive); 0 captures
+  /// everything. The constructor seeds it from MBQ_SLOW_QUERY_MILLIS.
+  void SetSlowQueryMillis(uint64_t millis) {
+    slow_query_millis_.store(millis, std::memory_order_relaxed);
+  }
+  uint64_t slow_query_millis() const {
+    return slow_query_millis_.load(std::memory_order_relaxed);
+  }
+
   uint64_t plan_cache_hits() const {
     return plan_cache_hits_.load(std::memory_order_relaxed);
   }
@@ -207,6 +222,7 @@ class CypherSession {
   bool last_prepare_was_cache_hit_ = false;
   LintLevel lint_level_ = LintLevel::kOff;
   std::atomic<uint32_t> threads_{1};
+  std::atomic<uint64_t> slow_query_millis_{50};  // constructor re-seeds
   std::atomic<exec::ThreadPool*> pool_{nullptr};
   std::atomic<uint64_t> plan_cache_hits_{0};
   std::atomic<uint64_t> plan_cache_misses_{0};

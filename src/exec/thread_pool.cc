@@ -40,6 +40,11 @@ ThreadPool::ThreadPool(size_t threads) {
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  metrics_provider_ = obs::ScopedProvider(
+      &obs::MetricsRegistry::Default(), [this](obs::MetricsSink* sink) {
+        sink->Gauge("exec.pool.queue_depth", static_cast<double>(pending()),
+                    "tasks");
+      });
 }
 
 ThreadPool::~ThreadPool() {

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace mbq::exec {
 
 /// A small work-stealing thread pool for query-internal parallelism.
@@ -62,6 +64,9 @@ class ThreadPool {
   /// Parses CYPHER_THREADS: 0/unset means hardware_concurrency.
   static size_t DefaultThreads();
 
+  /// Tasks queued or running right now (the exec.pool.queue_depth gauge).
+  uint64_t pending() const { return pending_.load(std::memory_order_relaxed); }
+
  private:
   struct Worker {
     std::mutex mu;
@@ -84,6 +89,10 @@ class ThreadPool {
   std::atomic<uint64_t> pending_{0};  // queued + running tasks
   std::atomic<uint64_t> next_queue_{0};
   std::atomic<bool> stop_{false};
+  /// Declared last so it unregisters first: the provider reads pending_
+  /// and must never outlive the fields it reports. Gauges from several
+  /// pools sum; a destroyed pool retains a final depth of 0.
+  obs::ScopedProvider metrics_provider_;
 };
 
 }  // namespace mbq::exec

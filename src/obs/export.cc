@@ -1,0 +1,189 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace mbq::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Appends `cp` (a Unicode code point) UTF-8 encoded; unpaired
+/// surrogates become U+FFFD.
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp >= 0xD800 && cp <= 0xDFFF) cp = 0xFFFD;
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string JsonUnescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c != '\\' || i + 1 >= s.size()) {
+      out += c;
+      continue;
+    }
+    char esc = s[++i];
+    switch (esc) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case '/':
+        out += '/';
+        break;
+      case 'b':
+        out += '\b';
+        break;
+      case 'f':
+        out += '\f';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        if (i + 4 < s.size()) {
+          uint32_t cp = 0;
+          bool ok = true;
+          for (int k = 1; k <= 4; ++k) {
+            int v = HexValue(s[i + static_cast<size_t>(k)]);
+            if (v < 0) {
+              ok = false;
+              break;
+            }
+            cp = (cp << 4) | static_cast<uint32_t>(v);
+          }
+          if (ok) {
+            AppendUtf8(&out, cp);
+            i += 4;
+            break;
+          }
+        }
+        out += "\\u";  // malformed escape kept verbatim
+        break;
+      }
+      default:
+        out += '\\';
+        out += esc;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool IsPromChar(unsigned char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!IsPromChar(static_cast<unsigned char>(name[0]), /*first=*/true)) {
+    out += '_';
+    // A leading digit is kept after the prefix; any other illegal leading
+    // byte is replaced outright.
+    if (std::isdigit(static_cast<unsigned char>(name[0]))) out += name[0];
+  } else {
+    out += name[0];
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(name[i]);
+    out += IsPromChar(c, /*first=*/false) ? name[i] : '_';
+  }
+  return out;
+}
+
+bool IsValidPrometheusName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!IsPromChar(static_cast<unsigned char>(name[0]), /*first=*/true)) {
+    return false;
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!IsPromChar(static_cast<unsigned char>(name[i]), /*first=*/false)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string MetricsJson(MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &MetricsRegistry::Default();
+  return registry->Snapshot().ToJson();
+}
+
+}  // namespace mbq::obs

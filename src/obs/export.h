@@ -1,0 +1,44 @@
+#ifndef MBQ_OBS_EXPORT_H_
+#define MBQ_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+namespace mbq::obs {
+
+class MetricsRegistry;
+
+/// Escapes `s` for embedding in a JSON string literal: quote, backslash
+/// and every control character (U+0000..U+001F) are escaped; valid UTF-8
+/// multi-byte sequences pass through untouched. Every JSON document the
+/// observability layer emits (metrics snapshots, the active-query table,
+/// the flight recorder, trace export) goes through this one function, so
+/// hostile query texts — embedded quotes, newlines, braces — cannot break
+/// the payload.
+std::string JsonEscape(std::string_view s);
+
+/// Inverse of JsonEscape: decodes \" \\ \/ \b \f \n \r \t and \uXXXX
+/// (code points are re-encoded as UTF-8; unpaired surrogates decode to
+/// U+FFFD). Unknown escapes are kept verbatim. JsonUnescape(JsonEscape(s))
+/// == s for any byte string.
+std::string JsonUnescape(std::string_view s);
+
+/// Sanitizes a metric name into the Prometheus exposition charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every other byte becomes '_', and a leading
+/// digit (or an empty name) gains a '_' prefix. Distinct inputs can
+/// collide after sanitization ("a.b" and "a_b"); exporters must
+/// deduplicate (MetricsSnapshot::ToPrometheus appends "_2", "_3", ...).
+std::string PrometheusName(std::string_view name);
+
+/// True when `name` is already a legal Prometheus metric name.
+bool IsValidPrometheusName(std::string_view name);
+
+/// One shared snapshot path for every JSON metrics export: the bench
+/// `--metrics-out` file and the stats server's `/metrics.json` endpoint
+/// both call this, so the two surfaces can never drift apart. Null uses
+/// the process-default registry.
+std::string MetricsJson(MetricsRegistry* registry = nullptr);
+
+}  // namespace mbq::obs
+
+#endif  // MBQ_OBS_EXPORT_H_

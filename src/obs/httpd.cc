@@ -1,0 +1,313 @@
+#include "obs/httpd.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/export.h"
+#include "obs/introspect.h"
+#include "obs/metrics.h"
+
+namespace mbq::obs {
+
+namespace {
+
+constexpr int kRequestTimeoutMillis = 2000;
+constexpr size_t kMaxRequestBytes = 8192;
+
+/// Reads until the end of the request head (\r\n\r\n), a timeout, or the
+/// size cap; the stats server only ever needs the request line.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->size() < kMaxRequestBytes) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kRequestTimeoutMillis);
+    if (ready <= 0) return false;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head->append(buf, static_cast<size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const std::string& reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// "GET /metrics HTTP/1.1" -> "/metrics" (query strings stripped).
+/// Empty on anything that is not a GET.
+std::string ParseGetPath(const std::string& head) {
+  if (head.rfind("GET ", 0) != 0) return "";
+  size_t start = 4;
+  size_t end = head.find_first_of(" \r\n", start);
+  if (end == std::string::npos) return "";
+  std::string path = head.substr(start, end - start);
+  size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  return path.empty() ? "/" : path;
+}
+
+struct HttpMetrics {
+  Counter* requests;
+  Counter* errors;
+
+  static HttpMetrics Get() {
+    static HttpMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Default();
+      HttpMetrics out;
+      out.requests = reg.GetCounter("obs.http.requests", "requests",
+                                    "HTTP requests served by the stats server");
+      out.errors = reg.GetCounter(
+          "obs.http.errors", "requests",
+          "Stats-server requests that failed (bad request or unknown path)");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+StatsServer::StatsServer(ServeOptions options) : options_(std::move(options)) {
+  if (options_.metrics == nullptr) options_.metrics = &MetricsRegistry::Default();
+  if (options_.queries == nullptr) options_.queries = &QueryRegistry::Global();
+  if (options_.flight == nullptr) options_.flight = &FlightRecorder::Global();
+  if (options_.spans == nullptr) options_.spans = &SpanRecorder::Global();
+}
+
+Result<std::unique_ptr<StatsServer>> StatsServer::Start(
+    const ServeOptions& options) {
+  std::unique_ptr<StatsServer> server(new StatsServer(options));
+  Status bound = server->Bind();
+  if (!bound.ok()) return bound;
+  server->thread_ = std::thread([raw = server.get()] { raw->Loop(); });
+  return server;
+}
+
+Status StatsServer::Bind() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("stats server: socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("stats server: bad bind address \"" +
+                                   options_.bind_address + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status =
+        Status::IoError("stats server: cannot bind " + options_.bind_address +
+                        ":" + std::to_string(options_.port) + ": " +
+                        std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    Status status = Status::IoError("stats server: listen() failed: " +
+                                    std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  // Resolve port 0 to the kernel's ephemeral choice.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    Status status = Status::IoError("stats server: pipe() failed: " +
+                                    std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  return Status::OK();
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (wake_pipe_[1] >= 0) {
+    char byte = 'q';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void StatsServer::Loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void StatsServer::HandleConnection(int fd) {
+  HttpMetrics metrics = HttpMetrics::Get();
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) {
+    metrics.errors->Inc();
+    return;
+  }
+  metrics.requests->Inc();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string path = ParseGetPath(head);
+  if (path.empty()) {
+    metrics.errors->Inc();
+    SendAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                             "stats server only accepts GET\n"));
+    return;
+  }
+  std::string body;
+  std::string content_type;
+  if (!Dispatch(path, &body, &content_type)) {
+    metrics.errors->Inc();
+    SendAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                             "unknown path " + path +
+                                 "\ntry: / /metrics /metrics.json /queries "
+                                 "/slow /trace\n"));
+    return;
+  }
+  SendAll(fd, HttpResponse(200, "OK", content_type, body));
+}
+
+bool StatsServer::Dispatch(const std::string& path, std::string* body,
+                           std::string* content_type) {
+  if (path == "/") {
+    *content_type = "text/plain";
+    *body =
+        "mbq stats server\n"
+        "  /metrics       Prometheus text exposition\n"
+        "  /metrics.json  metrics snapshot (bench --metrics-out format)\n"
+        "  /queries       active-query table\n"
+        "  /slow          slow-query flight recorder\n"
+        "  /trace         Chrome trace_event JSON (load in about://tracing)\n";
+    return true;
+  }
+  if (path == "/metrics") {
+    *content_type = "text/plain; version=0.0.4";
+    *body = options_.metrics->Snapshot().ToPrometheus();
+    return true;
+  }
+  if (path == "/metrics.json") {
+    *content_type = "application/json";
+    *body = MetricsJson(options_.metrics);
+    return true;
+  }
+  if (path == "/queries") {
+    *content_type = "application/json";
+    *body = options_.queries->ToJson();
+    return true;
+  }
+  if (path == "/slow") {
+    *content_type = "application/json";
+    *body = options_.flight->ToJson();
+    return true;
+  }
+  if (path == "/trace") {
+    *content_type = "application/json";
+    *body = options_.spans->ToChromeTraceJson();
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<StatsServer> MaybeServeFromEnv() {
+  const char* env = std::getenv("MBQ_STATS_PORT");
+  if (env == nullptr || *env == '\0') return nullptr;
+  char* end = nullptr;
+  unsigned long port = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || port > 65535) {
+    std::fprintf(stderr, "MBQ_STATS_PORT=%s is not a valid port; ignored\n",
+                 env);
+    return nullptr;
+  }
+  ServeOptions options;
+  options.port = static_cast<uint16_t>(port);
+  Result<std::unique_ptr<StatsServer>> server = StatsServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "stats server failed to start: %s\n",
+                 server.status().message().c_str());
+    return nullptr;
+  }
+  std::fprintf(stderr, "stats server listening on http://%s:%u/\n",
+               (*server)->bind_address().c_str(),
+               static_cast<unsigned>((*server)->port()));
+  return std::move(server).value();
+}
+
+}  // namespace mbq::obs

@@ -1,0 +1,98 @@
+#ifndef MBQ_OBS_HTTPD_H_
+#define MBQ_OBS_HTTPD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/result.h"
+
+namespace mbq::obs {
+
+class MetricsRegistry;
+class QueryRegistry;
+class FlightRecorder;
+class SpanRecorder;
+
+/// Everything the stats server can be tuned with. The defaults serve the
+/// process-wide registries on an ephemeral loopback port.
+struct ServeOptions {
+  /// TCP port to bind; 0 picks an ephemeral port (read it back from
+  /// StatsServer::port()).
+  uint16_t port = 0;
+  /// Loopback by default: the stats plane is an operator surface, not a
+  /// public one.
+  std::string bind_address = "127.0.0.1";
+  /// Data sources; null uses the process-wide defaults.
+  MetricsRegistry* metrics = nullptr;
+  QueryRegistry* queries = nullptr;
+  FlightRecorder* flight = nullptr;
+  SpanRecorder* spans = nullptr;
+};
+
+/// A dependency-free embedded HTTP/1.1 stats server: a blocking poll()
+/// loop on its own thread, one connection handled at a time (the payloads
+/// are small and generated in microseconds, so a serial loop keeps the
+/// code free of connection state). Endpoints:
+///
+///   /              plain-text index
+///   /metrics       Prometheus text exposition format
+///   /metrics.json  the bench --metrics-out JSON snapshot (same bytes)
+///   /queries       active-query table (QueryRegistry::ToJson)
+///   /slow          slow-query flight recorder (FlightRecorder::ToJson)
+///   /trace         Chrome trace_event JSON of recent spans — load in
+///                  about://tracing or https://ui.perfetto.dev
+///
+/// Every request is served from a point-in-time snapshot; the server
+/// never blocks an executor (readers of the same registries take the
+/// same short locks a metrics snapshot does).
+class StatsServer {
+ public:
+  /// Binds, listens and starts the serving thread. Fails with an I/O
+  /// error when the port cannot be bound.
+  static Result<std::unique_ptr<StatsServer>> Start(
+      const ServeOptions& options);
+
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Stops the serving thread and closes the socket (idempotent).
+  void Stop();
+
+  /// The bound port (resolves option port 0 to the ephemeral choice).
+  uint16_t port() const { return port_; }
+  const std::string& bind_address() const { return options_.bind_address; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit StatsServer(ServeOptions options);
+
+  Status Bind();
+  void Loop();
+  void HandleConnection(int fd);
+  /// Routes `path`; fills content and content type, false on 404.
+  bool Dispatch(const std::string& path, std::string* body,
+                std::string* content_type);
+
+  ServeOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // written to unblock poll() on Stop
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+/// Starts a stats server when the MBQ_STATS_PORT environment variable is
+/// set (any process: benches, loaders, the shell, checkdb); returns null
+/// without it. Logs the bound address to stderr on success.
+std::unique_ptr<StatsServer> MaybeServeFromEnv();
+
+}  // namespace mbq::obs
+
+#endif  // MBQ_OBS_HTTPD_H_

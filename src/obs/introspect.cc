@@ -1,0 +1,350 @@
+#include "obs/introspect.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace mbq::obs {
+
+namespace {
+
+uint64_t NowSteadyNanos() {
+  return WallClock().NowNanos();
+}
+
+uint64_t NowUnixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Small stable per-thread id for trace export (std::thread::id is
+/// opaque and unbounded).
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::string FormatMillisField(double millis) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", millis);
+  return buf;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ QueryRegistry
+
+QueryRegistry& QueryRegistry::Global() {
+  // The process-wide table reports itself as gauges in the default
+  // registry (so /metrics and bench --metrics-out carry the live view).
+  static QueryRegistry* registry = [] {
+    auto* r = new QueryRegistry();
+    MetricsRegistry::Default().RegisterProvider([r](MetricsSink* sink) {
+      sink->Gauge("obs.queries.active",
+                  static_cast<double>(r->Snapshot().size()), "queries");
+      sink->Gauge("obs.queries.started", static_cast<double>(r->started()),
+                  "queries");
+      sink->Gauge("obs.queries.dropped", static_cast<double>(r->dropped()),
+                  "queries");
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+QueryRegistry::Slot* QueryRegistry::Begin(std::string_view query,
+                                          std::string_view engine,
+                                          uint32_t threads) {
+  // Every execution counts as started, even ones the full table cannot
+  // track — started()/finished() are throughput counters, dropped() is
+  // the only signal that the *table* missed something.
+  started_.fetch_add(1, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    bool expected = false;
+    if (!slot.claimed.compare_exchange_strong(expected, true,
+                                              std::memory_order_acquire)) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot.mu);
+      slot.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      slot.query.assign(query.data(), query.size());
+      slot.engine.assign(engine.data(), engine.size());
+      slot.threads = threads;
+      slot.start_nanos = NowSteadyNanos();
+      slot.started_unix_millis = NowUnixMillis();
+      slot.rows.store(0, std::memory_order_relaxed);
+      slot.db_hits.store(0, std::memory_order_relaxed);
+      slot.visible = true;
+    }
+    return &slot;
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void QueryRegistry::End(Slot* slot) {
+  if (slot != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      slot->visible = false;
+    }
+    slot->claimed.store(false, std::memory_order_release);
+  }
+  finished_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<ActiveQuery> QueryRegistry::Snapshot() const {
+  uint64_t now = NowSteadyNanos();
+  std::vector<ActiveQuery> active;
+  for (const Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (!slot.visible) continue;
+    ActiveQuery q;
+    q.id = slot.id;
+    q.query = slot.query;
+    q.engine = slot.engine;
+    q.threads = slot.threads;
+    q.started_unix_millis = slot.started_unix_millis;
+    q.elapsed_millis =
+        static_cast<double>(now - std::min(now, slot.start_nanos)) / 1e6;
+    q.rows_emitted = slot.rows.load(std::memory_order_relaxed);
+    q.db_hits = slot.db_hits.load(std::memory_order_relaxed);
+    active.push_back(std::move(q));
+  }
+  std::sort(active.begin(), active.end(),
+            [](const ActiveQuery& a, const ActiveQuery& b) {
+              return a.id < b.id;
+            });
+  return active;
+}
+
+std::string QueryRegistry::ToJson() const {
+  std::vector<ActiveQuery> active = Snapshot();
+  std::string out = "{\n  \"active\": [";
+  bool first = true;
+  for (const ActiveQuery& q : active) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"id\": " + std::to_string(q.id) + ", \"engine\": \"" +
+           JsonEscape(q.engine) + "\", \"query\": \"" + JsonEscape(q.query) +
+           "\", \"threads\": " + std::to_string(q.threads) +
+           ", \"started_unix_ms\": " + std::to_string(q.started_unix_millis) +
+           ", \"elapsed_ms\": " + FormatMillisField(q.elapsed_millis) +
+           ", \"rows\": " + std::to_string(q.rows_emitted) +
+           ", \"db_hits\": " + std::to_string(q.db_hits) + "}";
+  }
+  out += "\n  ],\n";
+  out += "  \"started\": " + std::to_string(started()) + ",\n";
+  out += "  \"finished\": " + std::to_string(finished()) + ",\n";
+  out += "  \"dropped\": " + std::to_string(dropped()) + "\n}\n";
+  return out;
+}
+
+// --------------------------------------------------------- ActiveQueryScope
+
+ActiveQueryScope::ActiveQueryScope(QueryRegistry* registry,
+                                   std::string_view query,
+                                   std::string_view engine, uint32_t threads)
+    : registry_(registry), start_nanos_(NowSteadyNanos()) {
+  if (registry_ != nullptr) {
+    slot_ = registry_->Begin(query, engine, threads);
+  }
+}
+
+ActiveQueryScope::~ActiveQueryScope() {
+  if (registry_ != nullptr) registry_->End(slot_);
+}
+
+uint64_t ActiveQueryScope::ElapsedNanos() const {
+  return NowSteadyNanos() - start_nanos_;
+}
+
+// ----------------------------------------------------------- FlightRecorder
+
+uint64_t DefaultSlowQueryMillis() {
+  if (const char* env = std::getenv("MBQ_SLOW_QUERY_MILLIS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<uint64_t>(v);
+  }
+  return 50;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();
+    MetricsRegistry::Default().RegisterProvider([r](MetricsSink* sink) {
+      sink->Gauge("obs.flight.captured", static_cast<double>(r->captured()),
+                  "queries");
+    });
+    return r;
+  }();
+  return *recorder;
+}
+
+void FlightRecorder::Record(SlowQuery entry) {
+  entry.captured_unix_millis = NowUnixMillis();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t seq = captured_.load(std::memory_order_relaxed);
+  entry.seq = seq;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[seq % capacity_] = std::move(entry);
+  }
+  captured_.store(seq + 1, std::memory_order_relaxed);
+}
+
+std::vector<SlowQuery> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQuery> out(ring_);
+  std::sort(out.begin(), out.end(),
+            [](const SlowQuery& a, const SlowQuery& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  // captured_ keeps counting: seq numbers stay monotonic across Clear().
+}
+
+std::string FlightRecorder::ToJson() const {
+  std::vector<SlowQuery> entries = Snapshot();
+  std::string out = "{\n  \"captured\": " + std::to_string(captured()) +
+                    ",\n  \"capacity\": " + std::to_string(capacity_) +
+                    ",\n  \"slow\": [";
+  bool first = true;
+  for (const SlowQuery& s : entries) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"seq\": " + std::to_string(s.seq) + ", \"engine\": \"" +
+           JsonEscape(s.engine) + "\", \"query\": \"" + JsonEscape(s.query) +
+           "\", \"millis\": " + FormatMillisField(s.millis) +
+           ", \"db_hits\": " + std::to_string(s.db_hits) +
+           ", \"rows\": " + std::to_string(s.rows) +
+           ", \"threads\": " + std::to_string(s.threads) + ", \"cache\": \"" +
+           JsonEscape(s.cache) + "\", \"epoch\": " + std::to_string(s.epoch) +
+           ", \"diagnostics\": " + std::to_string(s.diagnostics) +
+           ", \"captured_unix_ms\": " + std::to_string(s.captured_unix_millis) +
+           ", \"profile\": \"" + JsonEscape(s.profile) + "\"}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string FlightRecorder::ToText() const {
+  std::vector<SlowQuery> entries = Snapshot();
+  if (entries.empty()) {
+    return "flight recorder: no captures (threshold not crossed yet)\n";
+  }
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "flight recorder: %llu captured, showing %zu (capacity %zu)\n",
+                static_cast<unsigned long long>(captured()), entries.size(),
+                capacity_);
+  out += buf;
+  for (const SlowQuery& s : entries) {
+    std::snprintf(buf, sizeof(buf),
+                  "#%llu [%s] %.2f ms  rows=%llu dbHits=%llu threads=%u "
+                  "cache=%s epoch=%llu\n",
+                  static_cast<unsigned long long>(s.seq), s.engine.c_str(),
+                  s.millis, static_cast<unsigned long long>(s.rows),
+                  static_cast<unsigned long long>(s.db_hits), s.threads,
+                  s.cache.empty() ? "off" : s.cache.c_str(),
+                  static_cast<unsigned long long>(s.epoch));
+    out += buf;
+    out += "  " + s.query + "\n";
+    // Indent the profile tree under the entry.
+    size_t pos = 0;
+    while (pos < s.profile.size()) {
+      size_t nl = s.profile.find('\n', pos);
+      if (nl == std::string::npos) nl = s.profile.size();
+      out += "    " + s.profile.substr(pos, nl - pos) + "\n";
+      pos = nl + 1;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- SpanRecorder
+
+SpanRecorder::SpanRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+SpanRecorder& SpanRecorder::Global() {
+  static SpanRecorder* recorder = new SpanRecorder();
+  return *recorder;
+}
+
+void SpanRecorder::Record(std::string_view name, std::string_view category,
+                          uint64_t start_nanos, uint64_t duration_nanos) {
+  Span span;
+  span.name.assign(name.data(), name.size());
+  span.category.assign(category.data(), category.size());
+  span.start_nanos = start_nanos;
+  span.duration_nanos = duration_nanos;
+  span.tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t seq = recorded_.load(std::memory_order_relaxed);
+  if (seq == 0) origin_nanos_ = start_nanos;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[seq % capacity_] = std::move(span);
+  }
+  recorded_.store(seq + 1, std::memory_order_relaxed);
+}
+
+std::string SpanRecorder::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const Span& s : ring_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    double ts_micros =
+        static_cast<double>(s.start_nanos - std::min(s.start_nanos,
+                                                     origin_nanos_)) /
+        1e3;
+    double dur_micros = static_cast<double>(s.duration_nanos) / 1e3;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                  "\"dur\": %.3f}",
+                  s.tid, ts_micros, dur_micros);
+    out += "  {\"name\": \"" + JsonEscape(s.name) + "\", \"cat\": \"" +
+           JsonEscape(s.category) + "\", " + buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void SpanRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  origin_nanos_ = 0;
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+size_t SpanRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+}  // namespace mbq::obs

@@ -1,0 +1,271 @@
+#ifndef MBQ_OBS_INTROSPECT_H_
+#define MBQ_OBS_INTROSPECT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbq::obs {
+
+// ---------------------------------------------------------------------------
+// Active-query table
+// ---------------------------------------------------------------------------
+
+/// One in-flight query as seen by QueryRegistry::Snapshot(): what a loaded
+/// server is doing *right now*.
+struct ActiveQuery {
+  uint64_t id = 0;
+  std::string query;
+  std::string engine;  // "cypher" or "bitmap"
+  uint32_t threads = 1;
+  /// Wall-clock start (milliseconds since the Unix epoch, for display).
+  uint64_t started_unix_millis = 0;
+  /// Time in flight at the moment of the snapshot.
+  double elapsed_millis = 0;
+  /// Live progress, sampled by the executor as it produces rows.
+  uint64_t rows_emitted = 0;
+  uint64_t db_hits = 0;
+};
+
+/// A fixed-slot table of in-flight queries. Registration is lock-cheap:
+/// claiming a slot is one CAS plus an uncontended per-slot mutex (only a
+/// concurrent Snapshot ever takes the same lock); progress updates are
+/// relaxed atomic stores. When every slot is taken (more than kSlots
+/// concurrent queries) the excess executions run unregistered and are
+/// counted in dropped().
+class QueryRegistry {
+ public:
+  static constexpr size_t kSlots = 64;
+
+  QueryRegistry() = default;
+  QueryRegistry(const QueryRegistry&) = delete;
+  QueryRegistry& operator=(const QueryRegistry&) = delete;
+
+  /// The process-wide table every engine registers with by default.
+  static QueryRegistry& Global();
+
+  /// In-flight queries ordered by registration (oldest first).
+  std::vector<ActiveQuery> Snapshot() const;
+
+  uint64_t started() const {
+    return started_.load(std::memory_order_relaxed);
+  }
+  uint64_t finished() const {
+    return finished_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// The /queries payload: {"active": [...], "started": N, "finished": N,
+  /// "dropped": N}.
+  std::string ToJson() const;
+
+ private:
+  friend class ActiveQueryScope;
+
+  struct Slot {
+    /// Serializes field writes in Begin/End against Snapshot copies.
+    mutable std::mutex mu;
+    /// Slot allocation flag, claimed by CAS before mu is ever taken.
+    std::atomic<bool> claimed{false};
+    /// Set (under mu) only after every field is filled, so Snapshot never
+    /// reads a half-initialized slot.
+    bool visible = false;
+    uint64_t id = 0;
+    std::string query;
+    std::string engine;
+    uint32_t threads = 1;
+    uint64_t start_nanos = 0;  // steady clock
+    uint64_t started_unix_millis = 0;
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> db_hits{0};
+  };
+
+  /// Claims and fills a slot; null when the table is full.
+  Slot* Begin(std::string_view query, std::string_view engine,
+              uint32_t threads);
+  void End(Slot* slot);
+
+  std::array<Slot, kSlots> slots_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> started_{0};
+  std::atomic<uint64_t> finished_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// RAII registration of one query execution. Constructed on the
+/// executor's fast path, so everything it does is cheap: one slot claim
+/// on entry, relaxed stores for progress, one release on exit. A null
+/// registry makes the scope inert (used for analysis verbs that never
+/// execute).
+class ActiveQueryScope {
+ public:
+  ActiveQueryScope(QueryRegistry* registry, std::string_view query,
+                   std::string_view engine, uint32_t threads);
+  ~ActiveQueryScope();
+
+  ActiveQueryScope(const ActiveQueryScope&) = delete;
+  ActiveQueryScope& operator=(const ActiveQueryScope&) = delete;
+
+  /// Progress updates, visible to concurrent Snapshot() calls.
+  void SetRows(uint64_t rows) {
+    if (slot_ != nullptr) slot_->rows.store(rows, std::memory_order_relaxed);
+  }
+  void SetDbHits(uint64_t hits) {
+    if (slot_ != nullptr) {
+      slot_->db_hits.store(hits, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t start_nanos() const { return start_nanos_; }
+  uint64_t ElapsedNanos() const;
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  QueryRegistry* registry_ = nullptr;
+  QueryRegistry::Slot* slot_ = nullptr;
+  uint64_t start_nanos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Slow-query flight recorder
+// ---------------------------------------------------------------------------
+
+/// One captured slow query: everything needed to understand it after the
+/// fact without re-running it.
+struct SlowQuery {
+  /// Capture sequence number (monotonic across the recorder's lifetime).
+  uint64_t seq = 0;
+  std::string query;
+  std::string engine;
+  double millis = 0;
+  uint64_t db_hits = 0;
+  uint64_t rows = 0;
+  uint32_t threads = 1;
+  /// Result-cache verdict for the execution: "hit", "miss" or "off".
+  std::string cache;
+  /// The store's global epoch when the query finished — correlates a slow
+  /// query with the write traffic around it.
+  uint64_t epoch = 0;
+  /// Semantic diagnostics the compile carried (lint verdict).
+  uint64_t diagnostics = 0;
+  /// The full PROFILE tree of the execution (plan shape with per-operator
+  /// rows and db hits), or the call description for navigation queries.
+  std::string profile;
+  uint64_t captured_unix_millis = 0;
+};
+
+/// Capture predicate shared by every recording site: a query is "slow"
+/// when it took at least `threshold_millis` (the boundary is inclusive —
+/// a query of exactly the threshold is captured; threshold 0 captures
+/// everything).
+inline bool IsSlowQuery(double elapsed_millis, uint64_t threshold_millis) {
+  return elapsed_millis >= static_cast<double>(threshold_millis);
+}
+
+/// The process default slow-query threshold: the MBQ_SLOW_QUERY_MILLIS
+/// environment variable when set (0 is honoured — capture everything),
+/// else 50 ms.
+uint64_t DefaultSlowQueryMillis();
+
+/// A ring buffer of the most recent slow queries. The executor's fast
+/// path only evaluates IsSlowQuery(); the recorder's mutex is taken
+/// exclusively for queries that crossed the threshold (rare by
+/// definition) and for snapshots.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder every engine records to by default.
+  static FlightRecorder& Global();
+
+  /// Appends `entry`, overwriting the oldest capture once the ring is
+  /// full. Assigns the entry's capture sequence number.
+  void Record(SlowQuery entry);
+
+  /// Captured entries, oldest first.
+  std::vector<SlowQuery> Snapshot() const;
+  void Clear();
+
+  /// Total captures over the recorder's lifetime (>= the ring size once
+  /// wraparound has discarded old entries).
+  uint64_t captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// The /slow payload: {"captured": N, "capacity": C, "slow": [...]}.
+  std::string ToJson() const;
+  /// The shell :slow rendering — one block per capture, newest last,
+  /// profile tree indented.
+  std::string ToText() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQuery> ring_;  // insertion position = seq % capacity_
+  std::atomic<uint64_t> captured_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Recent-span ring for trace export
+// ---------------------------------------------------------------------------
+
+/// A bounded ring of recently finished spans (queries, import phases),
+/// exported as Chrome trace_event JSON — loadable in about://tracing or
+/// Perfetto. Named TraceSpans forward here automatically; query
+/// executors record their spans explicitly.
+class SpanRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit SpanRecorder(size_t capacity = kDefaultCapacity);
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  static SpanRecorder& Global();
+
+  /// Records a finished span. `start_nanos` is steady-clock; the first
+  /// recorded span becomes the trace's time origin. The calling thread is
+  /// identified by a small stable per-thread id.
+  void Record(std::string_view name, std::string_view category,
+              uint64_t start_nanos, uint64_t duration_nanos);
+
+  /// {"traceEvents": [{"name": ..., "cat": ..., "ph": "X", ...}]}
+  std::string ToChromeTraceJson() const;
+  void Clear();
+  size_t size() const;
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Span {
+    std::string name;
+    std::string category;
+    uint64_t start_nanos = 0;
+    uint64_t duration_nanos = 0;
+    uint32_t tid = 0;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;  // insertion position = recorded_ % capacity_
+  uint64_t origin_nanos_ = 0;
+  std::atomic<uint64_t> recorded_{0};
+};
+
+}  // namespace mbq::obs
+
+#endif  // MBQ_OBS_INTROSPECT_H_

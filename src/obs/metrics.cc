@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <set>
+
+#include "obs/export.h"
 
 namespace mbq::obs {
 
@@ -84,27 +87,6 @@ void MetricsSink::Gauge(const std::string& name, double value,
 }
 
 namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
 
 std::string FormatDouble(double v) {
   char buf[64];
@@ -191,6 +173,89 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
+namespace {
+
+/// Escapes a HELP line per the exposition format (backslash and newline).
+std::string PromHelpEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  std::set<std::string> used;
+  // Sanitized names can collide ("a.b" and "a_b" both map to "a_b");
+  // reserve every family name a metric will emit and suffix duplicates.
+  auto unique_name = [&used](const std::string& raw,
+                             std::initializer_list<const char*> suffixes) {
+    std::string base = PrometheusName(raw);
+    std::string name = base;
+    for (int i = 2;; ++i) {
+      bool free = true;
+      for (const char* suffix : suffixes) {
+        if (used.count(name + suffix) != 0) {
+          free = false;
+          break;
+        }
+      }
+      if (free) break;
+      name = base + "_" + std::to_string(i);
+    }
+    for (const char* suffix : suffixes) used.insert(name + suffix);
+    return name;
+  };
+  auto help_line = [&out](const std::string& name, const std::string& help,
+                          const std::string& unit) {
+    std::string text = help;
+    if (!unit.empty()) {
+      if (!text.empty()) text += " ";
+      text += "(unit: " + unit + ")";
+    }
+    if (!text.empty()) {
+      out += "# HELP " + name + " " + PromHelpEscape(text) + "\n";
+    }
+  };
+  for (const auto& c : counters) {
+    std::string name = unique_name(c.name, {"_total"}) + "_total";
+    help_line(name, c.help, c.unit);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    std::string name = unique_name(g.name, {""});
+    help_line(name, "", g.unit);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    std::string name = unique_name(h.name, {"", "_sum", "_count"});
+    help_line(name, h.help, h.unit);
+    out += "# TYPE " + name + " summary\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{quantile=\"0.5\"} %.6g\n%s{quantile=\"0.95\"} %.6g\n"
+                  "%s{quantile=\"0.99\"} %.6g\n",
+                  name.c_str(), h.p50, name.c_str(), h.p95, name.c_str(),
+                  h.p99);
+    out += buf;
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
 double MetricsSnapshot::ValueOf(const std::string& name) const {
   for (const auto& c : counters) {
     if (c.name == name) return static_cast<double>(c.value);
@@ -253,7 +318,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counter_by_name_) {
-    snap.counters.push_back({name, counter->unit(), counter->value()});
+    snap.counters.push_back(
+        {name, counter->unit(), counter->value(), counter->help()});
   }
   MetricsSink sink;
   sink.gauges_ = retained_gauges_;
@@ -274,6 +340,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     h.p50 = hist->Quantile(0.50);
     h.p95 = hist->Quantile(0.95);
     h.p99 = hist->Quantile(0.99);
+    h.help = hist->help();
     snap.histograms.push_back(h);
   }
   return snap;

@@ -87,6 +87,7 @@ struct CounterSnapshot {
   std::string name;
   std::string unit;
   uint64_t value = 0;
+  std::string help;
 };
 
 struct GaugeSnapshot {
@@ -105,10 +106,12 @@ struct HistogramSnapshot {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  std::string help;
 };
 
 /// One consistent read of every metric in a registry, exportable as an
-/// aligned text table or a JSON document (the bench --metrics-out format).
+/// aligned text table, a JSON document (the bench --metrics-out format)
+/// or Prometheus text exposition (the stats server's /metrics endpoint).
 struct MetricsSnapshot {
   std::vector<CounterSnapshot> counters;    // sorted by name
   std::vector<GaugeSnapshot> gauges;        // sorted by name
@@ -116,6 +119,13 @@ struct MetricsSnapshot {
 
   std::string ToText() const;
   std::string ToJson() const;
+  /// Prometheus text exposition format (version 0.0.4): counters become
+  /// `<name>_total` families, gauges stay plain, histograms export as
+  /// summaries (quantile 0.5/0.95/0.99 + _sum/_count). Metric names are
+  /// sanitized through PrometheusName(); post-sanitization collisions are
+  /// deduplicated with a numeric suffix so the payload never carries a
+  /// duplicate or illegal family name.
+  std::string ToPrometheus() const;
 
   /// Value of a counter or gauge by exact name; -1 when absent.
   double ValueOf(const std::string& name) const;

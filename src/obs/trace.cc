@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/introspect.h"
+
 namespace mbq::obs {
 
 // ----------------------------------------------------------------- TraceLog
@@ -92,9 +94,9 @@ std::string TraceLog::ToJson() const {
 // ---------------------------------------------------------------- TraceSpan
 
 TraceSpan::TraceSpan(TraceLog* log, std::string name, Histogram* latency)
-    : log_(log), latency_(latency) {
+    : log_(log), latency_(latency), name_(std::move(name)) {
   start_nanos_ = clock_.NowNanos();
-  if (log_ != nullptr) slot_ = log_->Begin(name);
+  if (log_ != nullptr) slot_ = log_->Begin(name_);
 }
 
 TraceSpan::TraceSpan(Histogram* latency) : latency_(latency) {
@@ -107,6 +109,9 @@ void TraceSpan::Finish() {
   uint64_t elapsed = clock_.NowNanos() - start_nanos_;
   if (log_ != nullptr) log_->End(slot_, elapsed, items_);
   if (latency_ != nullptr) latency_->Record(elapsed);
+  if (!name_.empty()) {
+    SpanRecorder::Global().Record(name_, "import", start_nanos_, elapsed);
+  }
 }
 
 }  // namespace mbq::obs

@@ -59,7 +59,9 @@ class TraceLog {
 
 /// RAII scoped timer. On destruction (or Finish()) it appends a span to
 /// the TraceLog, records the elapsed nanoseconds into the Histogram, or
-/// both — either sink may be null.
+/// both — either sink may be null. Named spans (the TraceLog overload)
+/// additionally land in the process-wide SpanRecorder, so the stats
+/// server's /trace endpoint covers import phases out of the box.
 class TraceSpan {
  public:
   TraceSpan(TraceLog* log, std::string name, Histogram* latency = nullptr);
@@ -77,6 +79,7 @@ class TraceSpan {
  private:
   TraceLog* log_ = nullptr;
   Histogram* latency_ = nullptr;
+  std::string name_;  // non-empty spans forward to SpanRecorder::Global()
   size_t slot_ = 0;
   uint64_t start_nanos_ = 0;
   uint64_t items_ = 0;

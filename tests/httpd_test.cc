@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/httpd.h"
+#include "obs/introspect.h"
+#include "obs/metrics.h"
+
+namespace mbq::obs {
+namespace {
+
+/// Minimal blocking HTTP GET against loopback; returns the raw response
+/// (status line, headers and body) or an empty string on failure.
+std::string Get(uint16_t port, const std::string& request_line) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = request_line + "\r\nHost: 127.0.0.1\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+class HttpdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_.metrics = &metrics_;
+    options_.queries = &queries_;
+    options_.flight = &flight_;
+    options_.spans = &spans_;
+    auto server = StatsServer::Start(options_);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+    ASSERT_GT(server_->port(), 0);  // ephemeral port resolved
+  }
+
+  MetricsRegistry metrics_;
+  QueryRegistry queries_;
+  FlightRecorder flight_;
+  SpanRecorder spans_;
+  ServeOptions options_;
+  std::unique_ptr<StatsServer> server_;
+};
+
+TEST_F(HttpdTest, IndexListsTheEndpoints) {
+  std::string response = Get(server_->port(), "GET / HTTP/1.1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("/metrics"), std::string::npos);
+  EXPECT_NE(response.find("/queries"), std::string::npos);
+  EXPECT_NE(response.find("/slow"), std::string::npos);
+  EXPECT_NE(response.find("/trace"), std::string::npos);
+}
+
+TEST_F(HttpdTest, MetricsAreValidPrometheusExposition) {
+  metrics_.GetCounter("test.requests", "requests")->Inc(3);
+  metrics_.GetHistogram("test latency!", "ns")->Record(1000);
+  std::string response = Get(server_->port(), "GET /metrics HTTP/1.1");
+  ASSERT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  std::string body = Body(response);
+  // Counter names gain _total; every exposed name is legal.
+  EXPECT_NE(body.find("test_requests_total 3"), std::string::npos);
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) nl = body.size();
+    std::string line = body.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::string name = line.substr(0, line.find_first_of(" {"));
+    EXPECT_TRUE(IsValidPrometheusName(name)) << "illegal name: " << name;
+  }
+}
+
+TEST_F(HttpdTest, MetricsJsonIsTheSharedSnapshotPath) {
+  metrics_.GetCounter("test.json", "items")->Inc(5);
+  std::string body =
+      Body(Get(server_->port(), "GET /metrics.json HTTP/1.1"));
+  // Identical bytes to what bench --metrics-out would write for this
+  // registry (modulo counters racing; nothing else writes here).
+  EXPECT_EQ(body, MetricsJson(&metrics_));
+  EXPECT_NE(body.find("\"test.json\""), std::string::npos);
+}
+
+TEST_F(HttpdTest, QueriesShowTheInFlightTable) {
+  ActiveQueryScope scope(&queries_, "MATCH (n) RETURN n", "cypher", 2);
+  std::string body = Body(Get(server_->port(), "GET /queries HTTP/1.1"));
+  EXPECT_NE(body.find("MATCH (n) RETURN n"), std::string::npos);
+  EXPECT_NE(body.find("\"started\": 1"), std::string::npos);
+}
+
+TEST_F(HttpdTest, SlowServesTheFlightRecorder) {
+  SlowQuery slow;
+  slow.query = "expensive \"query\"";
+  slow.engine = "cypher";
+  slow.millis = 99;
+  flight_.Record(std::move(slow));
+  std::string body = Body(Get(server_->port(), "GET /slow HTTP/1.1"));
+  EXPECT_NE(body.find("expensive \\\"query\\\""), std::string::npos);
+  EXPECT_NE(body.find("\"captured\": 1"), std::string::npos);
+}
+
+TEST_F(HttpdTest, TraceServesChromeTraceEvents) {
+  spans_.Record("a query", "cypher", 1000, 500);
+  std::string body = Body(Get(server_->port(), "GET /trace HTTP/1.1"));
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("a query"), std::string::npos);
+}
+
+TEST_F(HttpdTest, UnknownPathIs404AndNonGetIs405) {
+  EXPECT_NE(Get(server_->port(), "GET /nope HTTP/1.1").find("404"),
+            std::string::npos);
+  EXPECT_NE(Get(server_->port(), "POST /metrics HTTP/1.1").find("405"),
+            std::string::npos);
+  // Query strings are ignored when routing.
+  EXPECT_NE(Get(server_->port(), "GET /metrics?x=1 HTTP/1.1")
+                .find("200 OK"),
+            std::string::npos);
+}
+
+TEST_F(HttpdTest, CountsRequestsAndStopsIdempotently) {
+  (void)Get(server_->port(), "GET / HTTP/1.1");
+  (void)Get(server_->port(), "GET /metrics HTTP/1.1");
+  EXPECT_GE(server_->requests_served(), 2u);
+  uint16_t port = server_->port();
+  server_->Stop();
+  server_->Stop();  // idempotent
+  EXPECT_EQ(Get(port, "GET / HTTP/1.1"), "");  // no longer listening
+}
+
+TEST(HttpdStartTest, FixedPortConflictFailsCleanly) {
+  ServeOptions options;
+  auto first = StatsServer::Start(options);
+  ASSERT_TRUE(first.ok());
+  ServeOptions conflicting;
+  conflicting.port = (*first)->port();
+  auto second = StatsServer::Start(conflicting);
+  EXPECT_FALSE(second.ok());
+}
+
+TEST(HttpdStartTest, BadBindAddressIsRejected) {
+  ServeOptions options;
+  options.bind_address = "not-an-address";
+  EXPECT_FALSE(StatsServer::Start(options).ok());
+}
+
+}  // namespace
+}  // namespace mbq::obs

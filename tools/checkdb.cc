@@ -17,6 +17,9 @@
 //         type-count    bitmapstore: skew a cached type count by +3
 //         adjacency     bitmapstore: phantom edge in an adjacency bitmap
 //     --metrics                             print the check.* metric snapshot
+//     --serve[=PORT]                        embedded stats server (/metrics,
+//                                           /queries, /slow, /trace) while
+//                                           the check runs
 //
 // Exit status: 0 when every checked store is clean, 1 when corruption
 // was found, 2 on usage or load errors.
@@ -26,6 +29,7 @@
 #include <string>
 
 #include "core/check.h"
+#include "obs/httpd.h"
 #include "obs/metrics.h"
 #include "twitter/dataset.h"
 #include "twitter/loaders.h"
@@ -40,6 +44,8 @@ struct Args {
   size_t max_issues = 64;
   std::string corrupt;  // empty = none
   bool metrics = false;
+  bool serve = false;
+  uint16_t serve_port = 0;  // 0 = ephemeral
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -69,6 +75,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         std::fprintf(stderr, "unknown fault: %s\n", v);
         return false;
       }
+    } else if (const char* v = value_of("--serve=")) {
+      char* end = nullptr;
+      unsigned long port = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || port > 65535) {
+        std::fprintf(stderr, "bad --serve port: %s\n", v);
+        return false;
+      }
+      args->serve = true;
+      args->serve_port = static_cast<uint16_t>(port);
+    } else if (arg == "--serve") {
+      args->serve = true;
     } else if (arg == "--partitioned") {
       args->partitioned = true;
     } else if (arg == "--metrics") {
@@ -127,6 +144,24 @@ mbq::Status BreakAdjacency(mbq::bitmapstore::Graph* graph,
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
+
+  std::unique_ptr<mbq::obs::StatsServer> stats;
+  if (args.serve) {
+    mbq::obs::ServeOptions serve_options;
+    serve_options.port = args.serve_port;
+    auto server = mbq::obs::StatsServer::Start(serve_options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "stats server failed to start: %s\n",
+                   server.status().message().c_str());
+      return 2;
+    }
+    stats = std::move(server).value();
+    std::fprintf(stderr, "stats server listening on http://%s:%u/\n",
+                 stats->bind_address().c_str(),
+                 static_cast<unsigned>(stats->port()));
+  } else {
+    stats = mbq::obs::MaybeServeFromEnv();
+  }
 
   std::printf("generating a %llu-user microblog graph...\n",
               static_cast<unsigned long long>(args.users));

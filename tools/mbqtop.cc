@@ -1,0 +1,329 @@
+// mbqtop — a top(1)-style live dashboard for a process serving the
+// embedded stats server (any bench with --serve, the shell's :serve,
+// checkdb --serve, or MBQ_STATS_PORT).
+//
+//   ./mbqtop [--host=H] [--port=N] [--interval=SECONDS] [--once]
+//   ./mbqtop --get=/metrics [--port=N]
+//
+// Polls /metrics.json, /queries and /slow and renders a refreshing
+// terminal view: throughput (from the active-query registry's started
+// counter), latency quantiles, cache hit-rates, pool queue depth, the
+// in-flight query table and the slow-query tail. `--once` prints a
+// single frame without clearing the screen (script-friendly); `--get`
+// fetches one endpoint raw and exits (a curl substitute for smoke
+// scripts). The port defaults to the MBQ_STATS_PORT environment
+// variable.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double interval_seconds = 2.0;
+  bool once = false;
+  std::string get_path;  // non-empty: fetch raw and exit
+};
+
+// ------------------------------------------------------------ HTTP client
+
+/// Blocking GET, 2s connect/read timeout; returns false on any failure.
+bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
+             std::string* body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2000) <= 0) break;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  if (response.compare(0, 12, "HTTP/1.1 200") != 0) return false;
+  *body = response.substr(header_end + 4);
+  return true;
+}
+
+// -------------------------------------------------- line-level JSON reads
+//
+// Every payload the stats server emits keeps one object per line, so a
+// line scanner plus per-line field extraction is enough — no general
+// JSON parser needed.
+
+/// Numeric value of `"key": N` inside a one-line object; NAN if absent.
+double NumberField(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\": ";
+  size_t at = line.find(needle);
+  if (at == std::string::npos) return NAN;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+/// String value of `"key": "..."` (JSON-unescaped); empty if absent.
+std::string StringField(const std::string& line, const std::string& key) {
+  std::string needle = "\"" + key + "\": \"";
+  size_t start = line.find(needle);
+  if (start == std::string::npos) return "";
+  start += needle.size();
+  // Find the closing quote, skipping escaped ones.
+  size_t end = start;
+  while (end < line.size()) {
+    if (line[end] == '"' && line[end - 1] != '\\') break;
+    ++end;
+  }
+  return mbq::obs::JsonUnescape(line.substr(start, end - start));
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    out.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return out;
+}
+
+/// Flattened /metrics.json: counter/gauge values and histogram quantiles
+/// (as name.p50 etc.) keyed by metric name.
+std::map<std::string, double> ParseMetrics(const std::string& json) {
+  std::map<std::string, double> out;
+  for (const std::string& line : Lines(json)) {
+    std::string name = StringField(line, "name");
+    if (name.empty()) continue;
+    double value = NumberField(line, "value");
+    if (value == value) {  // counters and gauges
+      out[name] = value;
+      continue;
+    }
+    for (const char* q : {"count", "p50", "p95", "p99"}) {
+      double v = NumberField(line, q);
+      if (v == v) out[name + "." + q] = v;
+    }
+  }
+  return out;
+}
+
+double Lookup(const std::map<std::string, double>& metrics,
+              const std::string& name, double fallback = 0) {
+  auto it = metrics.find(name);
+  return it != metrics.end() ? it->second : fallback;
+}
+
+std::string Truncate(std::string text, size_t max) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\t') c = ' ';
+  }
+  if (text.size() > max) text = text.substr(0, max - 3) + "...";
+  return text;
+}
+
+std::string FormatRate(double hits, double misses) {
+  double total = hits + misses;
+  if (total <= 0) return "  --";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%3.0f%%", 100.0 * hits / total);
+  return buf;
+}
+
+// ----------------------------------------------------------------- frames
+
+void RenderFrame(const Options& options,
+                 const std::map<std::string, double>& metrics,
+                 const std::string& queries_json,
+                 const std::string& slow_json, double qps) {
+  std::printf("mbqtop — http://%s:%u/  (%.1fs refresh)\n\n",
+              options.host.c_str(), static_cast<unsigned>(options.port),
+              options.interval_seconds);
+
+  double p50 = Lookup(metrics, "cypher.query_latency.p50") / 1e6;
+  double p95 = Lookup(metrics, "cypher.query_latency.p95") / 1e6;
+  double p99 = Lookup(metrics, "cypher.query_latency.p99") / 1e6;
+  std::printf(
+      "queries  started %-10.0f %6.1f/s   latency p50 %.2f ms  "
+      "p95 %.2f ms  p99 %.2f ms\n",
+      Lookup(metrics, "obs.queries.started"), qps, p50, p95, p99);
+  std::printf(
+      "caches   result %s   adjacency %s   pool depth %.0f   "
+      "slow captured %.0f   dropped %.0f\n\n",
+      FormatRate(Lookup(metrics, "cache.result.hits"),
+                 Lookup(metrics, "cache.result.misses"))
+          .c_str(),
+      FormatRate(Lookup(metrics, "cache.adjacency.hits"),
+                 Lookup(metrics, "cache.adjacency.misses"))
+          .c_str(),
+      Lookup(metrics, "exec.pool.queue_depth"),
+      Lookup(metrics, "obs.flight.captured"),
+      Lookup(metrics, "obs.queries.dropped"));
+
+  std::printf("ACTIVE (%.0f)\n", Lookup(metrics, "obs.queries.active"));
+  std::printf("  %6s %-8s %3s %10s %10s %10s  %s\n", "ID", "ENGINE", "THR",
+              "ELAPSED", "ROWS", "DB HITS", "QUERY");
+  for (const std::string& line : Lines(queries_json)) {
+    std::string engine = StringField(line, "engine");
+    if (engine.empty()) continue;
+    std::printf("  %6.0f %-8s %3.0f %8.1fms %10.0f %10.0f  %s\n",
+                NumberField(line, "id"), engine.c_str(),
+                NumberField(line, "threads"), NumberField(line, "elapsed_ms"),
+                NumberField(line, "rows"), NumberField(line, "db_hits"),
+                Truncate(StringField(line, "query"), 60).c_str());
+  }
+
+  // Newest-last slow tail, bounded to the last 5 captures.
+  std::vector<std::string> slow_lines;
+  for (const std::string& line : Lines(slow_json)) {
+    if (!StringField(line, "engine").empty()) slow_lines.push_back(line);
+  }
+  size_t from = slow_lines.size() > 5 ? slow_lines.size() - 5 : 0;
+  std::printf("\nSLOW TAIL (last %zu of %zu)\n", slow_lines.size() - from,
+              slow_lines.size());
+  std::printf("  %6s %10s %-8s %10s  %s\n", "SEQ", "MILLIS", "ENGINE",
+              "DB HITS", "QUERY");
+  for (size_t i = from; i < slow_lines.size(); ++i) {
+    const std::string& line = slow_lines[i];
+    std::printf("  %6.0f %10.2f %-8s %10.0f  %s\n", NumberField(line, "seq"),
+                NumberField(line, "millis"),
+                StringField(line, "engine").c_str(),
+                NumberField(line, "db_hits"),
+                Truncate(StringField(line, "query"), 60).c_str());
+  }
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--host=")) {
+      options->host = v;
+    } else if (const char* v = value_of("--port=")) {
+      unsigned long port = std::strtoul(v, nullptr, 10);
+      if (port == 0 || port > 65535) {
+        std::fprintf(stderr, "bad --port: %s\n", v);
+        return false;
+      }
+      options->port = static_cast<uint16_t>(port);
+    } else if (const char* v = value_of("--interval=")) {
+      options->interval_seconds = std::strtod(v, nullptr);
+      if (options->interval_seconds < 0.1) options->interval_seconds = 0.1;
+    } else if (const char* v = value_of("--get=")) {
+      options->get_path = v;
+    } else if (arg == "--get" && i + 1 < argc) {
+      options->get_path = argv[++i];
+    } else if (arg == "--once") {
+      options->once = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options->port == 0) {
+    if (const char* env = std::getenv("MBQ_STATS_PORT")) {
+      unsigned long port = std::strtoul(env, nullptr, 10);
+      if (port >= 1 && port <= 65535) {
+        options->port = static_cast<uint16_t>(port);
+      }
+    }
+  }
+  if (options->port == 0) {
+    std::fprintf(stderr,
+                 "usage: mbqtop [--host=H] --port=N [--interval=S] [--once]\n"
+                 "       mbqtop --get=/metrics --port=N\n"
+                 "(--port defaults to the MBQ_STATS_PORT environment "
+                 "variable)\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  if (!options.get_path.empty()) {
+    std::string body;
+    if (!HttpGet(options.host, options.port, options.get_path, &body)) {
+      std::fprintf(stderr, "GET %s from %s:%u failed\n",
+                   options.get_path.c_str(), options.host.c_str(),
+                   static_cast<unsigned>(options.port));
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return 0;
+  }
+
+  double last_started = NAN;
+  for (;;) {
+    std::string metrics_json;
+    std::string queries_json;
+    std::string slow_json;
+    if (!HttpGet(options.host, options.port, "/metrics.json",
+                 &metrics_json) ||
+        !HttpGet(options.host, options.port, "/queries", &queries_json) ||
+        !HttpGet(options.host, options.port, "/slow", &slow_json)) {
+      std::fprintf(stderr, "cannot reach http://%s:%u/ — is the server up?\n",
+                   options.host.c_str(),
+                   static_cast<unsigned>(options.port));
+      return 1;
+    }
+    std::map<std::string, double> metrics = ParseMetrics(metrics_json);
+    double started = Lookup(metrics, "obs.queries.started");
+    double qps = (last_started == last_started)
+                     ? (started - last_started) / options.interval_seconds
+                     : 0;
+    last_started = started;
+    if (!options.once) std::printf("\x1b[H\x1b[2J");  // home + clear
+    RenderFrame(options, metrics, queries_json, slow_json, qps);
+    if (options.once) return 0;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options.interval_seconds));
+  }
+}
