@@ -15,8 +15,9 @@
 //   :slow              slow-query flight recorder (threshold via
 //                      MBQ_SLOW_QUERY_MILLIS, default 50 ms)
 //   :slow clear        empty the flight recorder
-//   :serve [port]      start the embedded stats server (/metrics, /queries,
-//                      /slow, /trace); no port picks an ephemeral one
+//   :serve [port]      start the embedded stats server (/metrics,
+//                      /metrics.json, /queries, /slow, /trace); no port
+//                      picks an ephemeral one
 //   :cache             read-cache stats (result + adjacency)
 //   :cache on|off      enable/disable both read caches
 //   :cache clear       empty the read caches (keeps them enabled)
@@ -157,7 +158,7 @@ int main(int argc, char** argv) {
           ":slow             slow-query flight recorder (:slow clear to "
           "empty)\n"
           ":serve [port]     start the embedded stats server "
-          "(/metrics, /queries, /slow, /trace)\n"
+          "(/metrics, /metrics.json, /queries, /slow, /trace)\n"
           ":cache            read-cache stats (result + adjacency)\n"
           ":cache on|off     enable/disable both read caches\n"
           ":cache clear      empty the read caches\n"

@@ -4,6 +4,8 @@
 #      docs/*.md resolves to an existing file.
 #   2. Every metric name literal registered in src/ appears in
 #      docs/OBSERVABILITY.md (the catalogue must stay complete).
+#   3. Every RPC message type in src/rpc/messages.h appears in
+#      docs/CLUSTER.md (the wire-protocol spec must stay complete).
 #
 # Exits non-zero listing every violation. Run from anywhere:
 #   scripts/check_docs_links.sh
@@ -44,13 +46,33 @@ else
   # Metric names are always written as full string literals at the
   # registration site (GetCounter / GetHistogram / sink->Gauge), so a
   # grep over src/ finds the complete set.
-  for name in $(grep -rhoE '"(nodestore|bitmapstore|cypher|cache|check|obs|exec)\.[a-z0-9_.]+"' src/ |
+  for name in $(grep -rhoE '"(nodestore|bitmapstore|cypher|cache|check|obs|exec|rpc)\.[a-z0-9_.]+"' src/ |
                 tr -d '"' | sort -u); do
     if ! grep -q -F "\`$name\`" "$catalogue"; then
       echo "UNDOCUMENTED METRIC: $name (add it to $catalogue)"
       failures=$((failures + 1))
     fi
   done
+fi
+
+# ---- 3. every RPC message type is documented ----------------------------
+spec="docs/CLUSTER.md"
+messages="src/rpc/messages.h"
+if [ -f "$messages" ]; then
+  if [ ! -f "$spec" ]; then
+    echo "MISSING: $spec"
+    failures=$((failures + 1))
+  else
+    # Enum entries are declared one per line as `kName = N,`; the spec
+    # must name each message type verbatim.
+    for name in $(grep -oE '^  k[A-Za-z]+ = [0-9]+,' "$messages" |
+                  sed -E 's/^  (k[A-Za-z]+) = .*/\1/' | sort -u); do
+      if ! grep -q -F "\`$name\`" "$spec"; then
+        echo "UNDOCUMENTED RPC MESSAGE: $name (add it to $spec)"
+        failures=$((failures + 1))
+      fi
+    done
+  fi
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Boots a local mbqd cluster on loopback — N shard daemons plus one
+# aggregator, all on ephemeral ports — then runs `mbqd --verify` through
+# the aggregator: every Table 2 navigation call, fixed anchors plus the
+# randomized differential call set, must match a single-process engine
+# on the same dataset bit-for-bit (after canonical row sorting). This is
+# the `cluster-smoke` CMake target and part of the sanitizer gate.
+#
+# Usage:
+#   scripts/cluster_local.sh <mbqd-binary> [shards] [users] [partition]
+#
+#   shards     shard daemon count (default 2)
+#   users      dataset size (default 800; seed is fixed at 42)
+#   partition  hash | range (default hash)
+#
+# Every daemon's stderr is kept in a temp log and dumped on failure.
+# Shards get MBQ_STATS_PORT= cleared so parallel runs never fight over a
+# stats port; pass MBQ_CLUSTER_STATS=1 to give each shard --serve on an
+# ephemeral port instead (ports are printed in the logs).
+set -eu
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <mbqd-binary> [shards] [users] [partition]" >&2
+  exit 2
+fi
+
+mbqd="$1"
+shards="${2:-2}"
+users="${3:-800}"
+partition="${4:-hash}"
+seed=42
+
+if [ ! -x "$mbqd" ]; then
+  echo "cluster-local: $mbqd is not an executable" >&2
+  exit 2
+fi
+if [ "$shards" -lt 1 ]; then
+  echo "cluster-local: need at least 1 shard" >&2
+  exit 2
+fi
+
+logdir="$(mktemp -d /tmp/mbq_cluster.XXXXXX)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${pids[@]:-}"; do
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$logdir"
+}
+trap cleanup EXIT
+
+dump_logs() {
+  for f in "$logdir"/*.log; do
+    echo "---- $f" >&2
+    cat "$f" >&2
+  done
+}
+
+serve_flag=""
+if [ "${MBQ_CLUSTER_STATS:-0}" = "1" ]; then
+  serve_flag="--serve"
+fi
+
+# Start the shards on ephemeral ports; grep each one's resolved port out
+# of its startup line ("mbqd: shard I listening on 127.0.0.1:PORT").
+shard_args=()
+for i in $(seq 0 $((shards - 1))); do
+  log="$logdir/shard$i.log"
+  # shellcheck disable=SC2086
+  MBQ_STATS_PORT= "$mbqd" --port=0 --shards="$shards" --shard-id="$i" \
+    --users="$users" --seed="$seed" --partition="$partition" \
+    $serve_flag 2>"$log" &
+  pids+=($!)
+done
+
+for i in $(seq 0 $((shards - 1))); do
+  log="$logdir/shard$i.log"
+  port=""
+  for _ in $(seq 1 300); do
+    port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log" | head -n 1)"
+    [ -n "$port" ] && break
+    if ! kill -0 "${pids[$i]}" 2>/dev/null; then
+      echo "cluster-local: shard $i exited early" >&2
+      dump_logs
+      exit 1
+    fi
+    sleep 0.2
+  done
+  if [ -z "$port" ]; then
+    echo "cluster-local: shard $i did not come up" >&2
+    dump_logs
+    exit 1
+  fi
+  shard_args+=("--shard=127.0.0.1:$port")
+done
+
+# Aggregator in front of the shards, also on an ephemeral port.
+agg_log="$logdir/aggregator.log"
+MBQ_STATS_PORT= "$mbqd" --aggregate --port=0 "${shard_args[@]}" \
+  $serve_flag 2>"$agg_log" &
+pids+=($!)
+
+agg_port=""
+for _ in $(seq 1 300); do
+  agg_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$agg_log" | head -n 1)"
+  [ -n "$agg_port" ] && break
+  if ! kill -0 "${pids[$shards]}" 2>/dev/null; then
+    echo "cluster-local: aggregator exited early" >&2
+    dump_logs
+    exit 1
+  fi
+  sleep 0.2
+done
+if [ -z "$agg_port" ]; then
+  echo "cluster-local: aggregator did not come up" >&2
+  dump_logs
+  exit 1
+fi
+
+# Probe, then the full differential verify through the aggregator.
+if ! "$mbqd" --probe="127.0.0.1:$agg_port"; then
+  echo "cluster-local: probe failed" >&2
+  dump_logs
+  exit 1
+fi
+if ! "$mbqd" --verify --users="$users" --seed="$seed" \
+    --shard="127.0.0.1:$agg_port" --calls=30; then
+  echo "cluster-local: verify through the aggregator FAILED" >&2
+  dump_logs
+  exit 1
+fi
+
+# Also verify against the shards directly — exercises the client-side
+# fan-out path without the extra hop.
+if ! "$mbqd" --verify --users="$users" --seed="$seed" \
+    "${shard_args[@]}" --calls=10; then
+  echo "cluster-local: verify against the shards directly FAILED" >&2
+  dump_logs
+  exit 1
+fi
+
+echo "cluster-local: $shards shards + aggregator agree with the single-process engine (users=$users, $partition partition)"

@@ -14,9 +14,12 @@
 #
 # The focused TSan pass runs the tests that exercise shared state
 # (ThreadPool, concurrency harness, agreement sweep, cypher runtime, the
-# query registry / flight recorder and the stats server) with
-# CYPHER_THREADS=4 so the morsel-parallel paths engage. A full-suite TSan
-# run works too but is several times slower.
+# query registry / flight recorder, the stats server, and the RPC /
+# cluster plane with its concurrent clients) with CYPHER_THREADS=4 so
+# the morsel-parallel paths engage. A full-suite TSan run works too but
+# is several times slower. The TSan pass finishes with the cluster
+# smoke: real mbqd shard + aggregator processes on loopback
+# (scripts/cluster_local.sh), all running under the sanitizer.
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,7 +38,7 @@ for arg in "$@"; do
 done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-focused='Exec|Concurrency|Agreement|Cypher|Cache|Introspect|Httpd|SlowQuery'
+focused='Exec|Concurrency|Agreement|Cypher|Cache|Introspect|Httpd|SlowQuery|Rpc|Framing|Messages|Cluster|Partitioner'
 
 echo "== ThreadSanitizer build (build-tsan/) =="
 cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
@@ -53,6 +56,10 @@ fi
 echo "== bench smoke (read caches on, TSan binary) =="
 TSAN_OPTIONS="halt_on_error=1" \
   scripts/bench_smoke.sh build-tsan/bench/bench_fig4_recommendation
+
+echo "== cluster smoke (2 shards + aggregator, TSan binaries) =="
+TSAN_OPTIONS="halt_on_error=1" \
+  scripts/cluster_local.sh build-tsan/tools/mbqd 2 400
 
 if [ "$run_asan" -eq 1 ]; then
   echo "== AddressSanitizer build (build-asan/) =="

@@ -4,6 +4,7 @@
 
 #include "core/bitmap_engine.h"
 #include "core/nodestore_engine.h"
+#include "core/remote_engine.h"
 #include "cypher/session.h"
 
 namespace mbq::core {
@@ -40,6 +41,23 @@ Result<std::unique_ptr<MicroblogEngine>> OpenEngine(
         engine->EnableAdjacencyCache(options.adjacency_cache_capacity,
                                      options.adjacency_min_degree);
       }
+      return std::unique_ptr<MicroblogEngine>(std::move(engine));
+    }
+    case EngineKind::kRemote: {
+      if (options.shard_addresses.empty()) {
+        return Status::InvalidArgument(
+            "OpenEngine(kRemote) needs EngineOptions.shard_addresses");
+      }
+      std::vector<RemoteEngine::ShardAddress> shards;
+      shards.reserve(options.shard_addresses.size());
+      for (const std::string& spec : options.shard_addresses) {
+        RemoteEngine::ShardAddress addr;
+        MBQ_ASSIGN_OR_RETURN(addr, ParseShardAddress(spec));
+        shards.push_back(std::move(addr));
+      }
+      std::unique_ptr<RemoteEngine> engine;
+      MBQ_ASSIGN_OR_RETURN(
+          engine, RemoteEngine::Connect(shards, options.rpc_timeout_millis));
       return std::unique_ptr<MicroblogEngine>(std::move(engine));
     }
   }

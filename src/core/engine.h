@@ -93,6 +93,7 @@ class MicroblogEngine {
 enum class EngineKind {
   kNodestore,  ///< declarative mini-Cypher over the record store
   kBitmap,     ///< imperative navigation over the bitmap store
+  kRemote,     ///< RPC fan-out to mbqd shard daemons (docs/CLUSTER.md)
 };
 
 /// The one configuration surface for constructing engines. Callers fill
@@ -120,6 +121,14 @@ struct EngineOptions {
   bool adjacency_cache = false;
   size_t adjacency_cache_capacity = 4096;  // entries
   uint64_t adjacency_min_degree = 8;
+
+  /// Shard daemons to dial (required for EngineKind::kRemote). Each
+  /// entry is "host:port" or just "port" (implying loopback); one entry
+  /// per shard, order does not matter — shards are sorted by the id
+  /// they report at hello time.
+  std::vector<std::string> shard_addresses;
+  /// Per-syscall RPC timeout towards the shards.
+  int rpc_timeout_millis = 30000;
 };
 
 /// Builds an engine of `kind` configured per `options`. Fails with

@@ -1,0 +1,145 @@
+#include "core/partition.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace mbq::core {
+
+const char* PartitionKindName(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kNone: return "none";
+    case PartitionKind::kHash: return "hash";
+    case PartitionKind::kRange: return "range";
+  }
+  return "unknown";
+}
+
+Result<PartitionKind> ParsePartitionKind(const std::string& name) {
+  if (name == "none") return PartitionKind::kNone;
+  if (name == "hash") return PartitionKind::kHash;
+  if (name == "range") return PartitionKind::kRange;
+  return Status::InvalidArgument("unknown partition kind \"" + name +
+                                 "\" (want none|hash|range)");
+}
+
+Partitioner::Partitioner(PartitionKind kind, uint32_t num_shards,
+                         uint64_t num_users)
+    : kind_(kind), num_shards_(num_shards == 0 ? 1 : num_shards),
+      num_users_(num_users) {
+  if (kind_ == PartitionKind::kNone) num_shards_ = 1;
+}
+
+uint64_t Partitioner::RangeStart(uint32_t shard) const {
+  uint64_t base = num_users_ / num_shards_;
+  uint64_t rem = num_users_ % num_shards_;
+  // The first `rem` shards take one extra user each.
+  return static_cast<uint64_t>(shard) * base +
+         (shard < rem ? shard : rem);
+}
+
+uint32_t Partitioner::OwnerShard(int64_t uid) const {
+  if (kind_ == PartitionKind::kNone || num_shards_ == 1) return 0;
+  uint64_t u = static_cast<uint64_t>(uid < 0 ? -(uid + 1) : uid);
+  if (kind_ == PartitionKind::kHash) {
+    return static_cast<uint32_t>(u % num_shards_);
+  }
+  // Range: binary-search-free block math; clamp out-of-range uids to the
+  // last shard so they route somewhere deterministic.
+  if (u >= num_users_) return num_shards_ - 1;
+  uint64_t base = num_users_ / num_shards_;
+  uint64_t rem = num_users_ % num_shards_;
+  uint64_t fat = (base + 1) * rem;  // users held by the first `rem` shards
+  if (base == 0) return static_cast<uint32_t>(u);  // more shards than users
+  if (u < fat) return static_cast<uint32_t>(u / (base + 1));
+  return static_cast<uint32_t>(rem + (u - fat) / base);
+}
+
+uint64_t Partitioner::GlobalToLocal(int64_t uid) const {
+  uint64_t u = static_cast<uint64_t>(uid);
+  switch (kind_) {
+    case PartitionKind::kNone: return u;
+    case PartitionKind::kHash: return u / num_shards_;
+    case PartitionKind::kRange: return u - RangeStart(OwnerShard(uid));
+  }
+  return u;
+}
+
+int64_t Partitioner::LocalToGlobal(uint32_t shard, uint64_t local) const {
+  switch (kind_) {
+    case PartitionKind::kNone: return static_cast<int64_t>(local);
+    case PartitionKind::kHash:
+      return static_cast<int64_t>(local * num_shards_ + shard);
+    case PartitionKind::kRange:
+      return static_cast<int64_t>(RangeStart(shard) + local);
+  }
+  return static_cast<int64_t>(local);
+}
+
+uint64_t Partitioner::OwnedCount(uint32_t shard) const {
+  if (kind_ == PartitionKind::kNone) return num_users_;
+  if (kind_ == PartitionKind::kHash) {
+    uint64_t base = num_users_ / num_shards_;
+    return base + (static_cast<uint64_t>(shard) < num_users_ % num_shards_
+                       ? 1
+                       : 0);
+  }
+  uint64_t base = num_users_ / num_shards_;
+  return base +
+         (static_cast<uint64_t>(shard) < num_users_ % num_shards_ ? 1 : 0);
+}
+
+twitter::Dataset MakeShardSlice(const twitter::Dataset& full,
+                                const Partitioner& partitioner,
+                                uint32_t shard_id,
+                                SliceCounts* counts) {
+  twitter::Dataset slice;
+  SliceCounts local_counts;
+
+  // Social skeleton: replicated verbatim. followers_count was
+  // precomputed over the full follows graph, so replicated users carry
+  // the globally correct value and Q1.1 answers identically everywhere.
+  slice.users = full.users;
+  slice.follows = full.follows;
+  slice.hashtags = full.hashtags;
+  for (const twitter::Dataset::User& user : full.users) {
+    if (partitioner.OwnerShard(user.uid) == shard_id) {
+      ++local_counts.owned_users;
+    }
+  }
+
+  // Activity slice: a tweet and all its edges live on its poster's shard.
+  std::unordered_set<int64_t> owned_tids;
+  for (const twitter::Dataset::Tweet& tweet : full.tweets) {
+    if (partitioner.OwnerShard(tweet.poster_uid) != shard_id) continue;
+    owned_tids.insert(tweet.tid);
+    slice.tweets.push_back(tweet);
+  }
+  local_counts.tweets = slice.tweets.size();
+  for (const auto& [tid, uid] : full.mentions) {
+    if (owned_tids.count(tid) == 0) continue;
+    slice.mentions.emplace_back(tid, uid);
+  }
+  local_counts.mentions = slice.mentions.size();
+  for (const auto& [tid, hid] : full.tags) {
+    if (owned_tids.count(tid) == 0) continue;
+    slice.tags.emplace_back(tid, hid);
+  }
+  local_counts.tags = slice.tags.size();
+  for (const auto& [tid, original] : full.retweets) {
+    if (owned_tids.count(tid) == 0) continue;
+    // A retweet of a tweet on another shard would need a ghost node for
+    // its target; ghosts would add phantom posts edges and break the
+    // disjoint-activity invariant, so cross-shard retweets are dropped.
+    if (owned_tids.count(original) == 0) {
+      ++local_counts.dropped_retweets;
+      continue;
+    }
+    slice.retweets.emplace_back(tid, original);
+  }
+  local_counts.retweets = slice.retweets.size();
+
+  if (counts != nullptr) *counts = local_counts;
+  return slice;
+}
+
+}  // namespace mbq::core

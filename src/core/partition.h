@@ -1,0 +1,88 @@
+#ifndef MBQ_CORE_PARTITION_H_
+#define MBQ_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "twitter/dataset.h"
+#include "util/result.h"
+
+namespace mbq::core {
+
+/// How the global user id space [0, num_users) is split across shards.
+/// The numeric values are the wire encoding in the kHelloReply
+/// `partition` byte (docs/CLUSTER.md) — append-only, never reuse.
+enum class PartitionKind : uint8_t {
+  kNone = 0,   ///< unpartitioned: one process owns everything
+  kHash = 1,   ///< uid % num_shards (modulo hash; uids are already dense)
+  kRange = 2,  ///< contiguous uid blocks, near-equal sizes
+};
+
+const char* PartitionKindName(PartitionKind kind);
+/// Parses "none" / "hash" / "range".
+Result<PartitionKind> ParsePartitionKind(const std::string& name);
+
+/// Ownership and global↔local id translation for one partitioning of
+/// `num_users` users over `num_shards` shards. Translation is pure
+/// arithmetic — both schemes assign every shard a dense local ordinal
+/// space [0, OwnedCount(shard)) with a closed-form bijection to global
+/// uids, so no shard ever materializes an id map.
+class Partitioner {
+ public:
+  Partitioner(PartitionKind kind, uint32_t num_shards, uint64_t num_users);
+
+  PartitionKind kind() const { return kind_; }
+  uint32_t num_shards() const { return num_shards_; }
+  uint64_t num_users() const { return num_users_; }
+
+  /// The shard owning global uid. Uids outside [0, num_users) still map
+  /// to a valid shard (hash arithmetic extends naturally) so lookups of
+  /// nonexistent users route somewhere and miss there, exactly like a
+  /// single-process engine.
+  uint32_t OwnerShard(int64_t uid) const;
+
+  /// Dense ordinal of `uid` among the users its owner shard owns.
+  uint64_t GlobalToLocal(int64_t uid) const;
+  /// Inverse of GlobalToLocal: the global uid of ordinal `local` on
+  /// `shard`.
+  int64_t LocalToGlobal(uint32_t shard, uint64_t local) const;
+  /// Number of users `shard` owns.
+  uint64_t OwnedCount(uint32_t shard) const;
+
+ private:
+  /// First uid of a range shard's block.
+  uint64_t RangeStart(uint32_t shard) const;
+
+  PartitionKind kind_;
+  uint32_t num_shards_;
+  uint64_t num_users_;
+};
+
+/// What MakeShardSlice kept and dropped, for logs and tests.
+struct SliceCounts {
+  uint64_t owned_users = 0;   ///< users this shard owns (activity anchors)
+  uint64_t tweets = 0;        ///< tweets in the slice
+  uint64_t mentions = 0;      ///< mention edges in the slice
+  uint64_t tags = 0;          ///< tag edges in the slice
+  uint64_t retweets = 0;      ///< retweet edges kept (both ends owned)
+  uint64_t dropped_retweets = 0;  ///< cross-shard retweet edges dropped
+};
+
+/// Builds shard `shard_id`'s dataset slice. The social skeleton — every
+/// user (with its precomputed followers_count), every follows edge, and
+/// the full hashtag catalog — is replicated on all shards; the activity
+/// graph — tweets, with their mentions and tags edges — is partitioned
+/// by the tweet's poster, so each tweet lives on exactly one shard.
+/// This replication scheme is what makes the aggregator's merges exact
+/// (docs/CLUSTER.md): routed social calls see the whole follows graph,
+/// and fanned-out activity calls see disjoint tweet sets whose counts
+/// sum without double-counting. Retweet edges crossing shards are
+/// dropped (counted in `counts`); no Table 2 call reads them.
+twitter::Dataset MakeShardSlice(const twitter::Dataset& full,
+                                const Partitioner& partitioner,
+                                uint32_t shard_id,
+                                SliceCounts* counts = nullptr);
+
+}  // namespace mbq::core
+
+#endif  // MBQ_CORE_PARTITION_H_

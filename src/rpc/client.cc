@@ -1,0 +1,192 @@
+#include "rpc/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace mbq::rpc {
+
+namespace {
+
+struct ClientMetrics {
+  obs::Counter* requests;
+  obs::Counter* errors;
+  obs::Counter* reconnects;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Histogram* latency;
+
+  static ClientMetrics Get() {
+    static ClientMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      ClientMetrics out;
+      out.requests = reg.GetCounter("rpc.client.requests", "requests",
+                                    "RPC requests issued by this process");
+      out.errors = reg.GetCounter(
+          "rpc.client.errors", "requests",
+          "RPC requests that failed (transport or server error)");
+      out.reconnects =
+          reg.GetCounter("rpc.client.reconnects", "connections",
+                         "Connections re-established after a transport "
+                         "failure mid-request");
+      out.bytes_in = reg.GetCounter("rpc.client.bytes_in", "bytes",
+                                    "RPC reply bytes received");
+      out.bytes_out = reg.GetCounter("rpc.client.bytes_out", "bytes",
+                                     "RPC request bytes sent");
+      out.latency = reg.GetHistogram(
+          "rpc.client.latency", "us",
+          "Round-trip time of RPC requests, including redial on retry");
+      return out;
+    }();
+    return m;
+  }
+};
+
+/// connect() with a poll() deadline; blocking connect has no timeout knob.
+Status ConnectWithTimeout(int fd, const sockaddr_in& addr,
+                          int timeout_millis) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::IoError("rpc: connect() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, timeout_millis);
+    if (ready == 0) return Status::IoError("rpc: connect timed out");
+    if (ready < 0) {
+      return Status::IoError("rpc: poll() failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return Status::IoError("rpc: connect() failed: " +
+                             std::string(std::strerror(err != 0 ? err : errno)));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return Status::OK();
+}
+
+bool IsTransportError(const Status& status) {
+  // Framing violations and server-side Status replies do not heal with a
+  // redial; only socket-level failures do.
+  return status.IsIoError();
+}
+
+}  // namespace
+
+RpcClient::RpcClient(Options options) : options_(std::move(options)) {}
+
+RpcClient::~RpcClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<RpcClient>> RpcClient::Connect(const Options& options) {
+  std::unique_ptr<RpcClient> client(new RpcClient(options));
+  std::lock_guard<std::mutex> lock(client->mu_);
+  MBQ_RETURN_IF_ERROR(client->Dial());
+  Frame reply;
+  MBQ_ASSIGN_OR_RETURN(reply, client->Exchange(EmptyFrame(MsgType::kHello)));
+  MBQ_ASSIGN_OR_RETURN(client->server_info_, DecodeHelloReply(reply));
+  return client;
+}
+
+Status RpcClient::Dial() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("rpc: socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("rpc: bad host address \"" +
+                                   options_.host + "\"");
+  }
+  Status connected = ConnectWithTimeout(fd, addr, options_.timeout_millis);
+  if (!connected.ok()) {
+    ::close(fd);
+    return Status(connected.code(),
+                  connected.message() + " (" + options_.host + ":" +
+                      std::to_string(options_.port) + ")");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<Frame> RpcClient::Exchange(const Frame& request) {
+  ClientMetrics metrics = ClientMetrics::Get();
+  uint64_t bytes_out = 0;
+  uint64_t bytes_in = 0;
+  Status written = WriteFrame(fd_, request, options_.timeout_millis,
+                              &bytes_out);
+  metrics.bytes_out->Inc(bytes_out);
+  MBQ_RETURN_IF_ERROR(written);
+  Result<Frame> reply = ReadFrame(fd_, options_.timeout_millis, &bytes_in);
+  metrics.bytes_in->Inc(bytes_in);
+  return reply;
+}
+
+Result<Frame> RpcClient::Call(const Frame& request) {
+  ClientMetrics metrics = ClientMetrics::Get();
+  metrics.requests->Inc();
+  auto start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<Frame> reply = Exchange(request);
+  if (!reply.ok() && IsTransportError(reply.status())) {
+    // The peer may have restarted between requests; one redial covers
+    // that without masking a genuinely dead shard behind a retry loop.
+    Status redialed = Dial();
+    if (redialed.ok()) {
+      metrics.reconnects->Inc();
+      reply = Exchange(request);
+    }
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  metrics.latency->Record(static_cast<uint64_t>(elapsed.count()));
+  if (!reply.ok()) {
+    metrics.errors->Inc();
+    return reply;
+  }
+  if (reply->type == static_cast<uint8_t>(MsgType::kError)) {
+    metrics.errors->Inc();
+    return DecodeError(*reply);
+  }
+  return reply;
+}
+
+Status RpcClient::Ping() {
+  Frame reply;
+  MBQ_ASSIGN_OR_RETURN(reply, Call(EmptyFrame(MsgType::kPing)));
+  if (reply.type != static_cast<uint8_t>(MsgType::kPong)) {
+    return Status::Corruption(std::string("rpc: expected kPong, got ") +
+                              MsgTypeName(reply.type));
+  }
+  return Status::OK();
+}
+
+}  // namespace mbq::rpc

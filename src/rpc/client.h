@@ -1,0 +1,67 @@
+#ifndef MBQ_RPC_CLIENT_H_
+#define MBQ_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "rpc/messages.h"
+#include "util/result.h"
+
+namespace mbq::rpc {
+
+/// Blocking request/response client over one TCP connection. Thread-safe:
+/// a mutex serializes calls, so several engine threads can share a client
+/// (the protocol is strictly one-reply-per-request, there is nothing to
+/// pipeline). On a transport failure (peer died, timeout) the client
+/// redials once and retries the request; application errors arriving as
+/// kError frames are returned to the caller untouched — the connection is
+/// still healthy.
+class RpcClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Per-syscall poll() timeout for connect/send/recv.
+    int timeout_millis = 30000;
+  };
+
+  /// Dials the server and exchanges kHello/kHelloReply so the caller
+  /// immediately learns the peer's topology (and a mis-addressed port —
+  /// e.g. the stats HTTP server — fails fast instead of on first use).
+  static Result<std::unique_ptr<RpcClient>> Connect(const Options& options);
+
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Sends `request` and reads the single reply frame. A kError reply is
+  /// decoded into its Status; any other frame is returned for the caller
+  /// to decode.
+  Result<Frame> Call(const Frame& request);
+
+  /// kPing round-trip.
+  Status Ping();
+
+  /// The topology the server reported at connect time.
+  const HelloReply& server_info() const { return server_info_; }
+  const Options& options() const { return options_; }
+
+ private:
+  explicit RpcClient(Options options);
+
+  /// Establishes fd_ (closing any previous connection). Caller holds mu_.
+  Status Dial();
+  /// One write+read exchange on the current connection. Caller holds mu_.
+  Result<Frame> Exchange(const Frame& request);
+
+  Options options_;
+  HelloReply server_info_;
+  std::mutex mu_;
+  int fd_ = -1;
+};
+
+}  // namespace mbq::rpc
+
+#endif  // MBQ_RPC_CLIENT_H_

@@ -1,0 +1,205 @@
+#include "rpc/framing.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mbq::rpc {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, T v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+Result<T> ReadPod(const std::vector<uint8_t>& data, size_t* offset) {
+  if (*offset + sizeof(T) > data.size()) {
+    return Status::Corruption("rpc: truncated frame body");
+  }
+  T v;
+  std::memcpy(&v, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return v;
+}
+
+/// Validates a 12-byte header already known to be complete. On success
+/// sets `*type` and `*body_len`.
+Status ParseHeader(const uint8_t* h, uint8_t* type, uint32_t* body_len) {
+  uint32_t magic;
+  std::memcpy(&magic, h, sizeof(magic));
+  if (magic != kMagic) {
+    return Status::Corruption("rpc: bad frame magic");
+  }
+  if (h[4] != kProtocolVersion) {
+    return Status::Corruption("rpc: unsupported protocol version " +
+                              std::to_string(static_cast<int>(h[4])) +
+                              " (want " +
+                              std::to_string(static_cast<int>(kProtocolVersion)) +
+                              ")");
+  }
+  uint16_t reserved;
+  std::memcpy(&reserved, h + 6, sizeof(reserved));
+  if (reserved != 0) {
+    return Status::Corruption("rpc: non-zero reserved header field");
+  }
+  uint32_t len;
+  std::memcpy(&len, h + 8, sizeof(len));
+  if (len > kMaxBodyBytes) {
+    return Status::Corruption("rpc: frame body of " + std::to_string(len) +
+                              " bytes exceeds the " +
+                              std::to_string(kMaxBodyBytes) + " byte cap");
+  }
+  *type = h[5];
+  *body_len = len;
+  return Status::OK();
+}
+
+}  // namespace
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { AppendPod(out, v); }
+void PutU16(std::vector<uint8_t>* out, uint16_t v) { AppendPod(out, v); }
+void PutU32(std::vector<uint8_t>* out, uint32_t v) { AppendPod(out, v); }
+void PutU64(std::vector<uint8_t>* out, uint64_t v) { AppendPod(out, v); }
+void PutI64(std::vector<uint8_t>* out, int64_t v) { AppendPod(out, v); }
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(s.data());
+  out->insert(out->end(), p, p + s.size());
+}
+
+Result<uint8_t> GetU8(const std::vector<uint8_t>& data, size_t* offset) {
+  return ReadPod<uint8_t>(data, offset);
+}
+Result<uint16_t> GetU16(const std::vector<uint8_t>& data, size_t* offset) {
+  return ReadPod<uint16_t>(data, offset);
+}
+Result<uint32_t> GetU32(const std::vector<uint8_t>& data, size_t* offset) {
+  return ReadPod<uint32_t>(data, offset);
+}
+Result<uint64_t> GetU64(const std::vector<uint8_t>& data, size_t* offset) {
+  return ReadPod<uint64_t>(data, offset);
+}
+Result<int64_t> GetI64(const std::vector<uint8_t>& data, size_t* offset) {
+  return ReadPod<int64_t>(data, offset);
+}
+
+Result<std::string> GetString(const std::vector<uint8_t>& data,
+                              size_t* offset) {
+  uint32_t len;
+  MBQ_ASSIGN_OR_RETURN(len, GetU32(data, offset));
+  if (*offset + len > data.size()) {
+    return Status::Corruption("rpc: truncated string in frame body");
+  }
+  std::string s(reinterpret_cast<const char*>(data.data() + *offset), len);
+  *offset += len;
+  return s;
+}
+
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  PutU32(out, kMagic);
+  PutU8(out, kProtocolVersion);
+  PutU8(out, frame.type);
+  PutU16(out, 0);
+  PutU32(out, static_cast<uint32_t>(frame.body.size()));
+  out->insert(out->end(), frame.body.begin(), frame.body.end());
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  if (!poisoned_.ok()) return;  // stream is already dead
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  MBQ_RETURN_IF_ERROR(poisoned_);
+  if (buf_.size() - pos_ < kHeaderBytes) return false;
+  uint8_t type = 0;
+  uint32_t body_len = 0;
+  Status header = ParseHeader(buf_.data() + pos_, &type, &body_len);
+  if (!header.ok()) {
+    poisoned_ = header;
+    return header;
+  }
+  if (buf_.size() - pos_ < kHeaderBytes + body_len) return false;
+  out->type = type;
+  out->body.assign(buf_.begin() + pos_ + kHeaderBytes,
+                   buf_.begin() + pos_ + kHeaderBytes + body_len);
+  pos_ += kHeaderBytes + body_len;
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+Status WriteFrame(int fd, const Frame& frame, int timeout_millis,
+                  uint64_t* bytes_out) {
+  std::vector<uint8_t> wire;
+  wire.reserve(kHeaderBytes + frame.body.size());
+  EncodeFrame(frame, &wire);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, timeout_millis);
+    if (ready == 0) return Status::IoError("rpc: send timed out");
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("rpc: poll() failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IoError("rpc: send() failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  if (bytes_out != nullptr) *bytes_out += wire.size();
+  return Status::OK();
+}
+
+Result<Frame> ReadFrame(int fd, int timeout_millis, uint64_t* bytes_in) {
+  FrameDecoder decoder;
+  Frame frame;
+  uint8_t buf[4096];
+  for (;;) {
+    bool done;
+    MBQ_ASSIGN_OR_RETURN(done, decoder.Next(&frame));
+    if (done) {
+      if (bytes_in != nullptr) *bytes_in += kHeaderBytes + frame.body.size();
+      return frame;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_millis);
+    if (ready == 0) return Status::IoError("rpc: receive timed out");
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("rpc: poll() failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IoError("rpc: peer closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("rpc: recv() failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    decoder.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace mbq::rpc

@@ -1,0 +1,108 @@
+#ifndef MBQ_RPC_FRAMING_H_
+#define MBQ_RPC_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mbq::rpc {
+
+/// The wire protocol of the sharded serving plane (docs/CLUSTER.md) is a
+/// stream of length-prefixed binary frames over TCP. Every frame starts
+/// with a fixed 12-byte header:
+///
+///   offset 0  u32  magic     0x5251424D — bytes "MBQR" on the wire
+///   offset 4  u8   version   protocol version (kProtocolVersion)
+///   offset 5  u8   type      message type (messages.h)
+///   offset 6  u16  reserved  must be zero
+///   offset 8  u32  length    body length in bytes (not counting the header)
+///
+/// followed by `length` bytes of type-specific body. Integers are
+/// little-endian (the native layout of every supported target, matching
+/// the value codec the body payloads reuse). A peer that sees a bad
+/// magic, an unsupported version, a non-zero reserved field or a length
+/// above kMaxBodyBytes must treat the stream as corrupt and close it —
+/// there is no way to resynchronize a framed stream.
+constexpr uint32_t kMagic = 0x5251424D;  // bytes "MBQR" on the wire
+constexpr uint8_t kProtocolVersion = 1;
+constexpr size_t kHeaderBytes = 12;
+/// Upper bound on a frame body; a length above this is hostile or
+/// corrupt, never legitimate (the largest real payloads are result sets
+/// a few MB wide).
+constexpr uint32_t kMaxBodyBytes = 64u << 20;
+
+/// One decoded frame: the type tag plus the raw body bytes. Body
+/// contents are encoded/decoded by messages.h.
+struct Frame {
+  uint8_t type = 0;
+  std::vector<uint8_t> body;
+};
+
+// ------------------------------------------------------------ body codec
+// Little-endian POD + length-prefixed string primitives shared by every
+// message encoder. Decode primitives take (data, offset) and fail with
+// Corruption on truncation, mirroring common/value_codec.h.
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v);
+void PutU16(std::vector<uint8_t>* out, uint16_t v);
+void PutU32(std::vector<uint8_t>* out, uint32_t v);
+void PutU64(std::vector<uint8_t>* out, uint64_t v);
+void PutI64(std::vector<uint8_t>* out, int64_t v);
+/// u32 byte length followed by the bytes.
+void PutString(std::vector<uint8_t>* out, const std::string& s);
+
+Result<uint8_t> GetU8(const std::vector<uint8_t>& data, size_t* offset);
+Result<uint16_t> GetU16(const std::vector<uint8_t>& data, size_t* offset);
+Result<uint32_t> GetU32(const std::vector<uint8_t>& data, size_t* offset);
+Result<uint64_t> GetU64(const std::vector<uint8_t>& data, size_t* offset);
+Result<int64_t> GetI64(const std::vector<uint8_t>& data, size_t* offset);
+Result<std::string> GetString(const std::vector<uint8_t>& data,
+                              size_t* offset);
+
+/// Appends the full wire image (header + body) of `frame` to `out`.
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+/// Incremental frame decoder for servers reading whatever poll() hands
+/// them: feed arbitrary byte chunks (down to one byte at a time) and
+/// pull complete frames out. A header violation (bad magic/version/
+/// reserved, oversized length) poisons the decoder permanently — framed
+/// streams cannot resynchronize after corruption.
+class FrameDecoder {
+ public:
+  /// Appends raw stream bytes.
+  void Feed(const uint8_t* data, size_t n);
+
+  /// Moves the next complete frame into `*out` and returns true; returns
+  /// false when more bytes are needed. Fails (and keeps failing) once the
+  /// stream violated the framing rules.
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed as frames.
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  Status poisoned_;
+};
+
+// ---------------------------------------------------- blocking socket I/O
+// Used by the blocking client and anywhere a dedicated fd carries exactly
+// one conversation. Both calls poll() with `timeout_millis` per syscall,
+// so a stalled peer cannot wedge the caller forever.
+
+/// Writes header + body, looping over partial sends. Adds the bytes put
+/// on the wire to `*bytes_out` when non-null.
+Status WriteFrame(int fd, const Frame& frame, int timeout_millis,
+                  uint64_t* bytes_out = nullptr);
+
+/// Reads exactly one frame, tolerating arbitrarily fragmented delivery.
+/// Adds the bytes taken off the wire to `*bytes_in` when non-null.
+Result<Frame> ReadFrame(int fd, int timeout_millis,
+                        uint64_t* bytes_in = nullptr);
+
+}  // namespace mbq::rpc
+
+#endif  // MBQ_RPC_FRAMING_H_

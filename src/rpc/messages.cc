@@ -1,0 +1,253 @@
+#include "rpc/messages.h"
+
+#include "common/value_codec.h"
+
+namespace mbq::rpc {
+
+namespace {
+
+Status CheckType(const Frame& frame, MsgType want) {
+  if (frame.type == static_cast<uint8_t>(want)) return Status::OK();
+  if (frame.type == static_cast<uint8_t>(MsgType::kError)) {
+    // Let the caller surface the server's error instead of a type
+    // mismatch: re-decode it here.
+    return DecodeError(frame);
+  }
+  return Status::Corruption(std::string("rpc: expected ") +
+                            MsgTypeName(static_cast<uint8_t>(want)) +
+                            " frame, got " + MsgTypeName(frame.type));
+}
+
+void PutRows(std::vector<uint8_t>* out, const ValueRows& rows) {
+  PutU32(out, static_cast<uint32_t>(rows.size()));
+  for (const auto& row : rows) {
+    PutU32(out, static_cast<uint32_t>(row.size()));
+    for (const common::Value& v : row) common::EncodeValue(v, out);
+  }
+}
+
+Result<ValueRows> GetRows(const std::vector<uint8_t>& body, size_t* offset) {
+  uint32_t num_rows;
+  MBQ_ASSIGN_OR_RETURN(num_rows, GetU32(body, offset));
+  ValueRows rows;
+  rows.reserve(num_rows);
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    uint32_t num_cols;
+    MBQ_ASSIGN_OR_RETURN(num_cols, GetU32(body, offset));
+    std::vector<common::Value> row;
+    row.reserve(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      common::Value v;
+      MBQ_ASSIGN_OR_RETURN(v, common::DecodeValue(body, offset));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+const char* MsgTypeName(uint8_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHello: return "kHello";
+    case MsgType::kHelloReply: return "kHelloReply";
+    case MsgType::kCall: return "kCall";
+    case MsgType::kRowsReply: return "kRowsReply";
+    case MsgType::kIntReply: return "kIntReply";
+    case MsgType::kQuery: return "kQuery";
+    case MsgType::kQueryReply: return "kQueryReply";
+    case MsgType::kError: return "kError";
+    case MsgType::kPing: return "kPing";
+    case MsgType::kPong: return "kPong";
+    case MsgType::kDropCaches: return "kDropCaches";
+    case MsgType::kOkReply: return "kOkReply";
+  }
+  return "kUnknown";
+}
+
+const char* NavCallName(NavCall call) {
+  switch (call) {
+    case NavCall::kSelectUsersByFollowerCount:
+      return "select_users_by_follower_count";
+    case NavCall::kFolloweesOf: return "followees_of";
+    case NavCall::kTweetsOfFollowees: return "tweets_of_followees";
+    case NavCall::kHashtagsUsedByFollowees:
+      return "hashtags_used_by_followees";
+    case NavCall::kTopCoMentionedUsers: return "top_co_mentioned_users";
+    case NavCall::kTopCoOccurringHashtags: return "top_co_occurring_hashtags";
+    case NavCall::kRecommendFolloweesOfFollowees:
+      return "recommend_followees_of_followees";
+    case NavCall::kRecommendFollowersOfFollowees:
+      return "recommend_followers_of_followees";
+    case NavCall::kCurrentInfluence: return "current_influence";
+    case NavCall::kPotentialInfluence: return "potential_influence";
+    case NavCall::kShortestPathLength: return "shortest_path_length";
+  }
+  return "unknown";
+}
+
+Frame EmptyFrame(MsgType type) {
+  Frame frame;
+  frame.type = static_cast<uint8_t>(type);
+  return frame;
+}
+
+Frame EncodeHelloReply(const HelloReply& reply) {
+  Frame frame = EmptyFrame(MsgType::kHelloReply);
+  PutU32(&frame.body, reply.shard_id);
+  PutU32(&frame.body, reply.num_shards);
+  PutU8(&frame.body, reply.partition);
+  PutU64(&frame.body, reply.num_users);
+  PutString(&frame.body, reply.engine);
+  return frame;
+}
+
+Result<HelloReply> DecodeHelloReply(const Frame& frame) {
+  MBQ_RETURN_IF_ERROR(CheckType(frame, MsgType::kHelloReply));
+  HelloReply reply;
+  size_t offset = 0;
+  MBQ_ASSIGN_OR_RETURN(reply.shard_id, GetU32(frame.body, &offset));
+  MBQ_ASSIGN_OR_RETURN(reply.num_shards, GetU32(frame.body, &offset));
+  MBQ_ASSIGN_OR_RETURN(reply.partition, GetU8(frame.body, &offset));
+  MBQ_ASSIGN_OR_RETURN(reply.num_users, GetU64(frame.body, &offset));
+  MBQ_ASSIGN_OR_RETURN(reply.engine, GetString(frame.body, &offset));
+  return reply;
+}
+
+Frame EncodeCall(const CallRequest& req) {
+  Frame frame = EmptyFrame(MsgType::kCall);
+  PutU8(&frame.body, static_cast<uint8_t>(req.call));
+  PutI64(&frame.body, req.uid);
+  PutI64(&frame.body, req.arg);
+  PutU32(&frame.body, req.max_hops);
+  PutString(&frame.body, req.tag);
+  return frame;
+}
+
+Result<CallRequest> DecodeCall(const Frame& frame) {
+  MBQ_RETURN_IF_ERROR(CheckType(frame, MsgType::kCall));
+  CallRequest req;
+  size_t offset = 0;
+  uint8_t call;
+  MBQ_ASSIGN_OR_RETURN(call, GetU8(frame.body, &offset));
+  if (call < 1 || call > 11) {
+    return Status::Corruption("rpc: unknown navigation call " +
+                              std::to_string(static_cast<int>(call)));
+  }
+  req.call = static_cast<NavCall>(call);
+  MBQ_ASSIGN_OR_RETURN(req.uid, GetI64(frame.body, &offset));
+  MBQ_ASSIGN_OR_RETURN(req.arg, GetI64(frame.body, &offset));
+  MBQ_ASSIGN_OR_RETURN(req.max_hops, GetU32(frame.body, &offset));
+  MBQ_ASSIGN_OR_RETURN(req.tag, GetString(frame.body, &offset));
+  return req;
+}
+
+Frame EncodeRowsReply(const ValueRows& rows) {
+  Frame frame = EmptyFrame(MsgType::kRowsReply);
+  PutRows(&frame.body, rows);
+  return frame;
+}
+
+Result<ValueRows> DecodeRowsReply(const Frame& frame) {
+  MBQ_RETURN_IF_ERROR(CheckType(frame, MsgType::kRowsReply));
+  size_t offset = 0;
+  return GetRows(frame.body, &offset);
+}
+
+Frame EncodeIntReply(int64_t value) {
+  Frame frame = EmptyFrame(MsgType::kIntReply);
+  PutI64(&frame.body, value);
+  return frame;
+}
+
+Result<int64_t> DecodeIntReply(const Frame& frame) {
+  MBQ_RETURN_IF_ERROR(CheckType(frame, MsgType::kIntReply));
+  size_t offset = 0;
+  return GetI64(frame.body, &offset);
+}
+
+Frame EncodeQuery(const QueryRequest& req) {
+  Frame frame = EmptyFrame(MsgType::kQuery);
+  PutString(&frame.body, req.text);
+  PutU8(&frame.body, static_cast<uint8_t>(req.merge));
+  PutU32(&frame.body, req.route_shard);
+  return frame;
+}
+
+Result<QueryRequest> DecodeQuery(const Frame& frame) {
+  MBQ_RETURN_IF_ERROR(CheckType(frame, MsgType::kQuery));
+  QueryRequest req;
+  size_t offset = 0;
+  MBQ_ASSIGN_OR_RETURN(req.text, GetString(frame.body, &offset));
+  uint8_t merge;
+  MBQ_ASSIGN_OR_RETURN(merge, GetU8(frame.body, &offset));
+  if (merge < 1 || merge > 3) {
+    return Status::Corruption("rpc: unknown query merge mode " +
+                              std::to_string(static_cast<int>(merge)));
+  }
+  req.merge = static_cast<QueryMerge>(merge);
+  MBQ_ASSIGN_OR_RETURN(req.route_shard, GetU32(frame.body, &offset));
+  return req;
+}
+
+Frame EncodeQueryReply(const QueryReply& reply) {
+  Frame frame = EmptyFrame(MsgType::kQueryReply);
+  PutU32(&frame.body, static_cast<uint32_t>(reply.columns.size()));
+  for (const std::string& col : reply.columns) PutString(&frame.body, col);
+  PutRows(&frame.body, reply.rows);
+  return frame;
+}
+
+Result<QueryReply> DecodeQueryReply(const Frame& frame) {
+  MBQ_RETURN_IF_ERROR(CheckType(frame, MsgType::kQueryReply));
+  QueryReply reply;
+  size_t offset = 0;
+  uint32_t num_cols;
+  MBQ_ASSIGN_OR_RETURN(num_cols, GetU32(frame.body, &offset));
+  reply.columns.reserve(num_cols);
+  for (uint32_t i = 0; i < num_cols; ++i) {
+    std::string col;
+    MBQ_ASSIGN_OR_RETURN(col, GetString(frame.body, &offset));
+    reply.columns.push_back(std::move(col));
+  }
+  MBQ_ASSIGN_OR_RETURN(reply.rows, GetRows(frame.body, &offset));
+  return reply;
+}
+
+Frame EncodeError(const Status& status) {
+  Frame frame = EmptyFrame(MsgType::kError);
+  StatusCode code = status.ok() ? StatusCode::kInternal : status.code();
+  PutU8(&frame.body, static_cast<uint8_t>(code));
+  PutString(&frame.body, status.ok() ? "error frame from OK status"
+                                     : status.message());
+  return frame;
+}
+
+Status DecodeError(const Frame& frame) {
+  if (frame.type != static_cast<uint8_t>(MsgType::kError)) {
+    return Status::Corruption(std::string("rpc: expected kError frame, got ") +
+                              MsgTypeName(frame.type));
+  }
+  size_t offset = 0;
+  uint8_t code;
+  {
+    Result<uint8_t> r = GetU8(frame.body, &offset);
+    if (!r.ok()) return r.status();
+    code = *r;
+  }
+  std::string message;
+  {
+    Result<std::string> r = GetString(frame.body, &offset);
+    if (!r.ok()) return r.status();
+    message = std::move(*r);
+  }
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Internal("rpc: peer sent unknown status code " +
+                            std::to_string(static_cast<int>(code)) + ": " +
+                            message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace mbq::rpc

@@ -1,0 +1,134 @@
+#ifndef MBQ_RPC_MESSAGES_H_
+#define MBQ_RPC_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "rpc/framing.h"
+#include "util/result.h"
+
+namespace mbq::rpc {
+
+/// Row type carried by kRowsReply / kQueryReply. Identical layout to
+/// core::ValueRows, so engine results cross the wire without conversion.
+using ValueRows = std::vector<std::vector<common::Value>>;
+
+/// Every message type of protocol version 1. The numeric values are the
+/// wire encoding (frame header byte 5) and must never be reused; new
+/// types append. Documented in docs/CLUSTER.md.
+enum class MsgType : uint8_t {
+  kHello = 1,       ///< client -> server: identify the peer, no body
+  kHelloReply = 2,  ///< server -> client: shard topology + engine info
+  kCall = 3,        ///< client -> server: one Table 2 navigation call
+  kRowsReply = 4,   ///< server -> client: ValueRows result
+  kIntReply = 5,    ///< server -> client: int64 result (Q6.1)
+  kQuery = 6,       ///< client -> server: mini-Cypher text + merge mode
+  kQueryReply = 7,  ///< server -> client: columns + ValueRows
+  kError = 8,       ///< server -> client: Status code + message
+  kPing = 9,        ///< client -> server: liveness probe, no body
+  kPong = 10,       ///< server -> client: liveness answer, no body
+  kDropCaches = 11, ///< client -> server: drop engine caches, no body
+  kOkReply = 12,    ///< server -> client: success with no payload
+};
+
+/// Returns the spec name of a message type ("kCall", ...) for logs and
+/// error messages; "kUnknown" for unassigned values.
+const char* MsgTypeName(uint8_t type);
+
+/// The eleven Table 2 navigation calls a kCall frame can request. The
+/// numeric values are the wire encoding; same append-only rule as
+/// MsgType.
+enum class NavCall : uint8_t {
+  kSelectUsersByFollowerCount = 1,   // Q1.1  (uid = threshold)
+  kFolloweesOf = 2,                  // Q2.1
+  kTweetsOfFollowees = 3,            // Q2.2
+  kHashtagsUsedByFollowees = 4,      // Q2.3
+  kTopCoMentionedUsers = 5,          // Q3.1  (arg = n)
+  kTopCoOccurringHashtags = 6,       // Q3.2  (tag, arg = n)
+  kRecommendFolloweesOfFollowees = 7,// Q4.1  (arg = n)
+  kRecommendFollowersOfFollowees = 8,// Q4.2  (arg = n)
+  kCurrentInfluence = 9,             // Q5.1  (arg = n)
+  kPotentialInfluence = 10,          // Q5.2  (arg = n)
+  kShortestPathLength = 11,          // Q6.1  (uid, arg = uid_b, max_hops)
+};
+
+/// Short stable name for a navigation call ("followees_of", ...), used
+/// as the per-call latency metric component (rpc.call.<name>.latency).
+const char* NavCallName(NavCall call);
+
+/// kHelloReply body: how a server describes itself. The aggregator
+/// presents itself as a single unpartitioned shard so any client —
+/// including another RemoteEngine — can sit in front of it unchanged.
+struct HelloReply {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  uint8_t partition = 0;  ///< core::PartitionKind wire value
+  uint64_t num_users = 0; ///< size of the global user id space
+  std::string engine;     ///< "nodestore", "bitmap", "aggregator"
+};
+
+/// kCall body: one navigation call. Field use per call is fixed by the
+/// NavCall comments above; unused fields are zero/empty on the wire.
+struct CallRequest {
+  NavCall call = NavCall::kFolloweesOf;
+  int64_t uid = 0;      ///< anchor uid, or Q1.1 threshold
+  int64_t arg = 0;      ///< top-n limit, or Q6.1 uid_b
+  uint32_t max_hops = 0;///< Q6.1 only
+  std::string tag;      ///< Q3.2 only
+};
+
+/// How the aggregator (or any fan-out client) should combine per-shard
+/// results of a kQuery. Carried on the wire so `mbqd --aggregate` does
+/// not need to parse the query text.
+enum class QueryMerge : uint8_t {
+  kRoute = 1,    ///< send to one shard, pass the reply through
+  kConcat = 2,   ///< fan out, concatenate rows
+  kDistinct = 3, ///< fan out, concatenate then sort + deduplicate
+};
+
+/// kQuery body: mini-Cypher text executed by the shard's CypherSession.
+struct QueryRequest {
+  std::string text;
+  QueryMerge merge = QueryMerge::kConcat;
+  uint32_t route_shard = 0;  ///< target shard for kRoute
+};
+
+/// kQueryReply body.
+struct QueryReply {
+  std::vector<std::string> columns;
+  ValueRows rows;
+};
+
+// --------------------------------------------------------------- encoders
+// Each returns a complete Frame ready for WriteFrame. Bodiless types
+// (kHello, kPing, kPong, kDropCaches, kOkReply) are built with
+// EmptyFrame.
+
+Frame EmptyFrame(MsgType type);
+Frame EncodeHelloReply(const HelloReply& reply);
+Frame EncodeCall(const CallRequest& req);
+Frame EncodeRowsReply(const ValueRows& rows);
+Frame EncodeIntReply(int64_t value);
+Frame EncodeQuery(const QueryRequest& req);
+Frame EncodeQueryReply(const QueryReply& reply);
+/// kError body: u8 StatusCode + message string. `status` must be non-OK.
+Frame EncodeError(const Status& status);
+
+// --------------------------------------------------------------- decoders
+// Each checks frame.type and fails with Corruption on a mismatch or a
+// malformed body.
+
+Result<HelloReply> DecodeHelloReply(const Frame& frame);
+Result<CallRequest> DecodeCall(const Frame& frame);
+Result<ValueRows> DecodeRowsReply(const Frame& frame);
+Result<int64_t> DecodeIntReply(const Frame& frame);
+Result<QueryRequest> DecodeQuery(const Frame& frame);
+Result<QueryReply> DecodeQueryReply(const Frame& frame);
+/// Reconstructs the Status carried by a kError frame (always non-OK).
+Status DecodeError(const Frame& frame);
+
+}  // namespace mbq::rpc
+
+#endif  // MBQ_RPC_MESSAGES_H_

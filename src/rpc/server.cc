@@ -1,0 +1,220 @@
+#include "rpc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "rpc/messages.h"
+
+namespace mbq::rpc {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter* requests;
+  obs::Counter* errors;
+  obs::Counter* connections;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+
+  static ServerMetrics Get() {
+    static ServerMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      ServerMetrics out;
+      out.requests = reg.GetCounter("rpc.server.requests", "requests",
+                                    "RPC request frames dispatched");
+      out.errors = reg.GetCounter(
+          "rpc.server.errors", "requests",
+          "RPC requests answered with a kError frame, plus framing "
+          "violations that closed the connection");
+      out.connections = reg.GetCounter("rpc.server.connections",
+                                       "connections", "Connections accepted");
+      out.bytes_in = reg.GetCounter("rpc.server.bytes_in", "bytes",
+                                    "RPC request bytes received");
+      out.bytes_out = reg.GetCounter("rpc.server.bytes_out", "bytes",
+                                     "RPC reply bytes sent");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+RpcServer::RpcServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+Result<std::unique_ptr<RpcServer>> RpcServer::Start(const Options& options,
+                                                    Handler handler) {
+  std::unique_ptr<RpcServer> server(
+      new RpcServer(options, std::move(handler)));
+  MBQ_RETURN_IF_ERROR(server->Bind());
+  server->thread_ = std::thread([raw = server.get()] { raw->Loop(); });
+  return server;
+}
+
+Status RpcServer::Bind() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("rpc server: socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("rpc server: bad bind address \"" +
+                                   options_.bind_address + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status =
+        Status::IoError("rpc server: cannot bind " + options_.bind_address +
+                        ":" + std::to_string(options_.port) + ": " +
+                        std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status status = Status::IoError("rpc server: listen() failed: " +
+                                    std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    Status status = Status::IoError("rpc server: pipe() failed: " +
+                                    std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  return Status::OK();
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (wake_pipe_[1] >= 0) {
+    char byte = 'q';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+bool RpcServer::ServeReadable(Conn* conn) {
+  ServerMetrics metrics = ServerMetrics::Get();
+  uint8_t buf[4096];
+  ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+  if (n == 0) return false;  // orderly close
+  if (n < 0) return errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK;
+  metrics.bytes_in->Inc(static_cast<uint64_t>(n));
+  conn->decoder.Feed(buf, static_cast<size_t>(n));
+
+  Frame request;
+  for (;;) {
+    Result<bool> next = conn->decoder.Next(&request);
+    if (!next.ok()) {
+      // Framing violation: tell the peer why, then hang up — the stream
+      // cannot be resynchronized.
+      metrics.errors->Inc();
+      uint64_t bytes_out = 0;
+      [[maybe_unused]] Status sent =
+          WriteFrame(conn->fd, EncodeError(next.status()),
+                     options_.write_timeout_millis, &bytes_out);
+      metrics.bytes_out->Inc(bytes_out);
+      return false;
+    }
+    if (!*next) return true;  // need more bytes
+    metrics.requests->Inc();
+    Frame reply = handler_(request);
+    if (reply.type == static_cast<uint8_t>(MsgType::kError)) {
+      metrics.errors->Inc();
+    }
+    uint64_t bytes_out = 0;
+    Status written = WriteFrame(conn->fd, reply,
+                                options_.write_timeout_millis, &bytes_out);
+    metrics.bytes_out->Inc(bytes_out);
+    if (!written.ok()) return false;
+  }
+}
+
+void RpcServer::Loop() {
+  ServerMetrics metrics = ServerMetrics::Get();
+  std::vector<Conn> conns;
+  std::vector<pollfd> fds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (const Conn& conn : conns) fds.push_back({conn.fd, POLLIN, 0});
+    int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Stop() woke us
+    // Existing connections first: iterate backwards so erasing is safe.
+    for (size_t i = conns.size(); i-- > 0;) {
+      short revents = fds[2 + i].revents;
+      if (revents == 0) continue;
+      bool keep = (revents & (POLLERR | POLLNVAL)) == 0 &&
+                  ServeReadable(&conns[i]);
+      if (!keep) {
+        ::close(conns[i].fd);
+        conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        metrics.connections->Inc();
+        Conn conn;
+        conn.fd = fd;
+        conns.push_back(std::move(conn));
+      }
+    }
+  }
+  for (Conn& conn : conns) ::close(conn.fd);
+}
+
+}  // namespace mbq::rpc

@@ -1,0 +1,78 @@
+#ifndef MBQ_RPC_SERVER_H_
+#define MBQ_RPC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/framing.h"
+#include "util/result.h"
+
+namespace mbq::rpc {
+
+/// Single-threaded poll()-loop frame server on the same socket idioms as
+/// obs::StatsServer: SO_REUSEADDR, port 0 resolved via getsockname, a
+/// self-pipe to wake the loop for Stop(). Connections are long-lived and
+/// multiplexed — each carries its own incremental FrameDecoder, so
+/// dribbled byte-at-a-time delivery and many concurrent clients both
+/// work; requests are dispatched to the handler one at a time in arrival
+/// order (the engine underneath is already internally synchronized, and
+/// shard fan-out parallelism comes from having N processes, not N
+/// threads per process).
+class RpcServer {
+ public:
+  /// Produces the reply frame for one request frame. The handler sees
+  /// every message type, kHello and kPing included; it should answer
+  /// unknown types with EncodeError(Status::NotImplemented(...)).
+  using Handler = std::function<Frame(const Frame&)>;
+
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port, readable via port() after Start.
+    uint16_t port = 0;
+    /// Per-syscall write timeout towards a client.
+    int write_timeout_millis = 30000;
+  };
+
+  static Result<std::unique_ptr<RpcServer>> Start(const Options& options,
+                                                  Handler handler);
+
+  ~RpcServer();
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Idempotent; joins the serving thread.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  const std::string& bind_address() const { return options_.bind_address; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameDecoder decoder;
+  };
+
+  RpcServer(Options options, Handler handler);
+  Status Bind();
+  void Loop();
+  /// Drains readable bytes from one connection, dispatching every
+  /// complete frame. Returns false when the connection should close.
+  bool ServeReadable(Conn* conn);
+
+  Options options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace mbq::rpc
+
+#endif  // MBQ_RPC_SERVER_H_

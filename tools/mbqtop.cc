@@ -3,7 +3,8 @@
 // checkdb --serve, or MBQ_STATS_PORT).
 //
 //   ./mbqtop [--host=H] [--port=N] [--interval=SECONDS] [--once]
-//   ./mbqtop --get=/metrics [--port=N]
+//   ./mbqtop --get=<endpoint> [--port=N]   # /metrics, /metrics.json,
+//                                          # /queries, /slow, /trace
 //
 // Polls /metrics.json, /queries and /slow and renders a refreshing
 // terminal view: throughput (from the active-query registry's started
@@ -273,8 +274,9 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   if (options->port == 0) {
     std::fprintf(stderr,
                  "usage: mbqtop [--host=H] --port=N [--interval=S] [--once]\n"
-                 "       mbqtop --get=/metrics --port=N\n"
-                 "(--port defaults to the MBQ_STATS_PORT environment "
+                 "       mbqtop --get=<endpoint> --port=N\n"
+                 "(endpoints: /metrics /metrics.json /queries /slow /trace;\n"
+                 " --port defaults to the MBQ_STATS_PORT environment "
                  "variable)\n");
     return false;
   }
