@@ -102,6 +102,12 @@ void ApplyThreads(Testbed& bed, uint32_t threads) {
 
 namespace {
 
+bool IsOnOff(const char* value) {
+  return std::strcmp(value, "on") == 0 || std::strcmp(value, "1") == 0 ||
+         std::strcmp(value, "true") == 0 || std::strcmp(value, "off") == 0 ||
+         std::strcmp(value, "0") == 0 || std::strcmp(value, "false") == 0;
+}
+
 /// on/off/1/0/true/false; anything else keeps `fallback` and warns.
 bool ParseOnOff(const char* flag, const char* value, bool fallback) {
   if (std::strcmp(value, "on") == 0 || std::strcmp(value, "1") == 0 ||
@@ -132,16 +138,87 @@ const char* FlagValue(int argc, char** argv, const char* flag) {
 
 }  // namespace
 
+namespace {
+
+void MarkBad(BenchOptions* options, const char* flag, const char* value,
+             const char* expected) {
+  if (options->ok) {
+    options->ok = false;
+    options->error = std::string("bad ") + flag + " value '" + value +
+                     "' (expected " + expected + ")";
+  }
+}
+
+}  // namespace
+
 BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions options;
   options.threads = BenchThreads(argc, argv);
+  // BenchThreads already fell back past a bad value; re-check it here so
+  // strict callers can reject instead.
+  if (const char* v = FlagValue(argc, argv, "--threads")) {
+    char* end = nullptr;
+    unsigned long t = std::strtoul(v, &end, 10);
+    if (end == v || *end != '\0' || t < 1 || t > 256) {
+      MarkBad(&options, "--threads", v, "an integer in [1, 256]");
+      // BenchThreads may have accepted a numeric prefix ("4x" -> 4);
+      // malformed values must leave the field at its default.
+      options.threads = 1;
+    }
+  }
   if (const char* v = FlagValue(argc, argv, "--result-cache")) {
+    if (!IsOnOff(v)) {
+      MarkBad(&options, "--result-cache", v, "on|off");
+    }
     options.result_cache = ParseOnOff("--result-cache", v, false);
   }
   if (const char* v = FlagValue(argc, argv, "--adj-cache")) {
+    if (!IsOnOff(v)) {
+      MarkBad(&options, "--adj-cache", v, "on|off");
+    }
     options.adj_cache = ParseOnOff("--adj-cache", v, false);
   }
   return options;
+}
+
+BenchOptions ParseBenchOptionsOrDie(int argc, char** argv) {
+  BenchOptions options = ParseBenchOptions(argc, argv);
+  ServeFlag serve = ParseServeFlag(argc, argv);
+  if (!serve.ok && options.ok) {
+    options.ok = false;
+    options.error = serve.error;
+  }
+  if (!options.ok) {
+    std::fprintf(stderr,
+                 "%s: %s\nusage: [--threads N] [--result-cache on|off] "
+                 "[--adj-cache on|off] [--serve[=PORT]] "
+                 "[--metrics-out FILE]\n",
+                 argc > 0 ? argv[0] : "bench", options.error.c_str());
+    std::exit(2);
+  }
+  return options;
+}
+
+ServeFlag ParseServeFlag(int argc, char** argv) {
+  ServeFlag flag;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      flag.serve = true;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      const char* value = argv[i] + 8;
+      char* end = nullptr;
+      unsigned long v = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0' || v > 65535) {
+        flag.ok = false;
+        flag.error = std::string("bad --serve value '") + value +
+                     "' (expected a port in [0, 65535])";
+      } else {
+        flag.serve = true;
+        flag.port = static_cast<uint16_t>(v);
+      }
+    }
+  }
+  return flag;
 }
 
 void ApplyBenchOptions(Testbed& bed, const BenchOptions& options) {
@@ -158,27 +235,20 @@ void ApplyBenchOptions(Testbed& bed, const BenchOptions& options) {
 }
 
 MetricsExportGuard::MetricsExportGuard(int argc, char** argv) {
-  bool serve = false;
-  uint16_t serve_port = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       path_ = argv[i + 1];
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       path_ = argv[i] + 14;
-    } else if (std::strcmp(argv[i], "--serve") == 0) {
-      serve = true;
-    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
-      const char* value = argv[i] + 8;
-      char* end = nullptr;
-      unsigned long v = std::strtoul(value, &end, 10);
-      if (end == value || *end != '\0' || v > 65535) {
-        std::fprintf(stderr, "ignoring bad --serve value: %s\n", value);
-      } else {
-        serve = true;
-        serve_port = static_cast<uint16_t>(v);
-      }
     }
   }
+  ServeFlag serve_flag = ParseServeFlag(argc, argv);
+  if (!serve_flag.ok) {
+    std::fprintf(stderr, "%s\n", serve_flag.error.c_str());
+    std::exit(2);
+  }
+  bool serve = serve_flag.serve;
+  uint16_t serve_port = serve_flag.port;
   if (serve) {
     obs::ServeOptions options;
     options.port = serve_port;

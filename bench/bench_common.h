@@ -50,6 +50,12 @@ struct BenchOptions {
   bool adj_cache = false;
   size_t result_cache_capacity = 256;
   size_t adj_cache_capacity = 4096;
+  /// False when a flag value was malformed; `error` names the first
+  /// offender. Malformed values still leave the field at its default,
+  /// so callers that ignore `ok` keep the old warn-and-continue
+  /// behaviour.
+  bool ok = true;
+  std::string error;
 };
 
 /// Scale factor: number of users in the synthetic crawl. Overridable with
@@ -75,8 +81,24 @@ uint32_t BenchThreads(int argc, char** argv);
 
 /// Parses the whole shared bench flag surface (threads via BenchThreads,
 /// `--result-cache` / `--adj-cache` with on/off/1/0/true/false values).
-/// Unknown flags are left for the bench's own parsing.
+/// Unknown flags are left for the bench's own parsing. Malformed values
+/// set `ok = false` and `error` but still return usable defaults.
 BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// ParseBenchOptions, but malformed values are fatal: prints the error
+/// and a usage hint to stderr and exits with status 2 (the conventional
+/// bad-usage code, distinct from a failed run's 1).
+BenchOptions ParseBenchOptionsOrDie(int argc, char** argv);
+
+/// The `--serve` / `--serve=PORT` flag, parsed on its own so the logic
+/// is unit-testable away from MetricsExportGuard's side effects.
+struct ServeFlag {
+  bool serve = false;
+  uint16_t port = 0;  ///< 0 = ephemeral
+  bool ok = true;
+  std::string error;
+};
+ServeFlag ParseServeFlag(int argc, char** argv);
 
 /// Applies `options` to both engines: thread count everywhere, result +
 /// adjacency caches on the Cypher session, adjacency cache on the bitmap

@@ -105,6 +105,6 @@ void Run(const BenchOptions& options) {
 
 int main(int argc, char** argv) {
   mbq::bench::MetricsExportGuard metrics(argc, argv);
-  mbq::bench::Run(mbq::bench::ParseBenchOptions(argc, argv));
+  mbq::bench::Run(mbq::bench::ParseBenchOptionsOrDie(argc, argv));
   return 0;
 }

@@ -61,6 +61,10 @@ echo "== cluster smoke (2 shards + aggregator, TSan binaries) =="
 TSAN_OPTIONS="halt_on_error=1" \
   scripts/cluster_local.sh build-tsan/tools/mbqd 2 400
 
+echo "== driver smoke (open-loop load driver, TSan binaries) =="
+TSAN_OPTIONS="halt_on_error=1" \
+  scripts/driver_smoke.sh build-tsan/tools/mbqbench build-tsan/tools/mbqd
+
 if [ "$run_asan" -eq 1 ]; then
   echo "== AddressSanitizer build (build-asan/) =="
   cmake -B build-asan -S . -DSANITIZE=address >/dev/null

@@ -1,0 +1,282 @@
+#include "bench/driver.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace mbq::bench::driver {
+
+namespace {
+
+constexpr double kNanosPerSecond = 1e9;
+
+// A request counts as late only when it missed its intended time by
+// more than this. OS sleep granularity wakes a real clock a few tens of
+// microseconds past every deadline; with no (or tiny) slack, "late" reads
+// 100% at any rate and carry no signal.
+constexpr uint64_t kLateSlackNanos = 1000 * 1000;
+
+uint64_t ExponentialGapNanos(Rng& rng, double mean_nanos) {
+  // Inverse-CDF draw; NextDouble() < 1 keeps the log argument positive.
+  double u = rng.NextDouble();
+  double gap = -std::log(1.0 - u) * mean_nanos;
+  return static_cast<uint64_t>(gap);
+}
+
+}  // namespace
+
+uint64_t SteadyDriverClock::NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SteadyDriverClock::SleepUntilNanos(uint64_t deadline_nanos) {
+  std::chrono::steady_clock::time_point deadline{
+      std::chrono::nanoseconds(deadline_nanos)};
+  if (std::chrono::steady_clock::now() >= deadline) return;
+  std::this_thread::sleep_until(deadline);
+}
+
+Result<Arrival> ParseArrival(const std::string& name) {
+  if (name == "uniform") return Arrival::kUniform;
+  if (name == "poisson") return Arrival::kPoisson;
+  return Status::InvalidArgument("unknown arrival process '" + name +
+                                 "' (expected uniform|poisson)");
+}
+
+const char* ArrivalName(Arrival arrival) {
+  return arrival == Arrival::kUniform ? "uniform" : "poisson";
+}
+
+struct LoadDriver::ClientResult {
+  std::vector<TemplateReport> templates;  // mix order
+  LatencyHistogram latency_micros;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t late = 0;
+  uint64_t last_completion_nanos = 0;
+  std::vector<RecordedCall> calls;
+};
+
+LoadDriver::LoadDriver(core::MicroblogEngine* engine, const WorkloadMix& mix,
+                       const core::ParamUniverse& universe,
+                       const DriverOptions& options, DriverClock* clock)
+    : engine_(engine),
+      mix_(mix),
+      universe_(universe),
+      options_(options),
+      clock_(clock) {
+  if (clock_ == nullptr) {
+    owned_clock_ = std::make_unique<SteadyDriverClock>();
+    clock_ = owned_clock_.get();
+  }
+}
+
+void LoadDriver::RunClient(uint32_t client, ClientResult* result) {
+  result->templates.resize(mix_.entries.size());
+  for (size_t i = 0; i < mix_.entries.size(); ++i) {
+    result->templates[i].name = mix_.entries[i].template_name;
+  }
+
+  CallStream stream(mix_, universe_, options_.seed, client);
+  // The schedule rng is separate from the parameter stream so Poisson
+  // gap draws never perturb which calls get issued.
+  Rng schedule_rng(options_.seed * 0x9E3779B97F4A7C15ull + 0x5C4EDull +
+                   client);
+
+  const double per_client_rate = options_.rate_qps / options_.clients;
+  const double mean_gap_nanos = kNanosPerSecond / per_client_rate;
+  const uint64_t base = clock_->NowNanos();
+  const uint64_t horizon =
+      options_.duration_seconds > 0
+          ? base + static_cast<uint64_t>(options_.duration_seconds *
+                                         kNanosPerSecond)
+          : UINT64_MAX;
+  uint64_t quota = UINT64_MAX;
+  if (options_.max_requests > 0) {
+    quota = options_.max_requests / options_.clients +
+            (client < options_.max_requests % options_.clients ? 1 : 0);
+  }
+  // Uniform clients are phase-shifted by one inter-arrival gap at the
+  // *aggregate* rate so the superposed stream is evenly spaced, not
+  // `clients` coincident bursts.
+  const uint64_t phase = static_cast<uint64_t>(
+      client * (kNanosPerSecond / options_.rate_qps));
+
+  uint64_t seq = 0;
+  uint64_t intended = base + phase;
+  if (options_.arrival == Arrival::kPoisson) {
+    intended = base + ExponentialGapNanos(schedule_rng, mean_gap_nanos);
+  }
+  while (seq < quota && intended < horizon) {
+    // Materialize the call before sleeping: parameter generation cost
+    // must not eat into the schedule.
+    auto [entry_index, spec] = stream.Next();
+    clock_->SleepUntilNanos(intended);
+    uint64_t sent = clock_->NowNanos();
+    bool late = sent > intended + kLateSlackNanos;
+
+    Result<core::CallOutcome> outcome = core::DispatchCall(*engine_, spec);
+    uint64_t done = clock_->NowNanos();
+    result->last_completion_nanos =
+        std::max(result->last_completion_nanos, done);
+
+    // Coordinated-omission correction: latency is charged from the
+    // intended send time, so time spent queued behind a stalled engine
+    // counts against the tail.
+    uint64_t latency_micros = (done - intended) / 1000;
+    TemplateReport& tr = result->templates[entry_index];
+    tr.requests += 1;
+    result->requests += 1;
+    if (late) {
+      tr.late += 1;
+      result->late += 1;
+    }
+    if (outcome.ok()) {
+      tr.latency_micros.Record(latency_micros);
+      result->latency_micros.Record(latency_micros);
+    } else {
+      tr.errors += 1;
+      result->errors += 1;
+    }
+    if (options_.record_outcomes) {
+      RecordedCall rec;
+      rec.client = client;
+      rec.seq = seq;
+      rec.entry_index = entry_index;
+      rec.spec = spec;
+      rec.status = outcome.ok() ? Status::OK() : outcome.status();
+      if (outcome.ok()) rec.outcome = *outcome;
+      result->calls.push_back(std::move(rec));
+    }
+
+    ++seq;
+    if (options_.arrival == Arrival::kPoisson) {
+      intended += ExponentialGapNanos(schedule_rng, mean_gap_nanos);
+    } else {
+      intended = base + phase +
+                 static_cast<uint64_t>(static_cast<double>(seq) *
+                                       mean_gap_nanos);
+    }
+  }
+}
+
+Result<DriverReport> LoadDriver::Run() {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument("driver: engine is null");
+  }
+  if (mix_.entries.empty()) {
+    return Status::InvalidArgument("driver: empty workload mix");
+  }
+  if (!(options_.rate_qps > 0)) {
+    return Status::InvalidArgument("driver: rate must be > 0");
+  }
+  if (options_.clients == 0) {
+    return Status::InvalidArgument("driver: clients must be >= 1");
+  }
+  if (options_.duration_seconds <= 0 && options_.max_requests == 0) {
+    return Status::InvalidArgument(
+        "driver: need a duration or a request cap");
+  }
+
+  const uint64_t base = clock_->NowNanos();
+  std::vector<ClientResult> results(options_.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(options_.clients);
+  for (uint32_t c = 0; c < options_.clients; ++c) {
+    threads.emplace_back([this, c, &results] { RunClient(c, &results[c]); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  DriverReport report;
+  report.rate_qps = options_.rate_qps;
+  report.templates.resize(mix_.entries.size());
+  for (size_t i = 0; i < mix_.entries.size(); ++i) {
+    report.templates[i].name = mix_.entries[i].template_name;
+  }
+  uint64_t last_completion = base;
+  for (ClientResult& r : results) {
+    report.requests += r.requests;
+    report.errors += r.errors;
+    report.late += r.late;
+    report.latency_micros.Merge(r.latency_micros);
+    for (size_t i = 0; i < report.templates.size(); ++i) {
+      TemplateReport& dst = report.templates[i];
+      const TemplateReport& src = r.templates[i];
+      dst.requests += src.requests;
+      dst.errors += src.errors;
+      dst.late += src.late;
+      dst.latency_micros.Merge(src.latency_micros);
+    }
+    last_completion = std::max(last_completion, r.last_completion_nanos);
+    if (options_.record_outcomes) {
+      report.calls.insert(report.calls.end(),
+                          std::make_move_iterator(r.calls.begin()),
+                          std::make_move_iterator(r.calls.end()));
+    }
+  }
+  report.wall_seconds =
+      static_cast<double>(last_completion - base) / kNanosPerSecond;
+  report.achieved_qps = report.wall_seconds > 0
+                            ? static_cast<double>(report.requests) /
+                                  report.wall_seconds
+                            : 0;
+  return report;
+}
+
+DriverMetricsPublisher::DriverMetricsPublisher(obs::MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Default()) {
+  // One provider for the publisher's whole lifetime. The registry sums
+  // retained gauges across unregisters, so re-registering per Publish
+  // would double-count a rate sweep's qps gauges.
+  provider_ = obs::ScopedProvider(registry_, [this](obs::MetricsSink* sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!has_report_) return;
+    sink->Gauge("driver.qps", last_.achieved_qps, "1/s");
+    sink->Gauge("driver.rate_target_qps", last_.rate_qps, "1/s");
+    for (const TemplateReport& tr : last_.templates) {
+      if (last_.wall_seconds > 0) {
+        sink->Gauge("driver." + tr.name + ".qps",
+                    static_cast<double>(tr.requests) / last_.wall_seconds,
+                    "1/s");
+      }
+    }
+  });
+}
+
+void DriverMetricsPublisher::Publish(const DriverReport& report) {
+  registry_->GetCounter("driver.requests", "1", "load-driver requests issued")
+      ->Inc(report.requests);
+  registry_->GetCounter("driver.errors", "1", "load-driver failed requests")
+      ->Inc(report.errors);
+  registry_
+      ->GetCounter("driver.late", "1",
+                   "requests issued after their intended send time")
+      ->Inc(report.late);
+  auto replay = [](obs::Histogram* hist, const LatencyHistogram& src) {
+    src.ForEachBucket([hist](uint64_t value, uint64_t count) {
+      for (uint64_t i = 0; i < count; ++i) hist->Record(value);
+    });
+  };
+  replay(registry_->GetHistogram(
+             "driver.latency_micros", "us",
+             "end-to-end latency from intended send time (CO-safe)"),
+         report.latency_micros);
+  for (const TemplateReport& tr : report.templates) {
+    replay(registry_->GetHistogram("driver." + tr.name + ".latency_micros",
+                                   "us",
+                                   "per-template CO-safe latency"),
+           tr.latency_micros);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keep per-template rows from earlier reports visible in the gauge
+  // provider only via the latest report; counters above are cumulative.
+  last_ = report;
+  last_.calls.clear();
+  has_report_ = true;
+}
+
+}  // namespace mbq::bench::driver

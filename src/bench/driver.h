@@ -1,0 +1,183 @@
+#ifndef MBQ_BENCH_DRIVER_H_
+#define MBQ_BENCH_DRIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/hist.h"
+#include "bench/mix.h"
+#include "core/calls.h"
+#include "core/engine.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace mbq::bench::driver {
+
+/// The driver's time source. Client threads need both "what time is
+/// it" and "block until t"; tests inject a fake where SleepUntilNanos
+/// jumps the clock forward and the fake engine charges service time by
+/// advancing it, making pacing and coordinated-omission accounting
+/// fully deterministic.
+class DriverClock {
+ public:
+  virtual ~DriverClock() = default;
+  virtual uint64_t NowNanos() = 0;
+  /// Returns at or after `deadline_nanos`; immediately when already
+  /// past.
+  virtual void SleepUntilNanos(uint64_t deadline_nanos) = 0;
+};
+
+/// Real time: steady_clock + sleep_until.
+class SteadyDriverClock final : public DriverClock {
+ public:
+  uint64_t NowNanos() override;
+  void SleepUntilNanos(uint64_t deadline_nanos) override;
+};
+
+/// Deterministic test clock. Thread-safe: the driver client sleeps by
+/// jumping the clock to the deadline; a fake engine models service
+/// time with AdvanceNanos.
+class FakeDriverClock final : public DriverClock {
+ public:
+  uint64_t NowNanos() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void SleepUntilNanos(uint64_t deadline_nanos) override {
+    uint64_t now = now_.load(std::memory_order_relaxed);
+    while (now < deadline_nanos &&
+           !now_.compare_exchange_weak(now, deadline_nanos,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  void AdvanceNanos(uint64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_{0};
+};
+
+/// Request arrival process. Open-loop either way: intended send times
+/// never depend on when earlier responses came back.
+enum class Arrival {
+  kUniform,  ///< evenly spaced at the target rate
+  kPoisson,  ///< exponential gaps (memoryless, the honest default)
+};
+
+Result<Arrival> ParseArrival(const std::string& name);
+const char* ArrivalName(Arrival arrival);
+
+struct DriverOptions {
+  double rate_qps = 1000;      ///< total across all clients
+  uint32_t clients = 4;        ///< client threads
+  double duration_seconds = 5; ///< intended-time horizon (see below)
+  /// Cap on total issued requests; 0 = horizon only. Split across
+  /// clients round-robin (client c issues ceil/floor so the caps sum).
+  uint64_t max_requests = 0;
+  Arrival arrival = Arrival::kPoisson;
+  uint64_t seed = 1;
+  /// Record every call's spec and outcome (differential testing).
+  bool record_outcomes = false;
+};
+
+/// One issued request, kept only under record_outcomes.
+struct RecordedCall {
+  uint32_t client = 0;
+  uint64_t seq = 0;  ///< per-client sequence number
+  size_t entry_index = 0;
+  core::CallSpec spec;
+  Status status;
+  core::CallOutcome outcome;  ///< valid when status.ok()
+};
+
+/// Per-template results. Latencies are coordinated-omission-safe: each
+/// sample is (completion time - *intended* send time) in microseconds,
+/// so a stalled engine inflates the recorded tail exactly as it would
+/// inflate a real client's wait, instead of silently de-scheduling the
+/// requests that would have queued behind the stall.
+struct TemplateReport {
+  std::string name;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t late = 0;  ///< issued after their intended time
+  LatencyHistogram latency_micros;
+};
+
+struct DriverReport {
+  double rate_qps = 0;       ///< target
+  double wall_seconds = 0;   ///< first intended send to last completion
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t late = 0;
+  double achieved_qps = 0;
+  LatencyHistogram latency_micros;         ///< all templates merged
+  std::vector<TemplateReport> templates;   ///< mix order
+  std::vector<RecordedCall> calls;         ///< when record_outcomes
+};
+
+/// The open-loop load driver. Run() spawns `clients` threads; each
+/// follows its own deterministic schedule (the superposition meets the
+/// target rate), issues calls from its CallStream and records into
+/// thread-local histograms which Run() merges into the report.
+///
+/// Scheduling is open-loop: a client computes request j's intended
+/// send time from the arrival process alone, sleeps until then, and
+/// charges the latency from the intended time even when the previous
+/// request overran (the coordinated-omission correction). The run
+/// covers every request whose intended time falls inside the horizon,
+/// so a saturated engine takes longer than duration_seconds of wall
+/// time rather than quietly dropping load.
+class LoadDriver {
+ public:
+  /// `engine` and `universe` are borrowed and must outlive the driver.
+  /// `clock` is borrowed too; null uses a process-wide SteadyDriverClock.
+  LoadDriver(core::MicroblogEngine* engine, const WorkloadMix& mix,
+             const core::ParamUniverse& universe,
+             const DriverOptions& options, DriverClock* clock = nullptr);
+
+  Result<DriverReport> Run();
+
+ private:
+  struct ClientResult;
+  void RunClient(uint32_t client, ClientResult* result);
+
+  core::MicroblogEngine* engine_;
+  WorkloadMix mix_;
+  const core::ParamUniverse& universe_;
+  DriverOptions options_;
+  DriverClock* clock_;
+  std::unique_ptr<DriverClock> owned_clock_;
+};
+
+/// Publishes driver reports to a metrics registry (default registry
+/// when null):
+///  - counters `driver.requests` / `driver.errors` / `driver.late`;
+///  - histograms `driver.latency_micros` and
+///    `driver.<template>.latency_micros`, replayed bucket-exact from
+///    the report;
+///  - gauges `driver.qps`, `driver.rate_target_qps` and
+///    `driver.<template>.qps` via a live provider reflecting the most
+///    recent report (a rate sweep exports its last point).
+/// Keep the publisher alive until metrics are exported; its provider
+/// retains final values on destruction.
+class DriverMetricsPublisher {
+ public:
+  explicit DriverMetricsPublisher(obs::MetricsRegistry* registry = nullptr);
+
+  void Publish(const DriverReport& report);
+
+ private:
+  obs::MetricsRegistry* registry_;
+  std::mutex mu_;
+  DriverReport last_;
+  bool has_report_ = false;
+  obs::ScopedProvider provider_;
+};
+
+}  // namespace mbq::bench::driver
+
+#endif  // MBQ_BENCH_DRIVER_H_

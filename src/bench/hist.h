@@ -1,0 +1,106 @@
+#ifndef MBQ_BENCH_HIST_H_
+#define MBQ_BENCH_HIST_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+
+namespace mbq::bench::driver {
+
+/// A plain (non-atomic) log-linear latency histogram with the exact
+/// bucket layout of obs::Histogram — each power-of-two segment split
+/// into 32 sub-buckets, ~3% relative quantile error. Each driver client
+/// thread records into its own instance; the coordinator merges them
+/// after the run (Merge is exact: buckets add). Replaying a merged
+/// histogram into an obs::Histogram via ForEachBucket lands every count
+/// in the same bucket it came from, so the exported percentiles match.
+class LatencyHistogram {
+ public:
+  static constexpr uint32_t kSubBits = 5;
+  static constexpr uint32_t kSub = 1u << kSubBits;  // 32
+  static constexpr uint32_t kNumBuckets = kSub + (64 - kSubBits) * kSub;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)] += 1;
+    count_ += 1;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (uint32_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0 : static_cast<double>(sum_) / count_;
+  }
+
+  /// Value at quantile `q` in [0, 1], linearly interpolated within the
+  /// containing bucket. 0 when empty.
+  double Quantile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    double target = q * static_cast<double>(count_);
+    double cum = 0;
+    for (uint32_t i = 0; i < kNumBuckets; ++i) {
+      uint64_t in_bucket = buckets_[i];
+      if (in_bucket == 0) continue;
+      if (cum + static_cast<double>(in_bucket) >= target) {
+        double frac = (target - cum) / static_cast<double>(in_bucket);
+        return static_cast<double>(BucketLow(i)) +
+               frac * static_cast<double>(BucketWidth(i));
+      }
+      cum += static_cast<double>(in_bucket);
+    }
+    return static_cast<double>(max_);
+  }
+
+  /// Visits every non-empty bucket as (representative value, count).
+  /// The representative is the bucket's inclusive lower bound.
+  void ForEachBucket(
+      const std::function<void(uint64_t value, uint64_t count)>& fn) const {
+    for (uint32_t i = 0; i < kNumBuckets; ++i) {
+      if (buckets_[i] != 0) fn(BucketLow(i), buckets_[i]);
+    }
+  }
+
+ private:
+  static uint32_t BucketIndex(uint64_t value) {
+    if (value < kSub) return static_cast<uint32_t>(value);
+    uint32_t s = 63 - static_cast<uint32_t>(std::countl_zero(value));
+    uint32_t sub =
+        static_cast<uint32_t>(value >> (s - kSubBits)) - kSub;  // [0, kSub)
+    uint32_t index = kSub + (s - kSubBits) * kSub + sub;
+    return std::min(index, kNumBuckets - 1);
+  }
+  static uint64_t BucketLow(uint32_t index) {
+    if (index < kSub) return index;
+    uint32_t seg = (index - kSub) / kSub;
+    uint32_t sub = (index - kSub) % kSub;
+    return static_cast<uint64_t>(kSub + sub) << seg;
+  }
+  static uint64_t BucketWidth(uint32_t index) {
+    if (index < kSub) return 1;
+    return uint64_t{1} << ((index - kSub) / kSub);
+  }
+
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace mbq::bench::driver
+
+#endif  // MBQ_BENCH_HIST_H_

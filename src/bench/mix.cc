@@ -1,0 +1,286 @@
+#include "bench/mix.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace mbq::bench::driver {
+
+using core::CallKind;
+using core::CallSpec;
+
+const std::vector<TemplateInfo>& Templates() {
+  // hops: 0 = honour the mix entry; non-zero pins the template's bound.
+  static const std::vector<TemplateInfo>* kTemplates =
+      new std::vector<TemplateInfo>{
+          {"select_users", CallKind::kSelectUsers, false, false, false, false,
+           true, 0, "Q1.1: users above a follower-count threshold"},
+          {"followees", CallKind::kFollowees, true, false, false, false, false,
+           0, "Q2.1: adjacency read, all followees of a user"},
+          {"tweets_of_followees", CallKind::kTweetsOfFollowees, true, false,
+           false, false, false, 0, "Q2.2: tweets posted by followees"},
+          {"hashtags_of_followees", CallKind::kHashtagsOfFollowees, true,
+           false, false, false, false, 0, "Q2.3: hashtags used by followees"},
+          {"co_mentioned", CallKind::kTopCoMentioned, true, false, false, true,
+           false, 0, "Q3.1: top-n co-mentioned users"},
+          {"co_tags", CallKind::kTopCoTags, false, false, true, true, false, 0,
+           "Q3.2: top-n co-occurring hashtags"},
+          {"rec_followees", CallKind::kRecFollowees, true, false, false, true,
+           false, 0, "Q4.1: recommend followees of followees"},
+          {"rec_followers", CallKind::kRecFollowers, true, false, false, true,
+           false, 0, "Q4.2: recommend followers of followees"},
+          {"influence_current", CallKind::kCurrentInfluence, true, false,
+           false, true, false, 0, "Q5.1: mentioners who already follow"},
+          {"influence_potential", CallKind::kPotentialInfluence, true, false,
+           false, true, false, 0, "Q5.2: mentioners who do not follow"},
+          {"shortest_path", CallKind::kShortestPath, false, true, false,
+           false, false, 0, "Q6.1: bounded follows-path between two users"},
+          // TAO/LinkBench assoc shapes, mapped onto the same surface
+          // (docs/BENCHMARKS.md documents the mapping).
+          {"assoc_range", CallKind::kFollowees, true, false, false, false,
+           false, 0, "TAO assoc_range(follows, uid): the adjacency list"},
+          {"assoc_count", CallKind::kFollowees, true, false, false, false,
+           false, 0, "TAO assoc_count(follows, uid): adjacency cardinality"},
+          {"obj_get", CallKind::kFollowees, true, false, false, false, false,
+           0, "TAO obj_get(uid): point read of one user's edge header"},
+          {"assoc_get", CallKind::kShortestPath, false, true, false, false,
+           false, 1, "TAO assoc_get(follows, a, b): edge-existence check"},
+      };
+  return *kTemplates;
+}
+
+const TemplateInfo* FindTemplate(const std::string& name) {
+  for (const TemplateInfo& info : Templates()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status MixError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("mix line " + std::to_string(line_no) + ": " +
+                                 what);
+}
+
+Result<Dist> ParseDist(const std::string& value) {
+  if (value == "uniform") return Dist::kUniform;
+  if (value == "zipf") return Dist::kZipf;
+  return Status::InvalidArgument("expected uniform|zipf, got '" + value + "'");
+}
+
+Result<int64_t> ParseInt(const std::string& value) {
+  char* end = nullptr;
+  long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("expected an integer, got '" + value + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Result<WorkloadMix> ParseMix(const std::string& text,
+                             const std::string& name) {
+  WorkloadMix mix;
+  mix.name = name;
+  std::istringstream lines(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    // Strip comments, then tokenize on whitespace.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string template_name;
+    if (!(tokens >> template_name)) continue;  // blank / comment-only
+
+    const TemplateInfo* info = FindTemplate(template_name);
+    if (info == nullptr) {
+      return MixError(line_no, "unknown template '" + template_name + "'");
+    }
+    MixEntry entry;
+    entry.template_name = template_name;
+
+    std::string weight_token;
+    if (!(tokens >> weight_token)) {
+      return MixError(line_no, "missing weight after '" + template_name + "'");
+    }
+    char* end = nullptr;
+    entry.weight = std::strtod(weight_token.c_str(), &end);
+    if (end == weight_token.c_str() || *end != '\0' ||
+        !(entry.weight > 0) || !(entry.weight < 1e12)) {
+      return MixError(line_no, "bad weight '" + weight_token +
+                                   "' (must be a positive number)");
+    }
+
+    std::string kv;
+    while (tokens >> kv) {
+      size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        return MixError(line_no, "expected key=value, got '" + kv + "'");
+      }
+      std::string key = kv.substr(0, eq);
+      std::string value = kv.substr(eq + 1);
+      if (key == "uid") {
+        Result<Dist> dist = ParseDist(value);
+        if (!dist.ok()) return MixError(line_no, dist.status().message());
+        entry.uid_dist = *dist;
+      } else if (key == "tag") {
+        Result<Dist> dist = ParseDist(value);
+        if (!dist.ok()) return MixError(line_no, dist.status().message());
+        entry.tag_dist = *dist;
+      } else if (key == "n") {
+        Result<int64_t> v = ParseInt(value);
+        if (!v.ok()) return MixError(line_no, v.status().message());
+        if (*v < 1) return MixError(line_no, "n must be >= 1");
+        entry.n = *v;
+      } else if (key == "threshold") {
+        Result<int64_t> v = ParseInt(value);
+        if (!v.ok()) return MixError(line_no, v.status().message());
+        entry.threshold = *v;
+      } else if (key == "hops") {
+        Result<int64_t> v = ParseInt(value);
+        if (!v.ok()) return MixError(line_no, v.status().message());
+        if (*v < 1 || *v > 16) {
+          return MixError(line_no, "hops must be in [1, 16]");
+        }
+        entry.max_hops = static_cast<uint32_t>(*v);
+      } else {
+        return MixError(line_no, "unknown key '" + key + "'");
+      }
+    }
+    mix.entries.push_back(std::move(entry));
+  }
+  if (mix.entries.empty()) {
+    return Status::InvalidArgument("mix '" + name + "' has no entries");
+  }
+  return mix;
+}
+
+std::string FormatMix(const WorkloadMix& mix) {
+  std::string out = "# mix: " + mix.name + "\n";
+  for (const MixEntry& e : mix.entries) {
+    const TemplateInfo* info = FindTemplate(e.template_name);
+    char weight[64];
+    std::snprintf(weight, sizeof(weight), "%g", e.weight);
+    out += e.template_name + " " + weight;
+    if (info != nullptr) {
+      if (info->uses_uid || info->uses_pair) {
+        out += std::string(" uid=") +
+               (e.uid_dist == Dist::kZipf ? "zipf" : "uniform");
+      }
+      if (info->uses_tag) {
+        out += std::string(" tag=") +
+               (e.tag_dist == Dist::kZipf ? "zipf" : "uniform");
+      }
+      if (info->uses_n) out += " n=" + std::to_string(e.n);
+      if (info->uses_threshold && e.threshold >= 0) {
+        out += " threshold=" + std::to_string(e.threshold);
+      }
+      if (info->kind == CallKind::kShortestPath && info->fixed_hops == 0) {
+        out += " hops=" + std::to_string(e.max_hops);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<WorkloadMix> BuiltinSuite(const std::string& name) {
+  // LDBC SNB Interactive-style: dominated by short reads (profile /
+  // friends / posts-of-friends lookups) with a tail of navigational
+  // complex reads — IC1-like friend recommendation, IC13-like shortest
+  // path — mapped onto the Table 2 surface. Weights follow the SNB
+  // interactive short/complex split (short reads outnumber complex
+  // reads roughly 4:1).
+  static const char* kLdbc =
+      "followees            25 uid=uniform\n"
+      "tweets_of_followees  20 uid=uniform\n"
+      "hashtags_of_followees 8 uid=uniform\n"
+      "obj_get              15 uid=uniform\n"
+      "co_mentioned          6 uid=zipf n=10\n"
+      "co_tags               5 tag=zipf n=10\n"
+      "rec_followees         8 uid=uniform n=10\n"
+      "rec_followers         4 uid=uniform n=10\n"
+      "influence_current     3 uid=zipf n=10\n"
+      "influence_potential   2 uid=zipf n=10\n"
+      "shortest_path         3 uid=uniform hops=3\n"
+      "select_users          1\n";
+  // TAO/LinkBench assoc-style: the published TAO read mix —
+  // assoc_range 40.9%, obj_get 28.9%, assoc_get 15.7%, assoc_count
+  // 11.7% — renormalized over the four read shapes. Association reads
+  // hit popular users (zipf), point reads are uniform.
+  static const char* kTao =
+      "assoc_range  42 uid=zipf\n"
+      "obj_get      30 uid=uniform\n"
+      "assoc_get    16 uid=zipf\n"
+      "assoc_count  12 uid=zipf\n";
+  if (name == "ldbc") return ParseMix(kLdbc, "ldbc");
+  if (name == "tao") return ParseMix(kTao, "tao");
+  return Status::InvalidArgument("unknown suite '" + name +
+                                 "' (builtin: ldbc, tao)");
+}
+
+std::vector<std::string> BuiltinSuiteNames() { return {"ldbc", "tao"}; }
+
+MixSampler::MixSampler(const WorkloadMix& mix) {
+  double total = 0;
+  cumulative_.reserve(mix.entries.size());
+  for (const MixEntry& e : mix.entries) {
+    total += e.weight;
+    cumulative_.push_back(total);
+  }
+}
+
+size_t MixSampler::Pick(Rng& rng) const {
+  if (cumulative_.empty()) return 0;
+  double target = rng.NextDouble() * cumulative_.back();
+  for (size_t i = 0; i < cumulative_.size(); ++i) {
+    if (target < cumulative_[i]) return i;
+  }
+  return cumulative_.size() - 1;
+}
+
+core::CallSpec MaterializeCall(const MixEntry& entry,
+                               const core::ParamUniverse& universe,
+                               Rng& rng) {
+  const TemplateInfo* info = FindTemplate(entry.template_name);
+  CallSpec spec;
+  if (info == nullptr) return spec;
+  spec.kind = info->kind;
+  bool zipf_uid = entry.uid_dist == Dist::kZipf;
+  if (info->uses_pair) {
+    auto [a, b] = universe.SampleUidPair(rng, zipf_uid);
+    spec.a = a;
+    spec.b = b;
+    spec.max_hops = info->fixed_hops != 0 ? info->fixed_hops : entry.max_hops;
+  } else if (info->uses_uid) {
+    spec.a = universe.SampleUid(rng, zipf_uid);
+  }
+  if (info->uses_tag) {
+    spec.tag = universe.SampleTag(rng, entry.tag_dist == Dist::kZipf);
+  }
+  if (info->uses_n) spec.n = entry.n;
+  if (info->uses_threshold) {
+    spec.threshold =
+        entry.threshold >= 0 ? entry.threshold : universe.FollowerThreshold();
+  }
+  return spec;
+}
+
+CallStream::CallStream(const WorkloadMix& mix,
+                       const core::ParamUniverse& universe, uint64_t seed,
+                       uint32_t client)
+    : mix_(mix),
+      universe_(universe),
+      sampler_(mix),
+      rng_(seed * 0x9E3779B97F4A7C15ull + 0xC0FFEE + client) {}
+
+std::pair<size_t, core::CallSpec> CallStream::Next() {
+  size_t index = sampler_.Pick(rng_);
+  return {index, MaterializeCall(mix_.entries[index], universe_, rng_)};
+}
+
+}  // namespace mbq::bench::driver

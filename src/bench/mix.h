@@ -1,0 +1,117 @@
+#ifndef MBQ_BENCH_MIX_H_
+#define MBQ_BENCH_MIX_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/calls.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mbq::bench::driver {
+
+/// Parameter distributions a mix entry can ask for.
+enum class Dist {
+  kUniform,  ///< uniform over the universe
+  kZipf,     ///< skewed towards popular users / heavily used tags
+};
+
+/// One line of a workload mix: a query template plus its weight and
+/// parameter-generator configuration. Weights are relative (they need
+/// not sum to anything); the driver normalizes.
+struct MixEntry {
+  std::string template_name;
+  double weight = 1.0;
+  Dist uid_dist = Dist::kUniform;
+  Dist tag_dist = Dist::kZipf;
+  int64_t n = 10;          ///< top-n limit for ranking templates
+  int64_t threshold = -1;  ///< select_users; -1 = universe's p90 default
+  uint32_t max_hops = 3;   ///< shortest_path bound
+};
+
+/// A named workload: what mbqbench drives at a target rate.
+struct WorkloadMix {
+  std::string name;
+  std::vector<MixEntry> entries;
+};
+
+/// A query template the mix file can reference: its name, the Table 2
+/// call it compiles to, and which parameters it consumes. The TAO/
+/// LinkBench assoc shapes are templates too — they map onto the same
+/// engine surface (docs/BENCHMARKS.md has the mapping table).
+struct TemplateInfo {
+  const char* name;
+  core::CallKind kind;
+  bool uses_uid;
+  bool uses_pair;       ///< two distinct uids (shortest-path shapes)
+  bool uses_tag;
+  bool uses_n;
+  bool uses_threshold;
+  uint32_t fixed_hops;  ///< 0 = honour MixEntry::max_hops
+  const char* what;     ///< one-line description for --help / docs
+};
+
+/// The full template registry, and lookup by name (null when unknown).
+const std::vector<TemplateInfo>& Templates();
+const TemplateInfo* FindTemplate(const std::string& name);
+
+/// Parses the text mix format:
+///
+///   # comment / blank lines ignored
+///   <template> <weight> [key=value ...]
+///
+/// with keys uid=uniform|zipf, tag=uniform|zipf, n=<int>,
+/// threshold=<int>, hops=<int>. Fails with InvalidArgument naming the
+/// offending line for unknown templates, non-positive or non-numeric
+/// weights, unknown keys, malformed values, and empty mixes.
+Result<WorkloadMix> ParseMix(const std::string& text, const std::string& name);
+
+/// Renders a mix back into the text format ParseMix accepts
+/// (round-trips: ParseMix(FormatMix(m)) == m).
+std::string FormatMix(const WorkloadMix& mix);
+
+/// Built-in suites: "ldbc" (LDBC SNB Interactive-style short reads +
+/// Table 2 navigation) and "tao" (TAO/LinkBench assoc-style read mix).
+/// Unknown names fail with InvalidArgument listing the valid ones.
+Result<WorkloadMix> BuiltinSuite(const std::string& name);
+std::vector<std::string> BuiltinSuiteNames();
+
+/// Draws template indices with probability proportional to weight.
+class MixSampler {
+ public:
+  explicit MixSampler(const WorkloadMix& mix);
+  size_t Pick(Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Materializes one call from a mix entry: draws every parameter the
+/// template consumes from `rng` via the universe's generators.
+core::CallSpec MaterializeCall(const MixEntry& entry,
+                               const core::ParamUniverse& universe, Rng& rng);
+
+/// The deterministic per-client request stream: template picks and
+/// parameter draws for client `client` all derive from (seed, client),
+/// independent of timing, thread scheduling and the other clients — so
+/// a test can regenerate exactly the calls a driver client issued.
+class CallStream {
+ public:
+  CallStream(const WorkloadMix& mix, const core::ParamUniverse& universe,
+             uint64_t seed, uint32_t client);
+
+  /// The next call: (index into mix.entries, materialized spec).
+  std::pair<size_t, core::CallSpec> Next();
+
+ private:
+  const WorkloadMix& mix_;
+  const core::ParamUniverse& universe_;
+  MixSampler sampler_;
+  Rng rng_;
+};
+
+}  // namespace mbq::bench::driver
+
+#endif  // MBQ_BENCH_MIX_H_

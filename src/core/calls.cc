@@ -1,0 +1,177 @@
+#include "core/calls.h"
+
+#include <algorithm>
+
+#include "core/workload.h"
+
+namespace mbq::core {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+  return h;
+}
+
+/// Order-insensitive only after SortRows: the digest hashes rows in
+/// their canonical order, with a per-row separator so row boundaries
+/// matter.
+uint64_t DigestRows(const ValueRows& rows) {
+  uint64_t h = kFnvOffset;
+  for (const ValueRow& row : rows) {
+    h = MixHash(h, 0x9E3779B97F4A7C15ull);  // row separator
+    for (const Value& v : row) {
+      h = MixHash(h, static_cast<uint64_t>(v.Hash()));
+    }
+  }
+  return h;
+}
+
+Result<CallOutcome> OutcomeOf(Result<ValueRows> rows) {
+  if (!rows.ok()) return rows.status();
+  SortRows(&*rows);
+  CallOutcome outcome;
+  outcome.rows = rows->size();
+  outcome.digest = DigestRows(*rows);
+  return outcome;
+}
+
+}  // namespace
+
+const char* CallKindName(CallKind kind) {
+  switch (kind) {
+    case CallKind::kSelectUsers: return "Q1.1";
+    case CallKind::kFollowees: return "Q2.1";
+    case CallKind::kTweetsOfFollowees: return "Q2.2";
+    case CallKind::kHashtagsOfFollowees: return "Q2.3";
+    case CallKind::kTopCoMentioned: return "Q3.1";
+    case CallKind::kTopCoTags: return "Q3.2";
+    case CallKind::kRecFollowees: return "Q4.1";
+    case CallKind::kRecFollowers: return "Q4.2";
+    case CallKind::kCurrentInfluence: return "Q5.1";
+    case CallKind::kPotentialInfluence: return "Q5.2";
+    case CallKind::kShortestPath: return "Q6.1";
+  }
+  return "?";
+}
+
+std::string CallSpecToString(const CallSpec& spec) {
+  std::string out = CallKindName(spec.kind);
+  out += "(";
+  switch (spec.kind) {
+    case CallKind::kSelectUsers:
+      out += "threshold=" + std::to_string(spec.threshold);
+      break;
+    case CallKind::kTopCoTags:
+      out += "tag=" + spec.tag + ", n=" + std::to_string(spec.n);
+      break;
+    case CallKind::kShortestPath:
+      out += "a=" + std::to_string(spec.a) + ", b=" + std::to_string(spec.b) +
+             ", hops=" + std::to_string(spec.max_hops);
+      break;
+    case CallKind::kTopCoMentioned:
+    case CallKind::kRecFollowees:
+    case CallKind::kRecFollowers:
+    case CallKind::kCurrentInfluence:
+    case CallKind::kPotentialInfluence:
+      out += "a=" + std::to_string(spec.a) + ", n=" + std::to_string(spec.n);
+      break;
+    default:
+      out += "a=" + std::to_string(spec.a);
+      break;
+  }
+  out += ")";
+  return out;
+}
+
+Result<CallOutcome> DispatchCall(MicroblogEngine& engine,
+                                 const CallSpec& spec) {
+  switch (spec.kind) {
+    case CallKind::kSelectUsers:
+      return OutcomeOf(engine.SelectUsersByFollowerCount(spec.threshold));
+    case CallKind::kFollowees:
+      return OutcomeOf(engine.FolloweesOf(spec.a));
+    case CallKind::kTweetsOfFollowees:
+      return OutcomeOf(engine.TweetsOfFollowees(spec.a));
+    case CallKind::kHashtagsOfFollowees:
+      return OutcomeOf(engine.HashtagsUsedByFollowees(spec.a));
+    case CallKind::kTopCoMentioned:
+      return OutcomeOf(engine.TopCoMentionedUsers(spec.a, spec.n));
+    case CallKind::kTopCoTags:
+      return OutcomeOf(engine.TopCoOccurringHashtags(spec.tag, spec.n));
+    case CallKind::kRecFollowees:
+      return OutcomeOf(engine.RecommendFolloweesOfFollowees(spec.a, spec.n));
+    case CallKind::kRecFollowers:
+      return OutcomeOf(engine.RecommendFollowersOfFollowees(spec.a, spec.n));
+    case CallKind::kCurrentInfluence:
+      return OutcomeOf(engine.CurrentInfluence(spec.a, spec.n));
+    case CallKind::kPotentialInfluence:
+      return OutcomeOf(engine.PotentialInfluence(spec.a, spec.n));
+    case CallKind::kShortestPath: {
+      Result<int64_t> length =
+          engine.ShortestPathLength(spec.a, spec.b, spec.max_hops);
+      if (!length.ok()) return length.status();
+      CallOutcome outcome;
+      outcome.rows = 1;
+      outcome.digest = MixHash(kFnvOffset, static_cast<uint64_t>(*length));
+      return outcome;
+    }
+  }
+  return Status::InvalidArgument("unknown call kind");
+}
+
+ParamUniverse::ParamUniverse(const twitter::Dataset& dataset) {
+  // UsersByFollowerCount sorts ascending; rank 0 must be the hottest.
+  std::vector<std::pair<int64_t, int64_t>> by_followers =
+      UsersByFollowerCount(dataset);
+  uids_by_rank_.reserve(by_followers.size());
+  for (auto it = by_followers.rbegin(); it != by_followers.rend(); ++it) {
+    uids_by_rank_.push_back(it->second);
+  }
+  if (!by_followers.empty()) {
+    size_t p90 = by_followers.size() * 9 / 10;
+    follower_threshold_ = by_followers[p90].first;
+    uid_zipf_.emplace(uids_by_rank_.size(), 0.99);
+  }
+
+  std::vector<std::pair<int64_t, std::string>> by_use = HashtagsByUse(dataset);
+  tags_by_rank_.reserve(by_use.size());
+  for (auto it = by_use.rbegin(); it != by_use.rend(); ++it) {
+    tags_by_rank_.push_back(it->second);
+  }
+  if (!by_use.empty()) {
+    tag_zipf_.emplace(tags_by_rank_.size(), 0.99);
+  }
+}
+
+int64_t ParamUniverse::SampleUid(Rng& rng, bool zipf) const {
+  if (uids_by_rank_.empty()) return 0;
+  if (zipf && uid_zipf_.has_value()) {
+    return uids_by_rank_[uid_zipf_->Sample(rng)];
+  }
+  return uids_by_rank_[rng.NextBounded(uids_by_rank_.size())];
+}
+
+std::pair<int64_t, int64_t> ParamUniverse::SampleUidPair(Rng& rng,
+                                                         bool zipf) const {
+  int64_t a = SampleUid(rng, zipf);
+  int64_t b = SampleUid(rng, zipf);
+  if (a == b && num_users() > 1) {
+    b = (a + 1) % num_users();
+  }
+  return {a, b};
+}
+
+std::string ParamUniverse::SampleTag(Rng& rng, bool zipf) const {
+  if (tags_by_rank_.empty()) return "";
+  if (zipf && tag_zipf_.has_value()) {
+    return tags_by_rank_[tag_zipf_->Sample(rng)];
+  }
+  return tags_by_rank_[rng.NextBounded(tags_by_rank_.size())];
+}
+
+}  // namespace mbq::core

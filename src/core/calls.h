@@ -1,0 +1,112 @@
+#ifndef MBQ_CORE_CALLS_H_
+#define MBQ_CORE_CALLS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "twitter/dataset.h"
+#include "util/rng.h"
+
+namespace mbq::core {
+
+/// The Table 2 workload as data: every MicroblogEngine call named by an
+/// enum so drivers, verifiers and tests can dispatch calls built at
+/// runtime (from a workload-mix file, an RPC, a random stream) without
+/// a switch at every call site.
+enum class CallKind {
+  kSelectUsers,          ///< Q1.1 SelectUsersByFollowerCount(threshold)
+  kFollowees,            ///< Q2.1 FolloweesOf(a)
+  kTweetsOfFollowees,    ///< Q2.2 TweetsOfFollowees(a)
+  kHashtagsOfFollowees,  ///< Q2.3 HashtagsUsedByFollowees(a)
+  kTopCoMentioned,       ///< Q3.1 TopCoMentionedUsers(a, n)
+  kTopCoTags,            ///< Q3.2 TopCoOccurringHashtags(tag, n)
+  kRecFollowees,         ///< Q4.1 RecommendFolloweesOfFollowees(a, n)
+  kRecFollowers,         ///< Q4.2 RecommendFollowersOfFollowees(a, n)
+  kCurrentInfluence,     ///< Q5.1 CurrentInfluence(a, n)
+  kPotentialInfluence,   ///< Q5.2 PotentialInfluence(a, n)
+  kShortestPath,         ///< Q6.1 ShortestPathLength(a, b, max_hops)
+};
+
+/// "Q1.1" .. "Q6.1" (the paper's names).
+const char* CallKindName(CallKind kind);
+
+/// One fully parameterized call, ready to run on any engine.
+struct CallSpec {
+  CallKind kind = CallKind::kFollowees;
+  int64_t a = 0;           ///< primary uid
+  int64_t b = 0;           ///< second uid (kShortestPath)
+  int64_t n = 10;          ///< top-n limit
+  int64_t threshold = 0;   ///< kSelectUsers
+  uint32_t max_hops = 3;   ///< kShortestPath bound
+  std::string tag;         ///< kTopCoTags
+};
+
+/// Compact display form, e.g. "Q2.1(a=17)" — for error messages and
+/// divergence reports.
+std::string CallSpecToString(const CallSpec& spec);
+
+/// What a dispatched call produced, reduced to a comparable summary:
+/// the row count and an order-insensitive digest of the full result
+/// (rows are canonicalized with SortRows before hashing). Two engines
+/// agree on a call iff their outcomes compare equal.
+struct CallOutcome {
+  uint64_t rows = 0;
+  uint64_t digest = 0;
+
+  bool operator==(const CallOutcome& other) const {
+    return rows == other.rows && digest == other.digest;
+  }
+  bool operator!=(const CallOutcome& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Runs `spec` on `engine`. Scalar calls (kShortestPath) fold their
+/// result into the digest with rows = 1.
+Result<CallOutcome> DispatchCall(MicroblogEngine& engine,
+                                 const CallSpec& spec);
+
+/// Parameter generators over a generated twitter dataset: the sampling
+/// side of an open-loop workload. Uids are drawn either uniformly or
+/// Zipf-skewed towards well-followed users (social-graph read traffic
+/// concentrates on popular accounts); hashtags likewise by usage rank.
+/// All draws flow through the caller's Rng so request streams are
+/// reproducible from a seed.
+class ParamUniverse {
+ public:
+  explicit ParamUniverse(const twitter::Dataset& dataset);
+
+  int64_t num_users() const {
+    return static_cast<int64_t>(uids_by_rank_.size());
+  }
+  bool has_tags() const { return !tags_by_rank_.empty(); }
+
+  /// A uid; `zipf` skews towards high follower counts.
+  int64_t SampleUid(Rng& rng, bool zipf) const;
+  /// Two distinct uids (a == b is remapped: the engines' shortest-path
+  /// surfaces disagree about zero-length paths by design, see
+  /// docs/BENCHMARKS.md).
+  std::pair<int64_t, int64_t> SampleUidPair(Rng& rng, bool zipf) const;
+  /// A hashtag; `zipf` skews towards heavily used tags. Empty string
+  /// when the dataset has no hashtags.
+  std::string SampleTag(Rng& rng, bool zipf) const;
+  /// A follower-count threshold that selects roughly the top decile of
+  /// users — a Q1.1 parameter with a stable result cardinality across
+  /// dataset scales.
+  int64_t FollowerThreshold() const { return follower_threshold_; }
+
+ private:
+  std::vector<int64_t> uids_by_rank_;      // rank 0 = most followers
+  std::vector<std::string> tags_by_rank_;  // rank 0 = most used
+  std::optional<ZipfSampler> uid_zipf_;
+  std::optional<ZipfSampler> tag_zipf_;
+  int64_t follower_threshold_ = 0;
+};
+
+}  // namespace mbq::core
+
+#endif  // MBQ_CORE_CALLS_H_

@@ -1,0 +1,170 @@
+#include "bench/bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mbq::bench {
+namespace {
+
+/// argv builder: keeps the strings alive and hands out char** the way
+/// main() would receive it.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "bench_under_test");
+    for (std::string& s : strings_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+/// CYPHER_THREADS leaks between tests otherwise; scope it.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~EnvGuard() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(BenchOptionsTest, DefaultsWhenNoFlagsGiven) {
+  EnvGuard env("CYPHER_THREADS", nullptr);
+  Argv args({});
+  BenchOptions options = ParseBenchOptions(args.argc(), args.argv());
+  EXPECT_TRUE(options.ok) << options.error;
+  EXPECT_EQ(options.threads, 1u);
+  EXPECT_FALSE(options.result_cache);
+  EXPECT_FALSE(options.adj_cache);
+}
+
+TEST(BenchOptionsTest, ThreadsAcceptsBothFlagForms) {
+  EnvGuard env("CYPHER_THREADS", nullptr);
+  Argv detached({"--threads", "7"});
+  EXPECT_EQ(ParseBenchOptions(detached.argc(), detached.argv()).threads, 7u);
+  Argv inline_form({"--threads=5"});
+  EXPECT_EQ(ParseBenchOptions(inline_form.argc(), inline_form.argv()).threads,
+            5u);
+}
+
+TEST(BenchOptionsTest, ThreadsFlagBeatsEnvironment) {
+  EnvGuard env("CYPHER_THREADS", "3");
+  Argv with_flag({"--threads=7"});
+  EXPECT_EQ(ParseBenchOptions(with_flag.argc(), with_flag.argv()).threads, 7u);
+  Argv without_flag({});
+  EXPECT_EQ(ParseBenchOptions(without_flag.argc(), without_flag.argv()).threads,
+            3u);
+}
+
+TEST(BenchOptionsTest, CacheFlagsParseOnOffSpellings) {
+  for (const char* yes : {"on", "1", "true"}) {
+    Argv args({std::string("--result-cache=") + yes, "--adj-cache", yes});
+    BenchOptions options = ParseBenchOptions(args.argc(), args.argv());
+    EXPECT_TRUE(options.ok) << yes << ": " << options.error;
+    EXPECT_TRUE(options.result_cache) << yes;
+    EXPECT_TRUE(options.adj_cache) << yes;
+  }
+  for (const char* no : {"off", "0", "false"}) {
+    Argv args({std::string("--result-cache=") + no});
+    BenchOptions options = ParseBenchOptions(args.argc(), args.argv());
+    EXPECT_TRUE(options.ok) << no << ": " << options.error;
+    EXPECT_FALSE(options.result_cache) << no;
+  }
+}
+
+TEST(BenchOptionsTest, MalformedValuesAreFlaggedNotSilentlyDropped) {
+  EnvGuard env("CYPHER_THREADS", nullptr);
+  struct Case {
+    std::vector<std::string> args;
+    const char* expect;  // substring of the error
+  };
+  const Case cases[] = {
+      {{"--threads=0"}, "--threads"},
+      {{"--threads=257"}, "--threads"},
+      {{"--threads=abc"}, "--threads"},
+      {{"--threads", "4x"}, "--threads"},
+      {{"--result-cache=sometimes"}, "--result-cache"},
+      {{"--adj-cache=2"}, "--adj-cache"},
+  };
+  for (const Case& c : cases) {
+    Argv args(c.args);
+    BenchOptions options = ParseBenchOptions(args.argc(), args.argv());
+    EXPECT_FALSE(options.ok) << c.args[0];
+    EXPECT_NE(options.error.find(c.expect), std::string::npos)
+        << c.args[0] << " produced: " << options.error;
+    // Defaults survive, so non-strict callers keep working.
+    EXPECT_EQ(options.threads, 1u);
+  }
+}
+
+TEST(BenchOptionsTest, FirstErrorWins) {
+  Argv args({"--threads=bad", "--result-cache=worse"});
+  BenchOptions options = ParseBenchOptions(args.argc(), args.argv());
+  EXPECT_FALSE(options.ok);
+  EXPECT_NE(options.error.find("--threads"), std::string::npos)
+      << options.error;
+}
+
+TEST(BenchOptionsTest, OrDieExitsWithStatus2OnMalformedValues) {
+  EnvGuard env("CYPHER_THREADS", nullptr);
+  Argv bad({"--threads=abc"});
+  EXPECT_EXIT(ParseBenchOptionsOrDie(bad.argc(), bad.argv()),
+              ::testing::ExitedWithCode(2), "bad --threads value");
+  Argv bad_serve({"--serve=notaport"});
+  EXPECT_EXIT(ParseBenchOptionsOrDie(bad_serve.argc(), bad_serve.argv()),
+              ::testing::ExitedWithCode(2), "bad --serve value");
+}
+
+TEST(BenchOptionsTest, OrDieReturnsParsedOptionsWhenValid) {
+  EnvGuard env("CYPHER_THREADS", nullptr);
+  Argv args({"--threads=2", "--result-cache=on"});
+  BenchOptions options = ParseBenchOptionsOrDie(args.argc(), args.argv());
+  EXPECT_TRUE(options.ok);
+  EXPECT_EQ(options.threads, 2u);
+  EXPECT_TRUE(options.result_cache);
+}
+
+TEST(ServeFlagTest, ParsesAbsentBareAndPortForms) {
+  Argv none({});
+  ServeFlag flag = ParseServeFlag(none.argc(), none.argv());
+  EXPECT_TRUE(flag.ok);
+  EXPECT_FALSE(flag.serve);
+
+  Argv bare({"--serve"});
+  flag = ParseServeFlag(bare.argc(), bare.argv());
+  EXPECT_TRUE(flag.ok);
+  EXPECT_TRUE(flag.serve);
+  EXPECT_EQ(flag.port, 0u);  // ephemeral
+
+  Argv with_port({"--serve=8081"});
+  flag = ParseServeFlag(with_port.argc(), with_port.argv());
+  EXPECT_TRUE(flag.ok);
+  EXPECT_TRUE(flag.serve);
+  EXPECT_EQ(flag.port, 8081u);
+}
+
+TEST(ServeFlagTest, RejectsMalformedPorts) {
+  for (const char* bad : {"--serve=abc", "--serve=70000", "--serve=",
+                          "--serve=80x"}) {
+    Argv args({bad});
+    ServeFlag flag = ParseServeFlag(args.argc(), args.argv());
+    EXPECT_FALSE(flag.ok) << bad;
+    EXPECT_FALSE(flag.error.empty()) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace mbq::bench
