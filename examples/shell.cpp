@@ -1,15 +1,23 @@
-// Interactive mini-Cypher shell over a generated microblog graph.
+// Interactive mini-Cypher shell over a generated microblog graph,
+// opened through the engine API with live writes enabled.
 //
-//   ./shell [num_users]
+//   ./shell [num_users] [wal_dir]
 //
-// Reads one query per line from stdin and prints rows. Queries may be
-// prefixed with the PROFILE verb (run and print the operator tree with
-// per-operator rows and db hits), EXPLAIN (print the plan shape
-// without running), or LINT (semantic analysis only). Dot-commands:
+// Reads one query per line from stdin and prints rows. CREATE/SET/
+// DELETE queries mutate the graph through the snapshot-guarded write
+// path (docs/WRITES.md); passing `wal_dir` makes every commit durable.
+// Queries may be prefixed with the PROFILE verb (run and print the
+// operator tree with per-operator rows and db hits), EXPLAIN (print the
+// plan shape without running), or LINT (semantic analysis only).
+// Dot-commands:
 //   :help              this text
 //   :profile <query>   alias for the PROFILE prefix
 //   :lint <query>      alias for the LINT prefix (semantic diagnostics)
 //   :stats             database counters (nodes, rels, db hits)
+//   :writes            write-path counters (delta journal, WAL, next tid)
+//   :post <uid> <txt>  typed write: post a tweet for <uid> (W1.1)
+//   :follow <a> <b>    typed write: <a> follows <b> (W2.1)
+//   :unfollow <a> <b>  typed write: tombstone the edge (W2.2)
 //   :metrics           full observability snapshot (docs/OBSERVABILITY.md)
 //   :metrics <prefix>  only metrics whose name starts with <prefix>
 //   :slow              slow-query flight recorder (threshold via
@@ -27,7 +35,8 @@
 // Example session:
 //   mbq> MATCH (u:user) WHERE u.followers_count > 50 RETURN u.uid LIMIT 5
 //   mbq> PROFILE MATCH (a:user {uid: 7})-[:follows]->(f:user) RETURN f.uid
-//   mbq> EXPLAIN MATCH (u:user)-[:posts]->(t:tweet) RETURN count(t)
+//   mbq> MATCH (a:user {uid: 7}), (b:user {uid: 9}) CREATE (a)-[:follows]->(b)
+//   mbq> :follow 7 11
 
 #include <algorithm>
 #include <cstdio>
@@ -35,11 +44,14 @@
 #include <memory>
 #include <string>
 
+#include "core/nodestore_engine.h"
 #include "core/workload.h"
 #include "cypher/session.h"
 #include "obs/httpd.h"
 #include "obs/introspect.h"
 #include "obs/metrics.h"
+#include "store/delta/delta_store.h"
+#include "store/delta/wal.h"
 #include "twitter/loaders.h"
 #include "util/string_util.h"
 
@@ -112,6 +124,8 @@ int main(int argc, char** argv) {
     num_users = std::strtoull(argv[1], nullptr, 10);
     if (num_users < 10) num_users = 10;
   }
+  std::string wal_dir;
+  if (argc > 2) wal_dir = argv[2];
   std::printf("generating a %llu-user microblog graph...\n",
               static_cast<unsigned long long>(num_users));
   mbq::twitter::DatasetSpec spec;
@@ -125,14 +139,41 @@ int main(int argc, char** argv) {
     std::printf("load failed: %s\n", handles.status().ToString().c_str());
     return 1;
   }
+
+  // The engine API rather than a bare CypherSession: writes enabled, so
+  // CREATE/SET/DELETE queries and the typed :post/:follow/:unfollow
+  // commands commit through the snapshot-guarded path. A replayed WAL
+  // (second run with the same wal_dir) restores earlier live writes.
+  mbq::core::EngineOptions engine_options;
+  engine_options.db = &db;
+  engine_options.enable_writes = true;
+  engine_options.dataset = &dataset;
+  engine_options.wal_dir = wal_dir;
+  auto engine =
+      mbq::core::OpenEngine(mbq::core::EngineKind::kNodestore, engine_options);
+  if (!engine.ok()) {
+    std::printf("engine open failed: %s\n",
+                engine.status().ToString().c_str());
+    return 1;
+  }
+  auto* ns = static_cast<mbq::core::NodestoreEngine*>(engine->get());
+  mbq::core::WritableEngine* writer = ns->AsWritable();
+
+  std::string durability = wal_dir.empty()
+                               ? "no WAL — pass a wal_dir to persist"
+                               : "wal_dir=" + wal_dir;
   std::printf(
       "loaded %llu nodes / %llu relationships "
       "(schema: user/tweet/hashtag; follows/posts/retweets/mentions/tags)\n"
-      "type :help for commands\n",
+      "live writes enabled (%s); type :help for commands\n",
       static_cast<unsigned long long>(db.NumNodes()),
-      static_cast<unsigned long long>(db.NumRels()));
+      static_cast<unsigned long long>(db.NumRels()), durability.c_str());
+  if (writer != nullptr && writer->delta().batches() > 0) {
+    std::printf("replayed %llu committed batch(es) from the WAL\n",
+                static_cast<unsigned long long>(writer->delta().batches()));
+  }
 
-  mbq::cypher::CypherSession session(&db);
+  mbq::cypher::CypherSession& session = ns->session();
   // MBQ_STATS_PORT serves /metrics etc. for the whole session; :serve
   // starts the same server interactively.
   std::unique_ptr<mbq::obs::StatsServer> stats = mbq::obs::MaybeServeFromEnv();
@@ -152,6 +193,10 @@ int main(int argc, char** argv) {
           ":profile <query>  alias for the PROFILE prefix\n"
           ":lint <query>     alias for the LINT prefix\n"
           ":stats            database counters\n"
+          ":writes           write-path counters (delta journal, WAL)\n"
+          ":post <uid> <txt> typed write: post a tweet for <uid>\n"
+          ":follow <a> <b>   typed write: <a> follows <b>\n"
+          ":unfollow <a> <b> typed write: remove the follows edge\n"
           ":metrics          full observability snapshot\n"
           ":metrics <prefix> only metrics starting with <prefix>, e.g. "
           ":metrics cypher.\n"
@@ -164,9 +209,12 @@ int main(int argc, char** argv) {
           ":cache clear      empty the read caches\n"
           ":cold             drop the page cache\n"
           ":quit             exit\n"
-          "anything else is parsed as a mini-Cypher query, e.g.\n"
+          "anything else is parsed as a mini-Cypher query — reads and\n"
+          "writes (CREATE / SET / DELETE), e.g.\n"
           "  MATCH (u:user) WHERE u.followers_count > 50 "
-          "RETURN u.uid LIMIT 5\n");
+          "RETURN u.uid LIMIT 5\n"
+          "  MATCH (a:user {uid: 7}), (b:user {uid: 9}) "
+          "CREATE (a)-[:follows]->(b)\n");
       continue;
     }
     if (trimmed == ":metrics" || mbq::StartsWith(trimmed, ":metrics ")) {
@@ -228,6 +276,63 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(db.NumRels()),
                   static_cast<unsigned long long>(db.db_hits()),
                   static_cast<unsigned long long>(db.DiskSizeBytes()));
+      continue;
+    }
+    if (trimmed == ":writes") {
+      if (writer == nullptr) {
+        std::printf("engine is read-only\n");
+        continue;
+      }
+      const mbq::store::DeltaStore& delta = writer->delta();
+      std::printf(
+          "delta: %llu batch(es), %llu op(s), %llu tombstone(s), "
+          "last_seq=%llu commit_epoch=%llu next_tid=%lld\n",
+          static_cast<unsigned long long>(delta.batches()),
+          static_cast<unsigned long long>(delta.ops()),
+          static_cast<unsigned long long>(delta.tombstones()),
+          static_cast<unsigned long long>(delta.last_seq()),
+          static_cast<unsigned long long>(delta.last_epoch()),
+          static_cast<long long>(writer->next_tid()));
+      if (writer->wal() != nullptr) {
+        std::printf("wal: %s — %llu record(s), %llu bytes\n",
+                    writer->wal()->path().c_str(),
+                    static_cast<unsigned long long>(writer->wal()->records()),
+                    static_cast<unsigned long long>(writer->wal()->bytes()));
+      } else {
+        std::printf("wal: none (commits are not durable)\n");
+      }
+      continue;
+    }
+    if (mbq::StartsWith(trimmed, ":post ") ||
+        mbq::StartsWith(trimmed, ":follow ") ||
+        mbq::StartsWith(trimmed, ":unfollow ")) {
+      if (writer == nullptr) {
+        std::printf("engine is read-only\n");
+        continue;
+      }
+      bool is_post = mbq::StartsWith(trimmed, ":post ");
+      size_t skip = is_post ? 6 : (mbq::StartsWith(trimmed, ":follow ") ? 8 : 10);
+      std::string rest(mbq::TrimString(trimmed.substr(skip)));
+      char* end = nullptr;
+      long long a = std::strtoll(rest.c_str(), &end, 10);
+      mbq::Status committed;
+      if (is_post) {
+        std::string text(mbq::TrimString(std::string(end == nullptr ? "" : end)));
+        committed = writer->PostTweet(a, text);
+        if (committed.ok()) {
+          std::printf("tweet %lld posted by user %lld\n",
+                      static_cast<long long>(writer->next_tid() - 1), a);
+        }
+      } else {
+        long long b = std::strtoll(end == nullptr ? "" : end, nullptr, 10);
+        committed = mbq::StartsWith(trimmed, ":follow ")
+                        ? writer->Follow(a, b)
+                        : writer->Unfollow(a, b);
+        if (committed.ok()) std::printf("committed\n");
+      }
+      if (!committed.ok()) {
+        std::printf("error: %s\n", committed.ToString().c_str());
+      }
       continue;
     }
     if (trimmed == ":cache" || trimmed == ":cache on" ||

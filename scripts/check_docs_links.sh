@@ -46,7 +46,7 @@ else
   # Metric names are always written as full string literals at the
   # registration site (GetCounter / GetHistogram / sink->Gauge), so a
   # grep over src/ finds the complete set.
-  for name in $(grep -rhoE '"(nodestore|bitmapstore|cypher|cache|check|obs|exec|rpc|driver)\.[a-z0-9_.]+"' src/ |
+  for name in $(grep -rhoE '"(nodestore|bitmapstore|cypher|cache|check|obs|exec|rpc|driver|write|wal)\.[a-z0-9_.]+"' src/ |
                 tr -d '"' | sort -u); do
     if ! grep -q -F "\`$name\`" "$catalogue"; then
       echo "UNDOCUMENTED METRIC: $name (add it to $catalogue)"

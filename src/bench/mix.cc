@@ -45,6 +45,16 @@ const std::vector<TemplateInfo>& Templates() {
            0, "TAO obj_get(uid): point read of one user's edge header"},
           {"assoc_get", CallKind::kShortestPath, false, true, false, false,
            false, 1, "TAO assoc_get(follows, a, b): edge-existence check"},
+          // Live writes (docs/WRITES.md): need enable_writes at open.
+          {"post_tweet", CallKind::kPostTweet, true, false, false, false,
+           false, 0, "W1.1: post a new tweet for a user", false, true},
+          {"follow", CallKind::kFollow, false, true, false, false, false, 0,
+           "W2.1: add a follows edge between two users", false, true},
+          {"unfollow", CallKind::kUnfollow, false, true, false, false, false,
+           0, "W2.2: remove a follows edge (tombstone)", false, true},
+          {"add_mention", CallKind::kAddMention, true, false, false, false,
+           false, 0, "W3.1: mention a user from an existing tweet", true,
+           true},
       };
   return *kTemplates;
 }
@@ -54,6 +64,14 @@ const TemplateInfo* FindTemplate(const std::string& name) {
     if (name == info.name) return &info;
   }
   return nullptr;
+}
+
+bool MixHasWrites(const WorkloadMix& mix) {
+  for (const MixEntry& e : mix.entries) {
+    const TemplateInfo* info = FindTemplate(e.template_name);
+    if (info != nullptr && info->is_write) return true;
+  }
+  return false;
 }
 
 namespace {
@@ -217,13 +235,34 @@ Result<WorkloadMix> BuiltinSuite(const std::string& name) {
       "obj_get      30 uid=uniform\n"
       "assoc_get    16 uid=zipf\n"
       "assoc_count  12 uid=zipf\n";
+  // Live read/write churn: the common social-network serving shape —
+  // ~90% reads, ~10% writes (TAO reports 99.8% reads; 90/10 stresses
+  // the write path hard enough to surface snapshot and invalidation
+  // bugs at bench scale). Writes skew towards popular accounts the way
+  // reads do: hot users gain followers and mentions fastest.
+  static const char* kChurn =
+      "followees            28 uid=uniform\n"
+      "tweets_of_followees  20 uid=uniform\n"
+      "hashtags_of_followees 8 uid=uniform\n"
+      "co_mentioned          8 uid=zipf n=10\n"
+      "rec_followees         8 uid=uniform n=10\n"
+      "influence_current     6 uid=zipf n=10\n"
+      "shortest_path         6 uid=uniform hops=3\n"
+      "select_users          6\n"
+      "post_tweet            4 uid=zipf\n"
+      "follow                3 uid=uniform\n"
+      "add_mention           2 uid=zipf\n"
+      "unfollow              1 uid=uniform\n";
   if (name == "ldbc") return ParseMix(kLdbc, "ldbc");
   if (name == "tao") return ParseMix(kTao, "tao");
+  if (name == "churn") return ParseMix(kChurn, "churn");
   return Status::InvalidArgument("unknown suite '" + name +
-                                 "' (builtin: ldbc, tao)");
+                                 "' (builtin: ldbc, tao, churn)");
 }
 
-std::vector<std::string> BuiltinSuiteNames() { return {"ldbc", "tao"}; }
+std::vector<std::string> BuiltinSuiteNames() {
+  return {"ldbc", "tao", "churn"};
+}
 
 MixSampler::MixSampler(const WorkloadMix& mix) {
   double total = 0;
@@ -251,7 +290,11 @@ core::CallSpec MaterializeCall(const MixEntry& entry,
   if (info == nullptr) return spec;
   spec.kind = info->kind;
   bool zipf_uid = entry.uid_dist == Dist::kZipf;
-  if (info->uses_pair) {
+  if (info->uses_tid) {
+    // add_mention: a = an existing tweet, b = the mentioned user.
+    spec.a = universe.SampleTid(rng);
+    spec.b = universe.SampleUid(rng, zipf_uid);
+  } else if (info->uses_pair) {
     auto [a, b] = universe.SampleUidPair(rng, zipf_uid);
     spec.a = a;
     spec.b = b;

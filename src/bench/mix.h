@@ -51,11 +51,20 @@ struct TemplateInfo {
   bool uses_threshold;
   uint32_t fixed_hops;  ///< 0 = honour MixEntry::max_hops
   const char* what;     ///< one-line description for --help / docs
+  bool uses_tid = false;  ///< a bulk-loaded tweet id (add_mention)
+  /// Write template (post_tweet, follow, ...): needs an engine opened
+  /// with enable_writes, and makes read results time-dependent — the
+  /// verifier treats reads in such a mix as non-deterministic.
+  bool is_write = false;
 };
 
 /// The full template registry, and lookup by name (null when unknown).
 const std::vector<TemplateInfo>& Templates();
 const TemplateInfo* FindTemplate(const std::string& name);
+
+/// True when any entry of `mix` references a write template — the
+/// driver must open its engine with EngineOptions.enable_writes.
+bool MixHasWrites(const WorkloadMix& mix);
 
 /// Parses the text mix format:
 ///
@@ -73,8 +82,10 @@ Result<WorkloadMix> ParseMix(const std::string& text, const std::string& name);
 std::string FormatMix(const WorkloadMix& mix);
 
 /// Built-in suites: "ldbc" (LDBC SNB Interactive-style short reads +
-/// Table 2 navigation) and "tao" (TAO/LinkBench assoc-style read mix).
-/// Unknown names fail with InvalidArgument listing the valid ones.
+/// Table 2 navigation), "tao" (TAO/LinkBench assoc-style read mix) and
+/// "churn" (90% reads / 10% live writes through the delta store —
+/// docs/WRITES.md). Unknown names fail with InvalidArgument listing the
+/// valid ones.
 Result<WorkloadMix> BuiltinSuite(const std::string& name);
 std::vector<std::string> BuiltinSuiteNames();
 

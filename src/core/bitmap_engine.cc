@@ -188,6 +188,7 @@ Result<ValueRows> BitmapEngine::SelectUsersByFollowerCount(int64_t threshold) {
   QueryTracker tracker(graph_,
                        DescribeCall("SelectUsersByFollowerCount", threshold),
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(Objects users,
                        graph_->Select(h_.followers_count,
                                       bitmapstore::Condition::kGreater,
@@ -211,6 +212,7 @@ Result<ValueRows> BitmapEngine::SelectUsersByFollowerCount(int64_t threshold) {
 Result<ValueRows> BitmapEngine::FolloweesOf(int64_t uid) {
   QueryTracker tracker(graph_, DescribeCall("FolloweesOf", uid), threads_,
                        slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
@@ -234,6 +236,7 @@ Result<ValueRows> BitmapEngine::FolloweesOf(int64_t uid) {
 Result<ValueRows> BitmapEngine::TweetsOfFollowees(int64_t uid) {
   QueryTracker tracker(graph_, DescribeCall("TweetsOfFollowees", uid),
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
@@ -262,6 +265,7 @@ Result<ValueRows> BitmapEngine::TweetsOfFollowees(int64_t uid) {
 Result<ValueRows> BitmapEngine::HashtagsUsedByFollowees(int64_t uid) {
   QueryTracker tracker(graph_, DescribeCall("HashtagsUsedByFollowees", uid),
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   MBQ_ASSIGN_OR_RETURN(
       Objects followees,
@@ -291,6 +295,7 @@ Result<ValueRows> BitmapEngine::HashtagsUsedByFollowees(int64_t uid) {
 Result<ValueRows> BitmapEngine::TopCoMentionedUsers(int64_t uid, int64_t n) {
   QueryTracker tracker(graph_, DescribeCall("TopCoMentionedUsers", uid, n),
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(Oid user, UserByUid(uid));
   // Step 1: tweets mentioning A. Step 2: other users those tweets
   // mention, counted in a map (the paper's two-step co-occurrence plan).
@@ -318,6 +323,7 @@ Result<ValueRows> BitmapEngine::TopCoOccurringHashtags(const std::string& tag,
                        "TopCoOccurringHashtags(\"" + tag + "\", " +
                            std::to_string(n) + ")",
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(Oid hashtag,
                        graph_->FindObject(h_.tag, Value::String(tag)));
   if (hashtag == bitmapstore::kInvalidOid) {
@@ -370,6 +376,7 @@ Result<ValueRows> BitmapEngine::RecommendFolloweesOfFollowees(int64_t uid,
   QueryTracker tracker(graph_,
                        DescribeCall("RecommendFolloweesOfFollowees", uid, n),
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(ValueRows rows,
                        Recommend(uid, n, EdgesDirection::kOutgoing));
   tracker.SetRows(rows.size());
@@ -381,6 +388,7 @@ Result<ValueRows> BitmapEngine::RecommendFollowersOfFollowees(int64_t uid,
   QueryTracker tracker(graph_,
                        DescribeCall("RecommendFollowersOfFollowees", uid, n),
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(ValueRows rows,
                        Recommend(uid, n, EdgesDirection::kIngoing));
   tracker.SetRows(rows.size());
@@ -415,6 +423,7 @@ Result<ValueRows> BitmapEngine::Influence(int64_t uid, int64_t n,
 Result<ValueRows> BitmapEngine::CurrentInfluence(int64_t uid, int64_t n) {
   QueryTracker tracker(graph_, DescribeCall("CurrentInfluence", uid, n),
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(ValueRows rows,
                        Influence(uid, n, /*keep_followers=*/true));
   tracker.SetRows(rows.size());
@@ -424,6 +433,7 @@ Result<ValueRows> BitmapEngine::CurrentInfluence(int64_t uid, int64_t n) {
 Result<ValueRows> BitmapEngine::PotentialInfluence(int64_t uid, int64_t n) {
   QueryTracker tracker(graph_, DescribeCall("PotentialInfluence", uid, n),
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   MBQ_ASSIGN_OR_RETURN(ValueRows rows,
                        Influence(uid, n, /*keep_followers=*/false));
   tracker.SetRows(rows.size());
@@ -434,6 +444,7 @@ Result<int64_t> BitmapEngine::ShortestPathLength(int64_t uid_a, int64_t uid_b,
                                                  uint32_t max_hops) {
   QueryTracker tracker(graph_, DescribeCall("ShortestPathLength", uid_a, uid_b),
                        threads_, slow_query_millis_);
+  auto snapshot = OpenReadSnapshot();
   tracker.SetRows(1);
   MBQ_ASSIGN_OR_RETURN(Oid a, UserByUid(uid_a));
   MBQ_ASSIGN_OR_RETURN(Oid b, UserByUid(uid_b));
@@ -443,6 +454,22 @@ Result<int64_t> BitmapEngine::ShortestPathLength(int64_t uid_a, int64_t uid_b,
   MBQ_RETURN_IF_ERROR(bfs.Run());
   if (!bfs.Exists()) return -1;
   return static_cast<int64_t>(bfs.GetCost());
+}
+
+Status BitmapEngine::EnableWrites(const WriteConfig& config,
+                                  const twitter::Dataset& base) {
+  applier_ = std::make_unique<BitmapUpdateApplier>(graph_, h_, base);
+  WriteConfig seeded = config;
+  if (seeded.first_fresh_tid == 0) {
+    seeded.first_fresh_tid = static_cast<int64_t>(base.tweets.size());
+  }
+  MBQ_ASSIGN_OR_RETURN(
+      writer_,
+      EngineWriter::Open(seeded, &graph_->mutable_epochs(),
+                         [this](const std::vector<twitter::StreamEvent>& ev) {
+                           return applier_->ApplyBatch(ev);
+                         }));
+  return Status::OK();
 }
 
 }  // namespace mbq::core

@@ -9,6 +9,8 @@
 #include "bitmapstore/shortest_path.h"
 #include "cache/adjacency_cache.h"
 #include "core/engine.h"
+#include "core/updates.h"
+#include "core/write_path.h"
 #include "obs/introspect.h"
 #include "twitter/loaders.h"
 
@@ -68,6 +70,14 @@ class BitmapEngine : public MicroblogEngine {
     return adj_cache_ != nullptr ? adj_cache_->stats() : cache::CacheStats{};
   }
 
+  /// Turns the live write path on: builds the update applier and the
+  /// EngineWriter (replaying the WAL when `config.wal_dir` points at an
+  /// existing log). `base` is the bulk-loaded dataset the writer extends
+  /// (borrowed; only id-space sizes are read, at open).
+  Status EnableWrites(const WriteConfig& config, const twitter::Dataset& base);
+
+  WritableEngine* AsWritable() override { return writer_.get(); }
+
   bitmapstore::Graph* graph() { return graph_; }
   const twitter::BitmapHandles& handles() const { return h_; }
 
@@ -79,6 +89,14 @@ class BitmapEngine : public MicroblogEngine {
   uint64_t slow_query_millis() const { return slow_query_millis_; }
 
  private:
+  /// Shared-lock snapshot covering one navigation call when the live
+  /// write path is on (readers never observe a half-applied batch); a
+  /// no-op guard for read-only engines.
+  store::SnapshotRegistry::ReadSnapshot OpenReadSnapshot() const {
+    return writer_ != nullptr ? writer_->snapshots().OpenSnapshot()
+                              : store::SnapshotRegistry::ReadSnapshot();
+  }
+
   Result<bitmapstore::Oid> UserByUid(int64_t uid) const;
   /// Neighbors() through the adjacency cache when enabled; identical
   /// result set either way (entries replay the store's own output).
@@ -106,6 +124,8 @@ class BitmapEngine : public MicroblogEngine {
   uint64_t slow_query_millis_ = obs::DefaultSlowQueryMillis();
   exec::ThreadPool* pool_ = nullptr;
   std::unique_ptr<cache::AdjacencyCache> adj_cache_;
+  std::unique_ptr<BitmapUpdateApplier> applier_;
+  std::unique_ptr<EngineWriter> writer_;
 };
 
 }  // namespace mbq::core

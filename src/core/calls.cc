@@ -55,8 +55,24 @@ const char* CallKindName(CallKind kind) {
     case CallKind::kCurrentInfluence: return "Q5.1";
     case CallKind::kPotentialInfluence: return "Q5.2";
     case CallKind::kShortestPath: return "Q6.1";
+    case CallKind::kPostTweet: return "W1.1";
+    case CallKind::kFollow: return "W2.1";
+    case CallKind::kUnfollow: return "W2.2";
+    case CallKind::kAddMention: return "W3.1";
   }
   return "?";
+}
+
+bool IsWriteCall(CallKind kind) {
+  switch (kind) {
+    case CallKind::kPostTweet:
+    case CallKind::kFollow:
+    case CallKind::kUnfollow:
+    case CallKind::kAddMention:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string CallSpecToString(const CallSpec& spec) {
@@ -72,6 +88,14 @@ std::string CallSpecToString(const CallSpec& spec) {
     case CallKind::kShortestPath:
       out += "a=" + std::to_string(spec.a) + ", b=" + std::to_string(spec.b) +
              ", hops=" + std::to_string(spec.max_hops);
+      break;
+    case CallKind::kFollow:
+    case CallKind::kUnfollow:
+      out += "a=" + std::to_string(spec.a) + ", b=" + std::to_string(spec.b);
+      break;
+    case CallKind::kAddMention:
+      out += "tid=" + std::to_string(spec.a) +
+             ", uid=" + std::to_string(spec.b);
       break;
     case CallKind::kTopCoMentioned:
     case CallKind::kRecFollowees:
@@ -120,6 +144,39 @@ Result<CallOutcome> DispatchCall(MicroblogEngine& engine,
       outcome.digest = MixHash(kFnvOffset, static_cast<uint64_t>(*length));
       return outcome;
     }
+    case CallKind::kPostTweet:
+    case CallKind::kFollow:
+    case CallKind::kUnfollow:
+    case CallKind::kAddMention: {
+      WritableEngine* writable = engine.AsWritable();
+      if (writable == nullptr) {
+        return Status::NotImplemented(std::string(CallKindName(spec.kind)) +
+                                      ": write call on read-only engine " +
+                                      engine.name());
+      }
+      Status committed = Status::OK();
+      switch (spec.kind) {
+        case CallKind::kPostTweet:
+          committed = writable->PostTweet(spec.a, spec.text);
+          break;
+        case CallKind::kFollow:
+          committed = writable->Follow(spec.a, spec.b);
+          break;
+        case CallKind::kUnfollow:
+          committed = writable->Unfollow(spec.a, spec.b);
+          break;
+        default:
+          committed = writable->AddMention(spec.a, spec.b);
+          break;
+      }
+      MBQ_RETURN_IF_ERROR(committed);
+      // Writes digest as the empty result: the tweet ids a commit assigns
+      // depend on allocation order, so hashing them would make identical
+      // logical write streams diverge across engines and runs.
+      CallOutcome outcome;
+      outcome.digest = DigestRows({});
+      return outcome;
+    }
   }
   return Status::InvalidArgument("unknown call kind");
 }
@@ -136,6 +193,11 @@ ParamUniverse::ParamUniverse(const twitter::Dataset& dataset) {
     size_t p90 = by_followers.size() * 9 / 10;
     follower_threshold_ = by_followers[p90].first;
     uid_zipf_.emplace(uids_by_rank_.size(), 0.99);
+  }
+
+  tids_.reserve(dataset.tweets.size());
+  for (const twitter::Dataset::Tweet& tweet : dataset.tweets) {
+    tids_.push_back(tweet.tid);
   }
 
   std::vector<std::pair<int64_t, std::string>> by_use = HashtagsByUse(dataset);
@@ -164,6 +226,11 @@ std::pair<int64_t, int64_t> ParamUniverse::SampleUidPair(Rng& rng,
     b = (a + 1) % num_users();
   }
   return {a, b};
+}
+
+int64_t ParamUniverse::SampleTid(Rng& rng) const {
+  if (tids_.empty()) return -1;
+  return tids_[rng.NextBounded(tids_.size())];
 }
 
 std::string ParamUniverse::SampleTag(Rng& rng, bool zipf) const {

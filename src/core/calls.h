@@ -29,20 +29,36 @@ enum class CallKind {
   kCurrentInfluence,     ///< Q5.1 CurrentInfluence(a, n)
   kPotentialInfluence,   ///< Q5.2 PotentialInfluence(a, n)
   kShortestPath,         ///< Q6.1 ShortestPathLength(a, b, max_hops)
+
+  // The live half of the surface (docs/WRITES.md), dispatched through
+  // MicroblogEngine::AsWritable(); NotImplemented on read-only engines.
+  kPostTweet,            ///< W1.1 PostTweet(a)           — a = poster uid
+  kFollow,               ///< W2.1 Follow(a, b)           — a follows b
+  kUnfollow,             ///< W2.2 Unfollow(a, b)         — a unfollows b
+  kAddMention,           ///< W3.1 AddMention(a, b)       — tweet a mentions b
 };
 
-/// "Q1.1" .. "Q6.1" (the paper's names).
+/// "Q1.1" .. "Q6.1" (the paper's names) and "W1.1" .. "W3.1" (the live
+/// write extension).
 const char* CallKindName(CallKind kind);
+
+/// True for the write kinds (kPostTweet..kAddMention). Write calls
+/// mutate engine state, so their outcomes are not comparable across runs
+/// the way read digests are — agreement harnesses compare the *reads*
+/// issued after identical write streams instead.
+bool IsWriteCall(CallKind kind);
 
 /// One fully parameterized call, ready to run on any engine.
 struct CallSpec {
   CallKind kind = CallKind::kFollowees;
-  int64_t a = 0;           ///< primary uid
-  int64_t b = 0;           ///< second uid (kShortestPath)
+  int64_t a = 0;           ///< primary uid (write kinds: see CallKind docs)
+  int64_t b = 0;           ///< second uid (kShortestPath, kFollow/kUnfollow,
+                           ///< kAddMention)
   int64_t n = 10;          ///< top-n limit
   int64_t threshold = 0;   ///< kSelectUsers
   uint32_t max_hops = 3;   ///< kShortestPath bound
   std::string tag;         ///< kTopCoTags
+  std::string text;        ///< kPostTweet tweet text (may be empty)
 };
 
 /// Compact display form, e.g. "Q2.1(a=17)" — for error messages and
@@ -66,7 +82,11 @@ struct CallOutcome {
 };
 
 /// Runs `spec` on `engine`. Scalar calls (kShortestPath) fold their
-/// result into the digest with rows = 1.
+/// result into the digest with rows = 1. Write calls route through
+/// engine.AsWritable() — NotImplemented when the engine is read-only —
+/// and produce the empty outcome (rows = 0, digest of zero rows): the
+/// ids a write assigns are allocation-order dependent, so digesting
+/// them would make identical logical streams compare unequal.
 Result<CallOutcome> DispatchCall(MicroblogEngine& engine,
                                  const CallSpec& spec);
 
@@ -84,6 +104,7 @@ class ParamUniverse {
     return static_cast<int64_t>(uids_by_rank_.size());
   }
   bool has_tags() const { return !tags_by_rank_.empty(); }
+  bool has_tweets() const { return !tids_.empty(); }
 
   /// A uid; `zipf` skews towards high follower counts.
   int64_t SampleUid(Rng& rng, bool zipf) const;
@@ -98,10 +119,14 @@ class ParamUniverse {
   /// users — a Q1.1 parameter with a stable result cardinality across
   /// dataset scales.
   int64_t FollowerThreshold() const { return follower_threshold_; }
+  /// A bulk-loaded tweet id, uniform (mention writes target existing
+  /// tweets); -1 when the dataset has no tweets.
+  int64_t SampleTid(Rng& rng) const;
 
  private:
   std::vector<int64_t> uids_by_rank_;      // rank 0 = most followers
   std::vector<std::string> tags_by_rank_;  // rank 0 = most used
+  std::vector<int64_t> tids_;              // bulk-loaded tweet ids
   std::optional<ZipfSampler> uid_zipf_;
   std::optional<ZipfSampler> tag_zipf_;
   int64_t follower_threshold_ = 0;

@@ -1,10 +1,17 @@
 #include "core/check.h"
 
+#include <cstring>
+#include <fstream>
+#include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "store/delta/delta_store.h"
+#include "store/delta/wal.h"
+#include "store/delta/write_batch.h"
 
 namespace mbq::core {
 
@@ -105,7 +112,12 @@ std::string CheckReport::ToText() const {
          std::to_string(labels_checked) + " labels, " +
          std::to_string(indexes_checked) + " indexes, " +
          std::to_string(objects_checked) + " objects, " +
-         std::to_string(attrs_checked) + " attrs\n";
+         std::to_string(attrs_checked) + " attrs";
+  if (delta_ops_checked > 0 || wal_records_checked > 0) {
+    out += ", " + std::to_string(delta_ops_checked) + " delta ops, " +
+           std::to_string(wal_records_checked) + " wal records";
+  }
+  out += "\n";
   return out;
 }
 
@@ -525,6 +537,216 @@ Result<CheckReport> CheckBitmapstore(Graph* graph,
                                      graph->AttributeName(attr) +
                                      "' holds value " + value.ToString() +
                                      " " + IdStr(count) + " times");
+      }
+    }
+  }
+
+  issues.Finish();
+  return report;
+}
+
+namespace {
+
+// WAL record framing, kept in sync with store/delta/wal.cc — the checker
+// decodes the file independently so a Wal bug cannot vouch for itself.
+constexpr uint32_t kWalMagic = 0x4C57424Du;  // "MBWL" little-endian
+constexpr size_t kWalHeaderBytes = 4 + 8 + 4 + 4;
+
+uint32_t ReadLeU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t ReadLeU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Result<CheckReport> CheckWritePath(MicroblogEngine& engine,
+                                   const twitter::Dataset& base,
+                                   const std::string& wal_path,
+                                   const CheckOptions& options) {
+  WritableEngine* writer = engine.AsWritable();
+  if (writer == nullptr) {
+    return Status::InvalidArgument("engine " + engine.name() +
+                                   " is read-only: no write path to check");
+  }
+  CheckReport report;
+  Collector issues(&report, options);
+  const store::DeltaStore& delta = writer->delta();
+  const std::vector<store::DeltaRecord> journal = delta.SnapshotRecords();
+
+  // Pass 1 — journal internal invariants. Replays the journal over the
+  // base crawl's follows set to predict which pairs should be visible.
+  const int64_t tid_floor = static_cast<int64_t>(base.tweets.size());
+  std::set<std::pair<int64_t, int64_t>> live(base.follows.begin(),
+                                             base.follows.end());
+  std::map<int64_t, std::set<int64_t>> touched;  // src -> dsts journaled
+  std::set<int64_t> fresh_tids;
+  uint64_t unfollows = 0;
+  uint64_t prev_seq = 0;
+  uint64_t prev_epoch = 0;
+  for (const store::DeltaRecord& rec : journal) {
+    ++report.delta_ops_checked;
+    if (rec.epoch == 0 || rec.epoch < prev_epoch) {
+      issues.Add("delta-epoch", "journal op at seq " + IdStr(rec.seq) +
+                                    " carries commit epoch " +
+                                    IdStr(rec.epoch) + " after epoch " +
+                                    IdStr(prev_epoch));
+    }
+    if (rec.seq < prev_seq) {
+      issues.Add("delta-seq", "journal op order violates WAL order: seq " +
+                                  IdStr(rec.seq) + " after seq " +
+                                  IdStr(prev_seq));
+    }
+    prev_epoch = rec.epoch > prev_epoch ? rec.epoch : prev_epoch;
+    prev_seq = rec.seq > prev_seq ? rec.seq : prev_seq;
+    switch (rec.op.kind) {
+      case store::WriteOpKind::kPostTweet:
+        if (rec.op.b < tid_floor) {
+          issues.Add("delta-tid",
+                     "post_tweet assigned tid " + std::to_string(rec.op.b) +
+                         " inside the bulk-loaded id space [0, " +
+                         std::to_string(tid_floor) + ")");
+        }
+        if (!fresh_tids.insert(rec.op.b).second) {
+          issues.Add("delta-tid", "tid " + std::to_string(rec.op.b) +
+                                      " assigned to two post_tweet ops");
+        }
+        break;
+      case store::WriteOpKind::kFollow:
+        live.insert({rec.op.a, rec.op.b});
+        touched[rec.op.a].insert(rec.op.b);
+        break;
+      case store::WriteOpKind::kUnfollow:
+        // Deletes are idempotent (an unfollow of a never-followed pair
+        // is a legal no-op); only the tombstone bookkeeping is checked.
+        ++unfollows;
+        live.erase({rec.op.a, rec.op.b});
+        touched[rec.op.a].insert(rec.op.b);
+        break;
+      case store::WriteOpKind::kAddMention:
+        break;
+    }
+  }
+  if (delta.tombstones() != unfollows) {
+    issues.Add("tombstone", "journal counts " + IdStr(delta.tombstones()) +
+                                " tombstone(s) but holds " +
+                                IdStr(unfollows) + " unfollow op(s)");
+  }
+  if (delta.last_seq() != prev_seq) {
+    issues.Add("delta-seq", "journal reports last_seq " +
+                                IdStr(delta.last_seq()) +
+                                " but its highest record is seq " +
+                                IdStr(prev_seq));
+  }
+  if (delta.last_epoch() != prev_epoch) {
+    issues.Add("delta-epoch", "journal reports last_epoch " +
+                                  IdStr(delta.last_epoch()) +
+                                  " but its highest record is epoch " +
+                                  IdStr(prev_epoch));
+  }
+
+  // Pass 2 — delta-over-base visibility: every journal-touched follows
+  // pair must read back exactly as the replay predicts.
+  for (const auto& [src, dsts] : touched) {
+    MBQ_ASSIGN_OR_RETURN(ValueRows rows, engine.FolloweesOf(src));
+    std::set<int64_t> followees;
+    for (const ValueRow& row : rows) {
+      if (!row.empty()) followees.insert(row[0].AsInt());
+    }
+    for (int64_t dst : dsts) {
+      ++report.rels_checked;
+      const bool want = live.count({src, dst}) > 0;
+      const bool got = followees.count(dst) > 0;
+      if (want != got) {
+        issues.Add("delta-visibility",
+                   "follows " + std::to_string(src) + " -> " +
+                       std::to_string(dst) + " should be " +
+                       (want ? "visible" : "tombstoned") + " but the engine " +
+                       (got ? "returns" : "omits") + " it");
+      }
+    }
+  }
+
+  // Pass 3 — WAL/delta agreement: decode the log independently (never
+  // truncating — a torn tail is evidence here, not something to repair)
+  // and prove its ops equal the journal's logged ops in sequence order.
+  if (!wal_path.empty()) {
+    std::ifstream in(wal_path, std::ios::binary);
+    if (!in) {
+      issues.Add("wal-record", "cannot read WAL at " + wal_path);
+    } else {
+      std::string data((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      std::vector<store::WriteOp> wal_ops;
+      size_t off = 0;
+      uint64_t last_seq = 0;
+      while (data.size() - off >= kWalHeaderBytes) {
+        const char* p = data.data() + off;
+        if (ReadLeU32(p) != kWalMagic) break;
+        const uint64_t seq = ReadLeU64(p + 4);
+        const uint32_t len = ReadLeU32(p + 12);
+        const uint32_t crc = ReadLeU32(p + 16);
+        if (data.size() - off - kWalHeaderBytes < len) break;  // torn
+        std::string_view payload(p + kWalHeaderBytes, len);
+        if (store::WalCrc32(payload) != crc) {
+          issues.Add("wal-record", "record at offset " + IdStr(off) +
+                                       " (seq " + IdStr(seq) +
+                                       ") fails its CRC");
+          break;
+        }
+        if (seq != last_seq + 1) {
+          issues.Add("wal-record", "sequence jumps from " + IdStr(last_seq) +
+                                       " to " + IdStr(seq) + " at offset " +
+                                       IdStr(off));
+          break;
+        }
+        Result<store::WriteBatch> batch = store::DecodeWriteBatch(payload);
+        if (!batch.ok()) {
+          issues.Add("wal-record", "record seq " + IdStr(seq) +
+                                       " does not decode: " +
+                                       batch.status().message());
+          break;
+        }
+        for (const store::WriteOp& op : batch->ops()) wal_ops.push_back(op);
+        ++report.wal_records_checked;
+        last_seq = seq;
+        off += kWalHeaderBytes + len;
+      }
+      if (off < data.size()) {
+        issues.Add("wal-tail",
+                   IdStr(data.size() - off) +
+                       " byte(s) of torn or garbage tail at offset " +
+                       IdStr(off) + " (replay-on-open would truncate them)");
+      }
+      size_t next = 0;
+      for (const store::DeltaRecord& rec : journal) {
+        if (rec.seq == 0) continue;  // committed without the WAL
+        if (next >= wal_ops.size()) {
+          issues.Add("wal-delta", "journal op at seq " + IdStr(rec.seq) +
+                                      " has no WAL record");
+          break;
+        }
+        if (!(rec.op == wal_ops[next])) {
+          issues.Add("wal-delta",
+                     "op " + IdStr(next) + " diverges: journal holds " +
+                         store::WriteOpKindName(rec.op.kind) + "(" +
+                         std::to_string(rec.op.a) + ", " +
+                         std::to_string(rec.op.b) + "), WAL holds " +
+                         store::WriteOpKindName(wal_ops[next].kind) + "(" +
+                         std::to_string(wal_ops[next].a) + ", " +
+                         std::to_string(wal_ops[next].b) + ")");
+        }
+        ++next;
+      }
+      if (next < wal_ops.size()) {
+        issues.Add("wal-delta", IdStr(wal_ops.size() - next) +
+                                    " WAL op(s) were never journaled");
       }
     }
   }

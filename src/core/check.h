@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "bitmapstore/graph.h"
+#include "core/engine.h"
 #include "nodestore/graph_db.h"
+#include "twitter/dataset.h"
 #include "util/result.h"
 
 namespace mbq::core {
@@ -14,7 +16,10 @@ namespace mbq::core {
 /// One invariant violation found by the storage checker.
 struct CheckIssue {
   /// Which invariant broke: "node-record", "rel-record", "rel-chain",
-  /// "label-scan", "prop-index", "type-count", "adjacency", "attr-index".
+  /// "label-scan", "prop-index", "type-count", "adjacency", "attr-index",
+  /// or a write-path invariant: "delta-seq", "delta-epoch", "delta-tid",
+  /// "tombstone", "delta-visibility", "wal-record", "wal-tail",
+  /// "wal-delta".
   std::string component;
   std::string message;
 };
@@ -36,6 +41,8 @@ struct CheckReport {
   uint64_t indexes_checked = 0;
   uint64_t objects_checked = 0;
   uint64_t attrs_checked = 0;
+  uint64_t delta_ops_checked = 0;  // write-path: delta journal ops
+  uint64_t wal_records_checked = 0;  // write-path: decoded WAL records
 
   bool ok() const { return issues.empty() && suppressed == 0; }
   /// Human-readable summary: one line per issue plus a coverage footer.
@@ -59,6 +66,27 @@ Result<CheckReport> CheckNodestore(nodestore::GraphDb* db,
 /// counts vs. their bitmaps.
 Result<CheckReport> CheckBitmapstore(bitmapstore::Graph* graph,
                                      const CheckOptions& options = {});
+
+/// Validates the live write path of a writable engine (docs/WRITES.md):
+///
+///  - delta journal invariants: commit epochs and WAL sequences are
+///    non-decreasing and never zero-epoch, fresh tweet ids stay above
+///    the bulk-loaded id space and are never reassigned, and the
+///    journal's tombstone counter agrees with its unfollow ops;
+///  - delta-over-base visibility: every follows pair the journal
+///    touched reads back through the engine exactly as the journal
+///    replay predicts (followed pairs visible, tombstoned pairs gone);
+///  - WAL/delta agreement (when `wal_path` names the engine's log):
+///    the file is decoded independently — never truncated; a torn or
+///    garbage tail is *reported*, where replay-on-open would silently
+///    repair it — and its ops must equal the journal's logged ops
+///    one-for-one in sequence order.
+///
+/// Fails with InvalidArgument when `engine` has no write surface.
+Result<CheckReport> CheckWritePath(MicroblogEngine& engine,
+                                   const twitter::Dataset& base,
+                                   const std::string& wal_path,
+                                   const CheckOptions& options = {});
 
 }  // namespace mbq::core
 

@@ -5,9 +5,29 @@
 #include "core/bitmap_engine.h"
 #include "core/nodestore_engine.h"
 #include "core/remote_engine.h"
+#include "core/write_path.h"
 #include "cypher/session.h"
+#include "twitter/dataset.h"
 
 namespace mbq::core {
+
+namespace {
+
+/// Shared by the two local kinds: validates the write knobs and builds
+/// the WriteConfig EnableWrites expects.
+Result<WriteConfig> WriteConfigFrom(const EngineOptions& options) {
+  if (options.dataset == nullptr) {
+    return Status::InvalidArgument(
+        "OpenEngine: enable_writes needs EngineOptions.dataset (the "
+        "bulk-loaded base the writer extends)");
+  }
+  WriteConfig config;
+  config.wal_dir = options.wal_dir;
+  config.group_commit_window_micros = options.group_commit_window_micros;
+  return config;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<MicroblogEngine>> OpenEngine(
     EngineKind kind, const EngineOptions& options) {
@@ -27,6 +47,10 @@ Result<std::unique_ptr<MicroblogEngine>> OpenEngine(
       session.adjacency_cache_capacity = options.adjacency_cache_capacity;
       session.adjacency_min_degree = options.adjacency_min_degree;
       engine->Configure(session);
+      if (options.enable_writes) {
+        MBQ_ASSIGN_OR_RETURN(WriteConfig config, WriteConfigFrom(options));
+        MBQ_RETURN_IF_ERROR(engine->EnableWrites(config, *options.dataset));
+      }
       return std::unique_ptr<MicroblogEngine>(std::move(engine));
     }
     case EngineKind::kBitmap: {
@@ -41,9 +65,19 @@ Result<std::unique_ptr<MicroblogEngine>> OpenEngine(
         engine->EnableAdjacencyCache(options.adjacency_cache_capacity,
                                      options.adjacency_min_degree);
       }
+      if (options.enable_writes) {
+        MBQ_ASSIGN_OR_RETURN(WriteConfig config, WriteConfigFrom(options));
+        MBQ_RETURN_IF_ERROR(engine->EnableWrites(config, *options.dataset));
+      }
       return std::unique_ptr<MicroblogEngine>(std::move(engine));
     }
     case EngineKind::kRemote: {
+      if (options.enable_writes) {
+        return Status::NotImplemented(
+            "OpenEngine(kRemote): the cluster plane is read-only — "
+            "kWriteBatch frames are reserved but unimplemented "
+            "(docs/CLUSTER.md)");
+      }
       if (options.shard_addresses.empty()) {
         return Status::InvalidArgument(
             "OpenEngine(kRemote) needs EngineOptions.shard_addresses");

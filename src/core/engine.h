@@ -21,6 +21,15 @@ struct BitmapHandles;
 namespace mbq::exec {
 class ThreadPool;
 }  // namespace mbq::exec
+namespace mbq::twitter {
+struct Dataset;
+}  // namespace mbq::twitter
+namespace mbq::store {
+class WriteBatch;
+class SnapshotRegistry;
+class DeltaStore;
+class Wal;
+}  // namespace mbq::store
 
 namespace mbq::core {
 
@@ -30,6 +39,44 @@ using common::Value;
 /// for agreement and timed identically.
 using ValueRow = std::vector<Value>;
 using ValueRows = std::vector<ValueRow>;
+
+/// The live write surface of an engine, discovered — never dynamic_cast —
+/// via MicroblogEngine::AsWritable(). The Table 2 surface stays read-only;
+/// engines opened with EngineOptions.enable_writes additionally expose
+/// this extension, which funnels every mutation (a typed single op or a
+/// packed group) through one WriteBatch commit path: WAL staging, the
+/// exclusive snapshot section, base-store apply, delta journaling (see
+/// docs/WRITES.md).
+class WritableEngine {
+ public:
+  virtual ~WritableEngine() = default;
+
+  /// Applies `batch` atomically with respect to snapshot readers: a
+  /// concurrent read observes all of the batch or none of it. Taken by
+  /// value — the commit path assigns fresh tweet ids in place. Empty
+  /// batches are a no-op. On return the batch is durable (when a WAL is
+  /// configured) and visible to every subsequent read on this engine.
+  virtual Status Commit(store::WriteBatch batch) = 0;
+
+  /// Typed single-op writes — the live half of the Table 2 surface.
+  /// Each builds a one-op WriteBatch and commits it, so single ops and
+  /// group commit share one path. PostTweet assigns the new tweet id
+  /// internally (ids continue past the bulk-loaded dataset).
+  Status PostTweet(int64_t uid, std::string text = std::string());
+  Status Follow(int64_t src_uid, int64_t dst_uid);
+  Status Unfollow(int64_t src_uid, int64_t dst_uid);
+  Status AddMention(int64_t tid, int64_t uid);
+
+  /// Snapshot coordination: reads open shared snapshots here, commits
+  /// run exclusive (store/delta/snapshot.h).
+  virtual store::SnapshotRegistry& snapshots() = 0;
+  /// The append-only journal of committed ops (introspection, checkdb).
+  virtual const store::DeltaStore& delta() const = 0;
+  /// The engine's write-ahead log; null when opened without wal_dir.
+  virtual const store::Wal* wal() const = 0;
+  /// The next tweet id PostTweet would assign.
+  virtual int64_t next_tid() const = 0;
+};
 
 /// The paper's Table 2 workload, one method per exemplar query, exposed
 /// uniformly over both engines. Implementations:
@@ -87,6 +134,13 @@ class MicroblogEngine {
     (void)threads;
     (void)pool;
   }
+
+  /// The engine's live write surface, or null for read-only engines
+  /// (the default, and always for EngineKind::kRemote — cluster writes
+  /// are reserved wire protocol, see docs/CLUSTER.md). Callers branch on
+  /// this instead of dynamic_cast so the read/write split stays an API
+  /// decision, not an RTTI one.
+  virtual WritableEngine* AsWritable() { return nullptr; }
 };
 
 /// Which Table 2 implementation OpenEngine builds.
@@ -129,6 +183,18 @@ struct EngineOptions {
   std::vector<std::string> shard_addresses;
   /// Per-syscall RPC timeout towards the shards.
   int rpc_timeout_millis = 30000;
+
+  /// Live write path (kNodestore / kBitmap only). When set, the opened
+  /// engine exposes WritableEngine via AsWritable() and every read runs
+  /// under a shared snapshot. Requires `dataset` — the bulk-loaded base
+  /// the writer extends (it seeds fresh tweet/hashtag id allocation).
+  bool enable_writes = false;
+  const twitter::Dataset* dataset = nullptr;
+  /// Directory for the group-commit WAL; empty commits without logging
+  /// (tests, throwaway benches). See docs/WRITES.md for the format.
+  std::string wal_dir;
+  /// How long a commit lingers so concurrent committers share one fsync.
+  uint32_t group_commit_window_micros = 0;
 };
 
 /// Builds an engine of `kind` configured per `options`. Fails with

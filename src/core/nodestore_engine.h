@@ -1,9 +1,12 @@
 #ifndef MBQ_CORE_NODESTORE_ENGINE_H_
 #define MBQ_CORE_NODESTORE_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "core/engine.h"
+#include "core/updates.h"
+#include "core/write_path.h"
 #include "cypher/session.h"
 #include "nodestore/graph_db.h"
 
@@ -55,6 +58,16 @@ class NodestoreEngine : public MicroblogEngine {
     session_.Configure(options);
   }
 
+  /// Turns the live write path on: resolves the schema handles, builds
+  /// the update applier and the EngineWriter (replaying the WAL when
+  /// `config.wal_dir` points at an existing log), and routes the Cypher
+  /// session's reads/writes through the snapshot registry. `base` is the
+  /// bulk-loaded dataset the writer extends (borrowed; only id-space
+  /// sizes are read, at open).
+  Status EnableWrites(const WriteConfig& config, const twitter::Dataset& base);
+
+  WritableEngine* AsWritable() override { return writer_.get(); }
+
   cypher::CypherSession& session() { return session_; }
   nodestore::GraphDb* db() { return db_; }
 
@@ -72,6 +85,8 @@ class NodestoreEngine : public MicroblogEngine {
 
   nodestore::GraphDb* db_;
   cypher::CypherSession session_;
+  std::unique_ptr<NodestoreUpdateApplier> applier_;
+  std::unique_ptr<EngineWriter> writer_;
 };
 
 }  // namespace mbq::core

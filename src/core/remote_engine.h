@@ -61,6 +61,12 @@ class RemoteEngine : public MicroblogEngine {
   /// Fans out to every shard; fails on the first shard that fails.
   Status DropCaches() override;
 
+  /// The cluster plane is read-only: writes stay single-node until the
+  /// reserved kWriteBatch frame (docs/CLUSTER.md) is implemented, so the
+  /// remote kind never exposes a write surface — callers that probe
+  /// AsWritable() fail cleanly instead of hanging on an unanswered frame.
+  WritableEngine* AsWritable() override { return nullptr; }
+
   /// Remote mini-Cypher: kRoute passes one shard's reply through,
   /// kConcat/kDistinct fan out and merge rows. Fails with NotImplemented
   /// when a shard has no Cypher surface (bitmap engines).

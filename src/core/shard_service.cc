@@ -73,6 +73,14 @@ Result<rpc::Frame> ShardService::Dispatch(const rpc::Frame& request) {
     case rpc::MsgType::kDropCaches:
       MBQ_RETURN_IF_ERROR(engine_->DropCaches());
       return rpc::EmptyFrame(rpc::MsgType::kOkReply);
+    case rpc::MsgType::kWriteBatch:
+      // Reserved in protocol version 1 (docs/CLUSTER.md): the wire value
+      // is assigned so peers agree on its meaning, but no shard applies
+      // remote writes yet — replicated commit needs cross-shard ordering
+      // the single-node WAL does not provide.
+      return Status::NotImplemented(
+          "rpc: kWriteBatch is reserved — cluster writes are not "
+          "implemented; open the engine locally with enable_writes");
     default:
       return Status::NotImplemented(
           std::string("rpc: server cannot handle ") +

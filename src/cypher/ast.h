@@ -124,9 +124,30 @@ struct OrderItem {
   bool ascending = true;
 };
 
-/// A parsed read query:
+// ----------------------------------------------------------- Write clauses
+
+/// One assignment of a SET clause: `SET var.property = value`.
+struct SetItem {
+  std::string variable;
+  std::string property;
+  ExprPtr value;
+  SourceSpan span;  // position of the variable
+};
+
+/// One target of a DELETE clause: `DELETE var` / `DETACH DELETE var`.
+struct DeleteItem {
+  std::string variable;
+  bool detach = false;
+  SourceSpan span;  // position of the variable
+};
+
+/// A parsed query. Read form:
 ///   MATCH <patterns> [WHERE <expr>]
 ///   RETURN [DISTINCT] <items> [ORDER BY <items>] [LIMIT <n>]
+/// Write form (mutating clauses instead of RETURN; the result is one
+/// summary row):
+///   [MATCH <patterns> [WHERE <expr>]]
+///   (CREATE <patterns> | SET <items> | [DETACH] DELETE <vars>)+
 struct Query {
   std::vector<PatternPart> patterns;
   ExprPtr where;  // may be null
@@ -134,6 +155,18 @@ struct Query {
   std::vector<ReturnItem> return_items;
   std::vector<OrderItem> order_by;
   ExprPtr limit;  // may be null
+
+  // Write clauses; any non-empty list marks the query as a write. The
+  // executor applies them per matched row in clause order: CREATE, then
+  // SET, then DELETE.
+  std::vector<PatternPart> create_patterns;
+  std::vector<SetItem> set_items;
+  std::vector<DeleteItem> delete_items;
+
+  bool IsWrite() const {
+    return !create_patterns.empty() || !set_items.empty() ||
+           !delete_items.empty();
+  }
 };
 
 /// Builders used by the parser and by tests.

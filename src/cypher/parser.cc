@@ -13,6 +13,14 @@ class Parser {
 
   Result<Query> Parse() {
     Query query;
+    // CREATE-only query: no reading clause at all.
+    if (PeekKeyword("create")) {
+      MBQ_RETURN_IF_ERROR(ParseWriteClauses(&query));
+      if (Peek().kind != TokenKind::kEnd) {
+        return Error("unexpected trailing input after write clauses");
+      }
+      return query;
+    }
     MBQ_RETURN_IF_ERROR(ExpectKeyword("match"));
     MBQ_ASSIGN_OR_RETURN(PatternPart part, ParsePatternPart());
     query.patterns.push_back(std::move(part));
@@ -22,6 +30,17 @@ class Parser {
     }
     if (AcceptKeyword("where")) {
       MBQ_ASSIGN_OR_RETURN(query.where, ParseOrExpr());
+    }
+    // MATCH ... followed by write clauses: a write query, which produces
+    // one summary row instead of a RETURN projection.
+    if (PeekKeyword("create") || PeekKeyword("set") ||
+        PeekKeyword("delete") || PeekKeyword("detach")) {
+      MBQ_RETURN_IF_ERROR(ParseWriteClauses(&query));
+      if (Peek().kind != TokenKind::kEnd) {
+        return Error(
+            "write queries produce a summary row and cannot RETURN");
+      }
+      return query;
     }
     MBQ_RETURN_IF_ERROR(ExpectKeyword("return"));
     if (AcceptKeyword("distinct")) query.return_distinct = true;
@@ -112,6 +131,57 @@ class Parser {
       return Error(std::string("expected ") + what);
     }
     return Advance().text;
+  }
+
+  /// One or more CREATE/SET/DELETE clauses, in any order and repetition.
+  Status ParseWriteClauses(Query* query) {
+    bool any = false;
+    for (;;) {
+      if (AcceptKeyword("create")) {
+        any = true;
+        do {
+          MBQ_ASSIGN_OR_RETURN(PatternPart part, ParsePatternPart());
+          if (part.shortest_path) {
+            return Error("cannot CREATE a shortestPath pattern");
+          }
+          query->create_patterns.push_back(std::move(part));
+        } while (AcceptToken(TokenKind::kComma));
+        continue;
+      }
+      if (AcceptKeyword("set")) {
+        any = true;
+        do {
+          SetItem item;
+          item.span = SpanOf(Peek());
+          MBQ_ASSIGN_OR_RETURN(item.variable, ExpectIdentifier("variable"));
+          MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kDot, "'.'"));
+          MBQ_ASSIGN_OR_RETURN(item.property,
+                               ExpectIdentifier("property name"));
+          MBQ_RETURN_IF_ERROR(ExpectToken(TokenKind::kEq, "'='"));
+          MBQ_ASSIGN_OR_RETURN(item.value, ParsePrimary());
+          query->set_items.push_back(std::move(item));
+        } while (AcceptToken(TokenKind::kComma));
+        continue;
+      }
+      bool detach = false;
+      if (PeekKeyword("detach")) {
+        Advance();
+        MBQ_RETURN_IF_ERROR(ExpectKeyword("delete"));
+        detach = true;
+      } else if (!AcceptKeyword("delete")) {
+        break;
+      }
+      any = true;
+      do {
+        DeleteItem item;
+        item.detach = detach;
+        item.span = SpanOf(Peek());
+        MBQ_ASSIGN_OR_RETURN(item.variable, ExpectIdentifier("variable"));
+        query->delete_items.push_back(std::move(item));
+      } while (AcceptToken(TokenKind::kComma));
+    }
+    if (!any) return Error("expected CREATE, SET or DELETE");
+    return Status::OK();
   }
 
   Result<ReturnItem> ParseReturnItem() {

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "cache/epoch.h"
+#include "cypher/write_ops.h"
 #include "util/logging.h"
 
 namespace mbq::cypher {
@@ -98,9 +99,17 @@ class PlanBuilder {
 
   Result<std::unique_ptr<PlannedQuery>> Build() {
     AssignSlots();
-    MBQ_RETURN_IF_ERROR(PlanMatch());
-    MBQ_RETURN_IF_ERROR(PlanWhere());
-    MBQ_RETURN_IF_ERROR(PlanReturn());
+    // A CREATE-only query has no reading side; everything else plans its
+    // MATCH/WHERE first.
+    if (!ast().patterns.empty()) {
+      MBQ_RETURN_IF_ERROR(PlanMatch());
+      MBQ_RETURN_IF_ERROR(PlanWhere());
+    }
+    if (ast().IsWrite()) {
+      MBQ_RETURN_IF_ERROR(PlanWrite());
+    } else {
+      MBQ_RETURN_IF_ERROR(PlanReturn());
+    }
     return std::move(plan_);
   }
 
@@ -132,6 +141,17 @@ class PlanBuilder {
         part.path_variable = FreshName();
       }
       if (!part.path_variable.empty()) SlotFor(part.path_variable);
+    }
+    // Create-pattern variables get slots too: a node created for one row
+    // is bound into the row so later rels/SETs in the same query see it.
+    for (PatternPart& part : ast().create_patterns) {
+      for (NodePattern& node : part.nodes) {
+        if (node.variable.empty()) node.variable = FreshName();
+        SlotFor(node.variable);
+      }
+      for (RelPattern& rel : part.rels) {
+        if (!rel.variable.empty()) SlotFor(rel.variable);
+      }
     }
   }
 
@@ -357,6 +377,22 @@ class PlanBuilder {
     return Status::OK();
   }
 
+  /// Roots the plan with the WriteClause operator: the reading side (or a
+  /// SingleRow for bare CREATE) feeds it rows, it applies the mutating
+  /// clauses and emits one summary row.
+  Status PlanWrite() {
+    plan_->is_write = true;
+    if (current_ == nullptr) {
+      current_ = std::make_unique<SingleRow>(plan_->width);
+    }
+    current_ = std::make_unique<WriteClause>(std::move(current_), &ast(),
+                                             &plan_->slots);
+    plan_->columns = {"nodes_created", "rels_created", "props_set",
+                      "nodes_deleted", "rels_deleted"};
+    plan_->root = std::move(current_);
+    return Status::OK();
+  }
+
   Status PlanReturn() {
     auto& items = ast().return_items;
     bool has_aggregates = false;
@@ -548,7 +584,9 @@ void CollectExprDomains(const Expr& expr, GraphDb* db,
 /// know yet could be registered by a later write — all three degrade to
 /// the global epoch rather than risk a stale cached result.
 void ComputeEpochFootprint(const Query& ast, GraphDb* db, PlannedQuery* plan) {
-  bool use_global = false;
+  // Write queries never enter the result cache; the conservative global
+  // footprint is only a backstop.
+  bool use_global = ast.IsWrite();
   std::vector<uint32_t> domains;
   for (const PatternPart& part : ast.patterns) {
     for (const NodePattern& node : part.nodes) {

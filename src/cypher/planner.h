@@ -31,6 +31,11 @@ struct PlannedQuery {
   /// write invalidates).
   std::vector<uint32_t> epoch_domains;
   bool epoch_use_global = false;
+  /// True for CREATE/SET/DELETE queries: the root is a WriteClause
+  /// operator emitting one summary row. The session runs these inside
+  /// the engine's exclusive commit section and a store transaction, and
+  /// never serves or stores them through the result cache.
+  bool is_write = false;
   /// Semantic diagnostics from the analyzer pass (cypher/semantic.h),
   /// attached by the session at compile time; EXPLAIN/PROFILE prepend
   /// them and strict mode re-checks them on plan-cache hits.

@@ -74,9 +74,12 @@ class Analyzer {
     CollectBindings();
     CheckPatterns();
     CheckExpressions();
+    CheckWriteClauses();
     CheckAnchors();
     CheckConnectivity();
-    CheckUnusedBindings();
+    // Write queries legitimately bind-and-mutate without "using" the
+    // binding in an expression; the hygiene hint would be pure noise.
+    if (!query_.IsWrite()) CheckUnusedBindings();
     return std::move(result_);
   }
 
@@ -106,6 +109,15 @@ class Analyzer {
             part.nodes.empty() ? SourceSpan{} : part.nodes.front().span;
         Bind(part.path_variable, BindKind::kPath, span, "");
       }
+      for (const NodePattern& node : part.nodes) {
+        Bind(node.variable, BindKind::kNode, node.span, node.label);
+      }
+      for (const RelPattern& rel : part.rels) {
+        Bind(rel.variable, BindKind::kRel, rel.span, rel.type);
+      }
+    }
+    // CREATE patterns bind too (a later SET may target a created node).
+    for (const PatternPart& part : query_.create_patterns) {
       for (const NodePattern& node : part.nodes) {
         Bind(node.variable, BindKind::kNode, node.span, node.label);
       }
@@ -183,6 +195,74 @@ class Analyzer {
     }
     if (query_.limit != nullptr) {
       CheckExpr(*query_.limit, /*aggregates_allowed=*/false);
+    }
+  }
+
+  // -------------------------------------------------- Write-clause rules
+
+  void CheckWriteClauses() {
+    // Names the reading part binds: a create-pattern node reusing one is
+    // an endpoint reference, a fresh name creates a new node.
+    std::unordered_set<std::string> bound;
+    for (const PatternPart& part : query_.patterns) {
+      for (const NodePattern& node : part.nodes) {
+        if (!node.variable.empty()) bound.insert(node.variable);
+      }
+    }
+    for (const PatternPart& part : query_.create_patterns) {
+      for (const NodePattern& node : part.nodes) {
+        bool reused = !node.variable.empty() && bound.count(node.variable);
+        if (reused) {
+          if (!node.label.empty() || !node.properties.empty()) {
+            Add(Severity::kError, "create-bound-variable",
+                "'" + node.variable + "' is already bound; a bound node in "
+                "CREATE cannot carry a label or properties",
+                node.span);
+          }
+          continue;
+        }
+        if (node.label.empty()) {
+          Add(Severity::kError, "create-unlabelled-node",
+              "created nodes need a label (records are filed by label)",
+              node.span);
+        }
+        if (!node.variable.empty()) bound.insert(node.variable);
+        for (const auto& [key, value] : node.properties) {
+          CheckExpr(*value, /*aggregates_allowed=*/false);
+        }
+      }
+      for (const RelPattern& rel : part.rels) {
+        if (rel.type.empty()) {
+          Add(Severity::kError, "create-untyped-rel",
+              "created relationships need a type", rel.span);
+        }
+        if (rel.min_hops != 1 || rel.max_hops != 1) {
+          Add(Severity::kError, "create-varlength-rel",
+              "cannot CREATE a variable-length relationship", rel.span);
+        }
+        if (rel.dir == RelPattern::Dir::kBoth) {
+          Add(Severity::kError, "create-undirected-rel",
+              "created relationships need a direction (-> or <-)", rel.span);
+        }
+      }
+    }
+    for (const SetItem& item : query_.set_items) {
+      CheckVariableRef(item.variable, item.span);
+      CheckExpr(*item.value, /*aggregates_allowed=*/false);
+      auto it = bindings_.find(item.variable);
+      if (it != bindings_.end() && it->second.kind == BindKind::kPath) {
+        Add(Severity::kError, "set-on-path",
+            "cannot SET a property on path '" + item.variable + "'",
+            item.span);
+      }
+    }
+    for (const DeleteItem& item : query_.delete_items) {
+      CheckVariableRef(item.variable, item.span);
+      auto it = bindings_.find(item.variable);
+      if (it != bindings_.end() && it->second.kind == BindKind::kPath) {
+        Add(Severity::kError, "delete-path",
+            "cannot DELETE path '" + item.variable + "'", item.span);
+      }
     }
   }
 
@@ -430,6 +510,22 @@ class Analyzer {
       for (const RelPattern& rel : part.rels) link_var(rel.variable, i);
     }
     if (query_.where != nullptr) LinkPatternPreds(*query_.where, owner, unite);
+    // A CREATE pattern bridging two matched parts connects them — the
+    // cartesian product is exactly what the write wants (e.g. MATCH two
+    // users, CREATE a follows edge between them).
+    for (const PatternPart& part : query_.create_patterns) {
+      size_t first = SIZE_MAX;
+      for (const NodePattern& node : part.nodes) {
+        if (node.variable.empty()) continue;
+        auto it = owner.find(node.variable);
+        if (it == owner.end()) continue;
+        if (first == SIZE_MAX) {
+          first = it->second;
+        } else {
+          unite(first, it->second);
+        }
+      }
+    }
 
     std::unordered_set<size_t> reported;
     size_t first_root = find(0);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <optional>
 
 #include "cache/epoch.h"
 #include "cypher/parser.h"
@@ -31,6 +32,7 @@ struct SessionMetrics {
   obs::Counter* lint_diagnostics;
   obs::Counter* lint_rejected;
   obs::Counter* slow_captured;
+  obs::Counter* writes;
 
   static SessionMetrics& Get() {
     static SessionMetrics m = [] {
@@ -61,6 +63,8 @@ struct SessionMetrics {
           r.GetCounter("cypher.slow.captured", "queries",
                        "executions at/over the slow-query threshold, "
                        "captured by the flight recorder");
+      m.writes = r.GetCounter("cypher.writes", "queries",
+                              "write queries (CREATE/SET/DELETE) executed");
       return m;
     }();
     return m;
@@ -321,15 +325,39 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
 
   // Stamp the epochs BEFORE executing: a write that lands mid-execution
   // invalidates the entry we are about to insert, never the other way.
+  // Write queries never enter the result cache, so they skip the stamp.
   cache::EpochStamp stamp;
-  if (rcache != nullptr) {
+  if (rcache != nullptr && !plan->is_write) {
     stamp = cache::CaptureStamp(db_->epochs(), plan->epoch_domains,
                                 plan->epoch_use_global);
   }
 
+  // With the live write path attached, reads and writes synchronize
+  // through the engine's snapshot registry: reads hold it shared for the
+  // whole execution (never observing a half-applied batch), writes hold
+  // it exclusively — the same commit section WriteBatch commits use — and
+  // additionally run inside a store transaction so a failing clause rolls
+  // the whole query back.
+  store::SnapshotRegistry* snapshots =
+      snapshots_.load(std::memory_order_acquire);
+  std::optional<store::SnapshotRegistry::ReadSnapshot> read_guard;
+  std::optional<store::SnapshotRegistry::CommitGuard> write_guard;
+  std::optional<GraphDb::Transaction> tx;
+  if (snapshots != nullptr) {
+    if (plan->is_write) {
+      write_guard.emplace(snapshots->BeginCommit());
+    } else {
+      read_guard.emplace(snapshots->OpenSnapshot());
+    }
+  }
+  if (plan->is_write) tx.emplace(db_);
+
   obs::TraceSpan latency(metrics.query_latency);
   uint32_t threads = threads_.load(std::memory_order_relaxed);
   if (threads == 0) threads = 1;
+  // Write plans are inherently sequential (they mutate the store row by
+  // row inside the exclusive section).
+  if (plan->is_write) threads = 1;
   // Register with the live-query table (/queries, :queries) for the
   // duration of the execution.
   obs::ActiveQueryScope active(&obs::QueryRegistry::Global(), body, "cypher",
@@ -366,6 +394,13 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   result.profile = DescribePlanTree(*root);
   active.SetDbHits(result.db_hits);
 
+  // A write query's effects become durable store state here; an error
+  // anywhere above destroyed `tx` active, rolling every clause back.
+  if (tx.has_value()) {
+    MBQ_RETURN_IF_ERROR(tx->Commit());
+    metrics.writes->Inc();
+  }
+
   double elapsed_millis = active.ElapsedMillis();
   obs::SpanRecorder::Global().Record(body, "cypher", active.start_nanos(),
                                      active.ElapsedNanos());
@@ -386,7 +421,7 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
     metrics.slow_captured->Inc();
   }
 
-  if (rcache != nullptr) {
+  if (rcache != nullptr && !plan->is_write) {
     auto payload = std::make_shared<CachedResult>();
     payload->columns = result.columns;
     payload->rows = result.rows;

@@ -13,6 +13,7 @@
 #include "cypher/diag.h"
 #include "cypher/planner.h"
 #include "cypher/runtime.h"
+#include "store/delta/snapshot.h"
 
 namespace mbq::exec {
 class ThreadPool;
@@ -193,6 +194,19 @@ class CypherSession {
   /// embedders that expand outside the session.
   cache::AdjacencyCache* adjacency_cache() { return adj_cache_.get(); }
 
+  /// Attaches the engine's snapshot registry (borrowed, may be null to
+  /// detach). With a registry set, read queries execute under a shared
+  /// snapshot — they never observe a half-applied write — and write
+  /// queries (CREATE/SET/DELETE) take the exclusive commit section and
+  /// run inside a store transaction. Attach before issuing concurrent
+  /// queries; the engine's EnableWrites does this at open time.
+  void SetSnapshotRegistry(store::SnapshotRegistry* registry) {
+    snapshots_.store(registry, std::memory_order_release);
+  }
+  store::SnapshotRegistry* snapshot_registry() const {
+    return snapshots_.load(std::memory_order_acquire);
+  }
+
  private:
   /// What the result cache stores per (query, params) key. Immutable
   /// after insertion; hits share it by reference.
@@ -233,6 +247,7 @@ class CypherSession {
 
   std::unique_ptr<cache::ResultCache<CachedResult>> result_cache_;
   std::unique_ptr<cache::AdjacencyCache> adj_cache_;
+  std::atomic<store::SnapshotRegistry*> snapshots_{nullptr};
 };
 
 }  // namespace mbq::cypher

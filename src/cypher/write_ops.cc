@@ -1,0 +1,177 @@
+#include "cypher/write_ops.h"
+
+#include <utility>
+
+namespace mbq::cypher {
+
+namespace {
+
+/// Evaluated property/SET values must be scalars (or null — SET x.p =
+/// null clears the property); nodes, rels and paths are not storable.
+Result<Value> ScalarOf(const RtValue& v, const char* what) {
+  switch (v.kind) {
+    case RtValue::Kind::kNull:
+      return Value::Null();
+    case RtValue::Kind::kValue:
+      return v.value;
+    default:
+      return Status::InvalidArgument(std::string(what) +
+                                     " must evaluate to a scalar value");
+  }
+}
+
+}  // namespace
+
+Status WriteClause::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  done_ = false;
+  nodes_created_ = 0;
+  rels_created_ = 0;
+  props_set_ = 0;
+  nodes_deleted_ = 0;
+  rels_deleted_ = 0;
+  return child_->Open(ctx);
+}
+
+Result<bool> WriteClause::Next(Row* out) {
+  if (done_) return false;
+  done_ = true;
+  // Materialize first, mutate second (see class comment).
+  std::vector<Row> input;
+  Row row;
+  for (;;) {
+    MBQ_ASSIGN_OR_RETURN(bool more, ChildNext(&row));
+    if (!more) break;
+    input.push_back(row);
+  }
+  for (Row& r : input) {
+    MBQ_RETURN_IF_ERROR(ApplyRow(&r));
+  }
+  out->clear();
+  out->reserve(5);
+  for (uint64_t v : {nodes_created_, rels_created_, props_set_,
+                     nodes_deleted_, rels_deleted_}) {
+    out->push_back(RtValue::FromValue(Value::Int(static_cast<int64_t>(v))));
+  }
+  return true;
+}
+
+Status WriteClause::ApplyRow(Row* row) {
+  MBQ_RETURN_IF_ERROR(ApplyCreate(row));
+  MBQ_RETURN_IF_ERROR(ApplySet(row));
+  MBQ_RETURN_IF_ERROR(ApplyDelete(row));
+  return Status::OK();
+}
+
+Status WriteClause::ApplyCreate(Row* row) {
+  GraphDb* db = ctx_->db;
+  for (const PatternPart& part : query_->create_patterns) {
+    std::vector<NodeId> ids(part.nodes.size(), nodestore::kInvalidNode);
+    for (size_t i = 0; i < part.nodes.size(); ++i) {
+      const NodePattern& node = part.nodes[i];
+      uint32_t slot = slots_->at(node.variable);
+      const RtValue& bound = (*row)[slot];
+      // A slot already holding a node is an endpoint reference (bound by
+      // MATCH or by an earlier CREATE in this row); everything else is a
+      // fresh node. Labels are get-or-create: writing a new label is how
+      // the schema grows.
+      if (bound.kind == RtValue::Kind::kNode) {
+        ids[i] = bound.node;
+        continue;
+      }
+      MBQ_ASSIGN_OR_RETURN(nodestore::LabelId label, db->Label(node.label));
+      NodeId id = nodestore::kInvalidNode;
+      MBQ_ASSIGN_OR_RETURN(id, db->CreateNode(label));
+      ++nodes_created_;
+      for (const auto& [key, value] : node.properties) {
+        MBQ_ASSIGN_OR_RETURN(RtValue v,
+                             EvalExpr(*value, *row, *slots_, ctx_));
+        MBQ_ASSIGN_OR_RETURN(Value scalar, ScalarOf(v, "CREATE property"));
+        MBQ_RETURN_IF_ERROR(db->SetNodeProperty(id, db->PropKey(key), scalar));
+        ++props_set_;
+      }
+      (*row)[slot] = RtValue::FromNode(id);
+      ids[i] = id;
+    }
+    for (size_t r = 0; r < part.rels.size(); ++r) {
+      const RelPattern& rel = part.rels[r];
+      NodeId src = ids[r];
+      NodeId dst = ids[r + 1];
+      if (rel.dir == RelPattern::Dir::kIn) std::swap(src, dst);
+      MBQ_ASSIGN_OR_RETURN(nodestore::RelTypeId type, db->RelType(rel.type));
+      RelId rid = nodestore::kInvalidRel;
+      MBQ_ASSIGN_OR_RETURN(rid, db->CreateRelationship(type, src, dst));
+      ++rels_created_;
+      if (!rel.variable.empty()) {
+        auto it = slots_->find(rel.variable);
+        if (it != slots_->end()) (*row)[it->second] = RtValue::FromRel(rid);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteClause::ApplySet(Row* row) {
+  GraphDb* db = ctx_->db;
+  for (const SetItem& item : query_->set_items) {
+    const RtValue& target = (*row)[slots_->at(item.variable)];
+    if (target.kind == RtValue::Kind::kNull) continue;  // nothing matched
+    MBQ_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*item.value, *row, *slots_, ctx_));
+    MBQ_ASSIGN_OR_RETURN(Value scalar, ScalarOf(v, "SET value"));
+    nodestore::PropKeyId key = db->PropKey(item.property);
+    switch (target.kind) {
+      case RtValue::Kind::kNode:
+        MBQ_RETURN_IF_ERROR(db->SetNodeProperty(target.node, key, scalar));
+        break;
+      case RtValue::Kind::kRel:
+        MBQ_RETURN_IF_ERROR(db->SetRelProperty(target.rel, key, scalar));
+        break;
+      default:
+        return Status::InvalidArgument("SET target '" + item.variable +
+                                       "' is not a node or relationship");
+    }
+    ++props_set_;
+  }
+  return Status::OK();
+}
+
+Status WriteClause::ApplyDelete(Row* row) {
+  GraphDb* db = ctx_->db;
+  for (const DeleteItem& item : query_->delete_items) {
+    const RtValue& target = (*row)[slots_->at(item.variable)];
+    switch (target.kind) {
+      case RtValue::Kind::kNull:
+        continue;  // nothing matched
+      case RtValue::Kind::kRel:
+        // Idempotent within the query: MATCH can bind the same rel in
+        // several rows, and a DETACH DELETE may have removed it already.
+        if (!db->RelExists(target.rel)) continue;
+        MBQ_RETURN_IF_ERROR(db->DeleteRelationship(target.rel));
+        ++rels_deleted_;
+        break;
+      case RtValue::Kind::kNode:
+        if (!db->NodeExists(target.node)) continue;
+        MBQ_RETURN_IF_ERROR(item.detach ? db->DetachDeleteNode(target.node)
+                                        : db->DeleteNode(target.node));
+        ++nodes_deleted_;
+        break;
+      default:
+        return Status::InvalidArgument("DELETE target '" + item.variable +
+                                       "' is not a node or relationship");
+    }
+  }
+  return Status::OK();
+}
+
+std::string WriteClause::Describe() const {
+  return "Write(" + std::to_string(query_->create_patterns.size()) +
+         " create, " + std::to_string(query_->set_items.size()) + " set, " +
+         std::to_string(query_->delete_items.size()) + " delete)";
+}
+
+std::unique_ptr<Operator> WriteClause::CloneWithChild(
+    std::unique_ptr<Operator> child) const {
+  return std::make_unique<WriteClause>(std::move(child), query_, slots_);
+}
+
+}  // namespace mbq::cypher

@@ -1,0 +1,57 @@
+#ifndef MBQ_CYPHER_WRITE_OPS_H_
+#define MBQ_CYPHER_WRITE_OPS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cypher/operators.h"
+
+namespace mbq::cypher {
+
+/// The root operator of a write query (CREATE/SET/DELETE). It first
+/// materializes the reading side completely — mutations must not race the
+/// scans that feed them, and a node created for one row must never be
+/// re-matched by a later one — then applies the mutating clauses to every
+/// input row in clause order (CREATE, SET, DELETE) and emits exactly one
+/// summary row:
+///   [nodes_created, rels_created, props_set, nodes_deleted, rels_deleted]
+///
+/// Deletes are idempotent within the query (MATCH can bind the same node
+/// in several rows); a failing clause aborts the query with the store
+/// transaction the session wrapped around it still open, so everything
+/// already applied rolls back.
+class WriteClause : public Operator {
+ public:
+  WriteClause(std::unique_ptr<Operator> child, const Query* query,
+              const SlotMap* slots)
+      : query_(query), slots_(slots) {
+    child_ = std::move(child);
+  }
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Row* out) override;
+  std::string Describe() const override;
+  std::unique_ptr<Operator> CloneWithChild(
+      std::unique_ptr<Operator> child) const override;
+
+ private:
+  Status ApplyRow(Row* row);
+  Status ApplyCreate(Row* row);
+  Status ApplySet(Row* row);
+  Status ApplyDelete(Row* row);
+
+  const Query* query_;
+  const SlotMap* slots_;
+  bool done_ = false;
+  uint64_t nodes_created_ = 0;
+  uint64_t rels_created_ = 0;
+  uint64_t props_set_ = 0;
+  uint64_t nodes_deleted_ = 0;
+  uint64_t rels_deleted_ = 0;
+};
+
+}  // namespace mbq::cypher
+
+#endif  // MBQ_CYPHER_WRITE_OPS_H_

@@ -62,6 +62,7 @@ const char* MsgTypeName(uint8_t type) {
     case MsgType::kPong: return "kPong";
     case MsgType::kDropCaches: return "kDropCaches";
     case MsgType::kOkReply: return "kOkReply";
+    case MsgType::kWriteBatch: return "kWriteBatch";
   }
   return "kUnknown";
 }

@@ -31,6 +31,11 @@ enum class MsgType : uint8_t {
   kPong = 10,       ///< server -> client: liveness answer, no body
   kDropCaches = 11, ///< client -> server: drop engine caches, no body
   kOkReply = 12,    ///< server -> client: success with no payload
+  /// Reserved for cluster writes: body is an encoded store::WriteBatch
+  /// (store/delta/write_batch.h). No server implements it yet — shards
+  /// answer kError(kNotImplemented); the value is burned now so protocol
+  /// version 1 peers agree on its meaning when it lands (docs/CLUSTER.md).
+  kWriteBatch = 13,
 };
 
 /// Returns the spec name of a message type ("kCall", ...) for logs and

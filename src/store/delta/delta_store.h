@@ -1,0 +1,93 @@
+#ifndef MBQ_STORE_DELTA_DELTA_STORE_H_
+#define MBQ_STORE_DELTA_DELTA_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "store/delta/write_batch.h"
+
+namespace mbq::store {
+
+/// One committed op in the delta journal, stamped with the commit epoch
+/// it became visible at (see SnapshotRegistry) and the WAL sequence of
+/// its batch (0 when the engine runs without a WAL).
+struct DeltaRecord {
+  uint64_t seq = 0;    ///< WAL sequence of the containing batch
+  uint64_t epoch = 0;  ///< commit epoch that published the op
+  WriteOp op;
+};
+
+/// The log-structured in-memory half of the live write path, in the
+/// spirit of ZipG's GraphLogStore: an append-only journal of every op
+/// committed over the immutable bulk-loaded base. Because this repo's
+/// commit path applies ops to the base store *at* commit (merge-on-
+/// commit, under the SnapshotRegistry's exclusive section), readers
+/// never consult the journal — it exists for introspection and for
+/// `checkdb`, which replays it against the base store to prove that
+/// delta and base agree (tombstone sanity, WAL/delta agreement).
+///
+/// Internally locked: appends take the mutex, accessors copy out under
+/// it, so checkdb and the stats plane can observe a live engine safely.
+class DeltaStore {
+ public:
+  /// Journals every op of `batch` at `epoch` / WAL sequence `seq`.
+  void Append(const WriteBatch& batch, uint64_t epoch, uint64_t seq) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const WriteOp& op : batch.ops()) {
+      records_.push_back({seq, epoch, op});
+      if (op.kind == WriteOpKind::kUnfollow) ++tombstones_;
+    }
+    ++batches_;
+    if (epoch > last_epoch_) last_epoch_ = epoch;
+    if (seq > last_seq_) last_seq_ = seq;
+  }
+
+  uint64_t ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+  uint64_t batches() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batches_;
+  }
+  /// Unfollow ops journaled — each one a tombstone over a base or delta
+  /// follow edge.
+  uint64_t tombstones() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tombstones_;
+  }
+  uint64_t last_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_epoch_;
+  }
+  uint64_t last_seq() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_seq_;
+  }
+
+  /// A consistent copy of the journal (checkdb, tests, :writes).
+  std::vector<DeltaRecord> SnapshotRecords() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  /// Visits every record under the lock; keep `fn` cheap.
+  void ForEach(const std::function<void(const DeltaRecord&)>& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const DeltaRecord& r : records_) fn(r);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DeltaRecord> records_;
+  uint64_t batches_ = 0;
+  uint64_t tombstones_ = 0;
+  uint64_t last_epoch_ = 0;
+  uint64_t last_seq_ = 0;
+};
+
+}  // namespace mbq::store
+
+#endif  // MBQ_STORE_DELTA_DELTA_STORE_H_

@@ -56,8 +56,13 @@ class WorkloadSuiteTest : public ::testing::Test {
     ASSERT_TRUE(bh.ok()) << bh.status().ToString();
     bm_handles_ = *bh;
 
+    // Writable engines so the registry's write templates (post_tweet,
+    // follow, ...) dispatch too; both engines see identical write
+    // streams, so cross-engine agreement still holds.
     core::EngineOptions ns_options;
     ns_options.db = db_.get();
+    ns_options.enable_writes = true;
+    ns_options.dataset = &dataset_;
     auto ns = core::OpenEngine(core::EngineKind::kNodestore, ns_options);
     ASSERT_TRUE(ns.ok()) << ns.status().ToString();
     nodestore_ = std::move(*ns);
@@ -65,6 +70,8 @@ class WorkloadSuiteTest : public ::testing::Test {
     core::EngineOptions bm_options;
     bm_options.graph = graph_.get();
     bm_options.handles = &bm_handles_;
+    bm_options.enable_writes = true;
+    bm_options.dataset = &dataset_;
     auto bm = core::OpenEngine(core::EngineKind::kBitmap, bm_options);
     ASSERT_TRUE(bm.ok()) << bm.status().ToString();
     bitmap_ = std::move(*bm);

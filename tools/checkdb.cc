@@ -7,15 +7,24 @@
 // bitmap cardinalities, object-table agreement and mutual src/dst
 // adjacency in the bitmap store.
 //
+// A third section exercises the live write path (docs/WRITES.md): it
+// opens a writable engine over the same crawl, drives a scripted churn
+// of follows/unfollows/posts/mentions through the WAL, then validates
+// delta-over-base consistency — tombstone sanity, journal monotonicity,
+// read-back visibility of every touched pair — and decodes the WAL
+// independently to prove WAL/delta agreement.
+//
 //   ./checkdb [options]
 //     --engine=nodestore|bitmapstore|both   engines to check (both)
 //     --users=N                             graph size (500)
 //     --partitioned                         nodestore semantic partitioning
 //     --max-issues=N                        issues materialized (64)
+//     --no-writes                           skip the write-path section
 //     --corrupt=FAULT                       inject a fault first:
 //         rel-chain     nodestore: point a chain pointer at its own record
 //         type-count    bitmapstore: skew a cached type count by +3
 //         adjacency     bitmapstore: phantom edge in an adjacency bitmap
+//         wal-tail      write path: garbage bytes appended to the WAL
 //     --metrics                             print the check.* metric snapshot
 //     --serve[=PORT]                        embedded stats server (/metrics,
 //                                           /queries, /slow, /trace) while
@@ -24,13 +33,18 @@
 // Exit status: 0 when every checked store is clean, 1 when corruption
 // was found, 2 on usage or load errors.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/check.h"
+#include "core/engine.h"
 #include "obs/httpd.h"
 #include "obs/metrics.h"
+#include "store/delta/write_batch.h"
 #include "twitter/dataset.h"
 #include "twitter/loaders.h"
 
@@ -41,6 +55,7 @@ struct Args {
   bool bitmapstore = true;
   uint64_t users = 500;
   bool partitioned = false;
+  bool write_path = true;
   size_t max_issues = 64;
   std::string corrupt;  // empty = none
   bool metrics = false;
@@ -71,7 +86,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (const char* v = value_of("--corrupt=")) {
       args->corrupt = v;
       if (args->corrupt != "rel-chain" && args->corrupt != "type-count" &&
-          args->corrupt != "adjacency") {
+          args->corrupt != "adjacency" && args->corrupt != "wal-tail") {
         std::fprintf(stderr, "unknown fault: %s\n", v);
         return false;
       }
@@ -88,6 +103,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->serve = true;
     } else if (arg == "--partitioned") {
       args->partitioned = true;
+    } else if (arg == "--no-writes") {
+      args->write_path = false;
     } else if (arg == "--metrics") {
       args->metrics = true;
     } else {
@@ -137,6 +154,44 @@ mbq::Status BreakAdjacency(mbq::bitmapstore::Graph* graph,
     return mbq::Status::OK();
   }
   return mbq::Status::NotFound("no edge to corrupt");
+}
+
+// Scripted churn for the write-path section: every op kind, including
+// tombstones over both freshly created and bulk-loaded follows edges,
+// plus one packed batch — deterministic, so reruns check the same graph.
+mbq::Status DriveScriptedChurn(mbq::core::WritableEngine* writer,
+                               const mbq::twitter::Dataset& dataset) {
+  const int64_t users = static_cast<int64_t>(dataset.users.size());
+  const int64_t tweets = static_cast<int64_t>(dataset.tweets.size());
+  auto pair = [users](int64_t i) {
+    int64_t src = i % users;
+    int64_t dst = (i * 7 + 1) % users;
+    if (dst == src) dst = (dst + 1) % users;
+    return std::make_pair(src, dst);
+  };
+  for (int64_t i = 0; i < 40; ++i) {
+    auto [src, dst] = pair(i);
+    MBQ_RETURN_IF_ERROR(writer->Follow(src, dst));
+  }
+  for (int64_t i = 0; i < 10; ++i) {
+    MBQ_RETURN_IF_ERROR(
+        writer->PostTweet(i % users, "checkdb tweet " + std::to_string(i)));
+    if (tweets > 0) {
+      MBQ_RETURN_IF_ERROR(writer->AddMention(i % tweets, (i * 3 + 2) % users));
+    }
+  }
+  for (int64_t i = 0; i < 10; ++i) {  // tombstone just-created edges
+    auto [src, dst] = pair(i);
+    MBQ_RETURN_IF_ERROR(writer->Unfollow(src, dst));
+  }
+  for (size_t i = 0; i < 5 && i < dataset.follows.size(); ++i) {
+    MBQ_RETURN_IF_ERROR(  // tombstone bulk-loaded edges
+        writer->Unfollow(dataset.follows[i].first, dataset.follows[i].second));
+  }
+  // A packed batch: group commits share the single-op path.
+  mbq::store::WriteBatch batch;
+  batch.PostTweet(0, "checkdb group commit").Follow(0, 1 % users);
+  return writer->Commit(std::move(batch));
 }
 
 }  // namespace
@@ -231,6 +286,65 @@ int main(int argc, char** argv) {
     }
     std::printf("--- bitmapstore ---\n%s", report->ToText().c_str());
     if (!report->ok()) ++corrupt_stores;
+  }
+
+  if (args.write_path) {
+    char wal_template[] = "/tmp/checkdb-wal-XXXXXX";
+    char* wal_dir = ::mkdtemp(wal_template);
+    if (wal_dir == nullptr) {
+      std::fprintf(stderr, "cannot create a WAL scratch directory\n");
+      return 2;
+    }
+    const std::string wal_path = std::string(wal_dir) + "/delta.wal";
+    auto cleanup = [&] {
+      ::unlink(wal_path.c_str());
+      ::rmdir(wal_dir);
+    };
+    mbq::nodestore::GraphDb db;
+    auto handles = mbq::twitter::LoadIntoNodestore(dataset, &db);
+    if (!handles.ok()) {
+      std::fprintf(stderr, "write-path load failed: %s\n",
+                   handles.status().ToString().c_str());
+      cleanup();
+      return 2;
+    }
+    mbq::core::EngineOptions engine_options;
+    engine_options.db = &db;
+    engine_options.enable_writes = true;
+    engine_options.dataset = &dataset;
+    engine_options.wal_dir = wal_dir;
+    auto engine = mbq::core::OpenEngine(mbq::core::EngineKind::kNodestore,
+                                        engine_options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "write-path engine failed: %s\n",
+                   engine.status().ToString().c_str());
+      cleanup();
+      return 2;
+    }
+    auto churned = DriveScriptedChurn((*engine)->AsWritable(), dataset);
+    if (!churned.ok()) {
+      std::fprintf(stderr, "write-path churn failed: %s\n",
+                   churned.ToString().c_str());
+      cleanup();
+      return 2;
+    }
+    if (args.corrupt == "wal-tail") {
+      std::ofstream tail(wal_path, std::ios::binary | std::ios::app);
+      tail << "garbage: not a wal record";
+      std::printf("injected fault: garbage bytes appended to the WAL tail\n");
+    }
+    auto report = mbq::core::CheckWritePath(**engine, dataset, wal_path,
+                                            options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "write-path check failed: %s\n",
+                   report.status().ToString().c_str());
+      cleanup();
+      return 2;
+    }
+    std::printf("--- write path (delta over nodestore) ---\n%s",
+                report->ToText().c_str());
+    if (!report->ok()) ++corrupt_stores;
+    cleanup();
   }
 
   if (args.metrics) {

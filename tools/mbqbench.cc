@@ -14,8 +14,13 @@
 //   ./mbqbench --mix=my.mix --engine=bitmap --arrival=uniform
 //   ./mbqbench --suite=tao --shard=127.0.0.1:7000 --verify=200
 //
+// Mixes with write templates (the built-in `churn` suite, or any mix
+// naming post_tweet/follow/unfollow/add_mention) open the local engine
+// with writes enabled; --wal-dir makes those commits durable. Remote
+// topologies reject write mixes — kWriteBatch is reserved protocol.
+//
 // Flags (both --flag=V and --flag V forms):
-//   --suite=ldbc|tao        built-in workload (default tao)
+//   --suite=ldbc|tao|churn  built-in workload (default tao)
 //   --mix=FILE              workload mix file (overrides --suite)
 //   --rate=QPS              target aggregate rate (default 1000)
 //   --rates=R1,R2,...       sweep: one run per rate, curve table at end
@@ -86,12 +91,13 @@ struct Args {
   int verify = 0;
   bool print_mix = false;
   bool list_templates = false;
+  std::string wal_dir;  ///< WAL for write mixes; empty = no durability
 };
 
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: mbqbench [--suite=ldbc|tao | --mix=FILE] [options]\n"
+      "usage: mbqbench [--suite=ldbc|tao|churn | --mix=FILE] [options]\n"
       "  --rate=QPS | --rates=R1,R2,...   target rate(s), default 1000\n"
       "  --duration=S --requests=M        run length (default 5s)\n"
       "  --clients=N                      client threads (default 4)\n"
@@ -99,6 +105,8 @@ void Usage() {
       "  --engine=nodestore|bitmap        local engine (default nodestore)\n"
       "  --shard=H:P [--shard=...]        drive mbqd daemons instead\n"
       "  --users=N --seed=S               dataset shape (20000 / 42)\n"
+      "  --wal-dir=DIR                    WAL for write mixes (default:\n"
+      "                                   commit without durability)\n"
       "  --verify[=M]                     differential check vs a local\n"
       "                                   nodestore reference\n"
       "  --print-mix | --list-templates   inspect the workload and exit\n"
@@ -194,6 +202,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->users = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--seed")) {
       args->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--wal-dir")) {
+      args->wal_dir = v;
     } else if (arg == "--verify") {
       args->verify = 200;
     } else if (std::strncmp(argv[i], "--verify=", 9) == 0) {
@@ -232,7 +242,8 @@ struct LocalStores {
 
 Result<std::unique_ptr<mbq::core::MicroblogEngine>> OpenLocalEngine(
     const std::string& kind, const mbq::twitter::Dataset& dataset,
-    const mbq::bench::BenchOptions& bench, LocalStores* stores) {
+    const mbq::bench::BenchOptions& bench, LocalStores* stores,
+    bool enable_writes = false, const std::string& wal_dir = std::string()) {
   using namespace mbq;        // NOLINT(build/namespaces)
   using namespace mbq::core;  // NOLINT(build/namespaces)
   EngineOptions options;
@@ -241,6 +252,11 @@ Result<std::unique_ptr<mbq::core::MicroblogEngine>> OpenLocalEngine(
   options.result_cache_capacity = bench.result_cache_capacity;
   options.adjacency_cache = bench.adj_cache;
   options.adjacency_cache_capacity = bench.adj_cache_capacity;
+  if (enable_writes) {
+    options.enable_writes = true;
+    options.dataset = &dataset;
+    options.wal_dir = wal_dir;
+  }
   if (kind == "nodestore") {
     nodestore::GraphDbOptions ndb;
     ndb.disk_profile = storage::DiskProfile::Instant();
@@ -285,6 +301,14 @@ Result<std::unique_ptr<mbq::core::MicroblogEngine>> DialRemote(
 /// stream on both the target engine and a local single-process
 /// nodestore reference, comparing canonical digests. Returns the number
 /// of divergent calls.
+///
+/// Mixes with write templates still verify — the reference is opened
+/// writable and both engines apply the identical interleaved stream, so
+/// every read observes the same committed prefix (the churn agreement
+/// property; ids assigned by PostTweet are allocation-order
+/// deterministic under the single verify thread). Read results are
+/// non-deterministic *across* verify sizes and runs with different
+/// streams, not within one.
 int RunVerify(mbq::core::MicroblogEngine& target, const WorkloadMix& mix,
               const mbq::core::ParamUniverse& universe,
               const mbq::twitter::Dataset& dataset, uint64_t seed,
@@ -292,7 +316,10 @@ int RunVerify(mbq::core::MicroblogEngine& target, const WorkloadMix& mix,
   using namespace mbq;        // NOLINT(build/namespaces)
   mbq::bench::BenchOptions plain;
   LocalStores stores;
-  auto reference = OpenLocalEngine("nodestore", dataset, plain, &stores);
+  // The reference applies the mix's writes too (no WAL: it is throwaway).
+  auto reference =
+      OpenLocalEngine("nodestore", dataset, plain, &stores,
+                      mbq::bench::driver::MixHasWrites(mix));
   if (!reference.ok()) {
     std::fprintf(stderr, "mbqbench: reference engine failed: %s\n",
                  reference.status().ToString().c_str());
@@ -334,11 +361,14 @@ int RunVerify(mbq::core::MicroblogEngine& target, const WorkloadMix& mix,
   }
   for (size_t i = 0; i < mix.entries.size(); ++i) {
     if (total[i] == 0) continue;
-    std::printf("verify %-22s %4llu/%llu %s\n",
+    const mbq::bench::driver::TemplateInfo* info =
+        mbq::bench::driver::FindTemplate(mix.entries[i].template_name);
+    std::printf("verify %-22s %4llu/%llu %s%s\n",
                 mix.entries[i].template_name.c_str(),
                 static_cast<unsigned long long>(agreed[i]),
                 static_cast<unsigned long long>(total[i]),
-                agreed[i] == total[i] ? "ok" : "DIVERGED");
+                agreed[i] == total[i] ? "ok" : "DIVERGED",
+                info != nullptr && info->is_write ? " (write)" : "");
   }
   return failures;
 }
@@ -449,10 +479,20 @@ int main(int argc, char** argv) {
   mbq::twitter::Dataset dataset = mbq::twitter::GenerateDataset(spec);
   mbq::core::ParamUniverse universe(dataset);
 
+  bool writes = mbq::bench::driver::MixHasWrites(*mix);
   LocalStores stores;
   Result<std::unique_ptr<mbq::core::MicroblogEngine>> engine =
       mbq::Status::Internal("unreached");
   if (!args.shard_addresses.empty()) {
+    if (writes) {
+      // kWriteBatch is reserved wire protocol (docs/CLUSTER.md); fail
+      // at startup instead of per-request NotImplemented noise.
+      std::fprintf(stderr,
+                   "mbqbench: mix '%s' has write templates, but cluster "
+                   "writes are not implemented — drive a local engine\n",
+                   mix->name.c_str());
+      return 2;
+    }
     engine = DialRemote(args.shard_addresses);
     if (!engine.ok()) {
       std::fprintf(stderr, "mbqbench: cannot reach shards: %s\n",
@@ -463,11 +503,17 @@ int main(int argc, char** argv) {
                  args.shard_addresses.size(),
                  args.shard_addresses.size() == 1 ? "" : "es");
   } else {
-    engine = OpenLocalEngine(args.engine, dataset, bench, &stores);
+    engine = OpenLocalEngine(args.engine, dataset, bench, &stores, writes,
+                             args.wal_dir);
     if (!engine.ok()) {
       std::fprintf(stderr, "mbqbench: engine failed: %s\n",
                    engine.status().ToString().c_str());
       return 2;
+    }
+    if (writes) {
+      std::fprintf(stderr, "mbqbench: live writes enabled (%s)\n",
+                   args.wal_dir.empty() ? "no WAL"
+                                        : ("wal_dir=" + args.wal_dir).c_str());
     }
   }
 
