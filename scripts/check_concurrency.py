@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Repo-local concurrency lint, run by the `analyze` CMake target.
+
+Three checks, all textual (no compiler needed, so they run on any box):
+
+1. Raw mutex members. Every lock in the tree must be a util::RankedMutex /
+   util::RankedSharedMutex so it carries a rank for the runtime deadlock
+   checker and a capability for the Clang thread-safety analysis. A
+   `std::mutex` / `std::shared_mutex` member (or local) outside src/util
+   silently opts out of both gates.
+
+2. Raw lock guards and condition variables. `std::lock_guard` /
+   `std::scoped_lock`, and plain `std::condition_variable` (which only
+   accepts std::unique_lock<std::mutex>) outside src/util bypass the
+   rank bookkeeping; the wrappers are util::ScopedLock / util::RankedLock
+   and std::condition_variable_any.
+
+3. RPC wire stability. rpc::MsgType values are frozen in
+   scripts/rpc_wire.lock; any change that is not a pure append breaks
+   mixed-version deployments (docs/CLUSTER.md).
+
+Exit status 0 when clean, 1 with one line per finding otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+WIRE_LOCK = REPO / "scripts" / "rpc_wire.lock"
+MESSAGES_H = SRC / "rpc" / "messages.h"
+
+# src/util owns the wrappers; the std primitives may appear only there.
+EXEMPT_PREFIX = SRC / "util"
+
+RAW_PATTERNS = [
+    # (regex, explanation)
+    (re.compile(r"\bstd::mutex\b"),
+     "raw std::mutex (use util::RankedMutex with a LockRank)"),
+    (re.compile(r"\bstd::shared_mutex\b"),
+     "raw std::shared_mutex (use util::RankedSharedMutex with a LockRank)"),
+    (re.compile(r"\bstd::recursive_mutex\b"),
+     "std::recursive_mutex (recursion is a rank violation by definition)"),
+    (re.compile(r"\bstd::lock_guard\b"),
+     "raw std::lock_guard (use util::ScopedLock)"),
+    (re.compile(r"\bstd::scoped_lock\b"),
+     "raw std::scoped_lock (use util::ScopedLock)"),
+    (re.compile(r"\bstd::condition_variable\b(?!_any)"),
+     "plain std::condition_variable (use std::condition_variable_any over "
+     "util::RankedLock)"),
+]
+
+STRIP_LINE_COMMENT = re.compile(r"//.*$")
+
+
+def iter_source_files():
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        if EXEMPT_PREFIX in path.parents:
+            continue
+        yield path
+
+
+def check_raw_primitives(findings):
+    for path in iter_source_files():
+        in_block_comment = False
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            # Cheap comment stripping: enough for this tree's style
+            # (no raw strings containing these tokens).
+            if in_block_comment:
+                if "*/" in line:
+                    line = line.split("*/", 1)[1]
+                    in_block_comment = False
+                else:
+                    continue
+            line = STRIP_LINE_COMMENT.sub("", line)
+            if "/*" in line:
+                head, _, tail = line.partition("/*")
+                if "*/" in tail:
+                    line = head + tail.split("*/", 1)[1]
+                else:
+                    line = head
+                    in_block_comment = True
+            for pattern, why in RAW_PATTERNS:
+                if pattern.search(line):
+                    rel = path.relative_to(REPO)
+                    findings.append(f"{rel}:{lineno}: {why}")
+
+
+MSGTYPE_ENTRY = re.compile(r"^\s*(k[A-Za-z0-9]+)\s*=\s*(\d+)\s*,")
+
+
+def parse_enum_values():
+    """(name, value) pairs of rpc::MsgType, in declaration order."""
+    values = []
+    in_enum = False
+    for line in MESSAGES_H.read_text().splitlines():
+        if "enum class MsgType" in line:
+            in_enum = True
+            continue
+        if in_enum:
+            if line.strip().startswith("}"):
+                break
+            m = MSGTYPE_ENTRY.match(STRIP_LINE_COMMENT.sub("", line))
+            if m:
+                values.append((m.group(1), int(m.group(2))))
+    return values
+
+
+def parse_wire_lock():
+    values = []
+    for line in WIRE_LOCK.read_text().splitlines():
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        name, _, value = line.partition("=")
+        values.append((name.strip(), int(value.strip())))
+    return values
+
+
+def check_wire_stability(findings):
+    if not WIRE_LOCK.exists():
+        findings.append(f"{WIRE_LOCK.relative_to(REPO)}: manifest missing")
+        return
+    enum = parse_enum_values()
+    lock = parse_wire_lock()
+    if not enum:
+        findings.append(
+            f"{MESSAGES_H.relative_to(REPO)}: could not parse MsgType enum")
+        return
+    # The locked prefix must match exactly; the enum may only append.
+    for i, (name, value) in enumerate(lock):
+        if i >= len(enum):
+            findings.append(
+                f"{MESSAGES_H.relative_to(REPO)}: MsgType::{name} = {value} "
+                f"was removed; wire values are append-only "
+                f"(scripts/rpc_wire.lock)")
+            continue
+        got_name, got_value = enum[i]
+        if (got_name, got_value) != (name, value):
+            findings.append(
+                f"{MESSAGES_H.relative_to(REPO)}: MsgType entry {i} is "
+                f"{got_name} = {got_value}, but the wire manifest pins "
+                f"{name} = {value}; renumbering breaks mixed-version "
+                f"deployments (scripts/rpc_wire.lock)")
+    for name, value in enum[len(lock):]:
+        findings.append(
+            f"{MESSAGES_H.relative_to(REPO)}: MsgType::{name} = {value} is "
+            f"not in scripts/rpc_wire.lock; append it there in the same "
+            f"change")
+    seen = {}
+    for name, value in enum:
+        if value in seen:
+            findings.append(
+                f"{MESSAGES_H.relative_to(REPO)}: MsgType::{name} reuses "
+                f"wire value {value} (already {seen[value]})")
+        seen[value] = name
+
+
+def main():
+    findings = []
+    check_raw_primitives(findings)
+    check_wire_stability(findings)
+    if findings:
+        for f in findings:
+            print(f)
+        print(f"check_concurrency.py: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("check_concurrency.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

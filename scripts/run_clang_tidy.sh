@@ -30,6 +30,16 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   exit 2
 fi
 
+# A compilation database older than any CMakeLists.txt lists stale flags
+# (or misses new targets entirely), and clang-tidy would silently check
+# against the old build. Re-run the configure step to refresh it.
+if [ -n "$(find . -name CMakeLists.txt -not -path './build*' \
+             -newer "$BUILD_DIR/compile_commands.json" -print -quit)" ]; then
+  echo "run_clang_tidy.sh: compile_commands.json older than CMakeLists.txt;" \
+       "re-configuring $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+
 FILES=()
 for dir in "${GATED_DIRS[@]}"; do
   while IFS= read -r f; do
@@ -41,11 +51,11 @@ if [ "${#FILES[@]}" -eq 0 ]; then
   exit 2
 fi
 
-echo "clang-tidy over ${#FILES[@]} files (${GATED_DIRS[*]})"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+echo "clang-tidy over ${#FILES[@]} files (${GATED_DIRS[*]}), -j$JOBS"
 STATUS=0
-for f in "${FILES[@]}"; do
-  clang-tidy -p "$BUILD_DIR" --quiet "$f" || STATUS=1
-done
+printf '%s\0' "${FILES[@]}" |
+  xargs -0 -n 1 -P "$JOBS" clang-tidy -p "$BUILD_DIR" --quiet || STATUS=1
 if [ "$STATUS" -ne 0 ]; then
   echo "run_clang_tidy.sh: diagnostics found" >&2
 fi

@@ -38,7 +38,7 @@ for arg in "$@"; do
 done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-focused='Exec|Concurrency|Agreement|Cypher|Cache|Introspect|Httpd|SlowQuery|Rpc|Framing|Messages|Cluster|Partitioner|Write|Wal'
+focused='Exec|Concurrency|Agreement|Cypher|Cache|Introspect|Httpd|SlowQuery|Rpc|Framing|Messages|Cluster|Partitioner|Write|Wal|LockRank'
 
 echo "== ThreadSanitizer build (build-tsan/) =="
 cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null

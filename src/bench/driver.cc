@@ -233,7 +233,7 @@ DriverMetricsPublisher::DriverMetricsPublisher(obs::MetricsRegistry* registry)
   // retained gauges across unregisters, so re-registering per Publish
   // would double-count a rate sweep's qps gauges.
   provider_ = obs::ScopedProvider(registry_, [this](obs::MetricsSink* sink) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     if (!has_report_) return;
     sink->Gauge("driver.qps", last_.achieved_qps, "1/s");
     sink->Gauge("driver.rate_target_qps", last_.rate_qps, "1/s");
@@ -271,7 +271,7 @@ void DriverMetricsPublisher::Publish(const DriverReport& report) {
                                    "per-template CO-safe latency"),
            tr.latency_micros);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   // Keep per-template rows from earlier reports visible in the gauge
   // provider only via the latest report; counters above are cumulative.
   last_ = report;

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,7 +12,9 @@
 #include "core/calls.h"
 #include "core/engine.h"
 #include "obs/metrics.h"
+#include "util/lock_rank.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::bench::driver {
 
@@ -172,9 +173,11 @@ class DriverMetricsPublisher {
 
  private:
   obs::MetricsRegistry* registry_;
-  std::mutex mu_;
-  DriverReport last_;
-  bool has_report_ = false;
+  /// LockRank::kDriver: the provider lambda locks it during a metrics
+  /// scrape (under the kObs registry mutex), so it must rank below kObs.
+  util::RankedMutex mu_{util::LockRank::kDriver, "bench.driver.publisher"};
+  DriverReport last_ MBQ_GUARDED_BY(mu_);
+  bool has_report_ MBQ_GUARDED_BY(mu_) = false;
   obs::ScopedProvider provider_;
 };
 

@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/epoch.h"
 #include "obs/metrics.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::cache {
 
@@ -90,7 +91,7 @@ class ShardedLruCache {
   /// and misses when the entry's epochs have moved on.
   bool Get(const Key& key, V* out) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::ScopedLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       CountMiss();
@@ -117,7 +118,7 @@ class ShardedLruCache {
     if (epochs_ != nullptr && !stamp.Valid(*epochs_)) return;
     size_t entry_bytes = bytes + stamp.ByteSize() + sizeof(Entry);
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::ScopedLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) EraseLocked(shard, it);
     shard.lru.push_front(
@@ -139,7 +140,7 @@ class ShardedLruCache {
   void Clear() {
     for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
       Shard& shard = *shard_ptr;
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::ScopedLock lock(shard.mu);
       for (const Entry& e : shard.lru) {
         entries_.fetch_sub(1, std::memory_order_relaxed);
         bytes_.fetch_sub(e.bytes, std::memory_order_relaxed);
@@ -169,10 +170,14 @@ class ShardedLruCache {
     size_t bytes = 0;
     EpochStamp stamp;
   };
+  /// LockRank::kCache: shard critical sections only touch the shard's own
+  /// containers and lock-free obs counters — they never nest another lock.
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index;
+    util::RankedMutex mu{util::LockRank::kCache, "cache.lru.shard"};
+    /// front = most recently used
+    std::list<Entry> lru MBQ_GUARDED_BY(mu);
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index
+        MBQ_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Key& key) {
@@ -182,7 +187,7 @@ class ShardedLruCache {
   void EraseLocked(Shard& shard,
                    typename std::unordered_map<
                        Key, typename std::list<Entry>::iterator,
-                       Hash>::iterator it) {
+                       Hash>::iterator it) MBQ_REQUIRES(shard.mu) {
     entries_.fetch_sub(1, std::memory_order_relaxed);
     bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
     shard.lru.erase(it->second);

@@ -150,7 +150,9 @@ Result<std::unordered_map<Oid, int64_t>> BitmapEngine::CountNeighborsPerSource(
   std::vector<Oid> elems = sources.ToVector();
   exec::ThreadPool& pool =
       pool_ != nullptr ? *pool_ : exec::ThreadPool::Default();
-  std::mutex mu;
+  // kPool: merged into from worker tasks that hold no other lock (the
+  // cached neighbor reads complete before the merge section starts).
+  util::RankedMutex mu{util::LockRank::kPool, "core.bitmap.merge"};
   Status first_error = Status::OK();
   uint64_t grain = std::max<uint64_t>(
       1, elems.size() / (static_cast<uint64_t>(threads_) * 4));
@@ -167,7 +169,7 @@ Result<std::unordered_map<Oid, int64_t>> BitmapEngine::CountNeighborsPerSource(
         if (other != exclude) ++local[other];
       });
     }
-    std::lock_guard<std::mutex> lock(mu);
+    util::ScopedLock lock(mu);
     if (!st.ok() && first_error.ok()) first_error = st;
     for (const auto& [oid, count] : local) counts[oid] += count;
   });

@@ -186,7 +186,7 @@ Result<std::shared_ptr<const PlannedQuery>> CypherSession::PrepareShared(
   // The lock covers parse+analyze+plan, so a second thread racing on the
   // same uncached text blocks here and then takes the cache hit below —
   // single-flight compilation, never two plans for one text.
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   *cache_hit = false;
   auto it = plan_cache_.find(query);
   if (plan_cache_enabled_ && it != plan_cache_.end()) {

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +13,8 @@
 #include "cypher/planner.h"
 #include "cypher/runtime.h"
 #include "store/delta/snapshot.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::exec {
 class ThreadPool;
@@ -125,11 +126,11 @@ class CypherSession {
 
   /// Strict-mode threshold; SessionOptions::lint_level sets it too.
   void SetLintLevel(LintLevel level) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     lint_level_ = level;
   }
   LintLevel lint_level() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return lint_level_;
   }
 
@@ -141,7 +142,7 @@ class CypherSession {
   /// Enables/disables the plan cache (the cold-cache ablation measures
   /// the recompilation cost the paper mentions).
   void SetPlanCacheEnabled(bool enabled) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     plan_cache_enabled_ = enabled;
   }
 
@@ -170,7 +171,7 @@ class CypherSession {
     return plan_cache_misses_.load(std::memory_order_relaxed);
   }
   void ClearPlanCache() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     plan_cache_.clear();
   }
 
@@ -223,27 +224,32 @@ class CypherSession {
   /// miss, from the stored diagnostics on a hit.
   Result<std::shared_ptr<const PlannedQuery>> PrepareShared(
       const std::string& query, bool* cache_hit, bool enforce_lint);
-  /// Refusal check against lint_level_; callers hold mu_.
-  Status LintGate(const std::vector<Diagnostic>& diagnostics) const;
+  /// Refusal check against lint_level_.
+  Status LintGate(const std::vector<Diagnostic>& diagnostics) const
+      MBQ_REQUIRES(mu_);
   /// Canonical text + parameters serialized sorted by name (typed, so
   /// Int(1) and String("1") never collide).
   static std::string ResultCacheKey(const std::string& body,
                                     const Params& params);
 
   GraphDb* db_;
-  mutable std::mutex mu_;
-  bool plan_cache_enabled_ = true;
-  bool last_prepare_was_cache_hit_ = false;
-  LintLevel lint_level_ = LintLevel::kOff;
+  /// LockRank::kSession: held across parse/analyze/plan in PrepareShared
+  /// (single-flight compilation), which may read store catalogues and so
+  /// reach every storage-tier lock below; only rpc.client ranks higher.
+  mutable util::RankedMutex mu_{util::LockRank::kSession, "cypher.session"};
+  bool plan_cache_enabled_ MBQ_GUARDED_BY(mu_) = true;
+  bool last_prepare_was_cache_hit_ MBQ_GUARDED_BY(mu_) = false;
+  LintLevel lint_level_ MBQ_GUARDED_BY(mu_) = LintLevel::kOff;
   std::atomic<uint32_t> threads_{1};
   std::atomic<uint64_t> slow_query_millis_{50};  // constructor re-seeds
   std::atomic<exec::ThreadPool*> pool_{nullptr};
   std::atomic<uint64_t> plan_cache_hits_{0};
   std::atomic<uint64_t> plan_cache_misses_{0};
-  std::unordered_map<std::string, std::shared_ptr<PlannedQuery>> plan_cache_;
+  std::unordered_map<std::string, std::shared_ptr<PlannedQuery>> plan_cache_
+      MBQ_GUARDED_BY(mu_);
   /// Most recent plan compiled with the cache disabled (kept alive for
   /// the caller of Prepare/Run).
-  std::shared_ptr<PlannedQuery> uncached_plan_;
+  std::shared_ptr<PlannedQuery> uncached_plan_ MBQ_GUARDED_BY(mu_);
 
   std::unique_ptr<cache::ResultCache<CachedResult>> result_cache_;
   std::unique_ptr<cache::AdjacencyCache> adj_cache_;

@@ -51,7 +51,7 @@ ThreadPool::~ThreadPool() {
   Drain();
   stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    util::ScopedLock lock(wake_mu_);
     wake_cv_.notify_all();
   }
   for (std::thread& t : workers_) t.join();
@@ -72,11 +72,11 @@ void ThreadPool::Submit(std::function<void()> fn) {
   }
   pending_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    util::ScopedLock lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(fn));
   }
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    util::ScopedLock lock(wake_mu_);
     queued_hint_ += 1;
     wake_cv_.notify_one();
   }
@@ -85,7 +85,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
 bool ThreadPool::PopTask(size_t victim, bool lifo,
                          std::function<void()>* out) {
   Worker& w = *queues_[victim];
-  std::lock_guard<std::mutex> lock(w.mu);
+  util::ScopedLock lock(w.mu);
   if (w.tasks.empty()) return false;
   if (lifo) {
     *out = std::move(w.tasks.back());
@@ -112,12 +112,12 @@ bool ThreadPool::TryRunOne(size_t self) {
   }
   if (!found) return false;
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    util::ScopedLock lock(wake_mu_);
     queued_hint_ -= 1;
   }
   task();
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    util::ScopedLock lock(wake_mu_);
     idle_cv_.notify_all();
   }
   return true;
@@ -128,10 +128,13 @@ void ThreadPool::WorkerLoop(size_t self) {
   tls_index = self;
   for (;;) {
     if (TryRunOne(self)) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_acquire) || queued_hint_ > 0;
-    });
+    util::RankedLock lock(wake_mu_);
+    // Explicit loop (not the wait(lock, pred) overload): the thread-safety
+    // analysis checks each lambda separately, so a predicate reading the
+    // wake_mu_-guarded hint would not see the lock this frame holds.
+    while (!stop_.load(std::memory_order_acquire) && queued_hint_ == 0) {
+      wake_cv_.wait(lock);
+    }
     if (stop_.load(std::memory_order_acquire)) return;
   }
 }
@@ -149,8 +152,8 @@ void ThreadPool::ParallelFor(
     std::atomic<uint64_t> done{0};
     uint64_t begin, end, grain, chunks;
     const std::function<void(uint64_t, uint64_t)>* body;
-    std::mutex mu;
-    std::condition_variable cv;
+    util::RankedMutex mu{util::LockRank::kPool, "exec.pool.for"};
+    std::condition_variable_any cv;
   };
   auto state = std::make_shared<ForState>();
   state->begin = begin;
@@ -167,7 +170,7 @@ void ThreadPool::ParallelFor(
       uint64_t hi = std::min(s->end, lo + s->grain);
       (*s->body)(lo, hi);
       if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->chunks) {
-        std::lock_guard<std::mutex> lock(s->mu);
+        util::ScopedLock lock(s->mu);
         s->cv.notify_all();
       }
     }
@@ -187,17 +190,17 @@ void ThreadPool::ParallelFor(
 
   // The caller's body pointer dies with this frame, so wait for every
   // chunk (helpers may still be mid-chunk even though the cursor is dry).
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->chunks;
-  });
+  util::RankedLock lock(state->mu);
+  while (state->done.load(std::memory_order_acquire) != state->chunks) {
+    state->cv.wait(lock);
+  }
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock<std::mutex> lock(wake_mu_);
-  idle_cv_.wait(lock, [this] {
-    return pending_.load(std::memory_order_acquire) == 0;
-  });
+  util::RankedLock lock(wake_mu_);
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    idle_cv_.wait(lock);
+  }
 }
 
 }  // namespace mbq::exec

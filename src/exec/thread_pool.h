@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::exec {
 
@@ -68,9 +69,13 @@ class ThreadPool {
   uint64_t pending() const { return pending_.load(std::memory_order_relaxed); }
 
  private:
+  /// Pool-internal locks all carry LockRank::kPool and are never nested:
+  /// a deque lock is always released before the wake lock is taken, and
+  /// tasks run with no pool lock held (so task bodies are free to enter
+  /// any engine tier).
   struct Worker {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    util::RankedMutex mu{util::LockRank::kPool, "exec.pool.queue"};
+    std::deque<std::function<void()>> tasks MBQ_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t self);
@@ -80,12 +85,12 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::condition_variable idle_cv_;
-  /// Tasks sitting in deques, guarded by wake_mu_ — the sleep predicate
-  /// (pending_ alone would busy-spin workers while the last task runs).
-  uint64_t queued_hint_ = 0;
+  util::RankedMutex wake_mu_{util::LockRank::kPool, "exec.pool.wake"};
+  std::condition_variable_any wake_cv_;
+  std::condition_variable_any idle_cv_;
+  /// Tasks sitting in deques — the sleep predicate (pending_ alone would
+  /// busy-spin workers while the last task runs).
+  uint64_t queued_hint_ MBQ_GUARDED_BY(wake_mu_) = 0;
   std::atomic<uint64_t> pending_{0};  // queued + running tasks
   std::atomic<uint64_t> next_queue_{0};
   std::atomic<bool> stop_{false};

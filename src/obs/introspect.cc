@@ -74,7 +74,7 @@ QueryRegistry::Slot* QueryRegistry::Begin(std::string_view query,
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(slot.mu);
+      util::ScopedLock lock(slot.mu);
       slot.id = next_id_.fetch_add(1, std::memory_order_relaxed);
       slot.query.assign(query.data(), query.size());
       slot.engine.assign(engine.data(), engine.size());
@@ -94,7 +94,7 @@ QueryRegistry::Slot* QueryRegistry::Begin(std::string_view query,
 void QueryRegistry::End(Slot* slot) {
   if (slot != nullptr) {
     {
-      std::lock_guard<std::mutex> lock(slot->mu);
+      util::ScopedLock lock(slot->mu);
       slot->visible = false;
     }
     slot->claimed.store(false, std::memory_order_release);
@@ -106,7 +106,7 @@ std::vector<ActiveQuery> QueryRegistry::Snapshot() const {
   uint64_t now = NowSteadyNanos();
   std::vector<ActiveQuery> active;
   for (const Slot& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot.mu);
+    util::ScopedLock lock(slot.mu);
     if (!slot.visible) continue;
     ActiveQuery q;
     q.id = slot.id;
@@ -196,7 +196,7 @@ FlightRecorder& FlightRecorder::Global() {
 
 void FlightRecorder::Record(SlowQuery entry) {
   entry.captured_unix_millis = NowUnixMillis();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   uint64_t seq = captured_.load(std::memory_order_relaxed);
   entry.seq = seq;
   if (ring_.size() < capacity_) {
@@ -208,7 +208,7 @@ void FlightRecorder::Record(SlowQuery entry) {
 }
 
 std::vector<SlowQuery> FlightRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   std::vector<SlowQuery> out(ring_);
   std::sort(out.begin(), out.end(),
             [](const SlowQuery& a, const SlowQuery& b) {
@@ -218,7 +218,7 @@ std::vector<SlowQuery> FlightRecorder::Snapshot() const {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   ring_.clear();
   // captured_ keeps counting: seq numbers stay monotonic across Clear().
 }
@@ -300,7 +300,7 @@ void SpanRecorder::Record(std::string_view name, std::string_view category,
   span.start_nanos = start_nanos;
   span.duration_nanos = duration_nanos;
   span.tid = CurrentTid();
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   uint64_t seq = recorded_.load(std::memory_order_relaxed);
   if (seq == 0) origin_nanos_ = start_nanos;
   if (ring_.size() < capacity_) {
@@ -312,7 +312,7 @@ void SpanRecorder::Record(std::string_view name, std::string_view category,
 }
 
 std::string SpanRecorder::ToChromeTraceJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   std::string out = "{\"traceEvents\": [";
   bool first = true;
   for (const Span& s : ring_) {
@@ -336,14 +336,14 @@ std::string SpanRecorder::ToChromeTraceJson() const {
 }
 
 void SpanRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   ring_.clear();
   origin_nanos_ = 0;
   recorded_.store(0, std::memory_order_relaxed);
 }
 
 size_t SpanRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   return ring_.size();
 }
 

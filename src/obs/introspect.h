@@ -4,10 +4,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::obs {
 
@@ -68,20 +70,36 @@ class QueryRegistry {
  private:
   friend class ActiveQueryScope;
 
+  /// Memory-ordering contract (audited). Three kinds of state, three
+  /// disciplines:
+  ///   * `claimed` is the slot's ownership baton. Begin claims it with an
+  ///     acquire CAS and End releases it with a release store — this pair
+  ///     is load-bearing: it orders the finishing owner's relaxed
+  ///     `rows`/`db_hits` stores before the next claimer's reset of the
+  ///     same atomics, so a recycled slot can never surface the previous
+  ///     query's progress. Do not weaken either side to relaxed.
+  ///   * The non-atomic descriptor fields below are guarded by `mu`;
+  ///     `visible` flips under it only after every field is filled, so
+  ///     Snapshot never reads a half-initialized slot.
+  ///   * `rows`/`db_hits` are relaxed on purpose: they are monotonic
+  ///     progress gauges written on the executor's hot path, read only
+  ///     under the slot mutex by Snapshot, and nothing is published
+  ///     *through* them — a marginally stale value costs one refresh of
+  ///     the :queries view, not correctness.
   struct Slot {
     /// Serializes field writes in Begin/End against Snapshot copies.
-    mutable std::mutex mu;
+    /// LockRank::kRing: leaf sections, also taken by the metrics scrape
+    /// (under the kObs registry mutex) via the Global() provider.
+    mutable util::RankedMutex mu{util::LockRank::kRing, "obs.queries.slot"};
     /// Slot allocation flag, claimed by CAS before mu is ever taken.
     std::atomic<bool> claimed{false};
-    /// Set (under mu) only after every field is filled, so Snapshot never
-    /// reads a half-initialized slot.
-    bool visible = false;
-    uint64_t id = 0;
-    std::string query;
-    std::string engine;
-    uint32_t threads = 1;
-    uint64_t start_nanos = 0;  // steady clock
-    uint64_t started_unix_millis = 0;
+    bool visible MBQ_GUARDED_BY(mu) = false;
+    uint64_t id MBQ_GUARDED_BY(mu) = 0;
+    std::string query MBQ_GUARDED_BY(mu);
+    std::string engine MBQ_GUARDED_BY(mu);
+    uint32_t threads MBQ_GUARDED_BY(mu) = 1;
+    uint64_t start_nanos MBQ_GUARDED_BY(mu) = 0;  // steady clock
+    uint64_t started_unix_millis MBQ_GUARDED_BY(mu) = 0;
     std::atomic<uint64_t> rows{0};
     std::atomic<uint64_t> db_hits{0};
   };
@@ -213,8 +231,10 @@ class FlightRecorder {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<SlowQuery> ring_;  // insertion position = seq % capacity_
+  /// LockRank::kRing: a leaf — Record/Snapshot touch only the ring.
+  mutable util::RankedMutex mu_{util::LockRank::kRing, "obs.flight.ring"};
+  /// Insertion position = seq % capacity_.
+  std::vector<SlowQuery> ring_ MBQ_GUARDED_BY(mu_);
   std::atomic<uint64_t> captured_{0};
 };
 
@@ -260,9 +280,11 @@ class SpanRecorder {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<Span> ring_;  // insertion position = recorded_ % capacity_
-  uint64_t origin_nanos_ = 0;
+  /// LockRank::kRing: a leaf — Record/export touch only the ring.
+  mutable util::RankedMutex mu_{util::LockRank::kRing, "obs.trace.ring"};
+  /// Insertion position = recorded_ % capacity_.
+  std::vector<Span> ring_ MBQ_GUARDED_BY(mu_);
+  uint64_t origin_nanos_ MBQ_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> recorded_{0};
 };
 

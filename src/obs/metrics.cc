@@ -271,7 +271,7 @@ double MetricsSnapshot::ValueOf(const std::string& name) const {
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& unit,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   auto it = counter_by_name_.find(name);
   if (it != counter_by_name_.end()) return it->second.get();
   auto* c = new Counter(name, unit, help);
@@ -282,7 +282,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& unit,
                                          const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   auto it = histogram_by_name_.find(name);
   if (it != histogram_by_name_.end()) return it->second.get();
   auto* h = new Histogram(name, unit, help);
@@ -291,14 +291,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 uint64_t MetricsRegistry::RegisterProvider(ProviderFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   uint64_t id = next_provider_id_++;
   providers_[id] = std::move(fn);
   return id;
 }
 
 void MetricsRegistry::UnregisterProvider(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   auto it = providers_.find(id);
   if (it == providers_.end()) return;
   MetricsSink sink;
@@ -315,7 +315,7 @@ void MetricsRegistry::UnregisterProvider(uint64_t id) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counter_by_name_) {
     snap.counters.push_back(
@@ -347,7 +347,23 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 MetricsRegistry& MetricsRegistry::Default() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    // Lock-rank checker health (docs/OBSERVABILITY.md, docs/
+    // STATIC_ANALYSIS.md). Reads plain atomics — safe under the registry
+    // mutex. Registered only on the default registry so test-local
+    // registries keep exactly the gauges their components report.
+    r->RegisterProvider([](MetricsSink* sink) {
+      sink->Gauge("lockrank.checks",
+                  static_cast<double>(util::LockRankChecks()), "acquisitions");
+      sink->Gauge("lockrank.violations",
+                  static_cast<double>(util::LockRankViolations()),
+                  "violations");
+      sink->Gauge("lockrank.enabled",
+                  util::LockRankChecksEnabled() ? 1.0 : 0.0, "bool");
+    });
+    return r;
+  }();
   return *registry;
 }
 

@@ -6,9 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::obs {
 
@@ -166,6 +168,10 @@ class MetricsRegistry {
 
   using ProviderFn = std::function<void(MetricsSink*)>;
   /// Registers a pull provider; returns an id for UnregisterProvider.
+  /// Providers run at snapshot time with the registry mutex (rank kObs)
+  /// held, so they may take locks ranked below kObs (buffer-cache shards,
+  /// the disk, driver accounting, introspection slots) but must never
+  /// touch the store/WAL/snapshot/session/rpc tiers or this registry.
   uint64_t RegisterProvider(ProviderFn fn);
   /// Pulls the provider's final gauge values before removing it, so the
   /// component's totals stay visible in later snapshots (e.g. a bench
@@ -176,20 +182,26 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
   /// The process-wide default registry every component reports to unless
-  /// explicitly given another one.
+  /// explicitly given another one. Also hosts the `lockrank.*` gauges
+  /// (docs/OBSERVABILITY.md) via a provider registered on first use.
   static MetricsRegistry& Default();
 
  private:
-  mutable std::mutex mu_;
+  /// LockRank::kObs: held across provider callbacks during Snapshot(),
+  /// which lock component tiers below (see RegisterProvider); taken for
+  /// lazy metric creation from as high as the WAL staging lock (kWal).
+  mutable util::RankedMutex mu_{util::LockRank::kObs, "obs.registry"};
   // unique_ptr storage: metric addresses stay stable for the registry's
   // lifetime even as more metrics register.
-  std::map<std::string, std::unique_ptr<Counter>> counter_by_name_;
-  std::map<std::string, std::unique_ptr<Histogram>> histogram_by_name_;
-  std::map<uint64_t, ProviderFn> providers_;
+  std::map<std::string, std::unique_ptr<Counter>> counter_by_name_
+      MBQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histogram_by_name_
+      MBQ_GUARDED_BY(mu_);
+  std::map<uint64_t, ProviderFn> providers_ MBQ_GUARDED_BY(mu_);
   // Final values pulled from unregistered providers; Snapshot() sums
   // these with the live providers' reports.
-  std::map<std::string, GaugeSnapshot> retained_gauges_;
-  uint64_t next_provider_id_ = 1;
+  std::map<std::string, GaugeSnapshot> retained_gauges_ MBQ_GUARDED_BY(mu_);
+  uint64_t next_provider_id_ MBQ_GUARDED_BY(mu_) = 1;
 };
 
 /// RAII registration of a pull provider (movable, auto-unregisters).

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "rpc/messages.h"
+#include "util/lock_rank.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::rpc {
 
@@ -51,15 +52,18 @@ class RpcClient {
  private:
   explicit RpcClient(Options options);
 
-  /// Establishes fd_ (closing any previous connection). Caller holds mu_.
-  Status Dial();
-  /// One write+read exchange on the current connection. Caller holds mu_.
-  Result<Frame> Exchange(const Frame& request);
+  /// Establishes fd_ (closing any previous connection).
+  Status Dial() MBQ_REQUIRES(mu_);
+  /// One write+read exchange on the current connection.
+  Result<Frame> Exchange(const Frame& request) MBQ_REQUIRES(mu_);
 
   Options options_;
   HelloReply server_info_;
-  std::mutex mu_;
-  int fd_ = -1;
+  /// LockRank::kRpc, the outermost rank: held across the whole network
+  /// round-trip, during which no other in-process lock may be acquired
+  /// (the exchange only touches fd_ and lock-free obs counters).
+  util::RankedMutex mu_{util::LockRank::kRpc, "rpc.client"};
+  int fd_ MBQ_GUARDED_BY(mu_) = -1;
 };
 
 }  // namespace mbq::rpc

@@ -52,7 +52,7 @@ PageId PageRef::page_id() const {
 void PageRef::MarkDirty() {
   MBQ_CHECK(cache_ != nullptr);
   BufferCache::Shard& s = *cache_->shards_[shard_];
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::ScopedLock lock(s.mu);
   BufferCache::Frame& frame = s.frames[frame_];
   if (cache_->options_.write_policy == WritePolicy::kWriteThrough) {
     Status st = cache_->disk_->WritePage(frame.page_id, frame.data.data());
@@ -112,7 +112,7 @@ PageRef BufferCache::PinLocked(Shard& s, size_t shard_index, size_t frame) {
 
 void BufferCache::Unpin(size_t shard, size_t frame) {
   Shard& s = *shards_[shard];
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::ScopedLock lock(s.mu);
   Frame& f = s.frames[frame];
   MBQ_CHECK(f.pins > 0);
   --f.pins;
@@ -164,7 +164,7 @@ Result<size_t> BufferCache::AcquireFrameLocked(Shard& s) {
 Result<PageRef> BufferCache::GetPage(PageId id) {
   size_t si = ShardOf(id);
   Shard& s = *shards_[si];
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::ScopedLock lock(s.mu);
   auto it = s.frame_of_page.find(id);
   if (it != s.frame_of_page.end()) {
     ++s.stats.hits;
@@ -190,7 +190,7 @@ Result<PageRef> BufferCache::GetPage(PageId id) {
 Result<PageRef> BufferCache::GetPageForInit(PageId id) {
   size_t si = ShardOf(id);
   Shard& s = *shards_[si];
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::ScopedLock lock(s.mu);
   auto it = s.frame_of_page.find(id);
   if (it != s.frame_of_page.end()) {
     ++s.stats.hits;
@@ -210,7 +210,7 @@ Result<PageRef> BufferCache::NewPage() {
   PageId id = disk_->AllocatePage();
   size_t si = ShardOf(id);
   Shard& s = *shards_[si];
-  std::lock_guard<std::mutex> lock(s.mu);
+  util::ScopedLock lock(s.mu);
   MBQ_ASSIGN_OR_RETURN(size_t frame, AcquireFrameLocked(s));
   Frame& f = s.frames[frame];
   std::fill(f.data.begin(), f.data.end(), 0);
@@ -238,7 +238,7 @@ Status BufferCache::FlushShardLocked(Shard& s) {
 
 Status BufferCache::FlushAll() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::ScopedLock lock(shard->mu);
     MBQ_RETURN_IF_ERROR(FlushShardLocked(*shard));
   }
   return Status::OK();
@@ -247,7 +247,7 @@ Status BufferCache::FlushAll() {
 Status BufferCache::EvictAll() {
   for (auto& shard : shards_) {
     Shard& s = *shard;
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::ScopedLock lock(s.mu);
     MBQ_RETURN_IF_ERROR(FlushShardLocked(s));
     for (size_t i = 0; i < s.frames.size(); ++i) {
       Frame& f = s.frames[i];
@@ -267,7 +267,7 @@ Status BufferCache::EvictAll() {
 BufferCacheStats BufferCache::stats() const {
   BufferCacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::ScopedLock lock(shard->mu);
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.evictions += shard->stats.evictions;
@@ -279,7 +279,7 @@ BufferCacheStats BufferCache::stats() const {
 
 void BufferCache::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::ScopedLock lock(shard->mu);
     shard->stats = BufferCacheStats();
   }
 }
@@ -287,7 +287,7 @@ void BufferCache::ResetStats() {
 size_t BufferCache::cached_pages() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::ScopedLock lock(shard->mu);
     total += shard->frame_of_page.size();
   }
   return total;

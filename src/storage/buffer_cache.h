@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/simulated_disk.h"
+#include "util/lock_rank.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::storage {
 
@@ -135,23 +136,31 @@ class BufferCache {
     bool in_lru = false;
   };
 
+  /// LockRank::kBufferCache: a miss reads the disk (LockRank::kDisk)
+  /// while the shard lock is held, so the shard lock ranks above it.
+  /// `frames` is deliberately unguarded: frame *contents* follow the pin
+  /// protocol — a pinned frame cannot be evicted or resized, so
+  /// PageRef::data()/page_id() read it without the shard lock; all frame
+  /// *bookkeeping* (pins, dirty, lru linkage) happens under `mu`.
   struct Shard {
-    mutable std::mutex mu;
+    mutable util::RankedMutex mu{util::LockRank::kBufferCache,
+                                 "storage.buffercache.shard"};
     std::vector<Frame> frames;
-    std::vector<size_t> free_frames;
-    std::unordered_map<PageId, size_t> frame_of_page;
-    std::list<size_t> lru;  // front = most recently used
-    BufferCacheStats stats;
+    std::vector<size_t> free_frames MBQ_GUARDED_BY(mu);
+    std::unordered_map<PageId, size_t> frame_of_page MBQ_GUARDED_BY(mu);
+    std::list<size_t> lru MBQ_GUARDED_BY(mu);  // front = most recently used
+    BufferCacheStats stats MBQ_GUARDED_BY(mu);
   };
 
   size_t ShardOf(PageId id) const { return id % shards_.size(); }
-  /// Frame with no resident page; may evict (caller holds s.mu).
-  Result<size_t> AcquireFrameLocked(Shard& s);
-  Status WriteBackLocked(Shard& s, size_t frame);
-  Status FlushShardLocked(Shard& s);
-  void TouchLocked(Shard& s, size_t frame);
-  /// Pin + wrap: caller holds s.mu and passes the shard's index.
-  PageRef PinLocked(Shard& s, size_t shard_index, size_t frame);
+  /// Frame with no resident page; may evict.
+  Result<size_t> AcquireFrameLocked(Shard& s) MBQ_REQUIRES(s.mu);
+  Status WriteBackLocked(Shard& s, size_t frame) MBQ_REQUIRES(s.mu);
+  Status FlushShardLocked(Shard& s) MBQ_REQUIRES(s.mu);
+  void TouchLocked(Shard& s, size_t frame) MBQ_REQUIRES(s.mu);
+  /// Pin + wrap: takes the shard's index alongside the locked shard.
+  PageRef PinLocked(Shard& s, size_t shard_index, size_t frame)
+      MBQ_REQUIRES(s.mu);
   void Unpin(size_t shard, size_t frame);
 
   SimulatedDisk* disk_;

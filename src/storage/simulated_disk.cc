@@ -8,7 +8,7 @@ SimulatedDisk::SimulatedDisk(DiskProfile profile, Clock* clock)
 PageId SimulatedDisk::AllocatePage() {
   auto page = std::make_unique<uint8_t[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   pages_.push_back(std::move(page));
   return pages_.size() - 1;
 }
@@ -39,7 +39,7 @@ Status SimulatedDisk::CheckFailure() {
 }
 
 Status SimulatedDisk::ReadPage(PageId id, uint8_t* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   MBQ_RETURN_IF_ERROR(CheckFailure());
   if (id >= pages_.size()) {
     return Status::OutOfRange("read past end of disk: page " +
@@ -52,7 +52,7 @@ Status SimulatedDisk::ReadPage(PageId id, uint8_t* out) {
 }
 
 Status SimulatedDisk::WritePage(PageId id, const uint8_t* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::ScopedLock lock(mu_);
   MBQ_RETURN_IF_ERROR(CheckFailure());
   if (id >= pages_.size()) {
     return Status::OutOfRange("write past end of disk: page " +

@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/clock.h"
+#include "util/lock_rank.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::storage {
 
@@ -78,49 +79,51 @@ class SimulatedDisk {
   /// tests verify that errors propagate as Status through every layer
   /// instead of crashing.
   void InjectFailureAfter(uint64_t ops) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     fail_after_ = ops;
     failing_ = false;
   }
   void ClearFailure() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     fail_after_ = UINT64_MAX;
     failing_ = false;
   }
 
   uint64_t num_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return pages_.size();
   }
   /// Snapshot of the cumulative counters (copied under the lock).
   DiskStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     stats_ = DiskStats();
   }
   const DiskProfile& profile() const { return profile_; }
 
   /// Total bytes held (the simulated on-disk footprint).
   uint64_t SizeBytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return pages_.size() * kPageSize;
   }
 
  private:
-  void Charge(PageId id, uint64_t transfer_nanos);
-  Status CheckFailure();
+  void Charge(PageId id, uint64_t transfer_nanos) MBQ_REQUIRES(mu_);
+  Status CheckFailure() MBQ_REQUIRES(mu_);
 
   DiskProfile profile_;
   Clock* clock_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<uint8_t[]>> pages_;
-  PageId last_page_ = kInvalidPageId;
-  DiskStats stats_;
-  uint64_t fail_after_ = UINT64_MAX;
-  bool failing_ = false;
+  /// LockRank::kDisk, the innermost storage lock: critical sections touch
+  /// only the page array, the counters, and the (thread-safe) clock.
+  mutable util::RankedMutex mu_{util::LockRank::kDisk, "storage.disk"};
+  std::vector<std::unique_ptr<uint8_t[]>> pages_ MBQ_GUARDED_BY(mu_);
+  PageId last_page_ MBQ_GUARDED_BY(mu_) = kInvalidPageId;
+  DiskStats stats_ MBQ_GUARDED_BY(mu_);
+  uint64_t fail_after_ MBQ_GUARDED_BY(mu_) = UINT64_MAX;
+  bool failing_ MBQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mbq::storage

@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "store/delta/write_batch.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::store {
 
@@ -34,7 +35,7 @@ class DeltaStore {
  public:
   /// Journals every op of `batch` at `epoch` / WAL sequence `seq`.
   void Append(const WriteBatch& batch, uint64_t epoch, uint64_t seq) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     for (const WriteOp& op : batch.ops()) {
       records_.push_back({seq, epoch, op});
       if (op.kind == WriteOpKind::kUnfollow) ++tombstones_;
@@ -45,47 +46,52 @@ class DeltaStore {
   }
 
   uint64_t ops() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return records_.size();
   }
   uint64_t batches() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return batches_;
   }
   /// Unfollow ops journaled — each one a tombstone over a base or delta
   /// follow edge.
   uint64_t tombstones() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return tombstones_;
   }
   uint64_t last_epoch() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return last_epoch_;
   }
   uint64_t last_seq() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return last_seq_;
   }
 
   /// A consistent copy of the journal (checkdb, tests, :writes).
   std::vector<DeltaRecord> SnapshotRecords() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     return records_;
   }
 
-  /// Visits every record under the lock; keep `fn` cheap.
+  /// Visits every record under the lock; keep `fn` cheap — it runs with
+  /// the kStore-ranked journal mutex held, so it may lock downward (the
+  /// buffer cache, the disk) but never a snapshot/WAL/session lock.
   void ForEach(const std::function<void(const DeltaRecord&)>& fn) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::ScopedLock lock(mu_);
     for (const DeltaRecord& r : records_) fn(r);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<DeltaRecord> records_;
-  uint64_t batches_ = 0;
-  uint64_t tombstones_ = 0;
-  uint64_t last_epoch_ = 0;
-  uint64_t last_seq_ = 0;
+  /// LockRank::kStore: appended to inside the exclusive commit section
+  /// (below kSnapshot and the kWal staging lock), walked by checkdb while
+  /// it reads base-store pages (above kBufferCache/kDisk).
+  mutable util::RankedMutex mu_{util::LockRank::kStore, "store.delta.journal"};
+  std::vector<DeltaRecord> records_ MBQ_GUARDED_BY(mu_);
+  uint64_t batches_ MBQ_GUARDED_BY(mu_) = 0;
+  uint64_t tombstones_ MBQ_GUARDED_BY(mu_) = 0;
+  uint64_t last_epoch_ MBQ_GUARDED_BY(mu_) = 0;
+  uint64_t last_seq_ MBQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mbq::store

@@ -7,6 +7,8 @@
 #include <shared_mutex>
 
 #include "cache/epoch.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::store {
 
@@ -52,10 +54,10 @@ class SnapshotRegistry {
 
    private:
     friend class SnapshotRegistry;
-    ReadSnapshot(std::shared_lock<std::shared_mutex> lock, uint64_t epoch)
+    ReadSnapshot(std::shared_lock<util::RankedSharedMutex> lock, uint64_t epoch)
         : lock_(std::move(lock)), epoch_(epoch) {}
 
-    std::shared_lock<std::shared_mutex> lock_;
+    std::shared_lock<util::RankedSharedMutex> lock_;
     uint64_t epoch_ = 0;
   };
 
@@ -90,22 +92,22 @@ class SnapshotRegistry {
    private:
     friend class SnapshotRegistry;
     CommitGuard(SnapshotRegistry* registry,
-                std::unique_lock<std::shared_mutex> lock, uint64_t epoch)
+                std::unique_lock<util::RankedSharedMutex> lock, uint64_t epoch)
         : registry_(registry), lock_(std::move(lock)), epoch_(epoch) {}
 
     SnapshotRegistry* registry_;
-    std::unique_lock<std::shared_mutex> lock_;
+    std::unique_lock<util::RankedSharedMutex> lock_;
     uint64_t epoch_ = 0;
   };
 
   ReadSnapshot OpenSnapshot() {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::shared_lock<util::RankedSharedMutex> lock(mu_);
     return ReadSnapshot(std::move(lock),
                         committed_.load(std::memory_order_acquire));
   }
 
   CommitGuard BeginCommit() {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::unique_lock<util::RankedSharedMutex> lock(mu_);
     return CommitGuard(this, std::move(lock),
                        committed_.load(std::memory_order_relaxed) + 1);
   }
@@ -116,7 +118,16 @@ class SnapshotRegistry {
   }
 
  private:
-  std::shared_mutex mu_;
+  /// LockRank::kSnapshot: the widest engine lock — a commit holds it
+  /// exclusively while applying to the base store (kStore, kBufferCache,
+  /// kDisk), staging the WAL record (kWal) and creating metrics (kObs),
+  /// so it ranks above that whole tier; only session/rpc sit higher.
+  /// Holds are tracked through the std lock adapters, which stay movable
+  /// (ReadSnapshot/CommitGuard transfer ownership by move), so there are
+  /// no GUARDED_BY fields here — visibility is the committed_ atomic's
+  /// release/acquire pair, documented on each member.
+  util::RankedSharedMutex mu_{util::LockRank::kSnapshot,
+                              "store.delta.snapshot"};
   std::atomic<uint64_t> committed_{0};
   cache::EpochRegistry* epochs_;
 };

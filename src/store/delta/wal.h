@@ -4,13 +4,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "store/delta/write_batch.h"
+#include "util/lock_rank.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace mbq::store {
 
@@ -78,23 +79,33 @@ class Wal {
                uint64_t next_seq, uint64_t bytes);
 
   /// Writes + fsyncs everything pending; called by the flush leader with
-  /// the lock held (released around the syscalls).
-  void FlushLocked(std::unique_lock<std::mutex>* lock);
+  /// the lock held (released around the syscalls, so the analysis cannot
+  /// follow it — the runtime rank checker still tracks both transitions).
+  void FlushLocked(util::RankedLock* lock) MBQ_NO_THREAD_SAFETY_ANALYSIS;
 
   const std::string path_;
   const uint32_t window_micros_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  /// LockRank::kWal: Stage() runs inside the exclusive commit section
+  /// (below kSnapshot) and looks up its lazily created obs counters while
+  /// holding mu_, which takes the registry mutex (above kObs).
+  mutable util::RankedMutex mu_{util::LockRank::kWal, "store.delta.wal"};
+  std::condition_variable_any cv_;
   int fd_ = -1;
-  std::string pending_;          // encoded records not yet written
-  uint64_t next_seq_ = 1;        // sequence for the next Stage
-  uint64_t staged_seq_ = 0;      // highest staged sequence
-  uint64_t durable_seq_ = 0;     // highest fsynced sequence
-  bool flusher_active_ = false;  // a leader is collecting/flushing
-  Status io_status_;             // sticky first I/O failure
-  uint64_t records_ = 0;
-  uint64_t bytes_ = 0;
+  /// Encoded records not yet written.
+  std::string pending_ MBQ_GUARDED_BY(mu_);
+  /// Sequence for the next Stage.
+  uint64_t next_seq_ MBQ_GUARDED_BY(mu_) = 1;
+  /// Highest staged sequence.
+  uint64_t staged_seq_ MBQ_GUARDED_BY(mu_) = 0;
+  /// Highest fsynced sequence.
+  uint64_t durable_seq_ MBQ_GUARDED_BY(mu_) = 0;
+  /// A leader is collecting/flushing.
+  bool flusher_active_ MBQ_GUARDED_BY(mu_) = false;
+  /// Sticky first I/O failure.
+  Status io_status_ MBQ_GUARDED_BY(mu_);
+  uint64_t records_ MBQ_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_ MBQ_GUARDED_BY(mu_) = 0;
 };
 
 /// CRC-32 (IEEE 802.3, reflected) over `data` — the WAL record checksum.
