@@ -17,9 +17,10 @@
 # query registry / flight recorder, the stats server, and the RPC /
 # cluster plane with its concurrent clients) with CYPHER_THREADS=4 so
 # the morsel-parallel paths engage. A full-suite TSan run works too but
-# is several times slower. The TSan pass finishes with the cluster
-# smoke: real mbqd shard + aggregator processes on loopback
-# (scripts/cluster_local.sh), all running under the sanitizer.
+# is several times slower. The TSan pass finishes with the cluster,
+# driver and trace smokes: real mbqd shard + aggregator processes on
+# loopback (scripts/cluster_local.sh, scripts/trace_smoke.sh), all
+# running under the sanitizer.
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -38,7 +39,7 @@ for arg in "$@"; do
 done
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-focused='Exec|Concurrency|Agreement|Cypher|Cache|Introspect|Httpd|SlowQuery|Rpc|Framing|Messages|Cluster|Partitioner|Write|Wal|LockRank'
+focused='Exec|Concurrency|Agreement|Cypher|Cache|Introspect|Httpd|SlowQuery|Rpc|Framing|Messages|Cluster|Partitioner|Write|Wal|LockRank|Trace'
 
 echo "== ThreadSanitizer build (build-tsan/) =="
 cmake -B build-tsan -S . -DSANITIZE=thread >/dev/null
@@ -64,6 +65,11 @@ TSAN_OPTIONS="halt_on_error=1" \
 echo "== driver smoke (open-loop load driver, TSan binaries) =="
 TSAN_OPTIONS="halt_on_error=1" \
   scripts/driver_smoke.sh build-tsan/tools/mbqbench build-tsan/tools/mbqd
+
+echo "== trace smoke (stitched cross-process trace, TSan binaries) =="
+TSAN_OPTIONS="halt_on_error=1" \
+  scripts/trace_smoke.sh build-tsan/tools/mbqd build-tsan/tools/mbqtrace \
+  build-tsan/tools/mbqtop
 
 if [ "$run_asan" -eq 1 ]; then
   echo "== AddressSanitizer build (build-asan/) =="

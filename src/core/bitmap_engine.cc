@@ -9,6 +9,7 @@
 #include "cache/epoch.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace mbq::core {
 
@@ -31,6 +32,7 @@ class QueryTracker {
         call_(std::move(call)),
         threads_(threads),
         slow_millis_(slow_millis),
+        trace_scope_(obs::ChildOrRootContext()),
         scope_(&obs::QueryRegistry::Global(), call_, "bitmap", threads) {}
 
   QueryTracker(const QueryTracker&) = delete;
@@ -68,6 +70,10 @@ class QueryTracker {
   uint32_t threads_;
   uint64_t slow_millis_;
   uint64_t rows_ = 0;
+  /// Each navigation call is an ingress: it runs under a trace context
+  /// so its span carries request identity (declared before scope_ so the
+  /// context outlives the span recording in ~QueryTracker).
+  obs::ScopedTraceContext trace_scope_;
   obs::ActiveQueryScope scope_;
 };
 

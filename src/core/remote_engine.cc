@@ -1,9 +1,13 @@
 #include "core/remote_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 
+#include "obs/introspect.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
+#include "util/clock.h"
 #include "util/string_util.h"
 
 namespace mbq::core {
@@ -14,6 +18,102 @@ namespace {
 /// the limit shards are asked for when the aggregator needs the full
 /// count list to merge exactly.
 constexpr int64_t kUnboundedN = int64_t{1} << 30;
+
+/// One shard exchange as seen by the aggregator: its round trip plus the
+/// timing summary the shard sent back (reply_nanos == 0 when the reply
+/// came back bare — an untraced exchange or an old peer).
+struct ShardSample {
+  uint32_t shard = 0;
+  uint64_t rtt_nanos = 0;
+  rpc::ShardTiming timing;
+};
+
+/// The samples of the remote call currently executing on this thread;
+/// installed by RemoteCallTracker, filled by RemoteEngine::CallShard.
+thread_local std::vector<ShardSample>* g_call_samples = nullptr;
+
+/// Lazy per-shard round-trip histograms. The names are dynamic
+/// ("rpc.shard." + i + ".latency"); docs/OBSERVABILITY.md documents the
+/// family as `rpc.shard.<i>.latency` and check_docs_links.sh knows the
+/// prefix.
+obs::Histogram* ShardLatency(uint32_t shard) {
+  return obs::MetricsRegistry::Default().GetHistogram(
+      "rpc.shard." + std::to_string(shard) + ".latency", "us",
+      "Aggregator-measured round-trip time of calls to this shard");
+}
+
+/// RAII accounting for one public RemoteEngine call: opens a child trace
+/// scope (or mints a root when the call *is* the ingress), registers in
+/// the active-query table, collects per-shard samples, and on exit
+/// records the call span and — when the call crossed the slow threshold —
+/// a FlightRecorder capture whose profile is the per-shard breakdown the
+/// /slow endpoint shows.
+class RemoteCallTracker {
+ public:
+  explicit RemoteCallTracker(std::string name)
+      : name_(std::move(name)),
+        trace_scope_(obs::ChildOrRootContext()),
+        active_(&obs::QueryRegistry::Global(), name_, "remote", 1),
+        previous_(g_call_samples) {
+    g_call_samples = &samples_;
+  }
+
+  ~RemoteCallTracker() {
+    g_call_samples = previous_;
+    uint64_t elapsed = active_.ElapsedNanos();
+    obs::SpanRecorder::Global().Record(name_, "rpc", active_.start_nanos(),
+                                       elapsed);
+    double millis = static_cast<double>(elapsed) / 1e6;
+    if (!obs::IsSlowQuery(millis, obs::DefaultSlowQueryMillis())) return;
+    obs::SlowQuery capture;
+    capture.query = name_;
+    capture.engine = "remote";
+    capture.millis = millis;
+    capture.threads = 1;
+    capture.profile = Breakdown();
+    obs::FlightRecorder::Global().Record(std::move(capture));
+  }
+
+  RemoteCallTracker(const RemoteCallTracker&) = delete;
+  RemoteCallTracker& operator=(const RemoteCallTracker&) = delete;
+
+ private:
+  /// One line per shard exchange: where the shard said the time went,
+  /// with the network share as rtt - reply.
+  std::string Breakdown() const {
+    std::string out;
+    char buf[192];
+    for (const ShardSample& s : samples_) {
+      double rtt = static_cast<double>(s.rtt_nanos) / 1e6;
+      if (s.timing.reply_nanos != 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "shard %u: rtt=%.3fms queue=%.3fms execute=%.3fms "
+            "serialize=%.3fms reply=%.3fms network=%.3fms\n",
+            s.shard, rtt, static_cast<double>(s.timing.queue_nanos) / 1e6,
+            static_cast<double>(s.timing.execute_nanos) / 1e6,
+            static_cast<double>(s.timing.serialize_nanos) / 1e6,
+            static_cast<double>(s.timing.reply_nanos) / 1e6,
+            static_cast<double>(s.rtt_nanos -
+                                std::min(s.rtt_nanos,
+                                         s.timing.reply_nanos)) /
+                1e6);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "shard %u: rtt=%.3fms (no shard timing)\n", s.shard,
+                      rtt);
+      }
+      out += buf;
+    }
+    return out;
+  }
+
+  std::string name_;
+  obs::ScopedTraceContext trace_scope_;
+  obs::ActiveQueryScope active_;
+  std::vector<ShardSample>* previous_;
+  std::vector<ShardSample> samples_;
+};
 
 struct AggregatorMetrics {
   obs::Counter* routed_calls;
@@ -129,11 +229,28 @@ std::string RemoteEngine::name() const {
          PartitionKindName(partitioner_.kind()) + ")";
 }
 
+Result<rpc::Frame> RemoteEngine::CallShard(uint32_t shard,
+                                           const rpc::Frame& request) {
+  rpc::ShardTiming timing;
+  uint64_t start_nanos = WallClock().NowNanos();
+  Result<rpc::Frame> reply = shards_[shard]->Call(request, &timing);
+  uint64_t rtt_nanos = WallClock().NowNanos() - start_nanos;
+  ShardLatency(shard)->Record(rtt_nanos / 1000);
+  if (g_call_samples != nullptr) {
+    ShardSample sample;
+    sample.shard = shard;
+    sample.rtt_nanos = rtt_nanos;
+    sample.timing = timing;
+    g_call_samples->push_back(sample);
+  }
+  return reply;
+}
+
 Result<ValueRows> RemoteEngine::CallRows(uint32_t shard,
                                          const rpc::CallRequest& req) {
   AggregatorMetrics::Get().routed_calls->Inc();
   rpc::Frame reply;
-  MBQ_ASSIGN_OR_RETURN(reply, shards_[shard]->Call(rpc::EncodeCall(req)));
+  MBQ_ASSIGN_OR_RETURN(reply, CallShard(shard, rpc::EncodeCall(req)));
   return rpc::DecodeRowsReply(reply);
 }
 
@@ -145,8 +262,8 @@ Result<std::vector<ValueRows>> RemoteEngine::FanOutRows(
   rpc::Frame request = rpc::EncodeCall(req);
   size_t failures = 0;
   Status first_error;
-  for (auto& shard : shards_) {
-    Result<rpc::Frame> reply = shard->Call(request);
+  for (uint32_t shard = 0; shard < shards_.size(); ++shard) {
+    Result<rpc::Frame> reply = CallShard(shard, request);
     Result<ValueRows> rows =
         reply.ok() ? rpc::DecodeRowsReply(*reply) : reply.status();
     if (!rows.ok()) {
@@ -195,6 +312,7 @@ Result<ValueRows> RemoteEngine::FanOutCounts(const rpc::CallRequest& req,
 
 Result<ValueRows> RemoteEngine::SelectUsersByFollowerCount(
     int64_t threshold) {
+  RemoteCallTracker tracker("remote.select_users_by_follower_count");
   // Users are replicated; spread repeated scans over the shards.
   rpc::CallRequest req;
   req.call = rpc::NavCall::kSelectUsersByFollowerCount;
@@ -205,6 +323,7 @@ Result<ValueRows> RemoteEngine::SelectUsersByFollowerCount(
 }
 
 Result<ValueRows> RemoteEngine::FolloweesOf(int64_t uid) {
+  RemoteCallTracker tracker("remote.followees_of");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kFolloweesOf;
   req.uid = uid;
@@ -212,6 +331,7 @@ Result<ValueRows> RemoteEngine::FolloweesOf(int64_t uid) {
 }
 
 Result<ValueRows> RemoteEngine::TweetsOfFollowees(int64_t uid) {
+  RemoteCallTracker tracker("remote.tweets_of_followees");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kTweetsOfFollowees;
   req.uid = uid;
@@ -230,6 +350,7 @@ Result<ValueRows> RemoteEngine::TweetsOfFollowees(int64_t uid) {
 }
 
 Result<ValueRows> RemoteEngine::HashtagsUsedByFollowees(int64_t uid) {
+  RemoteCallTracker tracker("remote.hashtags_used_by_followees");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kHashtagsUsedByFollowees;
   req.uid = uid;
@@ -249,6 +370,7 @@ Result<ValueRows> RemoteEngine::HashtagsUsedByFollowees(int64_t uid) {
 }
 
 Result<ValueRows> RemoteEngine::TopCoMentionedUsers(int64_t uid, int64_t n) {
+  RemoteCallTracker tracker("remote.top_co_mentioned_users");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kTopCoMentionedUsers;
   req.uid = uid;
@@ -257,6 +379,7 @@ Result<ValueRows> RemoteEngine::TopCoMentionedUsers(int64_t uid, int64_t n) {
 
 Result<ValueRows> RemoteEngine::TopCoOccurringHashtags(const std::string& tag,
                                                        int64_t n) {
+  RemoteCallTracker tracker("remote.top_co_occurring_hashtags");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kTopCoOccurringHashtags;
   req.tag = tag;
@@ -265,6 +388,7 @@ Result<ValueRows> RemoteEngine::TopCoOccurringHashtags(const std::string& tag,
 
 Result<ValueRows> RemoteEngine::RecommendFolloweesOfFollowees(int64_t uid,
                                                               int64_t n) {
+  RemoteCallTracker tracker("remote.recommend_followees_of_followees");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kRecommendFolloweesOfFollowees;
   req.uid = uid;
@@ -274,6 +398,7 @@ Result<ValueRows> RemoteEngine::RecommendFolloweesOfFollowees(int64_t uid,
 
 Result<ValueRows> RemoteEngine::RecommendFollowersOfFollowees(int64_t uid,
                                                               int64_t n) {
+  RemoteCallTracker tracker("remote.recommend_followers_of_followees");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kRecommendFollowersOfFollowees;
   req.uid = uid;
@@ -282,6 +407,7 @@ Result<ValueRows> RemoteEngine::RecommendFollowersOfFollowees(int64_t uid,
 }
 
 Result<ValueRows> RemoteEngine::CurrentInfluence(int64_t uid, int64_t n) {
+  RemoteCallTracker tracker("remote.current_influence");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kCurrentInfluence;
   req.uid = uid;
@@ -289,6 +415,7 @@ Result<ValueRows> RemoteEngine::CurrentInfluence(int64_t uid, int64_t n) {
 }
 
 Result<ValueRows> RemoteEngine::PotentialInfluence(int64_t uid, int64_t n) {
+  RemoteCallTracker tracker("remote.potential_influence");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kPotentialInfluence;
   req.uid = uid;
@@ -297,6 +424,7 @@ Result<ValueRows> RemoteEngine::PotentialInfluence(int64_t uid, int64_t n) {
 
 Result<int64_t> RemoteEngine::ShortestPathLength(int64_t uid_a, int64_t uid_b,
                                                  uint32_t max_hops) {
+  RemoteCallTracker tracker("remote.shortest_path_length");
   rpc::CallRequest req;
   req.call = rpc::NavCall::kShortestPathLength;
   req.uid = uid_a;
@@ -305,16 +433,15 @@ Result<int64_t> RemoteEngine::ShortestPathLength(int64_t uid_a, int64_t uid_b,
   AggregatorMetrics::Get().routed_calls->Inc();
   rpc::Frame reply;
   MBQ_ASSIGN_OR_RETURN(
-      reply,
-      shards_[partitioner_.OwnerShard(uid_a)]->Call(rpc::EncodeCall(req)));
+      reply, CallShard(partitioner_.OwnerShard(uid_a), rpc::EncodeCall(req)));
   return rpc::DecodeIntReply(reply);
 }
 
 Status RemoteEngine::DropCaches() {
-  for (auto& shard : shards_) {
+  for (uint32_t shard = 0; shard < shards_.size(); ++shard) {
     rpc::Frame reply;
     MBQ_ASSIGN_OR_RETURN(
-        reply, shard->Call(rpc::EmptyFrame(rpc::MsgType::kDropCaches)));
+        reply, CallShard(shard, rpc::EmptyFrame(rpc::MsgType::kDropCaches)));
     if (reply.type != static_cast<uint8_t>(rpc::MsgType::kOkReply)) {
       return Status::Corruption(
           std::string("rpc: expected kOkReply, got ") +
@@ -325,6 +452,7 @@ Status RemoteEngine::DropCaches() {
 }
 
 Result<rpc::QueryReply> RemoteEngine::Query(const rpc::QueryRequest& req) {
+  RemoteCallTracker tracker("remote.query");
   if (req.merge == rpc::QueryMerge::kRoute) {
     if (req.route_shard >= shards_.size()) {
       return Status::InvalidArgument(
@@ -333,17 +461,17 @@ Result<rpc::QueryReply> RemoteEngine::Query(const rpc::QueryRequest& req) {
     }
     AggregatorMetrics::Get().routed_calls->Inc();
     rpc::Frame reply;
-    MBQ_ASSIGN_OR_RETURN(
-        reply, shards_[req.route_shard]->Call(rpc::EncodeQuery(req)));
+    MBQ_ASSIGN_OR_RETURN(reply,
+                         CallShard(req.route_shard, rpc::EncodeQuery(req)));
     return rpc::DecodeQueryReply(reply);
   }
   AggregatorMetrics::Get().fanout_calls->Inc();
   rpc::Frame request = rpc::EncodeQuery(req);
   rpc::QueryReply merged;
   bool have_columns = false;
-  for (auto& shard : shards_) {
+  for (uint32_t shard = 0; shard < shards_.size(); ++shard) {
     rpc::Frame reply;
-    MBQ_ASSIGN_OR_RETURN(reply, shard->Call(request));
+    MBQ_ASSIGN_OR_RETURN(reply, CallShard(shard, request));
     rpc::QueryReply part;
     MBQ_ASSIGN_OR_RETURN(part, rpc::DecodeQueryReply(reply));
     if (!have_columns) {

@@ -81,6 +81,12 @@ class RemoteEngine : public MicroblogEngine {
   explicit RemoteEngine(std::vector<std::unique_ptr<rpc::RpcClient>> shards,
                         Partitioner partitioner);
 
+  /// Every shard exchange funnels through here: measures the round trip
+  /// into the per-shard `rpc.shard.<i>.latency` histogram and hands the
+  /// RTT + the shard's reply-envelope timing to the active call tracker
+  /// (remote_engine.cc), which is what /slow breakdowns are built from.
+  Result<rpc::Frame> CallShard(uint32_t shard, const rpc::Frame& request);
+
   /// One kCall to one shard, rows reply expected.
   Result<ValueRows> CallRows(uint32_t shard, const rpc::CallRequest& req);
   /// Fan out a kCall to every shard; per-shard NotFound is tolerated

@@ -1,9 +1,13 @@
 #include "core/shard_service.h"
 
 #include <chrono>
+#include <cstring>
 #include <mutex>
 
+#include "obs/introspect.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
+#include "util/clock.h"
 
 namespace mbq::core {
 
@@ -38,14 +42,100 @@ obs::Histogram* CallLatency(rpc::NavCall call) {
 
 }  // namespace
 
+namespace {
+
+/// Overwrites the four ShardTiming words of an encoded reply envelope in
+/// place. Timing can only be final *after* the envelope is encoded (the
+/// serialize component is the encode itself), so the encoder writes
+/// zeros and this patches the fixed-offset slot: 25 bytes of ids + flags
+/// precede it (docs/CLUSTER.md).
+void PatchEnvelopeTiming(rpc::Frame* frame, const rpc::ShardTiming& timing) {
+  constexpr size_t kTimingOffset = 8 + 8 + 8 + 1;
+  const uint64_t words[4] = {timing.queue_nanos, timing.execute_nanos,
+                             timing.serialize_nanos, timing.reply_nanos};
+  if (frame->body.size() < kTimingOffset + sizeof(words)) return;
+  for (size_t w = 0; w < 4; ++w) {
+    for (size_t b = 0; b < 8; ++b) {
+      frame->body[kTimingOffset + w * 8 + b] =
+          static_cast<uint8_t>(words[w] >> (b * 8));
+    }
+  }
+}
+
+}  // namespace
+
 ShardService::ShardService(MicroblogEngine* engine, rpc::HelloReply info,
                            QueryFn query_fn)
     : engine_(engine), info_(std::move(info)), query_fn_(std::move(query_fn)) {}
 
 rpc::Frame ShardService::Handle(const rpc::Frame& request) {
+  uint64_t entry_nanos = WallClock().NowNanos();
+  if (request.type == static_cast<uint8_t>(rpc::MsgType::kTracedEnvelope)) {
+    return HandleEnvelope(request, entry_nanos);
+  }
+  // Bare kCall/kQuery frames are an ingress in their own right (an
+  // untraced client, or an old peer): mint a root context so the local
+  // spans — and any fan-out the aggregator's engine performs — are still
+  // stitched under one trace id.
+  if (request.type == static_cast<uint8_t>(rpc::MsgType::kCall) ||
+      request.type == static_cast<uint8_t>(rpc::MsgType::kQuery)) {
+    obs::ScopedTraceContext scope(obs::MintTraceContext());
+    Result<rpc::Frame> reply = Dispatch(request);
+    if (reply.ok()) return *std::move(reply);
+    return rpc::EncodeError(reply.status());
+  }
   Result<rpc::Frame> reply = Dispatch(request);
   if (reply.ok()) return *std::move(reply);
   return rpc::EncodeError(reply.status());
+}
+
+rpc::Frame ShardService::HandleEnvelope(const rpc::Frame& request,
+                                        uint64_t entry_nanos) {
+  Result<rpc::TracedEnvelope> env = rpc::DecodeTracedEnvelope(request);
+  if (!env.ok()) return rpc::EncodeError(env.status());
+  obs::TraceMetrics::Get().envelope_received->Inc();
+
+  // Adopt the wire context: same trace, the sender's span as parent, a
+  // fresh span for the server section.
+  obs::TraceContext ctx;
+  ctx.trace_hi = env->trace_hi;
+  ctx.trace_lo = env->trace_lo;
+  ctx.parent_span_id = env->span_id;
+  ctx.span_id = obs::NextSpanId();
+  ctx.sampled = env->sampled;
+  obs::ScopedTraceContext scope(ctx);
+  obs::TraceMetrics::Get().adopted->Inc();
+
+  uint64_t dispatch_nanos = WallClock().NowNanos();
+  Result<rpc::Frame> inner_reply = Dispatch(env->inner);
+  rpc::Frame reply_frame = inner_reply.ok()
+                               ? *std::move(inner_reply)
+                               : rpc::EncodeError(inner_reply.status());
+  uint64_t done_nanos = WallClock().NowNanos();
+  obs::SpanRecorder::Global().Record(
+      std::string("rpc.server.") + rpc::MsgTypeName(env->inner.type), "rpc",
+      entry_nanos, done_nanos - entry_nanos);
+
+  // A near-cap reply goes back bare rather than blowing kMaxBodyBytes;
+  // the client treats it as a reply with no timing.
+  if (reply_frame.body.size() + 64 >= rpc::kMaxBodyBytes) return reply_frame;
+
+  rpc::TracedEnvelope reply_env;
+  reply_env.trace_hi = env->trace_hi;
+  reply_env.trace_lo = env->trace_lo;
+  reply_env.span_id = ctx.span_id;
+  reply_env.sampled = env->sampled;
+  reply_env.has_timing = true;  // encoded as zeros, patched below
+  reply_env.inner = std::move(reply_frame);
+  rpc::Frame out = rpc::EncodeTracedEnvelope(reply_env);
+  uint64_t encoded_nanos = WallClock().NowNanos();
+  rpc::ShardTiming timing;
+  timing.queue_nanos = dispatch_nanos - entry_nanos;
+  timing.execute_nanos = done_nanos - dispatch_nanos;
+  timing.serialize_nanos = encoded_nanos - done_nanos;
+  timing.reply_nanos = encoded_nanos - entry_nanos;
+  PatchEnvelopeTiming(&out, timing);
+  return out;
 }
 
 Result<rpc::Frame> ShardService::Dispatch(const rpc::Frame& request) {

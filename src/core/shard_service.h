@@ -29,11 +29,18 @@ class ShardService {
 
   /// The rpc::RpcServer::Handler: every request type in, one reply
   /// frame out. Errors become kError frames, never exceptions.
+  ///
+  /// A kTracedEnvelope request is unwrapped here: the wire context is
+  /// adopted for the dispatch (so every span and per-call histogram the
+  /// engine records belongs to the caller's trace), the server section
+  /// lands in the span ring as "rpc.server.<inner type>", and the reply
+  /// is re-wrapped with a ShardTiming breakdown of where the time went.
   rpc::Frame Handle(const rpc::Frame& request);
 
  private:
   Result<rpc::Frame> Dispatch(const rpc::Frame& request);
   Result<rpc::Frame> DispatchCall(const rpc::CallRequest& req);
+  rpc::Frame HandleEnvelope(const rpc::Frame& request, uint64_t entry_nanos);
 
   MicroblogEngine* engine_;
   rpc::HelloReply info_;

@@ -13,6 +13,7 @@
 #include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/string_util.h"
 
 namespace mbq::cypher {
@@ -352,6 +353,10 @@ Result<QueryResult> CypherSession::Run(const std::string& query,
   }
   if (plan->is_write) tx.emplace(db_);
 
+  // The session is an ingress: execute under a trace context (a child of
+  // any adopted RPC context, a fresh root otherwise) so the query's span
+  // — and every remote call a shard fan-out makes — shares one trace id.
+  obs::ScopedTraceContext trace(obs::ChildOrRootContext());
   obs::TraceSpan latency(metrics.query_latency);
   uint32_t threads = threads_.load(std::memory_order_relaxed);
   if (threads == 0) threads = 1;

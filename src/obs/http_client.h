@@ -1,0 +1,20 @@
+#ifndef MBQ_OBS_HTTP_CLIENT_H_
+#define MBQ_OBS_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mbq::obs {
+
+/// Minimal blocking HTTP/1.1 GET against a stats server (httpd.cc) or
+/// anything speaking the same dialect: connect, one request, read to
+/// EOF, Connection: close. 2s connect/read timeout; false on any
+/// failure (refused, timeout, non-200). Shared by mbqtop, mbqtrace and
+/// the mbqd health prober — none of which want a real HTTP library for
+/// loopback JSON fetches.
+bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
+             std::string* body);
+
+}  // namespace mbq::obs
+
+#endif  // MBQ_OBS_HTTP_CLIENT_H_

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +16,8 @@
 #include "obs/export.h"
 #include "obs/introspect.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
+#include "util/clock.h"
 
 namespace mbq::obs {
 
@@ -107,6 +110,11 @@ StatsServer::StatsServer(ServeOptions options) : options_(std::move(options)) {
   if (options_.queries == nullptr) options_.queries = &QueryRegistry::Global();
   if (options_.flight == nullptr) options_.flight = &FlightRecorder::Global();
   if (options_.spans == nullptr) options_.spans = &SpanRecorder::Global();
+  start_steady_nanos_ = WallClock().NowNanos();
+  start_unix_millis_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
 }
 
 Result<std::unique_ptr<StatsServer>> StatsServer::Start(
@@ -238,8 +246,8 @@ void StatsServer::HandleConnection(int fd) {
     metrics.errors->Inc();
     SendAll(fd, HttpResponse(404, "Not Found", "text/plain",
                              "unknown path " + path +
-                                 "\ntry: / /metrics /metrics.json /queries "
-                                 "/slow /trace\n"));
+                                 "\ntry: / /healthz /metrics /metrics.json "
+                                 "/queries /slow /trace /trace.json\n"));
     return;
   }
   SendAll(fd, HttpResponse(200, "OK", content_type, body));
@@ -251,11 +259,26 @@ bool StatsServer::Dispatch(const std::string& path, std::string* body,
     *content_type = "text/plain";
     *body =
         "mbq stats server\n"
+        "  /healthz       liveness probe (status, role, pid, uptime)\n"
         "  /metrics       Prometheus text exposition\n"
         "  /metrics.json  metrics snapshot (bench --metrics-out format)\n"
         "  /queries       active-query table\n"
         "  /slow          slow-query flight recorder\n"
-        "  /trace         Chrome trace_event JSON (load in about://tracing)\n";
+        "  /trace         Chrome trace_event JSON (load in about://tracing)\n"
+        "  /trace.json    span ring with trace ids (mbqtrace collector input)\n";
+    return true;
+  }
+  if (path == "/healthz") {
+    *content_type = "application/json";
+    double uptime = static_cast<double>(WallClock().NowNanos() -
+                                        start_steady_nanos_) /
+                    1e9;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", uptime);
+    *body = "{\"status\": \"ok\", \"role\": \"" + JsonEscape(ProcessRole()) +
+            "\", \"pid\": " + std::to_string(::getpid()) +
+            ", \"uptime_seconds\": " + buf +
+            ", \"epoch_ms\": " + std::to_string(start_unix_millis_) + "}\n";
     return true;
   }
   if (path == "/metrics") {
@@ -281,6 +304,11 @@ bool StatsServer::Dispatch(const std::string& path, std::string* body,
   if (path == "/trace") {
     *content_type = "application/json";
     *body = options_.spans->ToChromeTraceJson();
+    return true;
+  }
+  if (path == "/trace.json") {
+    *content_type = "application/json";
+    *body = options_.spans->ToTraceJson();
     return true;
   }
   return false;

@@ -38,12 +38,15 @@ struct ServeOptions {
 /// code free of connection state). Endpoints:
 ///
 ///   /              plain-text index
+///   /healthz       liveness probe: 200 + {status, role, pid, uptime}
 ///   /metrics       Prometheus text exposition format
 ///   /metrics.json  the bench --metrics-out JSON snapshot (same bytes)
 ///   /queries       active-query table (QueryRegistry::ToJson)
 ///   /slow          slow-query flight recorder (FlightRecorder::ToJson)
 ///   /trace         Chrome trace_event JSON of recent spans — load in
 ///                  about://tracing or https://ui.perfetto.dev
+///   /trace.json    span ring with trace/span ids and unix timestamps,
+///                  the input tools/mbqtrace stitches across processes
 ///
 /// Every request is served from a point-in-time snapshot; the server
 /// never blocks an executor (readers of the same registries take the
@@ -81,6 +84,10 @@ class StatsServer {
 
   ServeOptions options_;
   uint16_t port_ = 0;
+  /// Birth times for /healthz: uptime from the steady clock, the start
+  /// instant on the unix timeline for display.
+  uint64_t start_steady_nanos_ = 0;
+  uint64_t start_unix_millis_ = 0;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // written to unblock poll() on Stop
   std::thread thread_;

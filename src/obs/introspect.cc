@@ -1,5 +1,7 @@
 #include "obs/introspect.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -7,6 +9,7 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "util/clock.h"
 
 namespace mbq::obs {
@@ -288,7 +291,16 @@ SpanRecorder::SpanRecorder(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 SpanRecorder& SpanRecorder::Global() {
-  static SpanRecorder* recorder = new SpanRecorder();
+  static SpanRecorder* recorder = [] {
+    auto* r = new SpanRecorder();
+    MetricsRegistry::Default().RegisterProvider([r](MetricsSink* sink) {
+      sink->Gauge("obs.spans.recorded", static_cast<double>(r->recorded()),
+                  "spans");
+      sink->Gauge("obs.spans.dropped", static_cast<double>(r->dropped()),
+                  "spans");
+    });
+    return r;
+  }();
   return *recorder;
 }
 
@@ -300,6 +312,17 @@ void SpanRecorder::Record(std::string_view name, std::string_view category,
   span.start_nanos = start_nanos;
   span.duration_nanos = duration_nanos;
   span.tid = CurrentTid();
+  const TraceContext& ctx = CurrentTraceContext();
+  span.trace_hi = ctx.trace_hi;
+  span.trace_lo = ctx.trace_lo;
+  span.span_id = ctx.span_id;
+  span.parent_span_id = ctx.parent_span_id;
+  // Pin the span to the unix timeline once, here: ages computed from the
+  // same steady clock cancel its arbitrary epoch, and every process's
+  // system clock shares one epoch — the property stitching relies on.
+  uint64_t now_steady = NowSteadyNanos();
+  uint64_t age_nanos = now_steady - std::min(now_steady, start_nanos);
+  span.start_unix_micros = NowUnixMillis() * 1000 - age_nanos / 1000;
   util::ScopedLock lock(mu_);
   uint64_t seq = recorded_.load(std::memory_order_relaxed);
   if (seq == 0) origin_nanos_ = start_nanos;
@@ -307,6 +330,7 @@ void SpanRecorder::Record(std::string_view name, std::string_view category,
     ring_.push_back(std::move(span));
   } else {
     ring_[seq % capacity_] = std::move(span);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
   }
   recorded_.store(seq + 1, std::memory_order_relaxed);
 }
@@ -323,15 +347,60 @@ std::string SpanRecorder::ToChromeTraceJson() const {
                                                      origin_nanos_)) /
         1e3;
     double dur_micros = static_cast<double>(s.duration_nanos) / 1e3;
-    char buf[128];
-    std::snprintf(buf, sizeof(buf),
-                  "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
-                  "\"dur\": %.3f}",
-                  s.tid, ts_micros, dur_micros);
+    char buf[256];
+    if (s.span_id != 0) {
+      TraceContext ctx;
+      ctx.trace_hi = s.trace_hi;
+      ctx.trace_lo = s.trace_lo;
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                    "\"dur\": %.3f, \"args\": {\"trace_id\": \"%s\", "
+                    "\"span_id\": \"%s\", \"parent_span_id\": \"%s\"}}",
+                    s.tid, ts_micros, dur_micros, TraceIdHex(ctx).c_str(),
+                    SpanIdHex(s.span_id).c_str(),
+                    SpanIdHex(s.parent_span_id).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                    "\"dur\": %.3f}",
+                    s.tid, ts_micros, dur_micros);
+    }
     out += "  {\"name\": \"" + JsonEscape(s.name) + "\", \"cat\": \"" +
            JsonEscape(s.category) + "\", " + buf;
   }
   out += "\n]}\n";
+  return out;
+}
+
+std::string SpanRecorder::ToTraceJson() const {
+  std::string out = "{\n  \"process\": \"" + JsonEscape(ProcessRole()) +
+                    "\",\n  \"pid\": " + std::to_string(::getpid()) + ",\n";
+  util::ScopedLock lock(mu_);
+  out += "  \"recorded\": " +
+         std::to_string(recorded_.load(std::memory_order_relaxed)) +
+         ",\n  \"dropped\": " +
+         std::to_string(dropped_.load(std::memory_order_relaxed)) +
+         ",\n  \"spans\": [";
+  bool first = true;
+  for (const Span& s : ring_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    TraceContext ctx;
+    ctx.trace_hi = s.trace_hi;
+    ctx.trace_lo = s.trace_lo;
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "\"tid\": %u, \"trace_id\": \"%s\", \"span_id\": \"%s\", "
+                  "\"parent_span_id\": \"%s\", \"start_unix_us\": %llu, "
+                  "\"dur_us\": %.3f}",
+                  s.tid, TraceIdHex(ctx).c_str(), SpanIdHex(s.span_id).c_str(),
+                  SpanIdHex(s.parent_span_id).c_str(),
+                  static_cast<unsigned long long>(s.start_unix_micros),
+                  static_cast<double>(s.duration_nanos) / 1e3);
+    out += "    {\"name\": \"" + JsonEscape(s.name) + "\", \"cat\": \"" +
+           JsonEscape(s.category) + "\", " + buf;
+  }
+  out += "\n  ]\n}\n";
   return out;
 }
 
@@ -340,6 +409,7 @@ void SpanRecorder::Clear() {
   ring_.clear();
   origin_nanos_ = 0;
   recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 size_t SpanRecorder::size() const {

@@ -242,10 +242,13 @@ class FlightRecorder {
 // Recent-span ring for trace export
 // ---------------------------------------------------------------------------
 
-/// A bounded ring of recently finished spans (queries, import phases),
-/// exported as Chrome trace_event JSON — loadable in about://tracing or
-/// Perfetto. Named TraceSpans forward here automatically; query
-/// executors record their spans explicitly.
+/// A bounded ring of recently finished spans (queries, import phases,
+/// RPC client/server sections), exported as Chrome trace_event JSON —
+/// loadable in about://tracing or Perfetto. Named TraceSpans forward here
+/// automatically; query executors record their spans explicitly. Every
+/// span is stamped with the thread's current TraceContext (trace id, span
+/// id, parent span id — zero when no trace was active), which is what the
+/// /trace.json export and the mbqtrace collector stitch on.
 class SpanRecorder {
  public:
   static constexpr size_t kDefaultCapacity = 4096;
@@ -254,20 +257,33 @@ class SpanRecorder {
   SpanRecorder(const SpanRecorder&) = delete;
   SpanRecorder& operator=(const SpanRecorder&) = delete;
 
+  /// The process-wide recorder. Reports obs.spans.recorded and
+  /// obs.spans.dropped in the default metrics registry, so a wrapped ring
+  /// (a truncated trace) is detectable from /metrics.
   static SpanRecorder& Global();
 
   /// Records a finished span. `start_nanos` is steady-clock; the first
   /// recorded span becomes the trace's time origin. The calling thread is
-  /// identified by a small stable per-thread id.
+  /// identified by a small stable per-thread id; the thread's current
+  /// TraceContext (if any) tags the span with its request identity.
   void Record(std::string_view name, std::string_view category,
               uint64_t start_nanos, uint64_t duration_nanos);
 
   /// {"traceEvents": [{"name": ..., "cat": ..., "ph": "X", ...}]}
   std::string ToChromeTraceJson() const;
+  /// The /trace.json payload for cross-process stitching: process role,
+  /// pid, drop accounting and one entry per span with hex trace/span ids
+  /// and a wall-clock (unix microseconds) start time — steady-clock
+  /// offsets are meaningless across processes.
+  std::string ToTraceJson() const;
   void Clear();
   size_t size() const;
   uint64_t recorded() const {
     return recorded_.load(std::memory_order_relaxed);
+  }
+  /// Spans overwritten by ring wraparound (recorded - retained).
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -277,6 +293,15 @@ class SpanRecorder {
     uint64_t start_nanos = 0;
     uint64_t duration_nanos = 0;
     uint32_t tid = 0;
+    // Request identity from the recording thread's TraceContext; all
+    // zero for spans recorded outside any trace.
+    uint64_t trace_hi = 0;
+    uint64_t trace_lo = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
+    /// Wall-clock start, derived at record time from the steady-clock
+    /// start so every process's spans share the unix timeline.
+    uint64_t start_unix_micros = 0;
   };
 
   const size_t capacity_;
@@ -286,6 +311,7 @@ class SpanRecorder {
   std::vector<Span> ring_ MBQ_GUARDED_BY(mu_);
   uint64_t origin_nanos_ MBQ_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 }  // namespace mbq::obs

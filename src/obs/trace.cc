@@ -95,6 +95,7 @@ std::string TraceLog::ToJson() const {
 
 TraceSpan::TraceSpan(TraceLog* log, std::string name, Histogram* latency)
     : log_(log), latency_(latency), name_(std::move(name)) {
+  if (!name_.empty()) trace_scope_.emplace();  // child of any active trace
   start_nanos_ = clock_.NowNanos();
   if (log_ != nullptr) slot_ = log_->Begin(name_);
 }
@@ -110,8 +111,11 @@ void TraceSpan::Finish() {
   if (log_ != nullptr) log_->End(slot_, elapsed, items_);
   if (latency_ != nullptr) latency_->Record(elapsed);
   if (!name_.empty()) {
+    // Record while the child context is still installed so the span
+    // carries its own span id, then pop the context.
     SpanRecorder::Global().Record(name_, "import", start_nanos_, elapsed);
   }
+  trace_scope_.reset();
 }
 
 }  // namespace mbq::obs

@@ -2,10 +2,12 @@
 #define MBQ_OBS_TRACE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "util/clock.h"
 
 namespace mbq::obs {
@@ -61,7 +63,9 @@ class TraceLog {
 /// the TraceLog, records the elapsed nanoseconds into the Histogram, or
 /// both — either sink may be null. Named spans (the TraceLog overload)
 /// additionally land in the process-wide SpanRecorder, so the stats
-/// server's /trace endpoint covers import phases out of the box.
+/// server's /trace endpoint covers import phases out of the box; they
+/// open a child TraceContext for their extent, so anything they call
+/// (including RPCs) nests under them in a stitched trace.
 class TraceSpan {
  public:
   TraceSpan(TraceLog* log, std::string name, Histogram* latency = nullptr);
@@ -80,6 +84,8 @@ class TraceSpan {
   TraceLog* log_ = nullptr;
   Histogram* latency_ = nullptr;
   std::string name_;  // non-empty spans forward to SpanRecorder::Global()
+  /// Child context held open until Finish(); inert outside a trace.
+  std::optional<ScopedTraceContext> trace_scope_;
   size_t slot_ = 0;
   uint64_t start_nanos_ = 0;
   uint64_t items_ = 0;

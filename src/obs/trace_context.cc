@@ -1,0 +1,165 @@
+#include "obs/trace_context.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
+
+namespace mbq::obs {
+
+namespace {
+
+thread_local TraceContext g_current;
+
+/// Per-thread splitmix64 id generator. Seeded from the clock, the pid and
+/// a process-wide counter so concurrent threads (and forked tools in the
+/// same smoke run) never share an id stream.
+uint64_t NextRandom() {
+  static std::atomic<uint64_t> salt{0};
+  thread_local uint64_t state = [] {
+    uint64_t seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= static_cast<uint64_t>(::getpid()) << 32;
+    seed += salt.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed);
+    return seed | 1;
+  }();
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// MBQ_TRACE_SAMPLE: sample 1 in N root traces (default 1 — everything);
+/// 0 turns minting off. Read once, like the other obs env knobs.
+uint64_t SampleEvery() {
+  static uint64_t every = [] {
+    if (const char* env = std::getenv("MBQ_TRACE_SAMPLE")) {
+      char* end = nullptr;
+      unsigned long v = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0') return static_cast<uint64_t>(v);
+    }
+    return uint64_t{1};
+  }();
+  return every;
+}
+
+struct RoleState {
+  /// LockRank::kRing: a leaf — only guards the role string.
+  util::RankedMutex mu{util::LockRank::kRing, "obs.trace.role"};
+  std::string role MBQ_GUARDED_BY(mu) = "mbq";
+
+  static RoleState& Get() {
+    static RoleState* state = new RoleState();
+    return *state;
+  }
+};
+
+}  // namespace
+
+TraceMetrics TraceMetrics::Get() {
+  static TraceMetrics m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    TraceMetrics out;
+    out.minted = reg.GetCounter("trace.minted", "traces",
+                                "Root trace contexts minted at an ingress");
+    out.adopted =
+        reg.GetCounter("trace.adopted", "traces",
+                       "Trace contexts adopted from an inbound RPC envelope");
+    out.envelope_sent =
+        reg.GetCounter("trace.envelope.sent", "frames",
+                       "kTracedEnvelope frames sent with outbound requests");
+    out.envelope_received =
+        reg.GetCounter("trace.envelope.received", "frames",
+                       "kTracedEnvelope frames received and unwrapped");
+    return out;
+  }();
+  return m;
+}
+
+TraceContext MintTraceContext() {
+  uint64_t every = SampleEvery();
+  if (every == 0) return TraceContext{};
+  TraceContext ctx;
+  ctx.trace_hi = NextRandom();
+  ctx.trace_lo = NextRandom();
+  ctx.span_id = NextSpanId();
+  ctx.parent_span_id = 0;
+  // 1-in-N without per-process coordination: a random draw instead of a
+  // shared counter keeps shards from sampling in lockstep.
+  ctx.sampled = every == 1 || (NextRandom() % every) == 0;
+  TraceMetrics::Get().minted->Inc();
+  return ctx;
+}
+
+uint64_t NextSpanId() {
+  uint64_t id = NextRandom();
+  while (id == 0) id = NextRandom();
+  return id;
+}
+
+const TraceContext& CurrentTraceContext() { return g_current; }
+
+std::string TraceIdHex(const TraceContext& ctx) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(ctx.trace_hi),
+                static_cast<unsigned long long>(ctx.trace_lo));
+  return buf;
+}
+
+std::string SpanIdHex(uint64_t span_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(span_id));
+  return buf;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : installed_(ctx), previous_(g_current) {
+  g_current = installed_;
+}
+
+ScopedTraceContext::ScopedTraceContext() : previous_(g_current) {
+  if (previous_.valid()) {
+    installed_ = previous_;
+    installed_.parent_span_id = previous_.span_id;
+    installed_.span_id = NextSpanId();
+    g_current = installed_;
+  } else {
+    restored_ = true;  // inert: nothing installed, nothing to restore
+  }
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (!restored_) g_current = previous_;
+}
+
+TraceContext ChildOrRootContext() {
+  const TraceContext& current = CurrentTraceContext();
+  if (!current.valid()) return MintTraceContext();
+  TraceContext child = current;
+  child.parent_span_id = current.span_id;
+  child.span_id = NextSpanId();
+  return child;
+}
+
+void SetProcessRole(const std::string& role) {
+  RoleState& state = RoleState::Get();
+  util::ScopedLock lock(state.mu);
+  state.role = role;
+}
+
+std::string ProcessRole() {
+  RoleState& state = RoleState::Get();
+  util::ScopedLock lock(state.mu);
+  return state.role;
+}
+
+}  // namespace mbq::obs

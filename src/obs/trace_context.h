@@ -1,0 +1,105 @@
+#ifndef MBQ_OBS_TRACE_CONTEXT_H_
+#define MBQ_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mbq::obs {
+
+class Counter;
+
+/// Dapper-style request identity, minted once at an ingress (a Cypher
+/// session, a navigation call, the bench driver, the aggregator) and
+/// carried — in process by a thread-local, across processes by the
+/// kTracedEnvelope RPC frame — to every span the request touches. The
+/// 128-bit trace id names the request; span ids name one timed operation
+/// within it; the parent span id is what lets an offline collector
+/// (tools/mbqtrace) rebuild the tree after the fact.
+struct TraceContext {
+  uint64_t trace_hi = 0;  ///< high 64 bits of the 128-bit trace id
+  uint64_t trace_lo = 0;  ///< low 64 bits
+  uint64_t span_id = 0;   ///< this operation's span
+  uint64_t parent_span_id = 0;  ///< 0 for a root span
+  /// The sampling verdict travels with the context: only sampled traces
+  /// are propagated on the wire (unsampled ones still record spans into
+  /// the local ring — the ring is cheap, the network is not).
+  bool sampled = false;
+
+  /// A context is valid once ids are assigned; the zero context means
+  /// "no trace active on this thread".
+  bool valid() const { return (trace_hi | trace_lo) != 0 && span_id != 0; }
+};
+
+/// Mints a root context with fresh random ids. The sampling verdict is
+/// 1-in-N where N comes from the MBQ_TRACE_SAMPLE environment variable
+/// (default 1 — every trace sampled; 0 disables minting entirely and
+/// returns the invalid context).
+TraceContext MintTraceContext();
+
+/// A fresh random non-zero span id (for child spans and RPC client spans).
+uint64_t NextSpanId();
+
+/// The context installed on the calling thread; invalid when none.
+const TraceContext& CurrentTraceContext();
+
+/// 32 lowercase hex chars of the 128-bit trace id.
+std::string TraceIdHex(const TraceContext& ctx);
+/// 16 lowercase hex chars of a span id.
+std::string SpanIdHex(uint64_t span_id);
+
+/// RAII installation of a trace context on the current thread; restores
+/// the previous context (usually the invalid one) on destruction.
+///
+/// Two modes:
+///  - explicit: installs `ctx` verbatim — used at ingress points, which
+///    pass either a freshly minted root or a context adopted from the
+///    wire (ShardService), and
+///  - child (default constructor): derives a child of the current
+///    context — same trace id, fresh span id, parent = the enclosing
+///    span. Inert when no trace is active, so interior code can open
+///    child scopes unconditionally.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ScopedTraceContext();
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+  /// The context this scope installed (invalid for an inert child scope).
+  const TraceContext& context() const { return installed_; }
+  bool active() const { return installed_.valid(); }
+
+ private:
+  TraceContext installed_;
+  TraceContext previous_;
+  bool restored_ = false;
+};
+
+/// The ingress helper every entry point uses: a child of the current
+/// context when one is active (an outer ingress already named the
+/// request), else a freshly minted root.
+TraceContext ChildOrRootContext();
+
+/// The process's role in the cluster ("shard-0", "aggregator", "bench",
+/// ...) as reported by /healthz and /trace.json — what lets mbqtrace
+/// label the per-process tracks of a stitched trace. Defaults to "mbq".
+void SetProcessRole(const std::string& role);
+std::string ProcessRole();
+
+/// Counters of the tracing plane, in the default metrics registry:
+/// trace.minted, trace.adopted, trace.envelope.sent,
+/// trace.envelope.received (docs/OBSERVABILITY.md).
+struct TraceMetrics {
+  Counter* minted;
+  Counter* adopted;
+  Counter* envelope_sent;
+  Counter* envelope_received;
+
+  static TraceMetrics Get();
+};
+
+}  // namespace mbq::obs
+
+#endif  // MBQ_OBS_TRACE_CONTEXT_H_

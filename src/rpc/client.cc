@@ -12,7 +12,10 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/introspect.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
+#include "util/clock.h"
 
 namespace mbq::rpc {
 
@@ -153,24 +156,82 @@ Result<Frame> RpcClient::Exchange(const Frame& request) {
   return reply;
 }
 
-Result<Frame> RpcClient::Call(const Frame& request) {
+Result<Frame> RpcClient::Call(const Frame& request, ShardTiming* timing) {
   ClientMetrics metrics = ClientMetrics::Get();
   metrics.requests->Inc();
-  auto start = std::chrono::steady_clock::now();
+  if (timing != nullptr) *timing = ShardTiming{};
+
   util::ScopedLock lock(mu_);
-  Result<Frame> reply = Exchange(request);
+  // Wrap in a tracing envelope when a sampled trace is active. The client
+  // span is a child of the caller's current span and is installed for the
+  // exchange, so the recorded round trip nests correctly; the margin keeps
+  // a near-cap inner body from pushing the envelope over kMaxBodyBytes.
+  const obs::TraceContext& current = obs::CurrentTraceContext();
+  bool enveloped = peer_accepts_envelopes_ && current.valid() &&
+                   current.sampled &&
+                   request.type != static_cast<uint8_t>(MsgType::kTracedEnvelope) &&
+                   request.body.size() + 64 < kMaxBodyBytes;
+  obs::TraceContext client_ctx = current;
+  Frame wire_request = request;
+  if (enveloped) {
+    client_ctx.parent_span_id = current.span_id;
+    client_ctx.span_id = obs::NextSpanId();
+    TracedEnvelope env;
+    env.trace_hi = client_ctx.trace_hi;
+    env.trace_lo = client_ctx.trace_lo;
+    env.span_id = client_ctx.span_id;
+    env.sampled = true;
+    env.inner = request;
+    wire_request = EncodeTracedEnvelope(env);
+    obs::TraceMetrics::Get().envelope_sent->Inc();
+  }
+
+  uint64_t start_nanos = WallClock().NowNanos();
+  Result<Frame> reply = Exchange(wire_request);
   if (!reply.ok() && IsTransportError(reply.status())) {
     // The peer may have restarted between requests; one redial covers
     // that without masking a genuinely dead shard behind a retry loop.
     Status redialed = Dial();
     if (redialed.ok()) {
       metrics.reconnects->Inc();
+      reply = Exchange(wire_request);
+    }
+  }
+  if (enveloped && reply.ok() &&
+      reply->type == static_cast<uint8_t>(MsgType::kError)) {
+    Status error = DecodeError(*reply);
+    if (error.IsNotImplemented()) {
+      // An old peer that predates kTracedEnvelope: resend bare and stop
+      // wrapping on this connection.
+      peer_accepts_envelopes_ = false;
+      enveloped = false;
       reply = Exchange(request);
     }
   }
-  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - start);
-  metrics.latency->Record(static_cast<uint64_t>(elapsed.count()));
+  uint64_t elapsed_nanos = WallClock().NowNanos() - start_nanos;
+  metrics.latency->Record(elapsed_nanos / 1000);
+
+  if (enveloped && reply.ok() &&
+      reply->type == static_cast<uint8_t>(MsgType::kTracedEnvelope)) {
+    Result<TracedEnvelope> env = DecodeTracedEnvelope(*reply);
+    if (!env.ok()) {
+      metrics.errors->Inc();
+      return env.status();
+    }
+    obs::TraceMetrics::Get().envelope_received->Inc();
+    if (timing != nullptr && env->has_timing) *timing = env->timing;
+    reply = std::move(env->inner);
+  }
+  if (enveloped) {
+    // Record with the client span installed so it carries its own id and
+    // parents onto the caller's span. Only lock-free ring work happens
+    // under the scope — legal below the kRpc mutex held here.
+    obs::ScopedTraceContext span_scope(client_ctx);
+    obs::SpanRecorder::Global().Record(
+        std::string("rpc.client.") + MsgTypeName(request.type), "rpc",
+        start_nanos, elapsed_nanos);
+  }
+
   if (!reply.ok()) {
     metrics.errors->Inc();
     return reply;

@@ -40,7 +40,16 @@ class RpcClient {
   /// Sends `request` and reads the single reply frame. A kError reply is
   /// decoded into its Status; any other frame is returned for the caller
   /// to decode.
-  Result<Frame> Call(const Frame& request);
+  ///
+  /// Tracing: when the calling thread has a sampled TraceContext active,
+  /// the request is wrapped in a kTracedEnvelope carrying a fresh client
+  /// span (child of the caller's), the reply is unwrapped transparently,
+  /// and the round trip lands in the span ring as "rpc.client.<type>".
+  /// The shard's timing summary from the reply envelope is written to
+  /// `*timing` when non-null (zeros when the reply came back bare). A
+  /// peer that rejects envelopes with kNotImplemented gets bare frames
+  /// from then on — mixed-version clusters keep working untraced.
+  Result<Frame> Call(const Frame& request, ShardTiming* timing = nullptr);
 
   /// kPing round-trip.
   Status Ping();
@@ -64,6 +73,9 @@ class RpcClient {
   /// (the exchange only touches fd_ and lock-free obs counters).
   util::RankedMutex mu_{util::LockRank::kRpc, "rpc.client"};
   int fd_ MBQ_GUARDED_BY(mu_) = -1;
+  /// Cleared the first time the peer answers an envelope with
+  /// kNotImplemented; later calls skip wrapping.
+  bool peer_accepts_envelopes_ MBQ_GUARDED_BY(mu_) = true;
 };
 
 }  // namespace mbq::rpc

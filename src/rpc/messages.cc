@@ -63,6 +63,7 @@ const char* MsgTypeName(uint8_t type) {
     case MsgType::kDropCaches: return "kDropCaches";
     case MsgType::kOkReply: return "kOkReply";
     case MsgType::kWriteBatch: return "kWriteBatch";
+    case MsgType::kTracedEnvelope: return "kTracedEnvelope";
   }
   return "kUnknown";
 }
@@ -223,6 +224,68 @@ Frame EncodeError(const Status& status) {
   PutString(&frame.body, status.ok() ? "error frame from OK status"
                                      : status.message());
   return frame;
+}
+
+namespace {
+
+constexpr uint8_t kEnvelopeSampledBit = 1u << 0;
+constexpr uint8_t kEnvelopeTimingBit = 1u << 1;
+
+}  // namespace
+
+Frame EncodeTracedEnvelope(const TracedEnvelope& env) {
+  Frame frame = EmptyFrame(MsgType::kTracedEnvelope);
+  PutU64(&frame.body, env.trace_hi);
+  PutU64(&frame.body, env.trace_lo);
+  PutU64(&frame.body, env.span_id);
+  uint8_t flags = 0;
+  if (env.sampled) flags |= kEnvelopeSampledBit;
+  if (env.has_timing) flags |= kEnvelopeTimingBit;
+  PutU8(&frame.body, flags);
+  if (env.has_timing) {
+    PutU64(&frame.body, env.timing.queue_nanos);
+    PutU64(&frame.body, env.timing.execute_nanos);
+    PutU64(&frame.body, env.timing.serialize_nanos);
+    PutU64(&frame.body, env.timing.reply_nanos);
+  }
+  PutU8(&frame.body, env.inner.type);
+  PutU32(&frame.body, static_cast<uint32_t>(env.inner.body.size()));
+  frame.body.insert(frame.body.end(), env.inner.body.begin(),
+                    env.inner.body.end());
+  return frame;
+}
+
+Result<TracedEnvelope> DecodeTracedEnvelope(const Frame& frame) {
+  MBQ_RETURN_IF_ERROR(CheckType(frame, MsgType::kTracedEnvelope));
+  TracedEnvelope env;
+  size_t offset = 0;
+  MBQ_ASSIGN_OR_RETURN(env.trace_hi, GetU64(frame.body, &offset));
+  MBQ_ASSIGN_OR_RETURN(env.trace_lo, GetU64(frame.body, &offset));
+  MBQ_ASSIGN_OR_RETURN(env.span_id, GetU64(frame.body, &offset));
+  uint8_t flags;
+  MBQ_ASSIGN_OR_RETURN(flags, GetU8(frame.body, &offset));
+  env.sampled = (flags & kEnvelopeSampledBit) != 0;
+  env.has_timing = (flags & kEnvelopeTimingBit) != 0;
+  if (env.has_timing) {
+    MBQ_ASSIGN_OR_RETURN(env.timing.queue_nanos, GetU64(frame.body, &offset));
+    MBQ_ASSIGN_OR_RETURN(env.timing.execute_nanos,
+                         GetU64(frame.body, &offset));
+    MBQ_ASSIGN_OR_RETURN(env.timing.serialize_nanos,
+                         GetU64(frame.body, &offset));
+    MBQ_ASSIGN_OR_RETURN(env.timing.reply_nanos, GetU64(frame.body, &offset));
+  }
+  MBQ_ASSIGN_OR_RETURN(env.inner.type, GetU8(frame.body, &offset));
+  if (env.inner.type == static_cast<uint8_t>(MsgType::kTracedEnvelope)) {
+    return Status::Corruption("rpc: nested kTracedEnvelope");
+  }
+  uint32_t inner_len;
+  MBQ_ASSIGN_OR_RETURN(inner_len, GetU32(frame.body, &offset));
+  if (frame.body.size() - offset != inner_len) {
+    return Status::Corruption("rpc: envelope inner length mismatch");
+  }
+  env.inner.body.assign(frame.body.begin() + static_cast<ptrdiff_t>(offset),
+                        frame.body.end());
+  return env;
 }
 
 Status DecodeError(const Frame& frame) {

@@ -36,6 +36,12 @@ enum class MsgType : uint8_t {
   /// answer kError(kNotImplemented); the value is burned now so protocol
   /// version 1 peers agree on its meaning when it lands (docs/CLUSTER.md).
   kWriteBatch = 13,
+  /// Distributed-tracing envelope: a TraceContext plus one complete
+  /// inner frame of any other type (docs/CLUSTER.md has the layout).
+  /// Requests wrapped in an envelope get their reply wrapped too, with a
+  /// per-shard timing summary; peers that predate the type answer
+  /// kError(kNotImplemented) and the client falls back to bare frames.
+  kTracedEnvelope = 14,
 };
 
 /// Returns the spec name of a message type ("kCall", ...) for logs and
@@ -106,6 +112,31 @@ struct QueryReply {
   ValueRows rows;
 };
 
+/// Where a request's time went inside one shard, carried back to the
+/// aggregator on kTracedEnvelope replies. All steady-clock nanoseconds,
+/// measured server-side: queue (decode + dispatch overhead before the
+/// engine ran), execute (the engine call itself), serialize (encoding
+/// the reply body), reply (the whole Handle, >= the sum of the parts).
+struct ShardTiming {
+  uint64_t queue_nanos = 0;
+  uint64_t execute_nanos = 0;
+  uint64_t serialize_nanos = 0;
+  uint64_t reply_nanos = 0;
+};
+
+/// kTracedEnvelope body: a trace context plus one complete inner frame.
+/// The span id is the *sender's* span (the receiver adopts it as the
+/// parent of everything it does); timing rides only on replies.
+struct TracedEnvelope {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  bool sampled = false;
+  bool has_timing = false;
+  ShardTiming timing;
+  Frame inner;
+};
+
 // --------------------------------------------------------------- encoders
 // Each returns a complete Frame ready for WriteFrame. Bodiless types
 // (kHello, kPing, kPong, kDropCaches, kOkReply) are built with
@@ -120,6 +151,9 @@ Frame EncodeQuery(const QueryRequest& req);
 Frame EncodeQueryReply(const QueryReply& reply);
 /// kError body: u8 StatusCode + message string. `status` must be non-OK.
 Frame EncodeError(const Status& status);
+/// The envelope's inner frame must itself not be an envelope (one level
+/// of wrapping, enforced on both encode and decode).
+Frame EncodeTracedEnvelope(const TracedEnvelope& env);
 
 // --------------------------------------------------------------- decoders
 // Each checks frame.type and fails with Corruption on a mismatch or a
@@ -133,6 +167,7 @@ Result<QueryRequest> DecodeQuery(const Frame& frame);
 Result<QueryReply> DecodeQueryReply(const Frame& frame);
 /// Reconstructs the Status carried by a kError frame (always non-OK).
 Status DecodeError(const Frame& frame);
+Result<TracedEnvelope> DecodeTracedEnvelope(const Frame& frame);
 
 }  // namespace mbq::rpc
 

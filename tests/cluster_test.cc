@@ -11,6 +11,9 @@
 #include "core/remote_engine.h"
 #include "core/shard_service.h"
 #include "core/workload.h"
+#include "obs/introspect.h"
+#include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "rpc/server.h"
 #include "storage/simulated_disk.h"
 #include "twitter/loaders.h"
@@ -328,6 +331,46 @@ TEST_P(ClusterAgreementTest, UnknownHashtagMatchesSingleProcessSemantics) {
 
 TEST_P(ClusterAgreementTest, DropCachesReachesEveryShard) {
   EXPECT_TRUE(remote_->DropCaches().ok());
+}
+
+/// Client and shards share one process here, so the global span ring
+/// sees both halves of a traced call: the RemoteEngine nav span and
+/// every shard's execute span must carry the one installed trace id
+/// (wire-propagated via kTracedEnvelope over real loopback sockets),
+/// and the aggregation plane must attribute latency to each shard.
+TEST_P(ClusterAgreementTest, TracedCallsStitchAcrossTheRpcBoundary) {
+  obs::SpanRecorder::Global().Clear();
+  obs::TraceContext root = obs::MintTraceContext();
+  {
+    obs::ScopedTraceContext scope(root);
+    // A fan-out call: every shard answers, so every shard's histogram
+    // and execute span participate in the trace.
+    ASSERT_TRUE(remote_->TweetsOfFollowees(1).ok());
+  }
+  std::string json = obs::SpanRecorder::Global().ToTraceJson();
+  const std::string id = "\"trace_id\": \"" + obs::TraceIdHex(root) + "\"";
+  size_t stitched = 0;
+  for (size_t at = json.find(id); at != std::string::npos;
+       at = json.find(id, at + 1)) {
+    ++stitched;
+  }
+  // At least the client-side nav span plus one span per shard, all
+  // under the same trace even though the context crossed the wire.
+  EXPECT_GE(stitched, 1u + GetParam().shards) << json;
+
+  // Latency attribution: every shard's histogram saw the call.
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().Snapshot();
+  for (uint32_t s = 0; s < GetParam().shards; ++s) {
+    const std::string name = "rpc.shard." + std::to_string(s) + ".latency";
+    bool found = false;
+    for (const auto& h : snap.histograms) {
+      if (h.name == name) {
+        found = true;
+        EXPECT_GT(h.count, 0u) << name;
+      }
+    }
+    EXPECT_TRUE(found) << "missing histogram " << name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

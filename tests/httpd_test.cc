@@ -69,10 +69,12 @@ class HttpdTest : public ::testing::Test {
 TEST_F(HttpdTest, IndexListsTheEndpoints) {
   std::string response = Get(server_->port(), "GET / HTTP/1.1");
   EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("/healthz"), std::string::npos);
   EXPECT_NE(response.find("/metrics"), std::string::npos);
   EXPECT_NE(response.find("/queries"), std::string::npos);
   EXPECT_NE(response.find("/slow"), std::string::npos);
   EXPECT_NE(response.find("/trace"), std::string::npos);
+  EXPECT_NE(response.find("/trace.json"), std::string::npos);
 }
 
 TEST_F(HttpdTest, MetricsAreValidPrometheusExposition) {
@@ -129,6 +131,35 @@ TEST_F(HttpdTest, TraceServesChromeTraceEvents) {
   std::string body = Body(Get(server_->port(), "GET /trace HTTP/1.1"));
   EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(body.find("a query"), std::string::npos);
+}
+
+TEST_F(HttpdTest, HealthzAnswersLiveness) {
+  std::string response = Get(server_->port(), "GET /healthz HTTP/1.1");
+  ASSERT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  std::string body = Body(response);
+  EXPECT_NE(body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"role\": "), std::string::npos);
+  EXPECT_NE(body.find("\"pid\": " + std::to_string(::getpid())),
+            std::string::npos);
+  EXPECT_NE(body.find("\"uptime_seconds\": "), std::string::npos);
+  EXPECT_NE(body.find("\"epoch_ms\": "), std::string::npos);
+}
+
+TEST_F(HttpdTest, TraceJsonCarriesStitchableSpans) {
+  spans_.Record("stitch me", "cypher", 1000, 500);
+  std::string body = Body(Get(server_->port(), "GET /trace.json HTTP/1.1"));
+  // Process identity for the collector...
+  EXPECT_NE(body.find("\"process\": "), std::string::npos);
+  EXPECT_NE(body.find("\"pid\": " + std::to_string(::getpid())),
+            std::string::npos);
+  EXPECT_NE(body.find("\"recorded\": 1"), std::string::npos);
+  EXPECT_NE(body.find("\"dropped\": 0"), std::string::npos);
+  // ...and per-span trace identity plus the unix-timeline start.
+  EXPECT_NE(body.find("\"name\": \"stitch me\""), std::string::npos);
+  EXPECT_NE(body.find("\"trace_id\": "), std::string::npos);
+  EXPECT_NE(body.find("\"parent_span_id\": "), std::string::npos);
+  EXPECT_NE(body.find("\"start_unix_us\": "), std::string::npos);
 }
 
 TEST_F(HttpdTest, UnknownPathIs404AndNonGetIs405) {

@@ -283,6 +283,55 @@ TEST(IntrospectTest, PrometheusExportDeduplicatesCollidingNames) {
   }
 }
 
+TEST(IntrospectTest, PrometheusExportCoversWritePathFamilies) {
+  // The write path, WAL and load driver register dotted names; their
+  // exposition must sanitize cleanly, suffix counters with _total and
+  // render histograms as p50/p95/p99 summaries — the exact families the
+  // live write path and mbqbench publish.
+  MetricsRegistry registry;
+  registry.GetCounter("write.commits", "batches")->Inc(4);
+  registry.GetCounter("write.ops.post_tweet", "ops")->Inc(9);
+  registry.GetCounter("wal.fsyncs", "fsyncs")->Inc(2);
+  registry.GetCounter("wal.group_commits", "commits")->Inc(1);
+  registry.GetCounter("driver.requests", "requests")->Inc(100);
+  Histogram* commit = registry.GetHistogram("write.commit_micros", "us");
+  Histogram* latency = registry.GetHistogram("driver.latency_micros", "us");
+  for (int i = 1; i <= 100; ++i) {
+    commit->Record(static_cast<uint64_t>(i));
+    latency->Record(static_cast<uint64_t>(i * 10));
+  }
+  std::string text = registry.Snapshot().ToPrometheus();
+
+  // Counters: sanitized name + _total, with the value.
+  EXPECT_NE(text.find("write_commits_total 4"), std::string::npos);
+  EXPECT_NE(text.find("write_ops_post_tweet_total 9"), std::string::npos);
+  EXPECT_NE(text.find("wal_fsyncs_total 2"), std::string::npos);
+  EXPECT_NE(text.find("wal_group_commits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("driver_requests_total 100"), std::string::npos);
+
+  // Histograms: summary type with all three quantiles and sum/count.
+  for (const char* family : {"write_commit_micros", "driver_latency_micros"}) {
+    std::string base(family);
+    EXPECT_NE(text.find("# TYPE " + base + " summary"), std::string::npos);
+    EXPECT_NE(text.find(base + "{quantile=\"0.5\"} "), std::string::npos);
+    EXPECT_NE(text.find(base + "{quantile=\"0.95\"} "), std::string::npos);
+    EXPECT_NE(text.find(base + "{quantile=\"0.99\"} "), std::string::npos);
+    EXPECT_NE(text.find(base + "_count 100"), std::string::npos);
+  }
+
+  // Every exposed sample line carries a legal name — no dots survive.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::string name = line.substr(0, line.find_first_of(" {"));
+    EXPECT_TRUE(IsValidPrometheusName(name)) << "illegal name: " << name;
+  }
+}
+
 TEST(IntrospectTest, MetricsJsonMatchesTheSnapshotPath) {
   MetricsRegistry registry;
   registry.GetCounter("hostile \"name\"\n", "items")->Inc(7);

@@ -60,6 +60,7 @@
 #include "core/calls.h"
 #include "core/engine.h"
 #include "nodestore/graph_db.h"
+#include "obs/trace_context.h"
 #include "storage/simulated_disk.h"
 #include "twitter/dataset.h"
 #include "twitter/loaders.h"
@@ -431,6 +432,7 @@ void PrintCurve(const std::vector<DriverReport>& reports) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mbq::obs::SetProcessRole("bench");
   mbq::bench::MetricsExportGuard metrics(argc, argv);
   Args args;
   if (!ParseArgs(argc, argv, &args)) {

@@ -28,7 +28,10 @@
 //                 ./mbqd --verify --users=N --seed=S \
 //                        --shard=127.0.0.1:7000 [--calls=M]
 //
-//   probe       Dial one daemon, print its hello and round-trip a ping.
+//   probe       Liveness-check one daemon. Tries the stats server's
+//               /healthz endpoint first (cheap: no dataset hello, no
+//               RPC dial); when the address is an RPC port, falls back
+//               to the full hello + ping round trip.
 //
 //                 ./mbqd --probe=127.0.0.1:7001
 //
@@ -55,7 +58,9 @@
 #include "core/workload.h"
 #include "cypher/session.h"
 #include "nodestore/graph_db.h"
+#include "obs/http_client.h"
 #include "obs/httpd.h"
+#include "obs/trace_context.h"
 #include "rpc/server.h"
 #include "storage/simulated_disk.h"
 #include "twitter/dataset.h"
@@ -202,6 +207,7 @@ int RunShard(const Args& args) {
   using namespace mbq;          // NOLINT(build/namespaces)
   using namespace mbq::core;    // NOLINT(build/namespaces)
 
+  mbq::obs::SetProcessRole("shard-" + std::to_string(args.shard_id));
   Result<PartitionKind> kind = ParsePartitionKind(
       args.shards <= 1 ? "none" : args.partition);
   if (!kind.ok()) {
@@ -336,6 +342,7 @@ int RunAggregator(const Args& args) {
   using namespace mbq;        // NOLINT(build/namespaces)
   using namespace mbq::core;  // NOLINT(build/namespaces)
 
+  mbq::obs::SetProcessRole("aggregator");
   if (args.shard_addresses.empty()) {
     std::fprintf(stderr, "mbqd: --aggregate needs at least one --shard=\n");
     return 2;
@@ -394,6 +401,7 @@ int RunVerify(const Args& args) {
   using namespace mbq;        // NOLINT(build/namespaces)
   using namespace mbq::core;  // NOLINT(build/namespaces)
 
+  mbq::obs::SetProcessRole("verify");
   if (args.shard_addresses.empty()) {
     std::fprintf(stderr, "mbqd: --verify needs at least one --shard=\n");
     return 2;
@@ -587,6 +595,14 @@ int RunProbe(const Args& args) {
   if (!addr.ok()) {
     std::fprintf(stderr, "mbqd: %s\n", addr.status().message().c_str());
     return 2;
+  }
+  // Prefer the stats server's liveness endpoint: it answers without a
+  // dataset hello or an RPC dial. An RPC port rejects the HTTP bytes
+  // immediately (bad frame magic), so the fallback is fast.
+  std::string health;
+  if (mbq::obs::HttpGet(addr->host, addr->port, "/healthz", &health)) {
+    std::fwrite(health.data(), 1, health.size(), stdout);
+    return 0;
   }
   rpc::RpcClient::Options options;
   options.host = addr->host;

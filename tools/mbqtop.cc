@@ -2,24 +2,21 @@
 // embedded stats server (any bench with --serve, the shell's :serve,
 // checkdb --serve, or MBQ_STATS_PORT).
 //
-//   ./mbqtop [--host=H] [--port=N] [--interval=SECONDS] [--once]
-//   ./mbqtop --get=<endpoint> [--port=N]   # /metrics, /metrics.json,
-//                                          # /queries, /slow, /trace
+//   ./mbqtop [--host=H] [--port=N] [--interval=SECONDS] [--once] [--json]
+//   ./mbqtop --get=<endpoint> [--port=N]   # /healthz, /metrics,
+//                                          # /metrics.json, /queries,
+//                                          # /slow, /trace, /trace.json
 //
 // Polls /metrics.json, /queries and /slow and renders a refreshing
 // terminal view: throughput (from the active-query registry's started
 // counter), latency quantiles, cache hit-rates, pool queue depth, the
-// in-flight query table and the slow-query tail. `--once` prints a
-// single frame without clearing the screen (script-friendly); `--get`
-// fetches one endpoint raw and exits (a curl substitute for smoke
-// scripts). The port defaults to the MBQ_STATS_PORT environment
-// variable.
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
+// in-flight query table, the per-shard RPC latency table (when the
+// server is an aggregator exporting rpc.shard.* histograms) and the
+// slow-query tail. `--once` prints a single frame without clearing the
+// screen (script-friendly); `--json` emits one machine-readable frame
+// and exits; `--get` fetches one endpoint raw and exits (a curl
+// substitute for smoke scripts). The port defaults to the
+// MBQ_STATS_PORT environment variable.
 
 #include <cerrno>
 #include <chrono>
@@ -33,59 +30,20 @@
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/http_client.h"
 
 namespace {
+
+using mbq::obs::HttpGet;
 
 struct Options {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
   double interval_seconds = 2.0;
   bool once = false;
+  bool json = false;  // emit one machine-readable frame instead of the TUI
   std::string get_path;  // non-empty: fetch raw and exit
 };
-
-// ------------------------------------------------------------ HTTP client
-
-/// Blocking GET, 2s connect/read timeout; returns false on any failure.
-bool HttpGet(const std::string& host, uint16_t port, const std::string& path,
-             std::string* body) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return false;
-  }
-  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
-                        "\r\nConnection: close\r\n\r\n";
-  size_t sent = 0;
-  while (sent < request.size()) {
-    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
-    if (n <= 0) {
-      ::close(fd);
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  std::string response;
-  char buf[4096];
-  for (;;) {
-    pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, 2000) <= 0) break;
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    response.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  size_t header_end = response.find("\r\n\r\n");
-  if (header_end == std::string::npos) return false;
-  if (response.compare(0, 12, "HTTP/1.1 200") != 0) return false;
-  *body = response.substr(header_end + 4);
-  return true;
-}
 
 // -------------------------------------------------- line-level JSON reads
 //
@@ -170,6 +128,44 @@ std::string FormatRate(double hits, double misses) {
   return buf;
 }
 
+// ---------------------------------------------------------------- shards
+
+struct ShardRow {
+  unsigned shard;
+  double count;
+  double p50_us;
+  double p95_us;
+  double p99_us;
+};
+
+/// Per-shard RPC latency rows pulled from the flattened
+/// rpc.shard.<i>.latency.{count,p50,p95,p99} metrics an aggregator
+/// exports; empty on a single-process server.
+std::vector<ShardRow> ShardRows(const std::map<std::string, double>& metrics) {
+  std::vector<ShardRow> out;
+  const std::string prefix = "rpc.shard.";
+  for (auto it = metrics.lower_bound(prefix); it != metrics.end(); ++it) {
+    const std::string& name = it->first;
+    if (name.compare(0, prefix.size(), prefix) != 0) break;
+    const std::string suffix = ".latency.count";
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    std::string id = name.substr(prefix.size(),
+                                 name.size() - prefix.size() - suffix.size());
+    char* end = nullptr;
+    unsigned long shard = std::strtoul(id.c_str(), &end, 10);
+    if (end == id.c_str() || *end != '\0') continue;
+    std::string base = prefix + id + ".latency";
+    out.push_back({static_cast<unsigned>(shard), it->second,
+                   Lookup(metrics, base + ".p50"),
+                   Lookup(metrics, base + ".p95"),
+                   Lookup(metrics, base + ".p99")});
+  }
+  return out;
+}
+
 // ----------------------------------------------------------------- frames
 
 void RenderFrame(const Options& options,
@@ -199,6 +195,18 @@ void RenderFrame(const Options& options,
       Lookup(metrics, "exec.pool.queue_depth"),
       Lookup(metrics, "obs.flight.captured"),
       Lookup(metrics, "obs.queries.dropped"));
+
+  std::vector<ShardRow> shards = ShardRows(metrics);
+  if (!shards.empty()) {
+    std::printf("SHARDS (%zu)\n", shards.size());
+    std::printf("  %6s %10s %10s %10s %10s\n", "SHARD", "CALLS", "P50 MS",
+                "P95 MS", "P99 MS");
+    for (const ShardRow& row : shards) {
+      std::printf("  %6u %10.0f %10.2f %10.2f %10.2f\n", row.shard, row.count,
+                  row.p50_us / 1e3, row.p95_us / 1e3, row.p99_us / 1e3);
+    }
+    std::printf("\n");
+  }
 
   std::printf("ACTIVE (%.0f)\n", Lookup(metrics, "obs.queries.active"));
   std::printf("  %6s %-8s %3s %10s %10s %10s  %s\n", "ID", "ENGINE", "THR",
@@ -233,6 +241,34 @@ void RenderFrame(const Options& options,
   }
 }
 
+/// One machine-readable frame for scripted scrapes (`mbqtop --json`):
+/// the headline numbers plus a per-shard latency array, one JSON object
+/// on a single line.
+void RenderJson(const std::map<std::string, double>& metrics, double qps) {
+  std::printf("{\"qps\": %.3f", qps);
+  std::printf(", \"queries_started\": %.0f",
+              Lookup(metrics, "obs.queries.started"));
+  std::printf(", \"active\": %.0f", Lookup(metrics, "obs.queries.active"));
+  std::printf(", \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}",
+              Lookup(metrics, "cypher.query_latency.p50") / 1e6,
+              Lookup(metrics, "cypher.query_latency.p95") / 1e6,
+              Lookup(metrics, "cypher.query_latency.p99") / 1e6);
+  std::printf(", \"slow_captured\": %.0f",
+              Lookup(metrics, "obs.flight.captured"));
+  std::printf(", \"spans_dropped\": %.0f",
+              Lookup(metrics, "obs.spans.dropped"));
+  std::printf(", \"shards\": [");
+  bool first = true;
+  for (const ShardRow& row : ShardRows(metrics)) {
+    std::printf("%s{\"shard\": %u, \"calls\": %.0f, \"p50_ms\": %.3f, "
+                "\"p95_ms\": %.3f, \"p99_ms\": %.3f}",
+                first ? "" : ", ", row.shard, row.count, row.p50_us / 1e3,
+                row.p95_us / 1e3, row.p99_us / 1e3);
+    first = false;
+  }
+  std::printf("]}\n");
+}
+
 bool ParseArgs(int argc, char** argv, Options* options) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -258,6 +294,9 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->get_path = argv[++i];
     } else if (arg == "--once") {
       options->once = true;
+    } else if (arg == "--json") {
+      options->json = true;
+      options->once = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -273,9 +312,11 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   }
   if (options->port == 0) {
     std::fprintf(stderr,
-                 "usage: mbqtop [--host=H] --port=N [--interval=S] [--once]\n"
+                 "usage: mbqtop [--host=H] --port=N [--interval=S] [--once] "
+                 "[--json]\n"
                  "       mbqtop --get=<endpoint> --port=N\n"
-                 "(endpoints: /metrics /metrics.json /queries /slow /trace;\n"
+                 "(endpoints: /healthz /metrics /metrics.json /queries /slow "
+                 "/trace /trace.json;\n"
                  " --port defaults to the MBQ_STATS_PORT environment "
                  "variable)\n");
     return false;
@@ -321,6 +362,10 @@ int main(int argc, char** argv) {
                      ? (started - last_started) / options.interval_seconds
                      : 0;
     last_started = started;
+    if (options.json) {
+      RenderJson(metrics, qps);
+      return 0;
+    }
     if (!options.once) std::printf("\x1b[H\x1b[2J");  // home + clear
     RenderFrame(options, metrics, queries_json, slow_json, qps);
     if (options.once) return 0;
